@@ -1,0 +1,90 @@
+//! Figure 2 — FPGA current / voltage / power via hwmon and RO counts vs.
+//! the number of activated power-virus instances (161 levels).
+//!
+//! Paper shape targets: r(current) = r(power) = 0.999, r(voltage) = 0.958
+//! (on per-level means, with a ~0.006-LSB slope), r(RO) = -0.996, current
+//! step ~40 LSB/setting, and current variation ~261x the RO's.
+//!
+//! Run with: `cargo bench --bench fig2_characterization`
+//! Set `AMPEREBLEED_SAMPLES` to override samples per level (default 2000;
+//! the paper uses 10000).
+
+use amperebleed::characterize::{self, CharacterizeConfig};
+use amperebleed::Platform;
+use amperebleed_bench::section;
+use fpga_fabric::ring_oscillator::RoConfig;
+use fpga_fabric::virus::VirusConfig;
+
+fn main() {
+    let samples: usize = std::env::var("AMPEREBLEED_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+
+    let mut platform = Platform::zcu102(261);
+    platform.deploy_virus(VirusConfig::default()).expect("virus fits");
+    platform.deploy_ro_bank(RoConfig::default()).expect("ro fits");
+    platform
+        .deploy_tdc(fpga_fabric::tdc::TdcConfig::default())
+        .expect("tdc fits");
+
+    let config = CharacterizeConfig {
+        samples_per_level: samples,
+        ..CharacterizeConfig::default()
+    };
+    eprintln!("sweeping 161 levels x {samples} samples ...");
+    let report = characterize::run(&platform, &config).expect("sweep");
+
+    section("Figure 2: per-level means (every 10th level)");
+    println!(
+        "{:>7} {:>12} {:>10} {:>12} {:>10}",
+        "groups", "I(mA)", "V(mV)", "P(mW)", "RO count"
+    );
+    for row in report.rows.iter().step_by(10) {
+        println!(
+            "{:>7} {:>12.1} {:>10.2} {:>12.1} {:>10.2}",
+            row.active_groups,
+            row.current_ma.mean,
+            row.voltage_mv.mean,
+            row.power_uw.mean / 1_000.0,
+            row.ro_count.as_ref().map_or(f64::NAN, |s| s.mean),
+        );
+    }
+
+    section("correlations and slopes");
+    println!("pearson current : {:+.4}   (paper +0.999)", report.pearson_current);
+    println!("pearson power   : {:+.4}   (paper +0.999)", report.pearson_power);
+    println!("pearson voltage : {:+.4}   (paper +0.958 on means)", report.pearson_voltage.abs());
+    println!(
+        "pearson RO      : {:+.4}   (paper -0.996)",
+        report.pearson_ro.unwrap_or(f64::NAN)
+    );
+    println!(
+        "current slope   : {:>7.2} mA/step   (paper ~40 LSB at 1 mA)",
+        report.fit_current.slope
+    );
+    println!(
+        "voltage slope   : {:>7.4} LSB/step  (paper ~0.006)",
+        report.voltage_lsb_per_step()
+    );
+    println!(
+        "power slope     : {:>7.2} LSB/step  (paper 1-2 LSB)",
+        report.power_lsb_per_step()
+    );
+    let ratio = report.variation_ratio_vs_ro.unwrap_or(f64::NAN);
+    println!("variation ratio : {ratio:>7.0}x        (paper 261x, vs RO)");
+    let tdc_ratio = report.variation_ratio_vs_tdc.unwrap_or(f64::NAN);
+    println!(
+        "vs TDC baseline : {tdc_ratio:>7.0}x        (post-RO-ban sensors fare no better; r_TDC = {:+.4})",
+        report.pearson_tdc.unwrap_or(f64::NAN)
+    );
+
+    // Shape assertions.
+    assert!(report.pearson_current > 0.998);
+    assert!(report.pearson_power > 0.995);
+    assert!(report.pearson_ro.unwrap() < -0.98);
+    assert!((30.0..50.0).contains(&report.fit_current.slope));
+    assert!(report.voltage_lsb_per_step().abs() < 0.1);
+    assert!((100.0..500.0).contains(&ratio));
+    println!("\n[ok] Figure 2 shape reproduced");
+}

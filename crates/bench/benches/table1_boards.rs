@@ -1,0 +1,44 @@
+//! Table I — the ARM-FPGA SoC board survey — and Table II — the sensitive
+//! ZCU102 sensors. Regenerates both tables from the board catalog.
+//!
+//! Run with: `cargo bench --bench table1_boards`
+
+use amperebleed_bench::section;
+use zynq_soc::board::BoardSpec;
+
+fn main() {
+    section("Table I: INA226 sensors on ARM-FPGA SoC boards");
+    println!(
+        "{:<10} {:<18} {:<16} {:<11} {:>6} {:>8} {:>9}",
+        "Board", "FPGA family", "FPGA voltage", "CPU", "DRAM", "INA226", "Price($)"
+    );
+    for b in BoardSpec::catalog() {
+        println!(
+            "{:<10} {:<18} {:<16} {:<11} {:>4}GB {:>8} {:>9}",
+            b.name,
+            b.family.to_string(),
+            format!("{:.3}-{:.3} V", b.fpga_voltage_band.min_v, b.fpga_voltage_band.max_v),
+            b.cpu.to_string(),
+            b.dram_gb,
+            b.ina_sensor_count,
+            b.price_usd,
+        );
+    }
+
+    section("Table II: unprivileged-readable sensitive sensors (ZCU102)");
+    for s in BoardSpec::zcu102().sensitive_sensors() {
+        println!(
+            "{:<12} shunt {:>4.1} mΩ  {}",
+            s.designator,
+            s.shunt_milliohm,
+            s.domain.description()
+        );
+    }
+
+    // Shape checks (fail loudly if the catalog drifts from the paper).
+    let boards = BoardSpec::catalog();
+    assert_eq!(boards.len(), 8);
+    assert!(boards.iter().all(|b| b.ina_sensor_count >= 14));
+    assert_eq!(BoardSpec::zcu102().sensitive_sensors().len(), 4);
+    println!("\n[ok] catalog matches the paper's survey");
+}

@@ -1,0 +1,27 @@
+//! Experiment harnesses for the AmpereBleed reproduction.
+//!
+//! Each bench target under `benches/` regenerates one table or figure of
+//! the paper (see DESIGN.md for the experiment index); this library hosts
+//! the small amount of shared formatting code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Prints a section header for bench output.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Formats an accuracy as the paper prints it (three decimals).
+pub fn acc(a: f64) -> String {
+    format!("{a:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn acc_formats_three_decimals() {
+        assert_eq!(super::acc(0.9972), "0.997");
+        assert_eq!(super::acc(1.0), "1.000");
+    }
+}

@@ -1,0 +1,253 @@
+//! Full attack campaign orchestration.
+//!
+//! Runs the complete AmpereBleed evaluation — characterization, DPU
+//! fingerprinting, RSA Hamming-weight recovery, the covert channel, the
+//! TEE and workload-reconnaissance extensions — and then verifies the
+//! Section V mitigation blocks all of it. One call, one composite report:
+//! the shape every table and figure of the paper reduces to.
+
+use dnn_models::ModelArch;
+use fpga_fabric::covert::CovertConfig;
+use fpga_fabric::ring_oscillator::RoConfig;
+use fpga_fabric::virus::VirusConfig;
+use serde::{Deserialize, Serialize};
+use zynq_soc::SimTime;
+
+use crate::characterize::{self, CharacterizationReport, CharacterizeConfig};
+use crate::fingerprint::{collect_corpus, evaluate_grid, AccuracyGrid, FingerprintConfig};
+use crate::mitigation::restrict_all_sensors;
+use crate::rsa_attack::{self, RsaAttackConfig, RsaAttackReport};
+use crate::tee::{self, TeeAttackConfig};
+use crate::workload::{self, WorkloadConfig};
+use crate::{covert, AttackError, Platform, Result};
+
+/// Campaign-wide configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Characterization sweep parameters.
+    pub characterize: CharacterizeConfig,
+    /// Fingerprinting parameters (applied to the Figure 3 model set).
+    pub fingerprint: FingerprintConfig,
+    /// RSA attack parameters.
+    pub rsa: RsaAttackConfig,
+    /// TEE attack parameters.
+    pub tee: TeeAttackConfig,
+    /// Workload-reconnaissance parameters.
+    pub workload: WorkloadConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 2_025,
+            characterize: CharacterizeConfig::quick(),
+            fingerprint: FingerprintConfig::quick(),
+            rsa: RsaAttackConfig::quick(),
+            tee: TeeAttackConfig::default(),
+            workload: WorkloadConfig::default(),
+        }
+    }
+}
+
+impl CampaignConfig {
+    /// A minimal configuration for tests (seconds, not minutes).
+    pub fn minimal() -> Self {
+        CampaignConfig {
+            characterize: CharacterizeConfig {
+                levels: vec![0, 80, 160],
+                samples_per_level: 120,
+                ..CharacterizeConfig::quick()
+            },
+            fingerprint: FingerprintConfig {
+                traces_per_model: 4,
+                capture_seconds: 1.0,
+                folds: 2,
+                ..FingerprintConfig::quick()
+            },
+            rsa: RsaAttackConfig {
+                hamming_weights: vec![1, 512, 1024],
+                samples_per_key: 1_500,
+                ..RsaAttackConfig::quick()
+            },
+            tee: TeeAttackConfig {
+                traces_per_task: 4,
+                capture_seconds: 1.0,
+                ..TeeAttackConfig::default()
+            },
+            workload: WorkloadConfig {
+                traces_per_class: 4,
+                capture_seconds: 1.0,
+                ..WorkloadConfig::default()
+            },
+            ..CampaignConfig::default()
+        }
+    }
+}
+
+/// The composite result of a full campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Figure 2 sweep (with RO baseline).
+    pub characterization: CharacterizationReport,
+    /// Table III grid over the Figure 3 model set.
+    pub fingerprint_grid: AccuracyGrid,
+    /// Figure 4 report.
+    pub rsa: RsaAttackReport,
+    /// Covert-channel bit error rate on a reference payload.
+    pub covert_ber: f64,
+    /// TEE workload-inference hold-out accuracy.
+    pub tee_accuracy: f64,
+    /// Workload-reconnaissance hold-out accuracy.
+    pub workload_accuracy: f64,
+    /// Whether the Section V mitigation blocked an attack re-run.
+    pub mitigation_effective: bool,
+}
+
+impl CampaignReport {
+    /// Renders a terse multi-line verdict for terminal display.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "characterization : r_I={:+.4} r_RO={:+.4} ratio={:.0}x\n",
+            self.characterization.pearson_current,
+            self.characterization.pearson_ro.unwrap_or(f64::NAN),
+            self.characterization.variation_ratio_vs_ro.unwrap_or(f64::NAN),
+        ));
+        let best = self
+            .fingerprint_grid
+            .rows
+            .iter()
+            .flat_map(|(_, cells)| cells.iter().map(|c| c.top1))
+            .fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "fingerprinting   : best top-1 {:.3} (chance {:.3})\n",
+            best,
+            self.fingerprint_grid.chance()
+        ));
+        out.push_str(&format!(
+            "rsa              : current {}/{} groups, power {}/{}\n",
+            self.rsa.current_separability.distinguishable,
+            self.rsa.observations.len(),
+            self.rsa.power_separability.distinguishable,
+            self.rsa.observations.len(),
+        ));
+        out.push_str(&format!("covert channel   : BER {:.4}\n", self.covert_ber));
+        out.push_str(&format!("tee inference    : {:.0}%\n", self.tee_accuracy * 100.0));
+        out.push_str(&format!(
+            "workload recon   : {:.0}%\n",
+            self.workload_accuracy * 100.0
+        ));
+        out.push_str(&format!(
+            "mitigation       : {}\n",
+            if self.mitigation_effective {
+                "blocks every attack"
+            } else {
+                "FAILED to block"
+            }
+        ));
+        out
+    }
+}
+
+/// The Figure 3 model set used for the campaign's fingerprinting stage.
+fn figure3_models(models: &[ModelArch]) -> Result<Vec<&ModelArch>> {
+    [
+        "mobilenet-v1",
+        "squeezenet",
+        "efficientnet-lite0",
+        "inception-v3",
+        "resnet-50",
+        "vgg-19",
+    ]
+    .iter()
+    .map(|name| {
+        models
+            .iter()
+            .find(|m| &m.name == name)
+            .ok_or_else(|| AttackError::InvalidParameter(format!("{name} missing from zoo")))
+    })
+    .collect()
+}
+
+/// Runs the full campaign.
+///
+/// # Errors
+///
+/// Propagates the first failure from any stage.
+pub fn run(config: &CampaignConfig) -> Result<CampaignReport> {
+    // Stage 1: characterization with the RO baseline co-deployed.
+    let mut platform = Platform::zcu102(config.seed);
+    platform.deploy_virus(VirusConfig::default())?;
+    platform.deploy_ro_bank(RoConfig::default())?;
+    let characterization = characterize::run(&platform, &config.characterize)?;
+
+    // Stage 2: fingerprinting over the Figure 3 set.
+    let models = dnn_models::zoo();
+    let victims = figure3_models(&models)?;
+    let corpus = collect_corpus(&victims, &config.fingerprint)?;
+    let fingerprint_grid = evaluate_grid(
+        &corpus,
+        &config.fingerprint,
+        &[config.fingerprint.capture_seconds],
+    )?;
+
+    // Stage 3: RSA Hamming-weight recovery.
+    let rsa = rsa_attack::run(&config.rsa)?;
+
+    // Stage 4: covert channel round trip.
+    let payload = b"ampere";
+    let covert_config = CovertConfig::default();
+    let mut covert_platform = Platform::zcu102(config.seed ^ 0xC0);
+    covert_platform.deploy_covert_transmitter(covert_config, payload)?;
+    let rx = covert::receive(
+        &covert_platform,
+        &covert_config,
+        payload.len(),
+        SimTime::from_ms(91),
+    )?;
+    let covert_ber = covert::bit_error_rate(payload, &rx.payload);
+
+    // Stage 5: TEE and workload reconnaissance.
+    let tee_accuracy = tee::run(&config.tee)?.holdout_accuracy;
+    let workload_accuracy = workload::run(&config.workload)?.holdout_accuracy;
+
+    // Stage 6: mitigation check — the characterization re-run must fail.
+    let mut hardened = Platform::zcu102(config.seed ^ 0xF0);
+    hardened.deploy_virus(VirusConfig::default())?;
+    restrict_all_sensors(&mut hardened)?;
+    let mitigation_effective =
+        characterize::run(&hardened, &config.characterize).is_err();
+
+    Ok(CampaignReport {
+        characterization,
+        fingerprint_grid,
+        rsa,
+        covert_ber,
+        tee_accuracy,
+        workload_accuracy,
+        mitigation_effective,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_campaign_covers_every_stage() {
+        let report = run(&CampaignConfig::minimal()).unwrap();
+        assert!(report.characterization.pearson_current > 0.99);
+        assert!(report.fingerprint_grid.chance() > 0.0);
+        assert_eq!(report.rsa.observations.len(), 3);
+        assert!(report.covert_ber < 0.1);
+        assert!(report.tee_accuracy >= 0.6);
+        assert!(report.workload_accuracy >= 0.6);
+        assert!(report.mitigation_effective);
+
+        let summary = report.summary();
+        assert!(summary.contains("characterization"));
+        assert!(summary.contains("blocks every attack"));
+    }
+}

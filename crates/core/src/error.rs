@@ -1,0 +1,84 @@
+use std::fmt;
+
+use fpga_fabric::resources::DeployError;
+use hwmon_sim::HwmonError;
+use trace_stats::StatsError;
+
+/// Error type for attack and platform operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum AttackError {
+    /// A sysfs access failed (missing node, permission denied, ...).
+    Hwmon(HwmonError),
+    /// A victim bitstream did not fit the fabric.
+    Deploy(DeployError),
+    /// A statistical computation failed (empty trace, zero variance, ...).
+    Stats(StatsError),
+    /// The requested circuit is not deployed on the platform.
+    NotDeployed(&'static str),
+    /// A parameter was outside its valid domain.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for AttackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttackError::Hwmon(e) => write!(f, "hwmon access failed: {e}"),
+            AttackError::Deploy(e) => write!(f, "deployment failed: {e}"),
+            AttackError::Stats(e) => write!(f, "statistics failed: {e}"),
+            AttackError::NotDeployed(what) => write!(f, "{what} is not deployed"),
+            AttackError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for AttackError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttackError::Hwmon(e) => Some(e),
+            AttackError::Deploy(e) => Some(e),
+            AttackError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HwmonError> for AttackError {
+    fn from(e: HwmonError) -> Self {
+        AttackError::Hwmon(e)
+    }
+}
+
+impl From<DeployError> for AttackError {
+    fn from(e: DeployError) -> Self {
+        AttackError::Deploy(e)
+    }
+}
+
+impl From<StatsError> for AttackError {
+    fn from(e: StatsError) -> Self {
+        AttackError::Stats(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e = AttackError::from(HwmonError::PermissionDenied("p".into()));
+        assert!(e.to_string().contains("hwmon"));
+        assert!(e.source().is_some());
+        let e = AttackError::NotDeployed("rsa circuit");
+        assert!(e.to_string().contains("rsa circuit"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AttackError>();
+    }
+}

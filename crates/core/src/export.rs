@@ -1,0 +1,160 @@
+//! CSV export of traces and experiment reports.
+//!
+//! The benches print human-readable tables; downstream users plotting the
+//! figures (Figure 2 curves, Figure 4 distributions, the Table III grid)
+//! want machine-readable data. These helpers render the experiment
+//! artifacts as CSV strings — the caller decides where to write them.
+
+use crate::characterize::CharacterizationReport;
+use crate::fingerprint::AccuracyGrid;
+use crate::rsa_attack::RsaAttackReport;
+use crate::Trace;
+
+/// Renders a trace as `time_s,value` rows.
+///
+/// # Examples
+///
+/// ```
+/// use amperebleed::{Channel, Trace};
+/// use zynq_soc::{PowerDomain, SimTime};
+///
+/// let t = Trace {
+///     domain: PowerDomain::FpgaLogic,
+///     channel: Channel::Current,
+///     start: SimTime::ZERO,
+///     period: SimTime::from_ms(35),
+///     samples: vec![100.0, 101.0],
+/// };
+/// let csv = amperebleed::export::trace_to_csv(&t);
+/// assert!(csv.starts_with("time_s,current_ma\n"));
+/// assert_eq!(csv.lines().count(), 3);
+/// ```
+pub fn trace_to_csv(trace: &Trace) -> String {
+    let unit = match trace.channel {
+        crate::Channel::Current => "current_ma",
+        crate::Channel::Voltage => "voltage_mv",
+        crate::Channel::Power => "power_uw",
+    };
+    let mut out = format!("time_s,{unit}\n");
+    for (i, &v) in trace.samples.iter().enumerate() {
+        let t = trace.start.as_secs_f64() + trace.period.as_secs_f64() * i as f64;
+        out.push_str(&format!("{t:.6},{v}\n"));
+    }
+    out
+}
+
+/// Renders the Figure 2 sweep as one row per activity level.
+pub fn characterization_to_csv(report: &CharacterizationReport) -> String {
+    let mut out = String::from(
+        "active_groups,current_ma_mean,current_ma_std,voltage_mv_mean,power_uw_mean,ro_count_mean\n",
+    );
+    for row in &report.rows {
+        out.push_str(&format!(
+            "{},{:.3},{:.3},{:.4},{:.1},{}\n",
+            row.active_groups,
+            row.current_ma.mean,
+            row.current_ma.std_dev,
+            row.voltage_mv.mean,
+            row.power_uw.mean,
+            row.ro_count
+                .as_ref()
+                .map_or(String::new(), |s| format!("{:.3}", s.mean)),
+        ));
+    }
+    out
+}
+
+/// Renders the Table III grid as `sensor,channel,duration_s,top1,top5`
+/// rows.
+pub fn grid_to_csv(grid: &AccuracyGrid) -> String {
+    let mut out = String::from("domain,channel,duration_s,top1,top5\n");
+    for (sc, cells) in &grid.rows {
+        for cell in cells {
+            out.push_str(&format!(
+                "{},{},{},{:.4},{:.4}\n",
+                sc.domain, sc.channel, cell.duration_s, cell.top1, cell.top5
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the Figure 4 observations as one row per key.
+pub fn rsa_report_to_csv(report: &RsaAttackReport) -> String {
+    let mut out = String::from(
+        "hamming_weight,current_ma_mean,current_ma_std,current_ma_min,current_ma_max,\
+         power_mw_mean,current_cluster,power_cluster\n",
+    );
+    for (i, obs) in report.observations.iter().enumerate() {
+        out.push_str(&format!(
+            "{},{:.3},{:.3},{:.1},{:.1},{:.3},{},{}\n",
+            obs.hamming_weight,
+            obs.current_ma.mean,
+            obs.current_ma.std_dev,
+            obs.current_ma.min,
+            obs.current_ma.max,
+            obs.power_mw.mean,
+            report.current_separability.cluster_of[i],
+            report.power_separability.cluster_of[i],
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::{self, CharacterizeConfig};
+    use crate::rsa_attack::{self, RsaAttackConfig};
+    use crate::{Channel, Platform};
+    use fpga_fabric::virus::VirusConfig;
+    use zynq_soc::{PowerDomain, SimTime};
+
+    #[test]
+    fn trace_csv_units_follow_channel() {
+        let mk = |channel| Trace {
+            domain: PowerDomain::FpgaLogic,
+            channel,
+            start: SimTime::from_ms(40),
+            period: SimTime::from_ms(35),
+            samples: vec![1.0],
+        };
+        assert!(trace_to_csv(&mk(Channel::Voltage)).contains("voltage_mv"));
+        assert!(trace_to_csv(&mk(Channel::Power)).contains("power_uw"));
+        let csv = trace_to_csv(&mk(Channel::Current));
+        assert!(csv.contains("0.040000,1"), "{csv}");
+    }
+
+    #[test]
+    fn characterization_csv_round_trip_row_count() {
+        let mut p = Platform::zcu102(90);
+        p.deploy_virus(VirusConfig::default()).unwrap();
+        let cfg = CharacterizeConfig {
+            levels: vec![0, 80, 160],
+            samples_per_level: 60,
+            ..CharacterizeConfig::quick()
+        };
+        let report = characterize::run(&p, &cfg).unwrap();
+        let csv = characterization_to_csv(&report);
+        assert_eq!(csv.lines().count(), 1 + 3);
+        // Without an RO bank the last column is empty.
+        assert!(csv.lines().nth(1).unwrap().ends_with(','));
+    }
+
+    #[test]
+    fn rsa_csv_has_one_row_per_key() {
+        let cfg = RsaAttackConfig {
+            hamming_weights: vec![1, 512, 1024],
+            samples_per_key: 600,
+            ..RsaAttackConfig::quick()
+        };
+        let report = rsa_attack::run(&cfg).unwrap();
+        let csv = rsa_report_to_csv(&report);
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.contains("hamming_weight"));
+        // Fields parse as numbers.
+        let row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+        assert_eq!(row.len(), 8);
+        let _: f64 = row[1].parse().unwrap();
+    }
+}

@@ -1,0 +1,79 @@
+//! AmpereBleed: current-based, circuit-free power side-channel attacks on
+//! ARM-FPGA SoCs.
+//!
+//! This crate reproduces the attack of *AmpereBleed: Exploiting On-chip
+//! Current Sensors for Circuit-Free Attacks on ARM-FPGA SoCs* (DAC 2025)
+//! on a fully simulated platform. The paper's insight: even when the PDN
+//! stabilizer pins the FPGA rail voltage inside a millivolt band (killing
+//! classic ring-oscillator attacks), the rail *current* still tracks the
+//! victim's dynamic power one-for-one (Eq. 2), and the board's INA226
+//! sensors hand that current to any unprivileged process through hwmon.
+//!
+//! # Architecture
+//!
+//! * [`Platform`] — a ZCU102-class SoC: fabric, power domains, PDN with
+//!   stabilizer, four INA226 sensors behind a simulated hwmon sysfs, and
+//!   deployment slots for the victim circuits (power-virus array, RSA-1024
+//!   accelerator, DPU) and the RO baseline.
+//! * [`CurrentSampler`] — the unprivileged attacker: polls hwmon attribute
+//!   files at a chosen rate and returns [`Trace`]s.
+//! * [`characterize`] — the Figure 2 experiment (161 activity levels;
+//!   Pearson correlations; the 261x RO comparison).
+//! * [`fingerprint`] — the Table III / Figure 3 DPU model-fingerprinting
+//!   attack (offline training, online classification, accuracy grids).
+//! * [`rsa_attack`] — the Figure 4 RSA Hamming-weight attack.
+//! * [`mitigation`] — the Section V countermeasure (root-only sensors) and
+//!   its effect on each attack.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use amperebleed::{Channel, CurrentSampler, Platform};
+//! use fpga_fabric::virus::VirusConfig;
+//! use zynq_soc::{PowerDomain, SimTime};
+//!
+//! # fn main() -> Result<(), amperebleed::AttackError> {
+//! let mut platform = Platform::zcu102(42);
+//! let virus = platform.deploy_virus(VirusConfig::default())?;
+//!
+//! // Victim activity: 80 of 160 groups switching.
+//! virus.activate_groups(80).unwrap();
+//!
+//! // Unprivileged attacker reads the FPGA current through hwmon.
+//! let sampler = CurrentSampler::unprivileged(&platform);
+//! let trace = sampler.capture(
+//!     PowerDomain::FpgaLogic,
+//!     Channel::Current,
+//!     SimTime::from_ms(40),   // start
+//!     1_000.0,                // 1 kHz
+//!     100,                    // samples
+//! )?;
+//! assert!(trace.mean() > 3_000.0, "3+ A of virus current visible");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod characterize;
+pub mod covert;
+mod error;
+pub mod export;
+pub mod fingerprint;
+pub mod mitigation;
+mod platform;
+pub mod rsa_attack;
+mod sampler;
+pub mod tee;
+mod trace;
+pub mod workload;
+
+pub use error::AttackError;
+pub use platform::Platform;
+pub use sampler::CurrentSampler;
+pub use trace::{Channel, Trace};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, AttackError>;

@@ -1,0 +1,102 @@
+//! The Section V countermeasure: restrict INA226 hwmon nodes to root.
+//!
+//! AmpereBleed needs nothing but unprivileged file reads, so the only
+//! software mitigation short of removing the sensors is taking the
+//! measurement attributes away from user processes. This module applies
+//! that policy to a platform and verifies its effect: every unprivileged
+//! capture fails with `PermissionDenied` while privileged (benign
+//! monitoring) access keeps working. The paper notes the cost — benign
+//! tools relying on these nodes for performance monitoring, fault
+//! detection and system management break too, and legacy devices never
+//! receive the driver update.
+
+use zynq_soc::PowerDomain;
+
+use crate::{Platform, Result};
+
+/// Applies the root-only read policy to every sensitive sensor on the
+/// platform.
+///
+/// # Errors
+///
+/// Propagates [`crate::AttackError::Hwmon`] if a sensor is missing (which
+/// would indicate a mis-assembled platform).
+pub fn restrict_all_sensors(platform: &mut Platform) -> Result<()> {
+    for domain in PowerDomain::ALL {
+        let name = domain.ina226_designator().to_owned();
+        platform.hwmon_mut().restrict_reads_to_root(&name)?;
+    }
+    Ok(())
+}
+
+/// Lifts the policy again (e.g. to compare before/after in experiments).
+pub fn unrestrict_all_sensors(platform: &mut Platform) {
+    for domain in PowerDomain::ALL {
+        let name = domain.ina226_designator().to_owned();
+        platform.hwmon_mut().unrestrict_reads(&name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AttackError, Channel, CurrentSampler};
+    use fpga_fabric::virus::VirusConfig;
+    use hwmon_sim::HwmonError;
+    use zynq_soc::SimTime;
+
+    #[test]
+    fn mitigation_blocks_unprivileged_sampling_everywhere() {
+        let mut p = Platform::zcu102(61);
+        p.deploy_virus(VirusConfig::default()).unwrap();
+        restrict_all_sensors(&mut p).unwrap();
+        let sampler = CurrentSampler::unprivileged(&p);
+        for domain in PowerDomain::ALL {
+            for channel in Channel::ALL {
+                let err = sampler
+                    .capture(domain, channel, SimTime::from_ms(40), 1_000.0, 10)
+                    .unwrap_err();
+                assert!(
+                    matches!(err, AttackError::Hwmon(HwmonError::PermissionDenied(_))),
+                    "{domain}/{channel} must be denied, got {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn privileged_monitoring_still_works() {
+        let mut p = Platform::zcu102(62);
+        p.deploy_virus(VirusConfig::default()).unwrap();
+        restrict_all_sensors(&mut p).unwrap();
+        let root = CurrentSampler::privileged(&p);
+        let trace = root
+            .capture(
+                PowerDomain::FpgaLogic,
+                Channel::Current,
+                SimTime::from_ms(40),
+                1_000.0,
+                10,
+            )
+            .unwrap();
+        assert_eq!(trace.len(), 10);
+    }
+
+    #[test]
+    fn policy_is_reversible() {
+        let mut p = Platform::zcu102(63);
+        p.deploy_virus(VirusConfig::default()).unwrap();
+        restrict_all_sensors(&mut p).unwrap();
+        unrestrict_all_sensors(&mut p);
+        let sampler = CurrentSampler::unprivileged(&p);
+        assert!(sampler
+            .capture(
+                PowerDomain::FpgaLogic,
+                Channel::Current,
+                SimTime::from_ms(40),
+                1_000.0,
+                5
+            )
+            .is_ok());
+    }
+}

@@ -1,0 +1,204 @@
+use hwmon_sim::Privilege;
+use zynq_soc::{PowerDomain, SimTime};
+
+use crate::{AttackError, Channel, Platform, Result, Trace};
+
+/// The attacker's sampling loop: an (optionally unprivileged) process that
+/// polls hwmon attribute files at a fixed rate.
+///
+/// This is the entire attack apparatus of AmpereBleed — no crafted
+/// circuit, no fabric access, just `open`/`read` on world-readable sysfs
+/// nodes. The sampler is bound to a platform and a privilege level; the
+/// Section V mitigation makes the unprivileged variant fail with
+/// `PermissionDenied`.
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate) for a quickstart.
+#[derive(Debug, Clone, Copy)]
+pub struct CurrentSampler<'a> {
+    platform: &'a Platform,
+    privilege: Privilege,
+}
+
+impl<'a> CurrentSampler<'a> {
+    /// An unprivileged attacker process (the paper's threat model).
+    pub fn unprivileged(platform: &'a Platform) -> Self {
+        CurrentSampler {
+            platform,
+            privilege: Privilege::User,
+        }
+    }
+
+    /// A root process (for mitigation comparisons and benign monitoring).
+    pub fn privileged(platform: &'a Platform) -> Self {
+        CurrentSampler {
+            platform,
+            privilege: Privilege::Root,
+        }
+    }
+
+    /// The privilege level this sampler runs at.
+    pub fn privilege(&self) -> Privilege {
+        self.privilege
+    }
+
+    /// Reads one sample of `channel` on `domain` at simulation time `t`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttackError::Hwmon`] on sysfs failures (notably
+    /// `PermissionDenied` under the mitigation).
+    pub fn read_once(&self, domain: PowerDomain, channel: Channel, t: SimTime) -> Result<f64> {
+        let path = self.platform.sensor_path(domain, channel.attribute());
+        let raw = self.platform.hwmon().read(&path, t, self.privilege)?;
+        raw.trim()
+            .parse::<f64>()
+            .map_err(|_| AttackError::InvalidParameter(format!("unparseable sysfs value: {raw:?}")))
+    }
+
+    /// Captures `count` samples at `rate_hz`, starting at `start`.
+    ///
+    /// Sampling faster than the sensor's update interval yields repeated
+    /// values (value-hold), exactly as on hardware — the RSA attack
+    /// samples at 1 kHz against a 35 ms update interval.
+    ///
+    /// # Errors
+    ///
+    /// * [`AttackError::InvalidParameter`] if `rate_hz` is not positive or
+    ///   `count` is zero.
+    /// * [`AttackError::Hwmon`] on sysfs failures.
+    pub fn capture(
+        &self,
+        domain: PowerDomain,
+        channel: Channel,
+        start: SimTime,
+        rate_hz: f64,
+        count: usize,
+    ) -> Result<Trace> {
+        if rate_hz <= 0.0 || rate_hz.is_nan() {
+            return Err(AttackError::InvalidParameter(
+                "sampling rate must be positive".into(),
+            ));
+        }
+        if count == 0 {
+            return Err(AttackError::InvalidParameter(
+                "sample count must be non-zero".into(),
+            ));
+        }
+        let period = SimTime::from_secs_f64(1.0 / rate_hz);
+        let mut samples = Vec::with_capacity(count);
+        for k in 0..count {
+            let t = start + SimTime::from_nanos(period.as_nanos() * k as u64);
+            samples.push(self.read_once(domain, channel, t)?);
+        }
+        Ok(Trace {
+            domain,
+            channel,
+            start,
+            period,
+            samples,
+        })
+    }
+
+    /// Captures all three channels of one domain over the same window
+    /// (current, voltage, power), as the characterization experiment does.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CurrentSampler::capture`].
+    pub fn capture_all_channels(
+        &self,
+        domain: PowerDomain,
+        start: SimTime,
+        rate_hz: f64,
+        count: usize,
+    ) -> Result<[Trace; 3]> {
+        Ok([
+            self.capture(domain, Channel::Current, start, rate_hz, count)?,
+            self.capture(domain, Channel::Voltage, start, rate_hz, count)?,
+            self.capture(domain, Channel::Power, start, rate_hz, count)?,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_fabric::virus::VirusConfig;
+
+    fn platform_with_virus(active: u32) -> Platform {
+        let mut p = Platform::zcu102(21);
+        let virus = p.deploy_virus(VirusConfig::default()).unwrap();
+        virus.activate_groups(active).unwrap();
+        p
+    }
+
+    #[test]
+    fn capture_shape_and_units() {
+        let p = platform_with_virus(40);
+        let s = CurrentSampler::unprivileged(&p);
+        let t = s
+            .capture(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_ms(40), 1_000.0, 50)
+            .unwrap();
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.period, SimTime::from_ms(1));
+        // 40 groups x 40 mA + ~900 mA baseline: roughly 2.5 A.
+        assert!((1_800.0..3_500.0).contains(&t.mean()), "{}", t.mean());
+    }
+
+    #[test]
+    fn value_hold_at_high_rates() {
+        let p = platform_with_virus(80);
+        let s = CurrentSampler::unprivileged(&p);
+        // 10 kHz against the 35 ms update interval: long runs of equal
+        // values.
+        let t = s
+            .capture(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_ms(40), 10_000.0, 200)
+            .unwrap();
+        let distinct: std::collections::BTreeSet<i64> =
+            t.samples.iter().map(|&v| v as i64).collect();
+        assert!(distinct.len() <= 2, "expected held values, got {distinct:?}");
+    }
+
+    #[test]
+    fn all_channels_capture() {
+        let p = platform_with_virus(100);
+        let s = CurrentSampler::unprivileged(&p);
+        let [c, v, w] = s
+            .capture_all_channels(PowerDomain::FpgaLogic, SimTime::from_ms(40), 100.0, 20)
+            .unwrap();
+        assert_eq!(c.channel, Channel::Current);
+        assert_eq!(v.channel, Channel::Voltage);
+        assert_eq!(w.channel, Channel::Power);
+        // Voltage in the stabilized band (mV), power consistent with I*V.
+        assert!((820.0..880.0).contains(&v.mean()), "v {}", v.mean());
+        let implied_w = c.mean() / 1_000.0 * v.mean() / 1_000.0; // A*V = W
+        let measured_w = w.mean() / 1e6;
+        assert!(
+            (implied_w - measured_w).abs() / implied_w < 0.05,
+            "power {measured_w} vs implied {implied_w}"
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let p = platform_with_virus(0);
+        let s = CurrentSampler::unprivileged(&p);
+        assert!(matches!(
+            s.capture(PowerDomain::Ddr, Channel::Current, SimTime::ZERO, 0.0, 10),
+            Err(AttackError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            s.capture(PowerDomain::Ddr, Channel::Current, SimTime::ZERO, 100.0, 0),
+            Err(AttackError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn privilege_levels() {
+        let p = platform_with_virus(0);
+        assert_eq!(CurrentSampler::unprivileged(&p).privilege(), Privilege::User);
+        assert_eq!(CurrentSampler::privileged(&p).privilege(), Privilege::Root);
+    }
+}

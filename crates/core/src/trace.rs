@@ -1,0 +1,171 @@
+use serde::{Deserialize, Serialize};
+use zynq_soc::{PowerDomain, SimTime};
+
+/// The hwmon measurement channel a trace was captured from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Channel {
+    /// `curr1_input` — mA resolution; the channel AmpereBleed exploits.
+    Current,
+    /// `in1_input` — 1.25 mV bus-ADC resolution; nearly information-free
+    /// on a stabilized rail.
+    Voltage,
+    /// `power1_input` — derived from current x voltage with a 25x-coarser
+    /// LSB; "almost synchronized to the current measurements, but the low
+    /// bits are truncated".
+    Power,
+}
+
+impl Channel {
+    /// All channels.
+    pub const ALL: [Channel; 3] = [Channel::Current, Channel::Voltage, Channel::Power];
+
+    /// The sysfs attribute file of this channel.
+    pub fn attribute(self) -> &'static str {
+        match self {
+            Channel::Current => "curr1_input",
+            Channel::Voltage => "in1_input",
+            Channel::Power => "power1_input",
+        }
+    }
+
+    /// Measurement unit of the attribute's integer value.
+    pub fn unit(self) -> &'static str {
+        match self {
+            Channel::Current => "mA",
+            Channel::Voltage => "mV",
+            Channel::Power => "uW",
+        }
+    }
+}
+
+impl std::fmt::Display for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Channel::Current => f.write_str("Current"),
+            Channel::Voltage => f.write_str("Voltage"),
+            Channel::Power => f.write_str("Power"),
+        }
+    }
+}
+
+/// A time series captured from one hwmon attribute.
+///
+/// # Examples
+///
+/// ```
+/// use amperebleed::{Channel, Trace};
+/// use zynq_soc::{PowerDomain, SimTime};
+///
+/// let t = Trace {
+///     domain: PowerDomain::FpgaLogic,
+///     channel: Channel::Current,
+///     start: SimTime::ZERO,
+///     period: SimTime::from_ms(1),
+///     samples: vec![100.0, 102.0, 98.0],
+/// };
+/// assert_eq!(t.mean(), 100.0);
+/// assert_eq!(t.duration(), SimTime::from_ms(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Monitored power domain.
+    pub domain: PowerDomain,
+    /// Measurement channel.
+    pub channel: Channel,
+    /// Simulation time of the first sample.
+    pub start: SimTime,
+    /// Sampling period.
+    pub period: SimTime,
+    /// Samples in the channel's native unit (mA / mV / µW).
+    pub samples: Vec<f64>,
+}
+
+impl Trace {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean of the samples; 0 for an empty trace.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Wall-clock span covered by the trace.
+    pub fn duration(&self) -> SimTime {
+        SimTime::from_nanos(self.period.as_nanos() * self.samples.len() as u64)
+    }
+
+    /// Sampling frequency in Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        1.0 / self.period.as_secs_f64()
+    }
+
+    /// The samples collected within the first `seconds` of the capture —
+    /// the Table III duration sweep.
+    pub fn prefix_seconds(&self, seconds: f64) -> &[f64] {
+        trace_stats::features::truncate_to_duration(
+            &self.samples,
+            self.period.as_secs_f64(),
+            seconds,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(samples: Vec<f64>) -> Trace {
+        Trace {
+            domain: PowerDomain::FpgaLogic,
+            channel: Channel::Current,
+            start: SimTime::ZERO,
+            period: SimTime::from_ms(35),
+            samples,
+        }
+    }
+
+    #[test]
+    fn channel_attributes() {
+        assert_eq!(Channel::Current.attribute(), "curr1_input");
+        assert_eq!(Channel::Voltage.attribute(), "in1_input");
+        assert_eq!(Channel::Power.attribute(), "power1_input");
+        assert_eq!(Channel::Power.unit(), "uW");
+        assert_eq!(Channel::Current.to_string(), "Current");
+    }
+
+    #[test]
+    fn trace_statistics() {
+        let t = trace(vec![1.0, 2.0, 3.0]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.mean(), 2.0);
+        assert_eq!(t.duration(), SimTime::from_ms(105));
+        assert!((t.sample_rate_hz() - 1000.0 / 35.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = trace(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.mean(), 0.0);
+        assert_eq!(t.duration(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn prefix_selects_duration() {
+        let t = trace((0..200).map(f64::from).collect());
+        // 35 ms period, 1 s -> 28 samples.
+        assert_eq!(t.prefix_seconds(1.0).len(), 28);
+        assert_eq!(t.prefix_seconds(100.0).len(), 200);
+    }
+}

@@ -1,0 +1,270 @@
+use crate::{Layer, LayerKind};
+
+/// Builds a network's layer list while tracking tensor shapes.
+///
+/// Shapes follow the usual NCHW conventions with `same` padding for odd
+/// kernels; MACs/params/traffic are computed from the tracked shapes, so
+/// the relative workload of the generated models matches the published
+/// architectures.
+///
+/// # Examples
+///
+/// ```
+/// use dnn_models::NetBuilder;
+///
+/// let mut b = NetBuilder::new(224, 3);
+/// b.conv("conv1", 7, 2, 64);
+/// b.pool("pool1", 3, 2);
+/// let layers = b.finish();
+/// assert_eq!(layers.len(), 2);
+/// assert_eq!(layers[0].params, 7 * 7 * 3 * 64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetBuilder {
+    h: u64,
+    w: u64,
+    c: u64,
+    layers: Vec<Layer>,
+}
+
+impl NetBuilder {
+    /// Starts a network with a square input of `input` pixels and
+    /// `channels` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` or `channels` is zero.
+    pub fn new(input: u64, channels: u64) -> Self {
+        assert!(input > 0 && channels > 0, "input shape must be non-zero");
+        NetBuilder {
+            h: input,
+            w: input,
+            c: channels,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Current spatial size (height == width).
+    pub fn spatial(&self) -> u64 {
+        self.h
+    }
+
+    /// Current channel count.
+    pub fn channels(&self) -> u64 {
+        self.c
+    }
+
+    fn out_dim(dim: u64, stride: u64) -> u64 {
+        dim.div_ceil(stride).max(1)
+    }
+
+    fn push(&mut self, name: &str, kind: LayerKind, macs: u64, params: u64, extra_bytes: u64) {
+        let activation_bytes = self.h * self.w * self.c; // int8 activations
+        self.layers.push(Layer {
+            name: name.to_owned(),
+            kind,
+            macs,
+            params,
+            dram_bytes: activation_bytes + params + extra_bytes,
+        });
+    }
+
+    /// Standard convolution: `k x k`, given stride and output channels.
+    pub fn conv(&mut self, name: &str, k: u64, stride: u64, out_c: u64) -> &mut Self {
+        let oh = Self::out_dim(self.h, stride);
+        let ow = Self::out_dim(self.w, stride);
+        let macs = k * k * self.c * out_c * oh * ow;
+        let params = k * k * self.c * out_c;
+        let in_bytes = self.h * self.w * self.c;
+        self.h = oh;
+        self.w = ow;
+        self.c = out_c;
+        self.push(name, LayerKind::Conv, macs, params, in_bytes);
+        self
+    }
+
+    /// Depthwise convolution: `k x k` per channel.
+    pub fn dw_conv(&mut self, name: &str, k: u64, stride: u64) -> &mut Self {
+        let oh = Self::out_dim(self.h, stride);
+        let ow = Self::out_dim(self.w, stride);
+        let macs = k * k * self.c * oh * ow;
+        let params = k * k * self.c;
+        let in_bytes = self.h * self.w * self.c;
+        self.h = oh;
+        self.w = ow;
+        self.push(name, LayerKind::DepthwiseConv, macs, params, in_bytes);
+        self
+    }
+
+    /// Pooling layer.
+    pub fn pool(&mut self, name: &str, k: u64, stride: u64) -> &mut Self {
+        let oh = Self::out_dim(self.h, stride);
+        let ow = Self::out_dim(self.w, stride);
+        let macs = k * k * self.c * oh * ow / 4; // comparisons, not MACs
+        let in_bytes = self.h * self.w * self.c;
+        self.h = oh;
+        self.w = ow;
+        self.push(name, LayerKind::Pool, macs, 0, in_bytes);
+        self
+    }
+
+    /// Global average pool to 1x1.
+    pub fn global_pool(&mut self, name: &str) -> &mut Self {
+        let k = self.h;
+        self.pool(name, k, k.max(1))
+    }
+
+    /// Fully connected layer to `out` units.
+    pub fn fc(&mut self, name: &str, out: u64) -> &mut Self {
+        let in_features = self.h * self.w * self.c;
+        let macs = in_features * out;
+        let params = in_features * out;
+        self.h = 1;
+        self.w = 1;
+        self.c = out;
+        self.push(name, LayerKind::FullyConnected, macs, params, in_features);
+        self
+    }
+
+    /// Residual elementwise add (shape unchanged).
+    pub fn add(&mut self, name: &str) -> &mut Self {
+        let bytes = self.h * self.w * self.c;
+        self.push(name, LayerKind::Add, bytes, 0, bytes * 2);
+        self
+    }
+
+    /// Channel concatenation with a branch of `extra_c` channels.
+    pub fn concat(&mut self, name: &str, extra_c: u64) -> &mut Self {
+        self.c += extra_c;
+        let bytes = self.h * self.w * self.c;
+        self.push(name, LayerKind::Concat, bytes / 8, 0, bytes);
+        self
+    }
+
+    /// Squeeze-and-excite gate: global pool to a 1x1 descriptor, two small
+    /// fully-connected layers (`c -> c/reduction -> c`), multiply back into
+    /// the feature map. Tensor shape is unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduction` is zero.
+    pub fn se_block(&mut self, name: &str, reduction: u64) -> &mut Self {
+        assert!(reduction > 0, "reduction must be non-zero");
+        let c = self.c;
+        let mid = (c / reduction).max(8);
+        let pool_macs = self.h * self.w * self.c / 4;
+        self.push(&format!("{name}.gap"), LayerKind::Pool, pool_macs, 0, 0);
+        self.push(
+            &format!("{name}.fc1"),
+            LayerKind::FullyConnected,
+            c * mid,
+            c * mid,
+            c,
+        );
+        self.push(
+            &format!("{name}.fc2"),
+            LayerKind::FullyConnected,
+            mid * c,
+            mid * c,
+            mid,
+        );
+        self
+    }
+
+    /// Overrides the tracked channel count (for hand-managed branching).
+    pub fn set_channels(&mut self, c: u64) -> &mut Self {
+        assert!(c > 0, "channel count must be non-zero");
+        self.c = c;
+        self
+    }
+
+    /// Finishes the network and returns the layer list.
+    pub fn finish(self) -> Vec<Layer> {
+        self.layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conv_shapes_and_macs() {
+        let mut b = NetBuilder::new(224, 3);
+        b.conv("c1", 7, 2, 64);
+        assert_eq!(b.spatial(), 112);
+        assert_eq!(b.channels(), 64);
+        let l = &b.clone().finish()[0];
+        assert_eq!(l.macs, 7 * 7 * 3 * 64 * 112 * 112);
+        assert_eq!(l.params, 7 * 7 * 3 * 64);
+    }
+
+    #[test]
+    fn dw_conv_macs_scale_with_channels_only() {
+        let mut b = NetBuilder::new(112, 32);
+        b.dw_conv("dw", 3, 1);
+        let l = &b.finish()[0];
+        assert_eq!(l.macs, 3 * 3 * 32 * 112 * 112);
+        assert_eq!(l.params, 3 * 3 * 32);
+    }
+
+    #[test]
+    fn fc_flattens() {
+        let mut b = NetBuilder::new(7, 512);
+        b.fc("fc", 1000);
+        assert_eq!(b.spatial(), 1);
+        assert_eq!(b.channels(), 1000);
+        let l = &b.finish()[0];
+        assert_eq!(l.macs, 7 * 7 * 512 * 1000);
+    }
+
+    #[test]
+    fn global_pool_reduces_to_one() {
+        let mut b = NetBuilder::new(7, 2048);
+        b.global_pool("gap");
+        assert_eq!(b.spatial(), 1);
+        assert_eq!(b.channels(), 2048);
+    }
+
+    #[test]
+    fn concat_grows_channels() {
+        let mut b = NetBuilder::new(28, 128);
+        b.concat("cat", 32);
+        assert_eq!(b.channels(), 160);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_input_rejected() {
+        let _ = NetBuilder::new(0, 3);
+    }
+
+    proptest! {
+        #[test]
+        fn spatial_never_zero(
+            input in 1u64..300, k in 1u64..8, stride in 1u64..5
+        ) {
+            let mut b = NetBuilder::new(input, 3);
+            b.conv("c", k, stride, 8);
+            prop_assert!(b.spatial() >= 1);
+            b.pool("p", k, stride);
+            prop_assert!(b.spatial() >= 1);
+        }
+
+        #[test]
+        fn all_layers_have_positive_traffic(
+            stride in 1u64..4, out_c in 1u64..64
+        ) {
+            let mut b = NetBuilder::new(56, 16);
+            b.conv("c", 3, stride, out_c)
+                .dw_conv("d", 3, 1)
+                .pool("p", 2, 2)
+                .add("a")
+                .fc("f", 10);
+            for l in b.finish() {
+                prop_assert!(l.dram_bytes > 0, "{} has zero traffic", l.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+use serde::{Deserialize, Serialize};
+
+/// The kind of a network layer, as the DPU's scheduler sees it.
+///
+/// Kinds matter because they determine the accelerator's achievable
+/// efficiency: standard convolutions keep the MAC array busy, depthwise
+/// convolutions and pooling are memory-bound, fully-connected layers are
+/// weight-bandwidth-bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Standard convolution (im2col / systolic friendly).
+    Conv,
+    /// Depthwise convolution (one filter per channel).
+    DepthwiseConv,
+    /// Max/average pooling.
+    Pool,
+    /// Fully connected / matrix-vector layer.
+    FullyConnected,
+    /// Elementwise addition (residual connections).
+    Add,
+    /// Channel concatenation (inception / dense blocks).
+    Concat,
+}
+
+impl LayerKind {
+    /// Fraction of the DPU's peak MAC throughput this layer kind typically
+    /// achieves (roofline compute ceiling).
+    pub fn compute_efficiency(self) -> f64 {
+        match self {
+            LayerKind::Conv => 0.75,
+            LayerKind::DepthwiseConv => 0.18,
+            LayerKind::Pool => 0.10,
+            LayerKind::FullyConnected => 0.30,
+            LayerKind::Add => 0.08,
+            LayerKind::Concat => 0.05,
+        }
+    }
+
+    /// Relative switching intensity of the fabric while executing this
+    /// layer kind at full tilt (how "hot" the MAC array runs).
+    pub fn switching_intensity(self) -> f64 {
+        match self {
+            LayerKind::Conv => 1.0,
+            LayerKind::DepthwiseConv => 0.45,
+            LayerKind::Pool => 0.25,
+            LayerKind::FullyConnected => 0.6,
+            LayerKind::Add => 0.2,
+            LayerKind::Concat => 0.12,
+        }
+    }
+}
+
+/// One layer of a network, with its workload totals.
+///
+/// # Examples
+///
+/// ```
+/// use dnn_models::{Layer, LayerKind};
+///
+/// let l = Layer {
+///     name: "conv1".into(),
+///     kind: LayerKind::Conv,
+///     macs: 118_013_952,
+///     params: 9_408,
+///     dram_bytes: 1_000_000,
+/// };
+/// assert!(l.arithmetic_intensity() > 100.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Layer {
+    /// Layer name (unique within a model).
+    pub name: String,
+    /// Layer kind.
+    pub kind: LayerKind,
+    /// Multiply-accumulate operations.
+    pub macs: u64,
+    /// Parameter (weight) count.
+    pub params: u64,
+    /// DRAM traffic in bytes (activations in + out + weights, int8).
+    pub dram_bytes: u64,
+}
+
+impl Layer {
+    /// MACs per DRAM byte — the roofline arithmetic intensity deciding
+    /// whether the layer is compute- or memory-bound.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.dram_bytes == 0 {
+            return f64::INFINITY;
+        }
+        self.macs as f64 / self.dram_bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn efficiency_ordering_is_sane() {
+        assert!(LayerKind::Conv.compute_efficiency() > LayerKind::DepthwiseConv.compute_efficiency());
+        assert!(LayerKind::DepthwiseConv.compute_efficiency() > LayerKind::Concat.compute_efficiency());
+        for k in [
+            LayerKind::Conv,
+            LayerKind::DepthwiseConv,
+            LayerKind::Pool,
+            LayerKind::FullyConnected,
+            LayerKind::Add,
+            LayerKind::Concat,
+        ] {
+            assert!((0.0..=1.0).contains(&k.compute_efficiency()));
+            assert!((0.0..=1.0).contains(&k.switching_intensity()));
+        }
+    }
+
+    #[test]
+    fn arithmetic_intensity() {
+        let l = Layer {
+            name: "x".into(),
+            kind: LayerKind::Conv,
+            macs: 1000,
+            params: 10,
+            dram_bytes: 100,
+        };
+        assert_eq!(l.arithmetic_intensity(), 10.0);
+        let zero = Layer { dram_bytes: 0, ..l };
+        assert!(zero.arithmetic_intensity().is_infinite());
+    }
+}

@@ -1,0 +1,44 @@
+//! Behavioural model of the Xilinx Deep-learning Processing Unit (DPU).
+//!
+//! The DPU is the victim accelerator of the paper's fingerprinting case
+//! study (Section IV-B): a commercial, IEEE-1735-encrypted IP core that
+//! executes quantized DNN inference on the FPGA fabric. Because its HDL is
+//! encrypted, an attacker cannot learn the layer schedule from the source —
+//! but the schedule is *electrically* visible: each layer drives the MAC
+//! array and DDR traffic differently, producing a model-specific current
+//! signature on the FPGA, DRAM and CPU rails (Figure 3).
+//!
+//! The model lowers a [`dnn_models::ModelArch`] to a [`DpuSchedule`] with a
+//! roofline timing model (compute-bound vs. memory-bound per layer) and
+//! executes it as a [`zynq_soc::PowerLoad`] spanning three power domains:
+//!
+//! * **FPGA logic** — MAC-array switching scaled by per-layer utilization,
+//! * **DDR** — current proportional to achieved memory bandwidth,
+//! * **Full-power CPU** — the runtime's pre/post-processing between
+//!   inferences (image resize, softmax, scheduling).
+//!
+//! # Examples
+//!
+//! ```
+//! use dnn_models::zoo;
+//! use dpu::{DpuAccelerator, DpuConfig};
+//! use zynq_soc::{PowerDomain, PowerLoad, SimTime};
+//!
+//! let models = zoo();
+//! let resnet = models.iter().find(|m| m.name == "resnet-50").unwrap();
+//! let dpu = DpuAccelerator::new(DpuConfig::default(), 1);
+//! dpu.load_model(resnet);
+//! let i = dpu.current_ma(SimTime::from_ms(10), PowerDomain::FpgaLogic);
+//! assert!(i > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accelerator;
+pub mod isa;
+pub mod runner;
+mod schedule;
+
+pub use accelerator::{DpuAccelerator, DpuConfig};
+pub use schedule::{DpuSchedule, ScheduledLayer};

@@ -1,0 +1,267 @@
+//! Inference runtime: the Vitis-AI-runner-like request queue in front of
+//! the accelerator.
+//!
+//! The paper's victim "runs each model in series for 5 seconds" through
+//! the Vitis AI runtime: requests queue in software, the CPU pre-processes
+//! each image, the accelerator executes, results return in FIFO order.
+//! This module provides that dispatch model as a deterministic scheduler:
+//! given submission times, it computes per-request start/finish times and
+//! aggregate latency/throughput statistics — the queueing behaviour that
+//! shapes the CPU-channel signature (bursty pre-processing) and bounds the
+//! victim's query rate.
+
+use dnn_models::ModelArch;
+use zynq_soc::{hash01, SimTime};
+
+use crate::{DpuConfig, DpuSchedule};
+
+/// Completed request record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedRequest {
+    /// Request id (submission order).
+    pub id: u64,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// When the runtime began pre-processing it.
+    pub started_at: SimTime,
+    /// When the result was ready.
+    pub finished_at: SimTime,
+}
+
+impl CompletedRequest {
+    /// End-to-end latency (submission to result).
+    pub fn latency(&self) -> SimTime {
+        self.finished_at - self.submitted_at
+    }
+
+    /// Time spent waiting in the queue before service began.
+    pub fn queue_delay(&self) -> SimTime {
+        self.started_at - self.submitted_at
+    }
+}
+
+/// Aggregate service statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunnerStats {
+    /// Number of requests served.
+    pub served: usize,
+    /// Mean end-to-end latency, seconds.
+    pub mean_latency_s: f64,
+    /// 99th-percentile end-to-end latency, seconds.
+    pub p99_latency_s: f64,
+    /// Achieved throughput, inferences per second.
+    pub throughput_ips: f64,
+}
+
+/// FIFO inference runner for one loaded model.
+///
+/// # Examples
+///
+/// ```
+/// use dnn_models::zoo;
+/// use dpu::runner::DpuRunner;
+/// use dpu::DpuConfig;
+/// use zynq_soc::SimTime;
+///
+/// let models = zoo();
+/// let resnet = models.iter().find(|m| m.name == "resnet-50").unwrap();
+/// let runner = DpuRunner::new(resnet, DpuConfig::default(), 1);
+/// // Saturating load: submissions every millisecond queue up.
+/// let submits: Vec<SimTime> = (0..20).map(SimTime::from_ms).collect();
+/// let completed = runner.serve(&submits);
+/// let stats = DpuRunner::stats(&completed);
+/// assert_eq!(stats.served, 20);
+/// assert!(stats.p99_latency_s > stats.mean_latency_s / 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DpuRunner {
+    schedule: DpuSchedule,
+    pre_post: SimTime,
+    jitter: f64,
+    seed: u64,
+}
+
+impl DpuRunner {
+    /// Creates a runner for `model` on a DPU with `config`.
+    pub fn new(model: &ModelArch, config: DpuConfig, seed: u64) -> Self {
+        let schedule = DpuSchedule::lower(model, &config);
+        let scale = (model.input as f64 / 224.0).powi(2);
+        DpuRunner {
+            schedule,
+            pre_post: SimTime::from_secs_f64(config.pre_post_time.as_secs_f64() * scale),
+            jitter: config.inference_jitter,
+            seed,
+        }
+    }
+
+    /// Nominal service time of one request (pre/post + accelerator).
+    pub fn service_time(&self) -> SimTime {
+        self.pre_post + self.schedule.inference_time()
+    }
+
+    /// Maximum sustainable throughput, inferences per second.
+    pub fn peak_throughput_ips(&self) -> f64 {
+        1.0 / self.service_time().as_secs_f64()
+    }
+
+    /// Serves requests submitted at the given times (must be
+    /// non-decreasing), FIFO, one at a time — the single-core runner the
+    /// paper's victim uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if submission times are not sorted.
+    pub fn serve(&self, submissions: &[SimTime]) -> Vec<CompletedRequest> {
+        assert!(
+            submissions.windows(2).all(|w| w[0] <= w[1]),
+            "submissions must be sorted"
+        );
+        let mut completed = Vec::with_capacity(submissions.len());
+        let mut engine_free = SimTime::ZERO;
+        for (id, &submitted_at) in submissions.iter().enumerate() {
+            let started_at = submitted_at.max(engine_free);
+            // Input-dependent service jitter, deterministic per request.
+            let jitter = 1.0 + (hash01(self.seed, 6, id as u64) - 0.5) * 2.0 * self.jitter;
+            let service =
+                SimTime::from_secs_f64(self.service_time().as_secs_f64() * jitter);
+            let finished_at = started_at + service;
+            engine_free = finished_at;
+            completed.push(CompletedRequest {
+                id: id as u64,
+                submitted_at,
+                started_at,
+                finished_at,
+            });
+        }
+        completed
+    }
+
+    /// Aggregates statistics over completed requests.
+    pub fn stats(completed: &[CompletedRequest]) -> RunnerStats {
+        if completed.is_empty() {
+            return RunnerStats {
+                served: 0,
+                mean_latency_s: 0.0,
+                p99_latency_s: 0.0,
+                throughput_ips: 0.0,
+            };
+        }
+        let mut latencies: Vec<f64> = completed
+            .iter()
+            .map(|r| r.latency().as_secs_f64())
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        let p99_idx = ((latencies.len() as f64 * 0.99).ceil() as usize).min(latencies.len()) - 1;
+        let first = completed
+            .first()
+            .map(|r| r.submitted_at.as_secs_f64())
+            .unwrap_or(0.0);
+        let last = completed
+            .last()
+            .map(|r| r.finished_at.as_secs_f64())
+            .unwrap_or(0.0);
+        let span = (last - first).max(1e-12);
+        RunnerStats {
+            served: completed.len(),
+            mean_latency_s: mean,
+            p99_latency_s: latencies[p99_idx],
+            throughput_ips: completed.len() as f64 / span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::zoo;
+
+    fn runner_for(name: &str) -> DpuRunner {
+        let models = zoo();
+        let m = models.iter().find(|m| m.name == name).unwrap();
+        DpuRunner::new(m, DpuConfig::default(), 3)
+    }
+
+    #[test]
+    fn fifo_order_and_no_overlap() {
+        let runner = runner_for("resnet-50");
+        let submits: Vec<SimTime> = (0..10).map(|k| SimTime::from_ms(k * 3)).collect();
+        let completed = runner.serve(&submits);
+        for pair in completed.windows(2) {
+            assert!(pair[1].started_at >= pair[0].finished_at, "FIFO overlap");
+        }
+        for r in &completed {
+            assert!(r.started_at >= r.submitted_at);
+            assert!(r.finished_at > r.started_at);
+        }
+    }
+
+    #[test]
+    fn idle_runner_serves_immediately() {
+        let runner = runner_for("mobilenet-v1");
+        // Widely spaced submissions: no queueing.
+        let spacing = SimTime::from_secs(1);
+        let submits: Vec<SimTime> =
+            (0..5).map(|k| SimTime::from_nanos(spacing.as_nanos() * k)).collect();
+        let completed = runner.serve(&submits);
+        for r in &completed {
+            assert_eq!(r.queue_delay(), SimTime::ZERO);
+        }
+        let stats = DpuRunner::stats(&completed);
+        // Latency ~ service time (within the 2% jitter).
+        let service = runner.service_time().as_secs_f64();
+        assert!((stats.mean_latency_s - service).abs() / service < 0.05);
+    }
+
+    #[test]
+    fn saturation_builds_queue_delay() {
+        let runner = runner_for("vgg-19");
+        // Submit far faster than the service rate.
+        let submits: Vec<SimTime> = (0..30).map(SimTime::from_ms).collect();
+        let completed = runner.serve(&submits);
+        let last = completed.last().unwrap();
+        assert!(
+            last.queue_delay().as_secs_f64() > 10.0 * runner.service_time().as_secs_f64() / 2.0,
+            "backlog must accumulate"
+        );
+        let stats = DpuRunner::stats(&completed);
+        // Throughput saturates near the peak rate.
+        let peak = runner.peak_throughput_ips();
+        assert!((stats.throughput_ips - peak).abs() / peak < 0.1);
+        assert!(stats.p99_latency_s >= stats.mean_latency_s);
+    }
+
+    #[test]
+    fn faster_models_have_higher_peak_throughput() {
+        let fast = runner_for("mobilenet-v1").peak_throughput_ips();
+        let slow = runner_for("vgg-19").peak_throughput_ips();
+        assert!(fast > 3.0 * slow, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn empty_submissions() {
+        let runner = runner_for("resnet-50");
+        let completed = runner.serve(&[]);
+        assert!(completed.is_empty());
+        let stats = DpuRunner::stats(&completed);
+        assert_eq!(stats.served, 0);
+        assert_eq!(stats.throughput_ips, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_submissions_rejected() {
+        let runner = runner_for("resnet-50");
+        let _ = runner.serve(&[SimTime::from_ms(5), SimTime::from_ms(1)]);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let models = zoo();
+        let m = models.iter().find(|m| m.name == "resnet-50").unwrap();
+        let a = DpuRunner::new(m, DpuConfig::default(), 9);
+        let b = DpuRunner::new(m, DpuConfig::default(), 9);
+        let submits: Vec<SimTime> = (0..8).map(SimTime::from_ms).collect();
+        assert_eq!(a.serve(&submits), b.serve(&submits));
+    }
+}

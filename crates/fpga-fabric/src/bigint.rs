@@ -1,0 +1,627 @@
+//! Fixed-width 1024-bit unsigned integer arithmetic.
+//!
+//! The RSA-1024 victim circuit ([`crate::rsa`]) computes genuine modular
+//! exponentiations, so its switching-activity schedule is derived from the
+//! real Square-and-Multiply algorithm rather than a synthetic pattern.
+//! This module provides the minimal big-integer kernel that requires:
+//! comparison, modular addition, shift-add modular multiplication, and
+//! LSB-first modular exponentiation (the two-multiplier formulation used
+//! by the victim hardware).
+
+use serde::{Deserialize, Serialize};
+
+/// Number of 64-bit limbs in a [`U1024`].
+pub const LIMBS: usize = 16;
+
+/// Number of bits in a [`U1024`].
+pub const BITS: usize = LIMBS * 64;
+
+/// A 1024-bit unsigned integer (little-endian limbs).
+///
+/// # Examples
+///
+/// ```
+/// use fpga_fabric::bigint::U1024;
+///
+/// let a = U1024::from_u64(7);
+/// let m = U1024::from_u64(13);
+/// // 7^4 mod 13 = 2401 mod 13 = 9
+/// let r = a.mod_exp(&U1024::from_u64(4), &m);
+/// assert_eq!(r, U1024::from_u64(9));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct U1024 {
+    limbs: [u64; LIMBS],
+}
+
+impl Ord for U1024 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Numeric comparison: most-significant limb first.
+        for i in (0..LIMBS).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl PartialOrd for U1024 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl U1024 {
+    /// Zero.
+    pub const ZERO: U1024 = U1024 { limbs: [0; LIMBS] };
+
+    /// One.
+    pub const ONE: U1024 = {
+        let mut limbs = [0u64; LIMBS];
+        limbs[0] = 1;
+        U1024 { limbs }
+    };
+
+    /// Creates a value from a `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        let mut limbs = [0u64; LIMBS];
+        limbs[0] = v;
+        U1024 { limbs }
+    }
+
+    /// Creates a value from little-endian limbs.
+    pub const fn from_limbs(limbs: [u64; LIMBS]) -> Self {
+        U1024 { limbs }
+    }
+
+    /// The little-endian limbs.
+    pub const fn limbs(&self) -> &[u64; LIMBS] {
+        &self.limbs
+    }
+
+    /// Deterministic pseudo-random value from a seed (splitmix64 stream).
+    pub fn random(seed: u64) -> Self {
+        let mut z = seed;
+        let mut limbs = [0u64; LIMBS];
+        for limb in &mut limbs {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *limb = x ^ (x >> 31);
+        }
+        U1024 { limbs }
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Bit `i` (0 = least significant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 1024`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < BITS, "bit index out of range");
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 1024`.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        assert!(i < BITS, "bit index out of range");
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.limbs[i / 64] |= mask;
+        } else {
+            self.limbs[i / 64] &= !mask;
+        }
+    }
+
+    /// Population count — the Hamming weight of the value. For an RSA
+    /// exponent this is exactly what the Figure 4 attack recovers.
+    pub fn hamming_weight(&self) -> u32 {
+        self.limbs.iter().map(|l| l.count_ones()).sum()
+    }
+
+    /// Index of the highest set bit, or `None` for zero.
+    pub fn highest_bit(&self) -> Option<usize> {
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            if l != 0 {
+                return Some(i * 64 + 63 - l.leading_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Wrapping addition, returning the sum and the carry out.
+    pub fn overflowing_add(&self, other: &U1024) -> (U1024, bool) {
+        let mut out = [0u64; LIMBS];
+        let mut carry = false;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            *slot = s2;
+            carry = c1 | c2;
+        }
+        (U1024 { limbs: out }, carry)
+    }
+
+    /// Wrapping subtraction, returning the difference and the borrow out.
+    pub fn overflowing_sub(&self, other: &U1024) -> (U1024, bool) {
+        let mut out = [0u64; LIMBS];
+        let mut borrow = false;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let (d1, b1) = self.limbs[i].overflowing_sub(other.limbs[i]);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            *slot = d2;
+            borrow = b1 | b2;
+        }
+        (U1024 { limbs: out }, borrow)
+    }
+
+    /// Left shift by one bit, returning the shifted value and the bit
+    /// shifted out.
+    pub fn shl1(&self) -> (U1024, bool) {
+        let mut out = [0u64; LIMBS];
+        let mut carry = 0u64;
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = (self.limbs[i] << 1) | carry;
+            carry = self.limbs[i] >> 63;
+        }
+        (U1024 { limbs: out }, carry == 1)
+    }
+
+    /// Modular addition `(self + other) mod m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero; operands must already be reduced (`< m`).
+    pub fn mod_add(&self, other: &U1024, m: &U1024) -> U1024 {
+        assert!(!m.is_zero(), "modulus must be non-zero");
+        debug_assert!(self < m && other < m, "operands must be reduced");
+        let (sum, carry) = self.overflowing_add(other);
+        if carry || &sum >= m {
+            sum.overflowing_sub(m).0
+        } else {
+            sum
+        }
+    }
+
+    /// Modular doubling `(2 * self) mod m` for a reduced operand.
+    fn mod_double(&self, m: &U1024) -> U1024 {
+        let (d, carry) = self.shl1();
+        if carry || &d >= m {
+            d.overflowing_sub(m).0
+        } else {
+            d
+        }
+    }
+
+    /// Modular multiplication `(self * other) mod m` by binary
+    /// double-and-add — the shift-add datapath a compact hardware modular
+    /// multiplier implements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero; operands must already be reduced (`< m`).
+    pub fn mod_mul(&self, other: &U1024, m: &U1024) -> U1024 {
+        assert!(!m.is_zero(), "modulus must be non-zero");
+        debug_assert!(self < m && other < m, "operands must be reduced");
+        let mut acc = U1024::ZERO;
+        let top = match other.highest_bit() {
+            Some(b) => b,
+            None => return U1024::ZERO,
+        };
+        // MSB-first double-and-add.
+        for i in (0..=top).rev() {
+            acc = acc.mod_double(m);
+            if other.bit(i) {
+                acc = acc.mod_add(self, m);
+            }
+        }
+        acc
+    }
+
+    /// LSB-first modular exponentiation `self^exp mod m` — the
+    /// two-multiplier Square-and-Multiply schedule of the victim circuit:
+    /// every iteration squares; iterations whose exponent bit is 1 also
+    /// multiply (both multiplier modules active).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero. `self` must be reduced (`< m`).
+    pub fn mod_exp(&self, exp: &U1024, m: &U1024) -> U1024 {
+        assert!(!m.is_zero(), "modulus must be non-zero");
+        if m == &U1024::ONE {
+            return U1024::ZERO;
+        }
+        let mut result = U1024::ONE;
+        let mut square = *self;
+        let top = exp.highest_bit().unwrap_or(0);
+        for i in 0..=top {
+            if exp.bit(i) {
+                result = result.mod_mul(&square, m);
+            }
+            square = square.mod_mul(&square, m);
+        }
+        result
+    }
+
+    /// Reduces an arbitrary value modulo `m` (binary long division).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero.
+    pub fn reduce(&self, m: &U1024) -> U1024 {
+        assert!(!m.is_zero(), "modulus must be non-zero");
+        if self < m {
+            return *self;
+        }
+        let mut rem = U1024::ZERO;
+        let top = self.highest_bit().expect("self >= m > 0");
+        for i in (0..=top).rev() {
+            rem = rem.shl1().0;
+            if self.bit(i) {
+                rem.limbs[0] |= 1;
+            }
+            if &rem >= m {
+                rem = rem.overflowing_sub(m).0;
+            }
+        }
+        rem
+    }
+}
+
+impl U1024 {
+    /// Big-endian byte representation (128 bytes).
+    pub fn to_be_bytes(&self) -> [u8; LIMBS * 8] {
+        let mut out = [0u8; LIMBS * 8];
+        for (i, &limb) in self.limbs.iter().rev().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Constructs a value from 128 big-endian bytes.
+    pub fn from_be_bytes(bytes: [u8; LIMBS * 8]) -> Self {
+        let mut limbs = [0u64; LIMBS];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let start = (LIMBS - 1 - i) * 8;
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&bytes[start..start + 8]);
+            *limb = u64::from_be_bytes(chunk);
+        }
+        U1024 { limbs }
+    }
+
+    /// Parses a hexadecimal string (with or without a `0x` prefix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseU1024Error`] for empty input, non-hex digits, or
+    /// more than 256 hex digits.
+    pub fn from_hex(s: &str) -> std::result::Result<Self, ParseU1024Error> {
+        let digits = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        if digits.is_empty() {
+            return Err(ParseU1024Error::Empty);
+        }
+        if digits.len() > LIMBS * 16 {
+            return Err(ParseU1024Error::TooLong(digits.len()));
+        }
+        let mut value = U1024::ZERO;
+        for c in digits.chars() {
+            let nibble = c.to_digit(16).ok_or(ParseU1024Error::InvalidDigit(c))? as u64;
+            // value = value * 16 + nibble, via four shifts.
+            for _ in 0..4 {
+                value = value.shl1().0;
+            }
+            value.limbs[0] |= nibble;
+        }
+        Ok(value)
+    }
+}
+
+/// Error parsing a [`U1024`] from hex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseU1024Error {
+    /// The input had no digits.
+    Empty,
+    /// A character was not a hex digit.
+    InvalidDigit(char),
+    /// The input exceeds 1024 bits.
+    TooLong(usize),
+}
+
+impl std::fmt::Display for ParseU1024Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseU1024Error::Empty => write!(f, "empty hex string"),
+            ParseU1024Error::InvalidDigit(c) => write!(f, "invalid hex digit {c:?}"),
+            ParseU1024Error::TooLong(n) => write!(f, "{n} hex digits exceed 1024 bits"),
+        }
+    }
+}
+
+impl std::error::Error for ParseU1024Error {}
+
+impl std::str::FromStr for U1024 {
+    type Err = ParseU1024Error;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        U1024::from_hex(s)
+    }
+}
+
+impl From<u64> for U1024 {
+    fn from(v: u64) -> Self {
+        U1024::from_u64(v)
+    }
+}
+
+impl std::fmt::Display for U1024 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Hex rendering, most significant limb first, trimmed.
+        let mut started = false;
+        for &l in self.limbs.iter().rev() {
+            if started {
+                write!(f, "{l:016x}")?;
+            } else if l != 0 {
+                write!(f, "{l:x}")?;
+                started = true;
+            }
+        }
+        if !started {
+            f.write_str("0")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small(v: u64) -> U1024 {
+        U1024::from_u64(v)
+    }
+
+    #[test]
+    fn constants() {
+        assert!(U1024::ZERO.is_zero());
+        assert!(!U1024::ONE.is_zero());
+        assert_eq!(U1024::ONE.hamming_weight(), 1);
+        assert_eq!(U1024::ZERO.highest_bit(), None);
+        assert_eq!(U1024::ONE.highest_bit(), Some(0));
+    }
+
+    #[test]
+    fn bit_get_set_round_trip() {
+        let mut v = U1024::ZERO;
+        for i in [0usize, 1, 63, 64, 100, 1023] {
+            v.set_bit(i, true);
+            assert!(v.bit(i));
+        }
+        assert_eq!(v.hamming_weight(), 6);
+        v.set_bit(100, false);
+        assert!(!v.bit(100));
+        assert_eq!(v.hamming_weight(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_index_checked() {
+        let _ = U1024::ZERO.bit(1024);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = U1024::random(1);
+        let b = U1024::random(2);
+        let (sum, _) = a.overflowing_add(&b);
+        let (diff, _) = sum.overflowing_sub(&b);
+        assert_eq!(diff, a);
+    }
+
+    #[test]
+    fn carry_propagates_across_limbs() {
+        let mut a = U1024::ZERO;
+        a.limbs[0] = u64::MAX;
+        let (sum, carry) = a.overflowing_add(&U1024::ONE);
+        assert!(!carry);
+        assert_eq!(sum.limbs[0], 0);
+        assert_eq!(sum.limbs[1], 1);
+    }
+
+    #[test]
+    fn full_overflow_sets_carry() {
+        let max = U1024::from_limbs([u64::MAX; LIMBS]);
+        let (sum, carry) = max.overflowing_add(&U1024::ONE);
+        assert!(carry);
+        assert!(sum.is_zero());
+    }
+
+    #[test]
+    fn shl1_moves_top_bit_out() {
+        let mut v = U1024::ZERO;
+        v.set_bit(1023, true);
+        let (shifted, out) = v.shl1();
+        assert!(out);
+        assert!(shifted.is_zero());
+    }
+
+    #[test]
+    fn mod_mul_matches_u128() {
+        let m = small(1_000_003);
+        for (a, b) in [(0u64, 5), (123, 456), (999_999, 999_999), (1, 1_000_002)] {
+            let got = small(a).mod_mul(&small(b), &m);
+            let expect = (a as u128 * b as u128 % 1_000_003) as u64;
+            assert_eq!(got, small(expect), "{a} * {b}");
+        }
+    }
+
+    #[test]
+    fn mod_exp_matches_reference() {
+        // 5^117 mod 1009, computed independently.
+        let mut expect = 1u64;
+        for _ in 0..117 {
+            expect = expect * 5 % 1009;
+        }
+        assert_eq!(small(5).mod_exp(&small(117), &small(1009)), small(expect));
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p-1) = 1 mod p for prime p not dividing a.
+        let p = small(104_729); // 10000th prime
+        for a in [2u64, 3, 65_537] {
+            assert_eq!(small(a).mod_exp(&small(104_728), &p), U1024::ONE);
+        }
+    }
+
+    #[test]
+    fn mod_exp_edge_cases() {
+        let m = small(97);
+        assert_eq!(small(5).mod_exp(&U1024::ZERO, &m), U1024::ONE);
+        assert_eq!(small(5).mod_exp(&U1024::ONE, &m), small(5));
+        assert_eq!(small(5).mod_exp(&small(10), &U1024::ONE), U1024::ZERO);
+        assert_eq!(U1024::ZERO.mod_exp(&small(10), &m), U1024::ZERO);
+    }
+
+    #[test]
+    fn reduce_matches_remainder() {
+        let m = small(12_345);
+        for v in [0u64, 1, 12_344, 12_345, 99_999_999] {
+            assert_eq!(small(v).reduce(&m), small(v % 12_345));
+        }
+        // A full-width value reduces below the modulus.
+        let big = U1024::random(9);
+        let m = U1024::random(10).reduce(&U1024::from_limbs({
+            let mut l = [0u64; LIMBS];
+            l[8] = 1; // 2^512
+            l
+        }));
+        if !m.is_zero() {
+            let r = big.reduce(&m);
+            assert!(r < m);
+        }
+    }
+
+    #[test]
+    fn full_width_mod_exp_is_consistent() {
+        // (a^e1 * a^e2) mod m == a^(e1+e2) mod m for random 1024-bit a, m.
+        let mut m = U1024::random(100);
+        m.set_bit(0, true); // odd modulus
+        m.set_bit(1023, true); // full width
+        let a = U1024::random(101).reduce(&m);
+        let e1 = small(37);
+        let e2 = small(21);
+        let lhs = a.mod_exp(&e1, &m).mod_mul(&a.mod_exp(&e2, &m), &m);
+        let rhs = a.mod_exp(&small(58), &m);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn display_hex() {
+        assert_eq!(U1024::ZERO.to_string(), "0");
+        assert_eq!(small(0xdead_beef).to_string(), "deadbeef");
+        let mut v = small(1);
+        v.set_bit(64, true);
+        assert_eq!(v.to_string(), "10000000000000001");
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let v = U1024::random(77);
+        assert_eq!(U1024::from_be_bytes(v.to_be_bytes()), v);
+        // Endianness: a small value's bytes sit at the tail.
+        let one = U1024::ONE.to_be_bytes();
+        assert_eq!(one[127], 1);
+        assert!(one[..127].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn hex_parse_round_trip() {
+        for v in [U1024::ZERO, U1024::ONE, small(0xdead_beef), U1024::random(3)] {
+            let parsed = U1024::from_hex(&v.to_string()).unwrap();
+            assert_eq!(parsed, v);
+        }
+        assert_eq!("0xff".parse::<U1024>().unwrap(), small(255));
+        assert_eq!("0XFF".parse::<U1024>().unwrap(), small(255));
+    }
+
+    #[test]
+    fn hex_parse_errors() {
+        assert_eq!(U1024::from_hex(""), Err(ParseU1024Error::Empty));
+        assert_eq!(U1024::from_hex("0x"), Err(ParseU1024Error::Empty));
+        assert_eq!(U1024::from_hex("xyz"), Err(ParseU1024Error::InvalidDigit('x')));
+        let too_long = "f".repeat(257);
+        assert_eq!(
+            U1024::from_hex(&too_long),
+            Err(ParseU1024Error::TooLong(257))
+        );
+        assert!(ParseU1024Error::Empty.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn full_width_hex_parses() {
+        let max_hex = "f".repeat(256);
+        let v = U1024::from_hex(&max_hex).unwrap();
+        assert_eq!(v, U1024::from_limbs([u64::MAX; LIMBS]));
+    }
+
+    #[test]
+    fn random_is_deterministic_and_seed_sensitive() {
+        assert_eq!(U1024::random(5), U1024::random(5));
+        assert_ne!(U1024::random(5), U1024::random(6));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn mod_mul_matches_u128_random(a in 0u64..1_000_000, b in 0u64..1_000_000, m in 2u64..1_000_000) {
+            let got = small(a % m).mod_mul(&small(b % m), &small(m));
+            let expect = ((a % m) as u128 * (b % m) as u128 % m as u128) as u64;
+            prop_assert_eq!(got, small(expect));
+        }
+
+        #[test]
+        fn mod_exp_matches_naive(a in 1u64..1000, e in 0u64..64, m in 2u64..10_000) {
+            let mut expect = 1u128;
+            for _ in 0..e {
+                expect = expect * (a % m) as u128 % m as u128;
+            }
+            let got = small(a % m).mod_exp(&small(e), &small(m));
+            prop_assert_eq!(got, small(expect as u64));
+        }
+
+        #[test]
+        fn hamming_weight_matches_set_bits(
+            bits in prop::collection::btree_set(0usize..1024, 0..64)
+        ) {
+            let mut v = U1024::ZERO;
+            for &b in &bits {
+                v.set_bit(b, true);
+            }
+            prop_assert_eq!(v.hamming_weight() as usize, bits.len());
+        }
+
+        #[test]
+        fn ordering_consistent_with_subtraction(sa in 0u64..1000, sb in 0u64..1000) {
+            let a = U1024::random(sa);
+            let b = U1024::random(sb);
+            let (_, borrow) = a.overflowing_sub(&b);
+            prop_assert_eq!(borrow, a < b);
+        }
+    }
+}

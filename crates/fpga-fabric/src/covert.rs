@@ -1,0 +1,212 @@
+//! Covert-channel transmitter circuit.
+//!
+//! The same sensor path AmpereBleed uses for eavesdropping also carries
+//! deliberate signalling: a colluding circuit in the fabric modulates its
+//! switching activity (on-off keying) and an unprivileged process on the
+//! ARM cores demodulates it from the hwmon current channel — a
+//! fabric-to-software covert channel that crosses the FPGA/CPU isolation
+//! boundary without any shared memory or crafted receiver circuit.
+//!
+//! The transmitter repeats a frame of `[preamble | payload]` bits; each
+//! bit holds the load on or off for one bit period. Because the receiver
+//! can only observe at the sensor's update cadence (35 ms unprivileged),
+//! usable bit periods are small multiples of that interval.
+
+use zynq_soc::{hash01, PowerDomain, PowerLoad, SimTime};
+
+use crate::resources::{Bitstream, Utilization};
+
+/// The fixed synchronization preamble (alternating bits, 0xAA-style).
+pub const PREAMBLE: [bool; 8] = [true, false, true, false, true, false, true, false];
+
+/// Configuration of a [`CovertTransmitter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CovertConfig {
+    /// Duration of one bit cell.
+    pub bit_period: SimTime,
+    /// Additional fabric current while transmitting a 1, in mA.
+    pub on_ma: f64,
+    /// Quiescent current of the deployed transmitter, in mA.
+    pub idle_ma: f64,
+    /// Relative activity jitter while on.
+    pub jitter: f64,
+}
+
+impl Default for CovertConfig {
+    fn default() -> Self {
+        CovertConfig {
+            // Three 35 ms sensor updates per bit: robust majority voting.
+            bit_period: SimTime::from_ms(105),
+            on_ma: 400.0,
+            idle_ma: 25.0,
+            jitter: 0.004,
+        }
+    }
+}
+
+impl CovertConfig {
+    /// Raw channel bandwidth in bits per second (before framing overhead).
+    pub fn raw_bandwidth_bps(&self) -> f64 {
+        1.0 / self.bit_period.as_secs_f64()
+    }
+}
+
+/// A fabric circuit repeatedly broadcasting a payload via its current
+/// draw.
+///
+/// # Examples
+///
+/// ```
+/// use fpga_fabric::covert::{CovertConfig, CovertTransmitter};
+/// use zynq_soc::{PowerDomain, PowerLoad, SimTime};
+///
+/// let tx = CovertTransmitter::new(CovertConfig::default(), b"hi", 1);
+/// assert_eq!(tx.frame_bits(), 8 + 16); // preamble + 2 bytes
+/// let i = tx.current_ma(SimTime::ZERO, PowerDomain::FpgaLogic);
+/// assert!(i > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct CovertTransmitter {
+    config: CovertConfig,
+    /// Frame bits: preamble then payload, MSB-first per byte.
+    frame: Vec<bool>,
+    payload_len: usize,
+    seed: u64,
+}
+
+impl CovertTransmitter {
+    /// Builds a transmitter for `payload` (broadcast cyclically from
+    /// simulation time zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` is empty.
+    pub fn new(config: CovertConfig, payload: &[u8], seed: u64) -> Self {
+        assert!(!payload.is_empty(), "payload must be non-empty");
+        let mut frame = Vec::with_capacity(PREAMBLE.len() + payload.len() * 8);
+        frame.extend_from_slice(&PREAMBLE);
+        for &byte in payload {
+            for bit in (0..8).rev() {
+                frame.push((byte >> bit) & 1 == 1);
+            }
+        }
+        CovertTransmitter {
+            config,
+            frame,
+            payload_len: payload.len(),
+            seed,
+        }
+    }
+
+    /// The transmitter configuration.
+    pub fn config(&self) -> &CovertConfig {
+        &self.config
+    }
+
+    /// Bits per frame (preamble + payload).
+    pub fn frame_bits(&self) -> usize {
+        self.frame.len()
+    }
+
+    /// Payload length in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload_len
+    }
+
+    /// Duration of one full frame.
+    pub fn frame_period(&self) -> SimTime {
+        SimTime::from_nanos(self.config.bit_period.as_nanos() * self.frame.len() as u64)
+    }
+
+    /// The bit on the wire at time `t`.
+    pub fn bit_at(&self, t: SimTime) -> bool {
+        let slot =
+            (t.as_nanos() / self.config.bit_period.as_nanos()) as usize % self.frame.len();
+        self.frame[slot]
+    }
+
+    /// Resource utilization: a modest toggling array plus control.
+    pub fn bitstream(&self) -> Bitstream {
+        Bitstream::new(
+            "covert-transmitter",
+            Utilization {
+                luts: 12_000,
+                ffs: 12_000,
+                dsps: 0,
+                bram_kb: 4,
+            },
+        )
+    }
+}
+
+impl PowerLoad for CovertTransmitter {
+    fn current_ma(&self, t: SimTime, domain: PowerDomain) -> f64 {
+        if domain != PowerDomain::FpgaLogic {
+            return 0.0;
+        }
+        let mut i = self.config.idle_ma;
+        if self.bit_at(t) {
+            let bucket = t.as_micros() / 500;
+            let jitter = (hash01(self.seed, 4, bucket) - 0.5) * 2.0 * self.config.jitter;
+            i += self.config.on_ma * (1.0 + jitter);
+        }
+        i
+    }
+
+    fn label(&self) -> &str {
+        "covert-transmitter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_layout() {
+        let tx = CovertTransmitter::new(CovertConfig::default(), &[0b1100_0001], 0);
+        assert_eq!(tx.frame_bits(), 16);
+        assert_eq!(tx.payload_len(), 1);
+        // Preamble first.
+        for (i, &expect) in PREAMBLE.iter().enumerate() {
+            let t = SimTime::from_ms(105 * i as u64 + 1);
+            assert_eq!(tx.bit_at(t), expect, "preamble bit {i}");
+        }
+        // Then MSB-first payload: 1,1,0,0,0,0,0,1.
+        let payload_bits = [true, true, false, false, false, false, false, true];
+        for (i, &expect) in payload_bits.iter().enumerate() {
+            let t = SimTime::from_ms(105 * (8 + i) as u64 + 1);
+            assert_eq!(tx.bit_at(t), expect, "payload bit {i}");
+        }
+    }
+
+    #[test]
+    fn frame_repeats() {
+        let tx = CovertTransmitter::new(CovertConfig::default(), b"z", 0);
+        let period = tx.frame_period();
+        let t = SimTime::from_ms(13);
+        assert_eq!(tx.bit_at(t), tx.bit_at(t + period));
+    }
+
+    #[test]
+    fn on_bits_draw_more_current() {
+        let tx = CovertTransmitter::new(CovertConfig::default(), &[0b1000_0000], 3);
+        // Slot 8 is payload bit 0 = 1; slot 9 is 0.
+        let on = tx.current_ma(SimTime::from_ms(105 * 8 + 1), PowerDomain::FpgaLogic);
+        let off = tx.current_ma(SimTime::from_ms(105 * 9 + 1), PowerDomain::FpgaLogic);
+        assert!(on > off + 300.0, "{on} vs {off}");
+        assert_eq!(tx.current_ma(SimTime::ZERO, PowerDomain::Ddr), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_reporting() {
+        let cfg = CovertConfig::default();
+        assert!((cfg.raw_bandwidth_bps() - 1.0 / 0.105).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_payload_rejected() {
+        let _ = CovertTransmitter::new(CovertConfig::default(), &[], 0);
+    }
+}

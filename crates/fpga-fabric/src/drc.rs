@@ -1,0 +1,377 @@
+//! Design-rule checks (DRC) for tenant netlists — the cloud's defense
+//! against crafted sensor circuits.
+//!
+//! The paper notes that "RO circuits have been banned by commercial cloud
+//! providers (e.g., AWS)": before a tenant bitstream is accepted, the
+//! provider's flow rejects combinational loops (the defining structure of
+//! a ring oscillator) and other self-timed constructs. This module models
+//! that flow with a gate-level netlist and a cycle check over the
+//! combinational subgraph — demonstrating *why* the RO baseline is not
+//! deployable in clouds while AmpereBleed (which submits no circuit at
+//! all) is unaffected.
+
+use std::collections::BTreeMap;
+
+/// Kind of a netlist cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Combinational lookup table.
+    Lut,
+    /// Carry-chain element (combinational).
+    Carry,
+    /// Flip-flop (sequential; breaks combinational paths).
+    FlipFlop,
+    /// Top-level input port.
+    Input,
+    /// Top-level output port.
+    Output,
+}
+
+impl CellKind {
+    /// Whether a path through this cell is combinational.
+    pub fn is_combinational(self) -> bool {
+        matches!(self, CellKind::Lut | CellKind::Carry)
+    }
+}
+
+/// A gate-level netlist: cells and directed nets.
+///
+/// # Examples
+///
+/// ```
+/// use fpga_fabric::drc::{check, Netlist, Violation};
+///
+/// let ro = Netlist::ring_oscillator(5);
+/// let violations = check(&ro);
+/// assert!(violations
+///     .iter()
+///     .any(|v| matches!(v, Violation::CombinationalLoop { .. })));
+///
+/// let counter = Netlist::counter(8);
+/// assert!(check(&counter).is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    /// Cell kinds by id.
+    cells: Vec<CellKind>,
+    /// Cell names by id (diagnostics).
+    names: Vec<String>,
+    /// Directed edges `driver -> sink`.
+    edges: Vec<(usize, usize)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Adds a cell; returns its id.
+    pub fn add_cell(&mut self, kind: CellKind, name: impl Into<String>) -> usize {
+        self.cells.push(kind);
+        self.names.push(name.into());
+        self.cells.len() - 1
+    }
+
+    /// Connects `driver`'s output to `sink`'s input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    pub fn connect(&mut self, driver: usize, sink: usize) {
+        assert!(driver < self.cells.len() && sink < self.cells.len(), "cell id out of range");
+        self.edges.push((driver, sink));
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the netlist has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Kind of cell `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn kind(&self, id: usize) -> CellKind {
+        self.cells[id]
+    }
+
+    /// Name of cell `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn name(&self, id: usize) -> &str {
+        &self.names[id]
+    }
+
+    /// A classic `stages`-inverter ring oscillator (combinational loop
+    /// feeding a counter) — the banned structure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is even or zero.
+    pub fn ring_oscillator(stages: usize) -> Self {
+        assert!(stages % 2 == 1, "RO needs an odd number of inverters");
+        let mut n = Netlist::new();
+        let inverters: Vec<usize> = (0..stages)
+            .map(|i| n.add_cell(CellKind::Lut, format!("inv{i}")))
+            .collect();
+        for i in 0..stages {
+            n.connect(inverters[i], inverters[(i + 1) % stages]);
+        }
+        // The loop clocks a small counter.
+        let ff = n.add_cell(CellKind::FlipFlop, "count0");
+        n.connect(inverters[0], ff);
+        n
+    }
+
+    /// A carry-chain TDC delay line: combinational but acyclic, ending in
+    /// capture flip-flops. Passes the loop DRC (which is why TDC-class
+    /// sensors postdate the RO ban).
+    pub fn tdc_line(taps: usize) -> Self {
+        let mut n = Netlist::new();
+        let input = n.add_cell(CellKind::Input, "launch");
+        let mut prev = input;
+        for i in 0..taps {
+            let carry = n.add_cell(CellKind::Carry, format!("tap{i}"));
+            n.connect(prev, carry);
+            let ff = n.add_cell(CellKind::FlipFlop, format!("cap{i}"));
+            n.connect(carry, ff);
+            prev = carry;
+        }
+        n
+    }
+
+    /// A plain synchronous counter: LUT increment logic with a flip-flop
+    /// in the feedback path (sequential loop — allowed).
+    pub fn counter(width: usize) -> Self {
+        let mut n = Netlist::new();
+        for i in 0..width.max(1) {
+            let lut = n.add_cell(CellKind::Lut, format!("inc{i}"));
+            let ff = n.add_cell(CellKind::FlipFlop, format!("q{i}"));
+            n.connect(lut, ff);
+            n.connect(ff, lut); // feedback through the FF: not combinational
+        }
+        n
+    }
+}
+
+/// A design-rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A combinational cycle (the RO structure). Carries the cells on the
+    /// cycle, in order.
+    CombinationalLoop {
+        /// Cell names forming the loop.
+        cycle: Vec<String>,
+    },
+    /// A combinational cell with no fanout — dead logic that synthesis
+    /// should have removed; flagged as suspicious padding.
+    DanglingCell {
+        /// Name of the dangling cell.
+        cell: String,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::CombinationalLoop { cycle } => {
+                write!(f, "combinational loop: {}", cycle.join(" -> "))
+            }
+            Violation::DanglingCell { cell } => write!(f, "dangling cell: {cell}"),
+        }
+    }
+}
+
+/// Runs the provider's design-rule checks over a tenant netlist.
+pub fn check(netlist: &Netlist) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Combinational subgraph: edges between combinational cells only
+    // (a flip-flop endpoint breaks the timing path).
+    let mut adjacency: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &(driver, sink) in &netlist.edges {
+        if netlist.cells[driver].is_combinational() && netlist.cells[sink].is_combinational() {
+            adjacency.entry(driver).or_default().push(sink);
+        }
+    }
+
+    // Iterative DFS cycle detection with path reconstruction.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let mut marks = vec![Mark::White; netlist.len()];
+    let mut parent: Vec<Option<usize>> = vec![None; netlist.len()];
+    for root in 0..netlist.len() {
+        if marks[root] != Mark::White || !netlist.cells[root].is_combinational() {
+            continue;
+        }
+        // (node, next-child-index) stack.
+        let mut stack = vec![(root, 0usize)];
+        marks[root] = Mark::Grey;
+        while let Some(&mut (node, ref mut child_idx)) = stack.last_mut() {
+            let children = adjacency.get(&node).map(Vec::as_slice).unwrap_or(&[]);
+            if *child_idx < children.len() {
+                let next = children[*child_idx];
+                *child_idx += 1;
+                match marks[next] {
+                    Mark::White => {
+                        marks[next] = Mark::Grey;
+                        parent[next] = Some(node);
+                        stack.push((next, 0));
+                    }
+                    Mark::Grey => {
+                        // Found a cycle: walk parents from `node` back to
+                        // `next`.
+                        let mut cycle = vec![netlist.names[next].clone()];
+                        let mut cur = node;
+                        while cur != next {
+                            cycle.push(netlist.names[cur].clone());
+                            cur = parent[cur].expect("path to cycle head");
+                        }
+                        cycle.reverse();
+                        violations.push(Violation::CombinationalLoop { cycle });
+                    }
+                    Mark::Black => {}
+                }
+            } else {
+                marks[node] = Mark::Black;
+                stack.pop();
+            }
+        }
+    }
+
+    // Dangling combinational cells (no fanout at all).
+    let mut has_fanout = vec![false; netlist.len()];
+    for &(driver, _) in &netlist.edges {
+        has_fanout[driver] = true;
+    }
+    for (id, fanout) in has_fanout.iter().enumerate() {
+        if netlist.cells[id].is_combinational() && !fanout {
+            violations.push(Violation::DanglingCell {
+                cell: netlist.names[id].clone(),
+            });
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_oscillator_is_rejected() {
+        let violations = check(&Netlist::ring_oscillator(5));
+        let loops: Vec<&Violation> = violations
+            .iter()
+            .filter(|v| matches!(v, Violation::CombinationalLoop { .. }))
+            .collect();
+        assert_eq!(loops.len(), 1);
+        if let Violation::CombinationalLoop { cycle } = loops[0] {
+            assert_eq!(cycle.len(), 5, "all five inverters on the loop: {cycle:?}");
+        }
+    }
+
+    #[test]
+    fn tdc_passes_the_loop_check() {
+        // This is the historical loophole: delay-line sensors are DRC-clean.
+        let violations = check(&Netlist::tdc_line(64));
+        assert!(
+            violations.is_empty(),
+            "TDC should pass the RO-ban DRC: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn synchronous_counter_is_legal() {
+        assert!(check(&Netlist::counter(16)).is_empty());
+    }
+
+    #[test]
+    fn sequential_feedback_is_not_a_violation() {
+        // LUT -> FF -> LUT loop: broken by the flip-flop.
+        let mut n = Netlist::new();
+        let lut = n.add_cell(CellKind::Lut, "logic");
+        let ff = n.add_cell(CellKind::FlipFlop, "state");
+        n.connect(lut, ff);
+        n.connect(ff, lut);
+        assert!(check(&n).is_empty());
+    }
+
+    #[test]
+    fn two_cell_combinational_loop_detected() {
+        let mut n = Netlist::new();
+        let a = n.add_cell(CellKind::Lut, "a");
+        let b = n.add_cell(CellKind::Lut, "b");
+        n.connect(a, b);
+        n.connect(b, a);
+        let violations = check(&n);
+        assert!(matches!(
+            &violations[0],
+            Violation::CombinationalLoop { cycle } if cycle.len() == 2
+        ));
+    }
+
+    #[test]
+    fn dangling_logic_flagged() {
+        let mut n = Netlist::new();
+        let lut = n.add_cell(CellKind::Lut, "orphan");
+        let _ = lut;
+        let violations = check(&n);
+        assert_eq!(
+            violations,
+            vec![Violation::DanglingCell { cell: "orphan".into() }]
+        );
+        assert!(violations[0].to_string().contains("orphan"));
+    }
+
+    #[test]
+    fn empty_netlist_is_clean() {
+        assert!(check(&Netlist::new()).is_empty());
+        assert!(Netlist::new().is_empty());
+    }
+
+    #[test]
+    fn acyclic_diamond_is_clean() {
+        let mut n = Netlist::new();
+        let a = n.add_cell(CellKind::Lut, "a");
+        let b = n.add_cell(CellKind::Lut, "b");
+        let c = n.add_cell(CellKind::Lut, "c");
+        let ff = n.add_cell(CellKind::FlipFlop, "out");
+        n.connect(a, b);
+        n.connect(a, c);
+        n.connect(b, ff);
+        n.connect(c, ff);
+        assert!(check(&n).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_stage_ro_rejected_at_construction() {
+        let _ = Netlist::ring_oscillator(4);
+    }
+
+    #[test]
+    fn cell_accessors() {
+        let n = Netlist::ring_oscillator(3);
+        assert_eq!(n.len(), 4);
+        assert_eq!(n.kind(0), CellKind::Lut);
+        assert_eq!(n.name(0), "inv0");
+        assert!(CellKind::Carry.is_combinational());
+        assert!(!CellKind::FlipFlop.is_combinational());
+    }
+}

@@ -1,0 +1,38 @@
+//! FPGA fabric model: resources, bitstreams, and the victim/baseline
+//! circuits of the AmpereBleed evaluation.
+//!
+//! The paper deploys three kinds of circuits in the ZCU102's programmable
+//! logic; this crate builds behavioural equivalents of all of them:
+//!
+//! * [`virus::PowerVirusArray`] — 160 k power-virus instances (Gnad et al.,
+//!   FPL'17) split into 160 groups of 1 k, dynamically activatable from the
+//!   ARM side. These stress the fabric to produce the 161 distinct activity
+//!   levels of Figure 2.
+//! * [`ring_oscillator::RoBank`] — the ring-oscillator voltage sensors of
+//!   Zhao & Suh (S&P'18), the *crafted-circuit baseline* AmpereBleed beats
+//!   by 261x. RO counters track rail-voltage-induced delay changes, which a
+//!   modern stabilized PDN reduces to almost nothing.
+//! * [`rsa::RsaCircuit`] — an RSA-1024 square-and-multiply accelerator at
+//!   100 MHz with two modular-multiplier modules. The key is sealed inside
+//!   the (encrypted) bitstream; its only external signature is that
+//!   iterations with an exponent bit of 1 activate both multipliers. The
+//!   exponentiation itself is computed with a real 1024-bit big-integer
+//!   implementation ([`bigint`]), so the activity schedule comes from the
+//!   genuine algorithm, not a hand-written pattern.
+//!
+//! [`resources`] describes the fabric inventory (274,080 LUTs / 548,160
+//! FFs / 2,520 DSPs on the ZCU102) and enforces that deployed bitstreams
+//! fit the device.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod covert;
+pub mod drc;
+pub mod enclave;
+pub mod resources;
+pub mod ring_oscillator;
+pub mod rsa;
+pub mod tdc;
+pub mod virus;

@@ -1,0 +1,394 @@
+//! Fabric resource inventory and bitstream descriptions.
+//!
+//! A [`FabricInventory`] describes what a device offers (the ZCU102 numbers
+//! come from Section IV of the paper); a [`Bitstream`] describes what a
+//! design consumes, where it is placed, and whether its sources are
+//! IEEE-1735 encrypted (the DPU case). [`FabricInventory::deploy`] checks
+//! that a bitstream fits before it is "programmed".
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Resource utilization of a design or capacity of a device.
+///
+/// # Examples
+///
+/// ```
+/// use fpga_fabric::resources::Utilization;
+///
+/// let a = Utilization { luts: 100, ffs: 200, dsps: 2, bram_kb: 36 };
+/// let b = Utilization { luts: 50, ffs: 50, dsps: 0, bram_kb: 0 };
+/// let sum = a + b;
+/// assert_eq!(sum.luts, 150);
+/// assert!(b.fits_within(&a));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Utilization {
+    /// Lookup tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// DSP blocks.
+    pub dsps: u64,
+    /// Block RAM in kilobytes.
+    pub bram_kb: u64,
+}
+
+impl Utilization {
+    /// Whether every resource of `self` fits within `capacity`.
+    pub fn fits_within(&self, capacity: &Utilization) -> bool {
+        self.luts <= capacity.luts
+            && self.ffs <= capacity.ffs
+            && self.dsps <= capacity.dsps
+            && self.bram_kb <= capacity.bram_kb
+    }
+}
+
+impl std::ops::Add for Utilization {
+    type Output = Utilization;
+
+    fn add(self, rhs: Utilization) -> Utilization {
+        Utilization {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            dsps: self.dsps + rhs.dsps,
+            bram_kb: self.bram_kb + rhs.bram_kb,
+        }
+    }
+}
+
+impl std::ops::AddAssign for Utilization {
+    fn add_assign(&mut self, rhs: Utilization) {
+        *self = *self + rhs;
+    }
+}
+
+/// A rectangular placement region on the fabric die, in normalized
+/// coordinates (`0.0..=1.0` on each axis).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Left edge.
+    pub x: f64,
+    /// Bottom edge.
+    pub y: f64,
+    /// Width.
+    pub w: f64,
+    /// Height.
+    pub h: f64,
+}
+
+impl Region {
+    /// The whole die.
+    pub const FULL: Region = Region {
+        x: 0.0,
+        y: 0.0,
+        w: 1.0,
+        h: 1.0,
+    };
+
+    /// Center point of the region.
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Euclidean distance between region centers.
+    pub fn distance_to(&self, other: &Region) -> f64 {
+        let (ax, ay) = self.center();
+        let (bx, by) = other.center();
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+
+    /// Splits the die into an `nx` x `ny` grid and returns cell `(i, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx`/`ny` are zero or the cell indices are out of range.
+    pub fn grid_cell(nx: usize, ny: usize, i: usize, j: usize) -> Region {
+        assert!(nx > 0 && ny > 0, "grid dimensions must be non-zero");
+        assert!(i < nx && j < ny, "grid cell out of range");
+        let w = 1.0 / nx as f64;
+        let h = 1.0 / ny as f64;
+        Region {
+            x: i as f64 * w,
+            y: j as f64 * h,
+            w,
+            h,
+        }
+    }
+}
+
+/// A compiled design ready for deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bitstream {
+    /// Design name.
+    pub name: String,
+    /// Total resource consumption.
+    pub utilization: Utilization,
+    /// Placement region.
+    pub region: Region,
+    /// Whether the HDL sources are IEEE-1735 encrypted (true for the DPU).
+    pub encrypted: bool,
+}
+
+impl Bitstream {
+    /// Creates a bitstream description.
+    pub fn new(name: impl Into<String>, utilization: Utilization) -> Self {
+        Bitstream {
+            name: name.into(),
+            utilization,
+            region: Region::FULL,
+            encrypted: false,
+        }
+    }
+
+    /// Marks the bitstream as IEEE-1735 encrypted.
+    pub fn encrypted(mut self) -> Self {
+        self.encrypted = true;
+        self
+    }
+
+    /// Constrains placement to a region.
+    pub fn placed_in(mut self, region: Region) -> Self {
+        self.region = region;
+        self
+    }
+}
+
+impl fmt::Display for Bitstream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} LUT / {} FF / {} DSP{})",
+            self.name,
+            self.utilization.luts,
+            self.utilization.ffs,
+            self.utilization.dsps,
+            if self.encrypted { ", encrypted" } else { "" }
+        )
+    }
+}
+
+/// Error returned when a design does not fit the device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployError {
+    /// Name of the rejected design.
+    pub design: String,
+    /// Capacity that was exceeded.
+    pub available: Utilization,
+    /// Requested utilization (including already-deployed designs).
+    pub requested: Utilization,
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "design '{}' exceeds fabric capacity (requested {:?}, available {:?})",
+            self.design, self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// Resource inventory of one FPGA device, with deployment tracking.
+///
+/// # Examples
+///
+/// ```
+/// use fpga_fabric::resources::{Bitstream, FabricInventory, Utilization};
+///
+/// let mut fabric = FabricInventory::zcu102();
+/// let design = Bitstream::new("rsa1024", Utilization {
+///     luts: 30_000, ffs: 25_000, dsps: 256, bram_kb: 512,
+/// });
+/// fabric.deploy(&design).unwrap();
+/// assert_eq!(fabric.deployed().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricInventory {
+    capacity: Utilization,
+    fabric_clock_mhz: u32,
+    deployed: Vec<Bitstream>,
+}
+
+impl FabricInventory {
+    /// The ZCU102's fabric (Section IV: 274,080 LUTs, 548,160 FFs,
+    /// 2,520 DSPs, fabric clock 300 MHz).
+    pub fn zcu102() -> Self {
+        FabricInventory {
+            capacity: Utilization {
+                luts: 274_080,
+                ffs: 548_160,
+                dsps: 2_520,
+                bram_kb: 32_100,
+            },
+            fabric_clock_mhz: 300,
+            deployed: Vec::new(),
+        }
+    }
+
+    /// A Versal-class fabric (VCK190-scale adaptable engines + PL).
+    pub fn versal() -> Self {
+        FabricInventory {
+            capacity: Utilization {
+                luts: 899_840,
+                ffs: 1_799_680,
+                dsps: 1_968,
+                bram_kb: 34_000,
+            },
+            fabric_clock_mhz: 300,
+            deployed: Vec::new(),
+        }
+    }
+
+    /// Creates an inventory with explicit capacity.
+    pub fn with_capacity(capacity: Utilization, fabric_clock_mhz: u32) -> Self {
+        FabricInventory {
+            capacity,
+            fabric_clock_mhz,
+            deployed: Vec::new(),
+        }
+    }
+
+    /// Device capacity.
+    pub fn capacity(&self) -> Utilization {
+        self.capacity
+    }
+
+    /// Fabric clock in MHz.
+    pub fn fabric_clock_mhz(&self) -> u32 {
+        self.fabric_clock_mhz
+    }
+
+    /// Currently deployed bitstreams.
+    pub fn deployed(&self) -> &[Bitstream] {
+        &self.deployed
+    }
+
+    /// Sum of deployed utilization.
+    pub fn used(&self) -> Utilization {
+        self.deployed
+            .iter()
+            .fold(Utilization::default(), |acc, b| acc + b.utilization)
+    }
+
+    /// Deploys a bitstream, verifying resources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeployError`] when the combined utilization of deployed
+    /// designs plus `bitstream` exceeds device capacity.
+    pub fn deploy(&mut self, bitstream: &Bitstream) -> Result<(), DeployError> {
+        let requested = self.used() + bitstream.utilization;
+        if !requested.fits_within(&self.capacity) {
+            return Err(DeployError {
+                design: bitstream.name.clone(),
+                available: self.capacity,
+                requested,
+            });
+        }
+        self.deployed.push(bitstream.clone());
+        Ok(())
+    }
+
+    /// Removes all deployed designs (full reconfiguration).
+    pub fn clear(&mut self) {
+        self.deployed.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zcu102_capacity_matches_paper() {
+        let f = FabricInventory::zcu102();
+        assert_eq!(f.capacity().luts, 274_080);
+        assert_eq!(f.capacity().ffs, 548_160);
+        assert_eq!(f.capacity().dsps, 2_520);
+        assert_eq!(f.fabric_clock_mhz(), 300);
+    }
+
+    #[test]
+    fn deploy_accumulates_and_rejects_overflow() {
+        let mut f = FabricInventory::zcu102();
+        let half = Bitstream::new(
+            "half",
+            Utilization {
+                luts: 150_000,
+                ffs: 200_000,
+                dsps: 1_000,
+                bram_kb: 10_000,
+            },
+        );
+        f.deploy(&half).unwrap();
+        let err = f.deploy(&half).unwrap_err();
+        assert_eq!(err.design, "half");
+        assert!(err.to_string().contains("exceeds"));
+        assert_eq!(f.deployed().len(), 1);
+        f.clear();
+        assert!(f.deployed().is_empty());
+        f.deploy(&half).unwrap();
+    }
+
+    #[test]
+    fn utilization_addition() {
+        let a = Utilization { luts: 1, ffs: 2, dsps: 3, bram_kb: 4 };
+        let mut b = a;
+        b += a;
+        assert_eq!(b, Utilization { luts: 2, ffs: 4, dsps: 6, bram_kb: 8 });
+    }
+
+    #[test]
+    fn grid_cells_tile_the_die() {
+        let mut area = 0.0;
+        for i in 0..4 {
+            for j in 0..5 {
+                let r = Region::grid_cell(4, 5, i, j);
+                area += r.w * r.h;
+                assert!(r.x >= 0.0 && r.x + r.w <= 1.0 + 1e-12);
+                assert!(r.y >= 0.0 && r.y + r.h <= 1.0 + 1e-12);
+            }
+        }
+        assert!((area - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn grid_cell_bounds_checked() {
+        let _ = Region::grid_cell(2, 2, 2, 0);
+    }
+
+    #[test]
+    fn region_distance_is_symmetric() {
+        let a = Region::grid_cell(4, 4, 0, 0);
+        let b = Region::grid_cell(4, 4, 3, 3);
+        assert_eq!(a.distance_to(&b), b.distance_to(&a));
+        assert_eq!(a.distance_to(&a), 0.0);
+    }
+
+    #[test]
+    fn bitstream_display_mentions_encryption() {
+        let b = Bitstream::new("dpu", Utilization::default()).encrypted();
+        assert!(b.to_string().contains("encrypted"));
+        assert!(b.encrypted);
+    }
+
+    proptest! {
+        #[test]
+        fn fits_within_is_reflexive_and_monotone(
+            luts in 0u64..1_000_000, ffs in 0u64..1_000_000,
+            dsps in 0u64..10_000, bram in 0u64..100_000
+        ) {
+            let u = Utilization { luts, ffs, dsps, bram_kb: bram };
+            prop_assert!(u.fits_within(&u));
+            let bigger = u + Utilization { luts: 1, ffs: 1, dsps: 1, bram_kb: 1 };
+            prop_assert!(u.fits_within(&bigger));
+            prop_assert!(!bigger.fits_within(&u));
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Power-virus instance array (Gnad et al., FPL'17).
+//!
+//! The characterization experiment of Figure 2 deploys 160 k power-virus
+//! instances covering the major routing resources of the ZCU102, divided
+//! into 160 groups of 1 k evenly-distributed instances. The ARM side
+//! dynamically activates 0..=160 groups, producing 161 distinct fabric
+//! activity levels.
+//!
+//! A virus instance is a legal (routable, non-short-circuit) design that
+//! maximizes switching activity; electrically it is a nearly constant
+//! dynamic-current source while enabled, plus static leakage while merely
+//! deployed. Group activation is controlled through an atomic so the
+//! attacker/victim threads can reconfigure it while the electrical solve
+//! keeps reading a consistent value.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use zynq_soc::{hash01, GaussianNoise, PowerDomain, PowerLoad, SimTime};
+
+use crate::resources::{Bitstream, Region, Utilization};
+
+/// Configuration of a [`PowerVirusArray`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VirusConfig {
+    /// Number of independently activatable groups (paper: 160).
+    pub groups: u32,
+    /// Instances per group (paper: 1 000).
+    pub instances_per_group: u32,
+    /// Dynamic current of one fully active group, in mA. Calibrated so one
+    /// group step moves the 1 mA-resolution hwmon current reading by ~40
+    /// LSBs, matching Figure 2.
+    pub active_ma_per_group: f64,
+    /// Static leakage of one deployed (inactive) group, in mA. This is why
+    /// "current measurements do not start from 0" in Figure 2.
+    pub leakage_ma_per_group: f64,
+    /// Relative high-frequency jitter of the active groups' draw.
+    pub activity_jitter: f64,
+    /// Relative per-group process variation (1 sigma).
+    pub process_variation: f64,
+}
+
+impl Default for VirusConfig {
+    fn default() -> Self {
+        VirusConfig {
+            groups: 160,
+            instances_per_group: 1_000,
+            active_ma_per_group: 40.0,
+            leakage_ma_per_group: 2.5,
+            activity_jitter: 0.004,
+            process_variation: 0.01,
+        }
+    }
+}
+
+/// The deployed power-virus array.
+///
+/// # Examples
+///
+/// ```
+/// use fpga_fabric::virus::{PowerVirusArray, VirusConfig};
+/// use zynq_soc::{PowerDomain, PowerLoad, SimTime};
+///
+/// let virus = PowerVirusArray::new(VirusConfig::default(), 7);
+/// let idle = virus.current_ma(SimTime::ZERO, PowerDomain::FpgaLogic);
+/// virus.activate_groups(80).unwrap();
+/// let busy = virus.current_ma(SimTime::ZERO, PowerDomain::FpgaLogic);
+/// assert!(busy > idle + 3_000.0); // ~80 x 40 mA of extra draw
+/// ```
+#[derive(Debug)]
+pub struct PowerVirusArray {
+    config: VirusConfig,
+    /// Multiplicative process-variation gain per group.
+    group_gain: Vec<f64>,
+    /// Placement of each group on the die (evenly distributed grid).
+    group_region: Vec<Region>,
+    active_groups: AtomicU32,
+    seed: u64,
+}
+
+/// Error returned when activating more groups than are deployed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActivateError {
+    /// Requested group count.
+    pub requested: u32,
+    /// Deployed group count.
+    pub deployed: u32,
+}
+
+impl std::fmt::Display for ActivateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot activate {} groups, only {} deployed",
+            self.requested, self.deployed
+        )
+    }
+}
+
+impl std::error::Error for ActivateError {}
+
+impl PowerVirusArray {
+    /// Deploys a virus array; `seed` fixes process variation and jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups == 0` or `instances_per_group == 0`.
+    pub fn new(config: VirusConfig, seed: u64) -> Self {
+        assert!(config.groups > 0, "group count must be non-zero");
+        assert!(config.instances_per_group > 0, "instances per group must be non-zero");
+        let mut noise = GaussianNoise::new(seed ^ 0x7672_7573); // "virus"
+        let group_gain: Vec<f64> = (0..config.groups)
+            .map(|_| (1.0 + noise.sample(0.0, config.process_variation)).max(0.5))
+            .collect();
+        // Distribute groups over a near-square grid so activation spreads
+        // across the die, as in the paper's even distribution.
+        let nx = (config.groups as f64).sqrt().ceil() as usize;
+        let ny = config.groups.div_ceil(nx as u32) as usize;
+        let group_region: Vec<Region> = (0..config.groups as usize)
+            .map(|g| Region::grid_cell(nx, ny, g % nx, g / nx))
+            .collect();
+        PowerVirusArray {
+            config,
+            group_gain,
+            group_region,
+            active_groups: AtomicU32::new(0),
+            seed,
+        }
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &VirusConfig {
+        &self.config
+    }
+
+    /// Total deployed instance count (160 k in the paper's setup).
+    pub fn total_instances(&self) -> u64 {
+        self.config.groups as u64 * self.config.instances_per_group as u64
+    }
+
+    /// Activates exactly `n` groups (the first `n` in placement order),
+    /// deactivating the rest. Callable from any thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ActivateError`] if `n` exceeds the deployed group count.
+    pub fn activate_groups(&self, n: u32) -> Result<(), ActivateError> {
+        if n > self.config.groups {
+            return Err(ActivateError {
+                requested: n,
+                deployed: self.config.groups,
+            });
+        }
+        self.active_groups.store(n, Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of currently active groups.
+    pub fn active_groups(&self) -> u32 {
+        self.active_groups.load(Ordering::Acquire)
+    }
+
+    /// Number of currently active instances.
+    pub fn active_instances(&self) -> u64 {
+        self.active_groups() as u64 * self.config.instances_per_group as u64
+    }
+
+    /// Placement region of group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn group_region(&self, g: u32) -> Region {
+        self.group_region[g as usize]
+    }
+
+    /// Resource utilization of the deployed array: one virus instance is
+    /// roughly a LUT + FF pair with high-fanout routing.
+    pub fn bitstream(&self) -> Bitstream {
+        let n = self.total_instances();
+        Bitstream::new(
+            "power-virus-array",
+            Utilization {
+                luts: n,
+                ffs: n,
+                dsps: 0,
+                bram_kb: 0,
+            },
+        )
+    }
+
+    /// Mean dynamic current expected for `n` active groups, before jitter
+    /// (useful for calibration checks).
+    pub fn nominal_active_ma(&self, n: u32) -> f64 {
+        self.group_gain[..n.min(self.config.groups) as usize]
+            .iter()
+            .map(|g| g * self.config.active_ma_per_group)
+            .sum()
+    }
+}
+
+impl PowerLoad for PowerVirusArray {
+    fn current_ma(&self, t: SimTime, domain: PowerDomain) -> f64 {
+        if domain != PowerDomain::FpgaLogic {
+            return 0.0;
+        }
+        let active = self.active_groups().min(self.config.groups) as usize;
+        let leakage = self.config.groups as f64 * self.config.leakage_ma_per_group;
+        // 100 us jitter buckets: fast relative to the sensor's averaging
+        // window, slow relative to the fabric clock.
+        let bucket = t.as_micros() / 100;
+        let mut dynamic = 0.0;
+        for (g, gain) in self.group_gain[..active].iter().enumerate() {
+            let jitter = (hash01(self.seed, g as u64, bucket) - 0.5) * 2.0 * self.config.activity_jitter;
+            dynamic += self.config.active_ma_per_group * gain * (1.0 + jitter);
+        }
+        leakage + dynamic
+    }
+
+    fn label(&self) -> &str {
+        "power-virus-array"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn array() -> PowerVirusArray {
+        PowerVirusArray::new(VirusConfig::default(), 42)
+    }
+
+    #[test]
+    fn deployment_matches_paper_scale() {
+        let v = array();
+        assert_eq!(v.total_instances(), 160_000);
+        assert_eq!(v.config().groups, 160);
+        let bs = v.bitstream();
+        assert_eq!(bs.utilization.luts, 160_000);
+    }
+
+    #[test]
+    fn activation_is_monotone_in_current() {
+        let v = array();
+        let t = SimTime::from_ms(1);
+        let mut prev = -1.0;
+        for n in [0u32, 1, 10, 40, 80, 120, 160] {
+            v.activate_groups(n).unwrap();
+            let i = v.current_ma(t, PowerDomain::FpgaLogic);
+            assert!(i > prev, "current must grow with active groups");
+            prev = i;
+        }
+    }
+
+    #[test]
+    fn step_size_is_about_forty_ma() {
+        let v = array();
+        let t = SimTime::from_ms(3);
+        v.activate_groups(100).unwrap();
+        let a = v.current_ma(t, PowerDomain::FpgaLogic);
+        v.activate_groups(101).unwrap();
+        let b = v.current_ma(t, PowerDomain::FpgaLogic);
+        let step = b - a;
+        assert!((30.0..50.0).contains(&step), "step {step} mA");
+    }
+
+    #[test]
+    fn idle_array_still_leaks() {
+        let v = array();
+        v.activate_groups(0).unwrap();
+        let i = v.current_ma(SimTime::ZERO, PowerDomain::FpgaLogic);
+        assert!(i > 100.0, "deployed instances must leak (got {i} mA)");
+    }
+
+    #[test]
+    fn over_activation_is_rejected() {
+        let v = array();
+        let err = v.activate_groups(161).unwrap_err();
+        assert_eq!(err.requested, 161);
+        assert_eq!(err.deployed, 160);
+        assert!(err.to_string().contains("161"));
+        // State unchanged.
+        assert_eq!(v.active_groups(), 0);
+    }
+
+    #[test]
+    fn other_domains_unaffected() {
+        let v = array();
+        v.activate_groups(160).unwrap();
+        for d in [PowerDomain::FullPowerCpu, PowerDomain::LowPowerCpu, PowerDomain::Ddr] {
+            assert_eq!(v.current_ma(SimTime::ZERO, d), 0.0);
+        }
+    }
+
+    #[test]
+    fn groups_are_spatially_distributed() {
+        let v = array();
+        let first = v.group_region(0);
+        let last = v.group_region(159);
+        assert!(first.distance_to(&last) > 0.5, "groups must span the die");
+    }
+
+    #[test]
+    fn jitter_is_small_and_time_dependent() {
+        let v = array();
+        v.activate_groups(160).unwrap();
+        let a = v.current_ma(SimTime::from_us(50), PowerDomain::FpgaLogic);
+        let b = v.current_ma(SimTime::from_us(250), PowerDomain::FpgaLogic);
+        assert_ne!(a, b, "activity jitter must vary over time");
+        let nominal = v.nominal_active_ma(160) + 160.0 * 2.5;
+        assert!((a - nominal).abs() / nominal < 0.01);
+    }
+
+    #[test]
+    fn full_swing_matches_figure_two_scale() {
+        // 160 groups x ~40 mA = ~6.4 A of dynamic swing.
+        let v = array();
+        let t = SimTime::from_ms(7);
+        v.activate_groups(0).unwrap();
+        let idle = v.current_ma(t, PowerDomain::FpgaLogic);
+        v.activate_groups(160).unwrap();
+        let full = v.current_ma(t, PowerDomain::FpgaLogic);
+        let swing = full - idle;
+        assert!((5_800.0..7_000.0).contains(&swing), "swing {swing} mA");
+    }
+
+    #[test]
+    fn deterministic_across_instances_with_same_seed() {
+        let a = PowerVirusArray::new(VirusConfig::default(), 5);
+        let b = PowerVirusArray::new(VirusConfig::default(), 5);
+        a.activate_groups(77).unwrap();
+        b.activate_groups(77).unwrap();
+        let t = SimTime::from_ms(11);
+        assert_eq!(
+            a.current_ma(t, PowerDomain::FpgaLogic),
+            b.current_ma(t, PowerDomain::FpgaLogic)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn current_nonnegative_and_bounded(n in 0u32..=160, ms in 0u64..10_000) {
+            let v = array();
+            v.activate_groups(n).unwrap();
+            let i = v.current_ma(SimTime::from_ms(ms), PowerDomain::FpgaLogic);
+            prop_assert!(i >= 0.0);
+            prop_assert!(i < 8_000.0);
+        }
+
+        #[test]
+        fn nominal_active_ma_is_monotone(n in 0u32..160) {
+            let v = array();
+            prop_assert!(v.nominal_active_ma(n) <= v.nominal_active_ma(n + 1));
+        }
+    }
+}

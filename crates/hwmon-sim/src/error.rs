@@ -1,0 +1,43 @@
+use std::fmt;
+
+/// Error type for simulated sysfs operations, mirroring the errno a real
+/// hwmon node would return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwmonError {
+    /// `ENOENT` — the path does not name a device or attribute.
+    NoSuchFile(String),
+    /// `EACCES` — the caller lacks the privilege for this operation.
+    PermissionDenied(String),
+    /// `EINVAL` — the written value could not be parsed or is out of range.
+    InvalidInput(String),
+    /// The attribute exists but is read-only (write to e.g. `curr1_input`).
+    ReadOnly(String),
+}
+
+impl fmt::Display for HwmonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwmonError::NoSuchFile(p) => write!(f, "no such file or directory: {p}"),
+            HwmonError::PermissionDenied(p) => write!(f, "permission denied: {p}"),
+            HwmonError::InvalidInput(what) => write!(f, "invalid input: {what}"),
+            HwmonError::ReadOnly(p) => write!(f, "attribute is read-only: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for HwmonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_path() {
+        let e = HwmonError::NoSuchFile("/sys/class/hwmon/hwmon9/name".into());
+        assert!(e.to_string().contains("hwmon9"));
+        assert!(HwmonError::PermissionDenied("x".into())
+            .to_string()
+            .contains("permission denied"));
+    }
+}

@@ -1,0 +1,313 @@
+use std::collections::BTreeSet;
+
+use zynq_soc::SimTime;
+
+use crate::{HwmonDevice, HwmonError, Result};
+
+/// The privilege level of the process performing a sysfs access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Privilege {
+    /// An unprivileged user process — the AmpereBleed attacker.
+    User,
+    /// Root.
+    Root,
+}
+
+/// The simulated `/sys/class/hwmon` tree.
+///
+/// Devices register in order and appear as `hwmon0`, `hwmon1`, ....
+/// Reads carry an explicit simulation timestamp (there is no hidden global
+/// clock); each read triggers the device's lazy conversion clocking.
+///
+/// # Examples
+///
+/// See the [crate-level documentation](crate) for a complete example.
+#[derive(Debug, Default)]
+pub struct HwmonFs {
+    devices: Vec<HwmonDevice>,
+    /// Mitigation mode (Section V): designators whose attribute reads
+    /// require root.
+    root_only_reads: BTreeSet<String>,
+}
+
+impl HwmonFs {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        HwmonFs::default()
+    }
+
+    /// Registers a device; returns its index (`hwmon{index}`).
+    pub fn register(&mut self, device: HwmonDevice) -> usize {
+        self.devices.push(device);
+        self.devices.len() - 1
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the tree has no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The device at `index`, if registered.
+    pub fn device(&self, index: usize) -> Option<&HwmonDevice> {
+        self.devices.get(index)
+    }
+
+    /// Finds a device index by its `name` attribute.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.devices.iter().position(|d| d.name() == name)
+    }
+
+    /// Lists all attribute paths, as `ls /sys/class/hwmon/hwmon*/` would.
+    pub fn list(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (i, _) in self.devices.iter().enumerate() {
+            for attr in [
+                "name",
+                "curr1_input",
+                "in0_input",
+                "in1_input",
+                "power1_input",
+                "update_interval",
+            ] {
+                out.push(format!("/sys/class/hwmon/hwmon{i}/{attr}"));
+            }
+        }
+        out
+    }
+
+    /// Enables the Section V mitigation for a device: its measurement
+    /// attributes become readable by root only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwmonError::NoSuchFile`] if no device has that name.
+    pub fn restrict_reads_to_root(&mut self, name: &str) -> Result<()> {
+        if self.index_of(name).is_none() {
+            return Err(HwmonError::NoSuchFile(format!("device {name}")));
+        }
+        self.root_only_reads.insert(name.to_owned());
+        Ok(())
+    }
+
+    /// Lifts the read restriction from a device.
+    pub fn unrestrict_reads(&mut self, name: &str) {
+        self.root_only_reads.remove(name);
+    }
+
+    fn parse(path: &str) -> Result<(usize, &str)> {
+        let rest = path
+            .strip_prefix("/sys/class/hwmon/hwmon")
+            .ok_or_else(|| HwmonError::NoSuchFile(path.to_owned()))?;
+        let slash = rest
+            .find('/')
+            .ok_or_else(|| HwmonError::NoSuchFile(path.to_owned()))?;
+        let index: usize = rest[..slash]
+            .parse()
+            .map_err(|_| HwmonError::NoSuchFile(path.to_owned()))?;
+        Ok((index, &rest[slash + 1..]))
+    }
+
+    /// Reads an attribute at simulation time `now`.
+    ///
+    /// # Errors
+    ///
+    /// * [`HwmonError::NoSuchFile`] for unknown paths.
+    /// * [`HwmonError::PermissionDenied`] when the mitigation restricts
+    ///   the device and the caller is not root.
+    pub fn read(&self, path: &str, now: SimTime, privilege: Privilege) -> Result<String> {
+        let (index, attr) = Self::parse(path)?;
+        let dev = self
+            .devices
+            .get(index)
+            .ok_or_else(|| HwmonError::NoSuchFile(path.to_owned()))?;
+        let restricted = self.root_only_reads.contains(dev.name());
+        let measurement = matches!(
+            attr,
+            "curr1_input" | "in0_input" | "in1_input" | "power1_input"
+        );
+        if restricted && measurement && privilege != Privilege::Root {
+            return Err(HwmonError::PermissionDenied(path.to_owned()));
+        }
+        match attr {
+            "name" => Ok(format!("{}\n", dev.name())),
+            "curr1_input" => Ok(format!("{}\n", dev.curr1_input(now))),
+            "in0_input" => Ok(format!("{}\n", dev.in0_input(now))),
+            "in1_input" => Ok(format!("{}\n", dev.in1_input(now))),
+            "power1_input" => Ok(format!("{}\n", dev.power1_input(now))),
+            "update_interval" => Ok(format!("{}\n", dev.update_interval_ms())),
+            _ => Err(HwmonError::NoSuchFile(path.to_owned())),
+        }
+    }
+
+    /// Writes an attribute. Only `update_interval` is writable, and only
+    /// by root (Section III-C: "modifying it requires root privileges").
+    ///
+    /// # Errors
+    ///
+    /// * [`HwmonError::NoSuchFile`] for unknown paths.
+    /// * [`HwmonError::PermissionDenied`] for non-root writers.
+    /// * [`HwmonError::ReadOnly`] for measurement attributes.
+    /// * [`HwmonError::InvalidInput`] for unparseable values.
+    pub fn write(&self, path: &str, value: &str, privilege: Privilege) -> Result<()> {
+        let (index, attr) = Self::parse(path)?;
+        let dev = self
+            .devices
+            .get(index)
+            .ok_or_else(|| HwmonError::NoSuchFile(path.to_owned()))?;
+        match attr {
+            "update_interval" => {
+                if privilege != Privilege::Root {
+                    return Err(HwmonError::PermissionDenied(path.to_owned()));
+                }
+                let ms: u64 = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HwmonError::InvalidInput(value.to_owned()))?;
+                dev.set_update_interval_ms(ms);
+                Ok(())
+            }
+            "name" | "curr1_input" | "in0_input" | "in1_input" | "power1_input" => {
+                Err(HwmonError::ReadOnly(path.to_owned()))
+            }
+            _ => Err(HwmonError::NoSuchFile(path.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RailProbe;
+    use std::sync::Arc;
+
+    fn fs_with_two() -> HwmonFs {
+        let probe: Arc<dyn RailProbe> = Arc::new(|_t: SimTime| (1.0, 0.85));
+        let mut fs = HwmonFs::new();
+        fs.register(HwmonDevice::new("ina226_u76", 0.002, 0.0005, Arc::clone(&probe), 1));
+        fs.register(HwmonDevice::new("ina226_u79", 0.0005, 0.0005, probe, 2));
+        fs
+    }
+
+    #[test]
+    fn registration_and_lookup() {
+        let fs = fs_with_two();
+        assert_eq!(fs.len(), 2);
+        assert!(!fs.is_empty());
+        assert_eq!(fs.index_of("ina226_u79"), Some(1));
+        assert_eq!(fs.index_of("nope"), None);
+        assert!(fs.device(0).is_some());
+        assert!(fs.device(7).is_none());
+    }
+
+    #[test]
+    fn list_enumerates_all_attributes() {
+        let fs = fs_with_two();
+        let paths = fs.list();
+        assert_eq!(paths.len(), 12);
+        assert!(paths.contains(&"/sys/class/hwmon/hwmon0/in0_input".to_owned()));
+        assert!(paths.contains(&"/sys/class/hwmon/hwmon1/curr1_input".to_owned()));
+    }
+
+    #[test]
+    fn read_returns_newline_terminated_integers() {
+        let fs = fs_with_two();
+        let t = SimTime::from_ms(40);
+        let s = fs
+            .read("/sys/class/hwmon/hwmon0/curr1_input", t, Privilege::User)
+            .unwrap();
+        assert!(s.ends_with('\n'));
+        let ma: i64 = s.trim().parse().unwrap();
+        assert!((ma - 1000).abs() < 30, "{ma}");
+        let name = fs
+            .read("/sys/class/hwmon/hwmon1/name", t, Privilege::User)
+            .unwrap();
+        assert_eq!(name, "ina226_u79\n");
+    }
+
+    #[test]
+    fn unknown_paths_rejected() {
+        let fs = fs_with_two();
+        let t = SimTime::ZERO;
+        for path in [
+            "/sys/class/hwmon/hwmon9/curr1_input",
+            "/sys/class/hwmon/hwmon0/bogus",
+            "/proc/cpuinfo",
+            "/sys/class/hwmon/hwmonX/name",
+        ] {
+            assert!(matches!(
+                fs.read(path, t, Privilege::User),
+                Err(HwmonError::NoSuchFile(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn update_interval_is_root_only() {
+        let fs = fs_with_two();
+        let path = "/sys/class/hwmon/hwmon0/update_interval";
+        assert!(matches!(
+            fs.write(path, "2", Privilege::User),
+            Err(HwmonError::PermissionDenied(_))
+        ));
+        fs.write(path, "2", Privilege::Root).unwrap();
+        let s = fs.read(path, SimTime::ZERO, Privilege::User).unwrap();
+        assert_eq!(s.trim(), "2");
+    }
+
+    #[test]
+    fn measurement_attributes_read_only() {
+        let fs = fs_with_two();
+        assert!(matches!(
+            fs.write("/sys/class/hwmon/hwmon0/curr1_input", "0", Privilege::Root),
+            Err(HwmonError::ReadOnly(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_interval_rejected() {
+        let fs = fs_with_two();
+        assert!(matches!(
+            fs.write(
+                "/sys/class/hwmon/hwmon0/update_interval",
+                "soon",
+                Privilege::Root
+            ),
+            Err(HwmonError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn mitigation_blocks_unprivileged_reads() {
+        let mut fs = fs_with_two();
+        fs.restrict_reads_to_root("ina226_u79").unwrap();
+        let t = SimTime::from_ms(40);
+        let path = "/sys/class/hwmon/hwmon1/curr1_input";
+        assert!(matches!(
+            fs.read(path, t, Privilege::User),
+            Err(HwmonError::PermissionDenied(_))
+        ));
+        // Root still reads; `name` stays world-readable; the other device
+        // is unaffected.
+        assert!(fs.read(path, t, Privilege::Root).is_ok());
+        assert!(fs
+            .read("/sys/class/hwmon/hwmon1/name", t, Privilege::User)
+            .is_ok());
+        assert!(fs
+            .read("/sys/class/hwmon/hwmon0/curr1_input", t, Privilege::User)
+            .is_ok());
+        // And it can be lifted again.
+        fs.unrestrict_reads("ina226_u79");
+        assert!(fs.read(path, t, Privilege::User).is_ok());
+    }
+
+    #[test]
+    fn restricting_unknown_device_fails() {
+        let mut fs = fs_with_two();
+        assert!(fs.restrict_reads_to_root("ina226_u99").is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Simulated Linux `hwmon` sysfs interface backed by INA226 sensor models.
+//!
+//! AmpereBleed's entire attacker interface is this subsystem: an
+//! unprivileged process reads
+//! `/sys/class/hwmon/hwmon[0-*]/curr1_input` (Section III-C) and obtains
+//! milliamp-resolution current measurements of the FPGA, CPU and DRAM
+//! rails. This crate reproduces the interface's semantics:
+//!
+//! * **Paths and units** — `curr1_input` (mA), `in1_input` (bus mV),
+//!   `power1_input` (µW), `name`, and `update_interval` (ms), matching the
+//!   Linux ina226 driver.
+//! * **Value-hold timing** — the sensor converts on its own 2-35 ms update
+//!   clock (default 35 ms); reads between conversions return the latched
+//!   value, so sampling at 1 kHz (as the RSA attack does) sees repeated
+//!   values between updates.
+//! * **Privilege model** — reads are unprivileged; writing
+//!   `update_interval` requires root (which is why the paper's attacker
+//!   stays at the 35 ms default). The mitigation of Section V
+//!   (root-only read access) is available via
+//!   [`HwmonFs::restrict_reads_to_root`].
+//!
+//! # Examples
+//!
+//! ```
+//! use hwmon_sim::{HwmonDevice, HwmonFs, Privilege, RailProbe};
+//! use zynq_soc::SimTime;
+//!
+//! struct FixedRail;
+//! impl RailProbe for FixedRail {
+//!     fn operating_point(&self, _t: SimTime) -> (f64, f64) {
+//!         (1.5, 0.85) // 1.5 A at 0.85 V
+//!     }
+//! }
+//!
+//! let mut fs = HwmonFs::new();
+//! fs.register(HwmonDevice::new(
+//!     "ina226_u79",
+//!     0.0005,
+//!     0.0005,
+//!     std::sync::Arc::new(FixedRail),
+//!     1,
+//! ));
+//! let t = SimTime::from_ms(40);
+//! let ma: i64 = fs
+//!     .read("/sys/class/hwmon/hwmon0/curr1_input", t, Privilege::User)?
+//!     .trim()
+//!     .parse()
+//!     .unwrap();
+//! assert!((ma - 1500).abs() < 20);
+//! # Ok::<(), hwmon_sim::HwmonError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod error;
+mod fs;
+
+pub use device::{HwmonDevice, RailProbe};
+pub use error::HwmonError;
+pub use fs::{HwmonFs, Privilege};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, HwmonError>;

@@ -1,0 +1,165 @@
+//! Alert (Mask/Enable) function of the INA226.
+//!
+//! The chip can assert its ALERT pin when a conversion crosses a
+//! programmed limit — boards use this for over-current protection, and the
+//! Linux driver exposes it as hwmon alarm attributes. The reproduction
+//! models it because a *defensive* use of the same sensors ("alert when
+//! fabric current ramps abnormally") is one plausible mitigation direction
+//! beyond Section V's access-control fix.
+//!
+//! Bit layout of the Mask/Enable register (datasheet Table 11):
+//!
+//! | bit | name | meaning |
+//! |---|---|---|
+//! | 15 | SOL | shunt voltage over limit |
+//! | 14 | SUL | shunt voltage under limit |
+//! | 13 | BOL | bus voltage over limit |
+//! | 12 | BUL | bus voltage under limit |
+//! | 11 | POL | power over limit |
+//! | 10 | CNVR | alert on conversion ready |
+//! | 4 | AFF | alert function flag (sticky status) |
+//! | 3 | CVRF | conversion ready flag |
+//! | 2 | OVF | math overflow flag |
+
+/// Mask/Enable register bits.
+pub mod bits {
+    /// Shunt voltage over-limit enable.
+    pub const SOL: u16 = 1 << 15;
+    /// Shunt voltage under-limit enable.
+    pub const SUL: u16 = 1 << 14;
+    /// Bus voltage over-limit enable.
+    pub const BOL: u16 = 1 << 13;
+    /// Bus voltage under-limit enable.
+    pub const BUL: u16 = 1 << 12;
+    /// Power over-limit enable.
+    pub const POL: u16 = 1 << 11;
+    /// Conversion-ready alert enable.
+    pub const CNVR: u16 = 1 << 10;
+    /// Alert function flag (set when the enabled condition fired).
+    pub const AFF: u16 = 1 << 4;
+    /// Conversion ready flag (set after every completed conversion).
+    pub const CVRF: u16 = 1 << 3;
+    /// Math overflow flag.
+    pub const OVF: u16 = 1 << 2;
+}
+
+/// Evaluates the alert function after a conversion: given the enabled
+/// function bits, the latched measurement registers and the alert limit,
+/// returns the status bits to OR into the Mask/Enable register.
+///
+/// Only one alert function may be enabled at a time per the datasheet;
+/// when several are set, the highest-priority (most significant) wins —
+/// this mirrors silicon behaviour rather than rejecting the write.
+pub(crate) fn evaluate(
+    mask_enable: u16,
+    shunt_reg: i16,
+    bus_reg: u16,
+    power_reg: u16,
+    alert_limit: u16,
+) -> u16 {
+    let mut status = bits::CVRF; // every conversion sets conversion-ready
+    let fired = if mask_enable & bits::SOL != 0 {
+        shunt_reg >= alert_limit as i16
+    } else if mask_enable & bits::SUL != 0 {
+        shunt_reg <= alert_limit as i16
+    } else if mask_enable & bits::BOL != 0 {
+        bus_reg >= alert_limit
+    } else if mask_enable & bits::BUL != 0 {
+        bus_reg <= alert_limit
+    } else if mask_enable & bits::POL != 0 {
+        power_reg >= alert_limit
+    } else {
+        false
+    };
+    if fired {
+        status |= bits::AFF;
+    }
+    status
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Ina226, Register};
+
+    fn quiet() -> Ina226 {
+        let mut s = Ina226::new(0.002, 0.001, 0);
+        s.set_adc_noise(0.0, 0.0);
+        s
+    }
+
+    #[test]
+    fn conversion_ready_after_every_conversion() {
+        let mut s = quiet();
+        assert_eq!(s.read_register(Register::MaskEnable) & bits::CVRF, 0);
+        s.convert_constant(1.0, 0.85);
+        assert_ne!(s.read_register(Register::MaskEnable) & bits::CVRF, 0);
+    }
+
+    #[test]
+    fn shunt_over_limit_alert() {
+        let mut s = quiet();
+        // 1.5 A over a 2 mΩ shunt = 3 mV = 1200 shunt LSBs. Set the limit
+        // at 1000 LSBs (2.5 mV -> 1.25 A).
+        s.write_register(Register::MaskEnable, bits::SOL).unwrap();
+        s.write_register(Register::AlertLimit, 1_000).unwrap();
+        s.convert_constant(1.0, 0.85); // 400 LSBs: below the limit
+        assert_eq!(s.read_register(Register::MaskEnable) & bits::AFF, 0);
+        s.convert_constant(1.5, 0.85); // 1200 LSBs: above
+        assert_ne!(s.read_register(Register::MaskEnable) & bits::AFF, 0);
+    }
+
+    #[test]
+    fn bus_under_limit_alert() {
+        let mut s = quiet();
+        // Brown-out detector: alert when the bus drops below 0.80 V
+        // (640 bus LSBs of 1.25 mV).
+        s.write_register(Register::MaskEnable, bits::BUL).unwrap();
+        s.write_register(Register::AlertLimit, 640).unwrap();
+        s.convert_constant(0.5, 0.85);
+        assert_eq!(s.read_register(Register::MaskEnable) & bits::AFF, 0);
+        s.convert_constant(0.5, 0.78);
+        assert_ne!(s.read_register(Register::MaskEnable) & bits::AFF, 0);
+    }
+
+    #[test]
+    fn power_over_limit_alert() {
+        let mut s = quiet();
+        // Power LSB = 25 mW at this calibration; limit 40 counts = 1 W.
+        s.write_register(Register::MaskEnable, bits::POL).unwrap();
+        s.write_register(Register::AlertLimit, 40).unwrap();
+        s.convert_constant(0.5, 0.85); // 0.425 W
+        assert_eq!(s.read_register(Register::MaskEnable) & bits::AFF, 0);
+        s.convert_constant(2.0, 0.85); // 1.7 W
+        assert_ne!(s.read_register(Register::MaskEnable) & bits::AFF, 0);
+    }
+
+    #[test]
+    fn flag_clears_when_condition_clears() {
+        let mut s = quiet();
+        s.write_register(Register::MaskEnable, bits::SOL).unwrap();
+        s.write_register(Register::AlertLimit, 1_000).unwrap();
+        s.convert_constant(1.5, 0.85);
+        assert_ne!(s.read_register(Register::MaskEnable) & bits::AFF, 0);
+        s.convert_constant(0.2, 0.85);
+        assert_eq!(s.read_register(Register::MaskEnable) & bits::AFF, 0);
+    }
+
+    #[test]
+    fn enable_bits_survive_status_updates() {
+        let mut s = quiet();
+        s.write_register(Register::MaskEnable, bits::BOL).unwrap();
+        s.convert_constant(1.0, 0.85);
+        let me = s.read_register(Register::MaskEnable);
+        assert_ne!(me & bits::BOL, 0, "enable bit must persist");
+    }
+
+    #[test]
+    fn priority_order_highest_bit_wins() {
+        // SOL and POL both set: SOL (bit 15) is evaluated.
+        let status = evaluate(bits::SOL | bits::POL, 2_000, 680, 10, 1_000);
+        assert_ne!(status & bits::AFF, 0, "SOL fired");
+        let status = evaluate(bits::SOL | bits::POL, 10, 680, 10_000, 1_000);
+        assert_eq!(status & bits::AFF, 0, "POL ignored while SOL enabled");
+    }
+}

@@ -1,0 +1,38 @@
+use std::fmt;
+
+use crate::Register;
+
+/// Error type for INA226 register operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Ina226Error {
+    /// Attempted to write a read-only register.
+    ReadOnlyRegister(Register),
+    /// A configuration or calibration value was outside its valid domain.
+    InvalidValue(&'static str),
+}
+
+impl fmt::Display for Ina226Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ina226Error::ReadOnlyRegister(r) => {
+                write!(f, "register {r:?} is read-only")
+            }
+            Ina226Error::InvalidValue(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Ina226Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Ina226Error::ReadOnlyRegister(Register::Current);
+        assert!(e.to_string().contains("read-only"));
+        assert!(Ina226Error::InvalidValue("shunt").to_string().contains("shunt"));
+    }
+}

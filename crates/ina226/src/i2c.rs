@@ -1,0 +1,350 @@
+//! I2C transaction layer.
+//!
+//! On real boards the hwmon driver reaches the INA226 over an I2C bus
+//! (the ZCU102 routes its 18 sensors through PCA9544 muxes on a single
+//! controller). This module models the bus-level protocol: 7-bit
+//! addressing, the pointer-register write, big-endian 16-bit register
+//! reads/writes, and NACK behaviour for absent devices — so the register
+//! file is exercised exactly the way the kernel driver exercises it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::registers::Register;
+use crate::{Ina226, Ina226Error};
+
+/// A validated 7-bit I2C address.
+///
+/// # Examples
+///
+/// ```
+/// use ina226::i2c::I2cAddress;
+///
+/// let addr = I2cAddress::new(0x40)?;
+/// assert_eq!(addr.value(), 0x40);
+/// assert!(I2cAddress::new(0x80).is_err());
+/// # Ok::<(), ina226::i2c::I2cError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct I2cAddress(u8);
+
+impl I2cAddress {
+    /// Creates an address; must fit in 7 bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`I2cError::InvalidAddress`] for values above 0x7F.
+    pub fn new(addr: u8) -> Result<Self, I2cError> {
+        if addr > 0x7F {
+            return Err(I2cError::InvalidAddress(addr));
+        }
+        Ok(I2cAddress(addr))
+    }
+
+    /// The raw 7-bit value.
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// The INA226's address range given its A1/A0 strap pins
+    /// (datasheet Table 2: 0x40..=0x4F).
+    pub fn ina226_strap(a1: u8, a0: u8) -> Result<Self, I2cError> {
+        if a1 > 3 || a0 > 3 {
+            return Err(I2cError::InvalidAddress(0x40 + (a1 << 2) + a0));
+        }
+        I2cAddress::new(0x40 + (a1 << 2) + a0)
+    }
+}
+
+impl fmt::Display for I2cAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:02x}", self.0)
+    }
+}
+
+/// I2C bus errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum I2cError {
+    /// Address does not fit in 7 bits or is otherwise malformed.
+    InvalidAddress(u8),
+    /// No device acknowledged the address.
+    Nack(u8),
+    /// An address is already occupied on this bus.
+    AddressInUse(u8),
+    /// The transaction payload was malformed (wrong byte count).
+    MalformedTransaction(&'static str),
+    /// The target device rejected the operation.
+    Target(Ina226Error),
+}
+
+impl fmt::Display for I2cError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            I2cError::InvalidAddress(a) => write!(f, "invalid 7-bit address 0x{a:02x}"),
+            I2cError::Nack(a) => write!(f, "no ack from 0x{a:02x}"),
+            I2cError::AddressInUse(a) => write!(f, "address 0x{a:02x} already in use"),
+            I2cError::MalformedTransaction(what) => {
+                write!(f, "malformed transaction: {what}")
+            }
+            I2cError::Target(e) => write!(f, "target error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for I2cError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            I2cError::Target(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// An INA226 attached to a bus: the chip-side pointer-register state
+/// machine.
+#[derive(Debug)]
+struct BusAttachedIna226 {
+    device: Ina226,
+    /// Last written register pointer.
+    pointer: u8,
+}
+
+/// An I2C bus with INA226 targets.
+///
+/// # Examples
+///
+/// ```
+/// use ina226::i2c::{I2cAddress, I2cBus};
+/// use ina226::{Ina226, Register};
+///
+/// let mut bus = I2cBus::new();
+/// let addr = I2cAddress::new(0x40)?;
+/// bus.attach(addr, Ina226::new(0.002, 0.001, 1))?;
+///
+/// // Kernel-driver style register read: pointer write, then 2-byte read.
+/// let id = bus.write_read_u16(addr, Register::ManufacturerId.address())?;
+/// assert_eq!(id, 0x5449);
+/// # Ok::<(), ina226::i2c::I2cError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct I2cBus {
+    targets: BTreeMap<u8, BusAttachedIna226>,
+    transactions: u64,
+}
+
+impl I2cBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        I2cBus::default()
+    }
+
+    /// Attaches a device at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`I2cError::AddressInUse`] if the address is occupied.
+    pub fn attach(&mut self, addr: I2cAddress, device: Ina226) -> Result<(), I2cError> {
+        if self.targets.contains_key(&addr.value()) {
+            return Err(I2cError::AddressInUse(addr.value()));
+        }
+        self.targets
+            .insert(addr.value(), BusAttachedIna226 { device, pointer: 0 });
+        Ok(())
+    }
+
+    /// Addresses of attached devices.
+    pub fn scan(&self) -> Vec<I2cAddress> {
+        self.targets.keys().map(|&a| I2cAddress(a)).collect()
+    }
+
+    /// Number of completed transactions (diagnostics).
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Mutable access to a target's device model (the simulation backend
+    /// feeding conversions; not part of the host-visible protocol).
+    pub fn device_mut(&mut self, addr: I2cAddress) -> Option<&mut Ina226> {
+        self.targets.get_mut(&addr.value()).map(|t| &mut t.device)
+    }
+
+    fn target_mut(&mut self, addr: I2cAddress) -> Result<&mut BusAttachedIna226, I2cError> {
+        self.targets
+            .get_mut(&addr.value())
+            .ok_or(I2cError::Nack(addr.value()))
+    }
+
+    /// I2C write: first byte is the register pointer, optionally followed
+    /// by two big-endian data bytes (a register write).
+    ///
+    /// # Errors
+    ///
+    /// * [`I2cError::Nack`] for absent targets.
+    /// * [`I2cError::MalformedTransaction`] for byte counts other than 1
+    ///   or 3.
+    /// * [`I2cError::Target`] if the chip rejects the register write.
+    pub fn write(&mut self, addr: I2cAddress, bytes: &[u8]) -> Result<(), I2cError> {
+        self.transactions += 1;
+        let target = self.target_mut(addr)?;
+        match bytes {
+            [pointer] => {
+                target.pointer = *pointer;
+                Ok(())
+            }
+            [pointer, hi, lo] => {
+                target.pointer = *pointer;
+                let reg = register_for(*pointer).ok_or(I2cError::MalformedTransaction(
+                    "unknown register pointer",
+                ))?;
+                let value = u16::from_be_bytes([*hi, *lo]);
+                target.device.write_register(reg, value).map_err(I2cError::Target)
+            }
+            _ => Err(I2cError::MalformedTransaction(
+                "writes are 1 (pointer) or 3 (pointer + u16) bytes",
+            )),
+        }
+    }
+
+    /// I2C read: returns the 2 big-endian bytes of the register the
+    /// pointer currently selects.
+    ///
+    /// # Errors
+    ///
+    /// * [`I2cError::Nack`] for absent targets.
+    /// * [`I2cError::MalformedTransaction`] if the pointer selects an
+    ///   unknown register.
+    pub fn read_u16(&mut self, addr: I2cAddress) -> Result<u16, I2cError> {
+        self.transactions += 1;
+        let target = self.target_mut(addr)?;
+        let reg = register_for(target.pointer)
+            .ok_or(I2cError::MalformedTransaction("unknown register pointer"))?;
+        Ok(target.device.read_register(reg))
+    }
+
+    /// Combined transaction: pointer write followed by a repeated-start
+    /// 2-byte read — the `i2c_smbus_read_word_swapped` the Linux driver
+    /// issues.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`I2cBus::write`] and [`I2cBus::read_u16`].
+    pub fn write_read_u16(&mut self, addr: I2cAddress, pointer: u8) -> Result<u16, I2cError> {
+        self.write(addr, &[pointer])?;
+        self.read_u16(addr)
+    }
+}
+
+/// Maps a pointer byte to the register it selects.
+fn register_for(pointer: u8) -> Option<Register> {
+    Some(match pointer {
+        0x00 => Register::Configuration,
+        0x01 => Register::ShuntVoltage,
+        0x02 => Register::BusVoltage,
+        0x03 => Register::Power,
+        0x04 => Register::Current,
+        0x05 => Register::Calibration,
+        0x06 => Register::MaskEnable,
+        0x07 => Register::AlertLimit,
+        0xFE => Register::ManufacturerId,
+        0xFF => Register::DieId,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Config;
+
+    fn bus_with_sensor() -> (I2cBus, I2cAddress) {
+        let mut bus = I2cBus::new();
+        let addr = I2cAddress::new(0x41).unwrap();
+        bus.attach(addr, Ina226::new(0.002, 0.001, 9)).unwrap();
+        (bus, addr)
+    }
+
+    #[test]
+    fn strap_addresses_match_datasheet() {
+        assert_eq!(I2cAddress::ina226_strap(0, 0).unwrap().value(), 0x40);
+        assert_eq!(I2cAddress::ina226_strap(3, 3).unwrap().value(), 0x4F);
+        assert!(I2cAddress::ina226_strap(4, 0).is_err());
+    }
+
+    #[test]
+    fn id_read_over_bus() {
+        let (mut bus, addr) = bus_with_sensor();
+        assert_eq!(bus.write_read_u16(addr, 0xFE).unwrap(), 0x5449);
+        assert_eq!(bus.write_read_u16(addr, 0xFF).unwrap(), 0x2260);
+        assert_eq!(bus.transactions(), 4);
+    }
+
+    #[test]
+    fn configuration_write_over_bus() {
+        let (mut bus, addr) = bus_with_sensor();
+        let cfg = Config::for_update_interval_ms(2).encode();
+        let [hi, lo] = cfg.to_be_bytes();
+        bus.write(addr, &[0x00, hi, lo]).unwrap();
+        assert_eq!(bus.write_read_u16(addr, 0x00).unwrap(), cfg);
+    }
+
+    #[test]
+    fn measurement_flow_like_kernel_driver() {
+        let (mut bus, addr) = bus_with_sensor();
+        // Simulation backend latches a conversion...
+        bus.device_mut(addr).unwrap().set_adc_noise(0.0, 0.0);
+        bus.device_mut(addr).unwrap().convert_constant(1.0, 0.85);
+        // ...driver reads current register over the wire.
+        let raw = bus.write_read_u16(addr, 0x04).unwrap() as i16;
+        let amps = raw as f64 * 0.001;
+        assert!((amps - 1.0).abs() < 0.005, "{amps}");
+    }
+
+    #[test]
+    fn absent_device_nacks() {
+        let (mut bus, _) = bus_with_sensor();
+        let ghost = I2cAddress::new(0x4A).unwrap();
+        assert_eq!(bus.read_u16(ghost), Err(I2cError::Nack(0x4A)));
+        assert_eq!(bus.write(ghost, &[0]), Err(I2cError::Nack(0x4A)));
+    }
+
+    #[test]
+    fn double_attach_rejected() {
+        let (mut bus, addr) = bus_with_sensor();
+        assert_eq!(
+            bus.attach(addr, Ina226::new(0.002, 0.001, 0)),
+            Err(I2cError::AddressInUse(0x41))
+        );
+    }
+
+    #[test]
+    fn malformed_transactions_rejected() {
+        let (mut bus, addr) = bus_with_sensor();
+        assert!(matches!(
+            bus.write(addr, &[0x00, 0x12]),
+            Err(I2cError::MalformedTransaction(_))
+        ));
+        assert!(matches!(
+            bus.write(addr, &[0x99, 0, 0]),
+            Err(I2cError::MalformedTransaction(_))
+        ));
+        // Read-only register write propagates the chip error.
+        assert!(matches!(
+            bus.write(addr, &[0x04, 0, 1]),
+            Err(I2cError::Target(Ina226Error::ReadOnlyRegister(_)))
+        ));
+    }
+
+    #[test]
+    fn scan_lists_devices() {
+        let (mut bus, addr) = bus_with_sensor();
+        let other = I2cAddress::new(0x44).unwrap();
+        bus.attach(other, Ina226::new(0.001, 0.0005, 1)).unwrap();
+        assert_eq!(bus.scan(), vec![addr, other]);
+    }
+
+    #[test]
+    fn address_display() {
+        assert_eq!(I2cAddress::new(0x40).unwrap().to_string(), "0x40");
+    }
+}

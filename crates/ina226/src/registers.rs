@@ -1,0 +1,434 @@
+use serde::{Deserialize, Serialize};
+
+/// INA226 register map (datasheet Table 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Register {
+    /// 00h — operating configuration.
+    Configuration,
+    /// 01h — shunt voltage, signed, 2.5 µV LSB.
+    ShuntVoltage,
+    /// 02h — bus voltage, unsigned, 1.25 mV LSB.
+    BusVoltage,
+    /// 03h — calculated power, unsigned, 25 x current LSB.
+    Power,
+    /// 04h — calculated current, signed.
+    Current,
+    /// 05h — calibration value.
+    Calibration,
+    /// 06h — mask/enable (alert configuration).
+    MaskEnable,
+    /// 07h — alert limit.
+    AlertLimit,
+    /// FEh — manufacturer ID (0x5449, "TI").
+    ManufacturerId,
+    /// FFh — die ID (0x2260).
+    DieId,
+}
+
+impl Register {
+    /// I2C register pointer value.
+    pub fn address(self) -> u8 {
+        match self {
+            Register::Configuration => 0x00,
+            Register::ShuntVoltage => 0x01,
+            Register::BusVoltage => 0x02,
+            Register::Power => 0x03,
+            Register::Current => 0x04,
+            Register::Calibration => 0x05,
+            Register::MaskEnable => 0x06,
+            Register::AlertLimit => 0x07,
+            Register::ManufacturerId => 0xFE,
+            Register::DieId => 0xFF,
+        }
+    }
+
+    /// Whether the host may write this register.
+    pub fn is_writable(self) -> bool {
+        matches!(
+            self,
+            Register::Configuration
+                | Register::Calibration
+                | Register::MaskEnable
+                | Register::AlertLimit
+        )
+    }
+}
+
+/// Averaging mode (AVG bits of the configuration register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AvgMode {
+    /// 1 sample (no averaging).
+    X1,
+    /// 4 samples.
+    X4,
+    /// 16 samples.
+    X16,
+    /// 64 samples.
+    X64,
+    /// 128 samples.
+    X128,
+    /// 256 samples.
+    X256,
+    /// 512 samples.
+    X512,
+    /// 1024 samples.
+    X1024,
+}
+
+impl AvgMode {
+    /// All modes in register-encoding order.
+    pub const ALL: [AvgMode; 8] = [
+        AvgMode::X1,
+        AvgMode::X4,
+        AvgMode::X16,
+        AvgMode::X64,
+        AvgMode::X128,
+        AvgMode::X256,
+        AvgMode::X512,
+        AvgMode::X1024,
+    ];
+
+    /// Number of samples averaged per conversion result.
+    pub fn samples(self) -> u32 {
+        match self {
+            AvgMode::X1 => 1,
+            AvgMode::X4 => 4,
+            AvgMode::X16 => 16,
+            AvgMode::X64 => 64,
+            AvgMode::X128 => 128,
+            AvgMode::X256 => 256,
+            AvgMode::X512 => 512,
+            AvgMode::X1024 => 1024,
+        }
+    }
+
+    fn bits(self) -> u16 {
+        Self::ALL.iter().position(|&m| m == self).expect("in ALL") as u16
+    }
+
+    fn from_bits(bits: u16) -> AvgMode {
+        Self::ALL[(bits & 0x7) as usize]
+    }
+}
+
+/// Per-channel ADC conversion time (VBUSCT / VSHCT bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConversionTime {
+    /// 140 µs.
+    Us140,
+    /// 204 µs.
+    Us204,
+    /// 332 µs.
+    Us332,
+    /// 588 µs.
+    Us588,
+    /// 1.1 ms (power-on default).
+    Us1100,
+    /// 2.116 ms.
+    Us2116,
+    /// 4.156 ms.
+    Us4156,
+    /// 8.244 ms.
+    Us8244,
+}
+
+impl ConversionTime {
+    /// All conversion times in register-encoding order.
+    pub const ALL: [ConversionTime; 8] = [
+        ConversionTime::Us140,
+        ConversionTime::Us204,
+        ConversionTime::Us332,
+        ConversionTime::Us588,
+        ConversionTime::Us1100,
+        ConversionTime::Us2116,
+        ConversionTime::Us4156,
+        ConversionTime::Us8244,
+    ];
+
+    /// Conversion time in microseconds.
+    pub fn micros(self) -> u64 {
+        match self {
+            ConversionTime::Us140 => 140,
+            ConversionTime::Us204 => 204,
+            ConversionTime::Us332 => 332,
+            ConversionTime::Us588 => 588,
+            ConversionTime::Us1100 => 1_100,
+            ConversionTime::Us2116 => 2_116,
+            ConversionTime::Us4156 => 4_156,
+            ConversionTime::Us8244 => 8_244,
+        }
+    }
+
+    fn bits(self) -> u16 {
+        Self::ALL.iter().position(|&c| c == self).expect("in ALL") as u16
+    }
+
+    fn from_bits(bits: u16) -> ConversionTime {
+        Self::ALL[(bits & 0x7) as usize]
+    }
+}
+
+/// Operating mode (MODE bits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperatingMode {
+    /// Power-down.
+    PowerDown,
+    /// Shunt voltage, triggered.
+    ShuntTriggered,
+    /// Bus voltage, triggered.
+    BusTriggered,
+    /// Shunt and bus, triggered.
+    ShuntBusTriggered,
+    /// Shunt voltage, continuous.
+    ShuntContinuous,
+    /// Bus voltage, continuous.
+    BusContinuous,
+    /// Shunt and bus, continuous (power-on default).
+    ShuntBusContinuous,
+}
+
+impl OperatingMode {
+    fn bits(self) -> u16 {
+        match self {
+            OperatingMode::PowerDown => 0b000,
+            OperatingMode::ShuntTriggered => 0b001,
+            OperatingMode::BusTriggered => 0b010,
+            OperatingMode::ShuntBusTriggered => 0b011,
+            OperatingMode::ShuntContinuous => 0b101,
+            OperatingMode::BusContinuous => 0b110,
+            OperatingMode::ShuntBusContinuous => 0b111,
+        }
+    }
+
+    fn from_bits(bits: u16) -> OperatingMode {
+        match bits & 0b111 {
+            0b000 | 0b100 => OperatingMode::PowerDown,
+            0b001 => OperatingMode::ShuntTriggered,
+            0b010 => OperatingMode::BusTriggered,
+            0b011 => OperatingMode::ShuntBusTriggered,
+            0b101 => OperatingMode::ShuntContinuous,
+            0b110 => OperatingMode::BusContinuous,
+            _ => OperatingMode::ShuntBusContinuous,
+        }
+    }
+
+    /// Whether shunt conversions run in this mode.
+    pub fn converts_shunt(self) -> bool {
+        matches!(
+            self,
+            OperatingMode::ShuntTriggered
+                | OperatingMode::ShuntBusTriggered
+                | OperatingMode::ShuntContinuous
+                | OperatingMode::ShuntBusContinuous
+        )
+    }
+
+    /// Whether bus conversions run in this mode.
+    pub fn converts_bus(self) -> bool {
+        matches!(
+            self,
+            OperatingMode::BusTriggered
+                | OperatingMode::ShuntBusTriggered
+                | OperatingMode::BusContinuous
+                | OperatingMode::ShuntBusContinuous
+        )
+    }
+}
+
+/// Decoded configuration register.
+///
+/// The default matches the power-on value 0x4127: no averaging, 1.1 ms
+/// conversion time on both channels, continuous shunt+bus conversion.
+///
+/// # Examples
+///
+/// ```
+/// use ina226::Config;
+///
+/// let c = Config::default();
+/// assert_eq!(c.encode(), 0x4127);
+/// assert_eq!(Config::decode(0x4127), c);
+/// // Default cycle: (1.1ms + 1.1ms) * 1 sample = 2.2 ms
+/// assert_eq!(c.cycle_micros(), 2_200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Config {
+    /// Averaging mode applied to both channels.
+    pub avg: AvgMode,
+    /// Bus-voltage conversion time.
+    pub bus_ct: ConversionTime,
+    /// Shunt-voltage conversion time.
+    pub shunt_ct: ConversionTime,
+    /// Operating mode.
+    pub mode: OperatingMode,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            avg: AvgMode::X1,
+            bus_ct: ConversionTime::Us1100,
+            shunt_ct: ConversionTime::Us1100,
+            mode: OperatingMode::ShuntBusContinuous,
+        }
+    }
+}
+
+impl Config {
+    /// Encodes to the 16-bit register value.
+    pub fn encode(self) -> u16 {
+        0x4000 // reserved bit 14 always reads 1
+            | (self.avg.bits() << 9)
+            | (self.bus_ct.bits() << 6)
+            | (self.shunt_ct.bits() << 3)
+            | self.mode.bits()
+    }
+
+    /// Decodes from a 16-bit register value.
+    pub fn decode(raw: u16) -> Config {
+        Config {
+            avg: AvgMode::from_bits(raw >> 9),
+            bus_ct: ConversionTime::from_bits(raw >> 6),
+            shunt_ct: ConversionTime::from_bits(raw >> 3),
+            mode: OperatingMode::from_bits(raw),
+        }
+    }
+
+    /// Total time of one complete conversion cycle in microseconds:
+    /// `(bus_ct + shunt_ct) * avg_samples` for shunt+bus modes.
+    pub fn cycle_micros(self) -> u64 {
+        let mut per_sample = 0;
+        if self.mode.converts_bus() {
+            per_sample += self.bus_ct.micros();
+        }
+        if self.mode.converts_shunt() {
+            per_sample += self.shunt_ct.micros();
+        }
+        per_sample * self.avg.samples() as u64
+    }
+
+    /// Picks the configuration whose full cycle best matches a requested
+    /// hwmon `update_interval` in milliseconds, mirroring the Linux ina226
+    /// driver's `ina226_interval_to_avg` logic (conversion times stay at
+    /// the 1.1 ms default; only the averaging changes).
+    pub fn for_update_interval_ms(interval_ms: u64) -> Config {
+        let base = Config::default();
+        let per_sample_us = base.bus_ct.micros() + base.shunt_ct.micros();
+        let mut best = base;
+        let mut best_err = u64::MAX;
+        for avg in AvgMode::ALL {
+            let cycle_us = per_sample_us * avg.samples() as u64;
+            let err = cycle_us.abs_diff(interval_ms * 1_000);
+            if err < best_err {
+                best_err = err;
+                best = Config { avg, ..base };
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn default_encodes_to_power_on_value() {
+        assert_eq!(Config::default().encode(), 0x4127);
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for avg in AvgMode::ALL {
+            for bus_ct in ConversionTime::ALL {
+                for shunt_ct in ConversionTime::ALL {
+                    let c = Config {
+                        avg,
+                        bus_ct,
+                        shunt_ct,
+                        mode: OperatingMode::ShuntBusContinuous,
+                    };
+                    assert_eq!(Config::decode(c.encode()), c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn register_addresses_match_datasheet() {
+        assert_eq!(Register::Configuration.address(), 0x00);
+        assert_eq!(Register::Calibration.address(), 0x05);
+        assert_eq!(Register::ManufacturerId.address(), 0xFE);
+        assert_eq!(Register::DieId.address(), 0xFF);
+    }
+
+    #[test]
+    fn writability_matches_datasheet() {
+        assert!(Register::Configuration.is_writable());
+        assert!(Register::Calibration.is_writable());
+        assert!(!Register::Current.is_writable());
+        assert!(!Register::Power.is_writable());
+        assert!(!Register::ShuntVoltage.is_writable());
+        assert!(!Register::ManufacturerId.is_writable());
+    }
+
+    #[test]
+    fn avg_samples_are_powers() {
+        let counts: Vec<u32> = AvgMode::ALL.iter().map(|m| m.samples()).collect();
+        assert_eq!(counts, vec![1, 4, 16, 64, 128, 256, 512, 1024]);
+    }
+
+    #[test]
+    fn conversion_times_match_datasheet() {
+        let times: Vec<u64> = ConversionTime::ALL.iter().map(|c| c.micros()).collect();
+        assert_eq!(times, vec![140, 204, 332, 588, 1_100, 2_116, 4_156, 8_244]);
+    }
+
+    #[test]
+    fn cycle_time_spans_the_hwmon_interval_range() {
+        // Fastest usable cycle (~0.28 ms) up to the 35 ms default: the
+        // paper's "configurable updating interval between 2 and 35 ms".
+        let fast = Config {
+            avg: AvgMode::X1,
+            bus_ct: ConversionTime::Us140,
+            shunt_ct: ConversionTime::Us140,
+            mode: OperatingMode::ShuntBusContinuous,
+        };
+        assert_eq!(fast.cycle_micros(), 280);
+        let default_35ms = Config::for_update_interval_ms(35);
+        let cycle = default_35ms.cycle_micros();
+        assert!((30_000..=40_000).contains(&cycle), "cycle {cycle} us");
+    }
+
+    #[test]
+    fn interval_mapping_is_monotone() {
+        let mut prev = 0;
+        for ms in [2, 4, 9, 18, 35, 70] {
+            let cycle = Config::for_update_interval_ms(ms).cycle_micros();
+            assert!(cycle >= prev);
+            prev = cycle;
+        }
+    }
+
+    #[test]
+    fn power_down_converts_nothing() {
+        let c = Config {
+            mode: OperatingMode::PowerDown,
+            ..Config::default()
+        };
+        assert_eq!(c.cycle_micros(), 0);
+        assert!(!OperatingMode::PowerDown.converts_shunt());
+        assert!(!OperatingMode::PowerDown.converts_bus());
+    }
+
+    proptest! {
+        #[test]
+        fn decode_never_panics(raw in 0u16..=u16::MAX) {
+            let c = Config::decode(raw);
+            // Re-encoding normalizes reserved bits but preserves fields.
+            let c2 = Config::decode(c.encode());
+            prop_assert_eq!(c, c2);
+        }
+    }
+}

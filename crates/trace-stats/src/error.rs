@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Error type for statistical computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StatsError {
+    /// The input slice was empty where at least one sample is required.
+    Empty,
+    /// The two inputs must have the same length but did not.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// A computation requires non-zero variance but the input is constant.
+    ZeroVariance,
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::Empty => write!(f, "input sample set is empty"),
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "input lengths differ: {left} vs {right}")
+            }
+            StatsError::ZeroVariance => write!(f, "input has zero variance"),
+            StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        assert_eq!(StatsError::Empty.to_string(), "input sample set is empty");
+        assert_eq!(
+            StatsError::LengthMismatch { left: 3, right: 5 }.to_string(),
+            "input lengths differ: 3 vs 5"
+        );
+        assert_eq!(StatsError::ZeroVariance.to_string(), "input has zero variance");
+        assert_eq!(
+            StatsError::InvalidParameter("bins").to_string(),
+            "invalid parameter: bins"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+}

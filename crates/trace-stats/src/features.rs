@@ -1,0 +1,267 @@
+//! Feature extraction for side-channel trace classification.
+//!
+//! The fingerprinting attack (Table III) feeds fixed-length feature vectors
+//! to a random forest. Raw hwmon traces have data-dependent lengths (the
+//! victim duration varies from 1 s to 5 s), so they are resampled onto a
+//! fixed grid and augmented with summary statistics before classification.
+
+use crate::{Result, StatsError, Summary};
+
+/// Resamples `trace` onto `len` points by linear interpolation.
+///
+/// The output spans the full input; for `len == 1` the mean is returned.
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] if `trace` is empty.
+/// * [`StatsError::InvalidParameter`] if `len == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let up = trace_stats::features::resample(&[0.0, 2.0], 3).unwrap();
+/// assert_eq!(up, vec![0.0, 1.0, 2.0]);
+/// ```
+pub fn resample(trace: &[f64], len: usize) -> Result<Vec<f64>> {
+    if trace.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if len == 0 {
+        return Err(StatsError::InvalidParameter("resample length must be non-zero"));
+    }
+    if len == 1 {
+        return Ok(vec![trace.iter().sum::<f64>() / trace.len() as f64]);
+    }
+    if trace.len() == 1 {
+        return Ok(vec![trace[0]; len]);
+    }
+    let step = (trace.len() - 1) as f64 / (len - 1) as f64;
+    Ok((0..len)
+        .map(|i| {
+            let pos = i as f64 * step;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(trace.len() - 1);
+            let frac = pos - lo as f64;
+            trace[lo] * (1.0 - frac) + trace[hi] * frac
+        })
+        .collect())
+}
+
+/// Normalizes a vector to zero mean and unit variance in place.
+///
+/// Constant vectors are centered but left with zero spread; this mirrors
+/// what a classifier sees from a flat (information-free) voltage trace.
+pub fn standardize(values: &mut [f64]) {
+    if values.is_empty() {
+        return;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let std = var.sqrt();
+    for v in values.iter_mut() {
+        *v -= mean;
+        if std > 0.0 {
+            *v /= std;
+        }
+    }
+}
+
+/// Builds the classification feature vector used by the fingerprinting
+/// attack: a fixed-length resampled trace plus global summary statistics
+/// (mean, std, min, max, median, peak-to-peak), mean absolute first
+/// difference, the dominant period estimated by autocorrelation (0 when
+/// aperiodic) — the victim's per-inference latency leaks straight into
+/// this feature — plus two spectral features (flatness and the dominant
+/// bin's normalized position).
+///
+/// The *raw* trace amplitude is preserved (no standardization): absolute
+/// current levels are themselves discriminative between DNN models.
+///
+/// # Errors
+///
+/// Propagates [`resample`] errors.
+///
+/// # Examples
+///
+/// ```
+/// let f = trace_stats::features::feature_vector(&[1.0, 2.0, 3.0, 4.0], 8).unwrap();
+/// assert_eq!(f.len(), 8 + 10);
+/// ```
+pub fn feature_vector(trace: &[f64], resample_len: usize) -> Result<Vec<f64>> {
+    let mut features = resample(trace, resample_len)?;
+    let summary = Summary::from_samples(trace)?;
+    features.push(summary.mean);
+    features.push(summary.std_dev);
+    features.push(summary.min);
+    features.push(summary.max);
+    features.push(summary.median);
+    features.push(summary.range());
+    features.push(mean_abs_diff(trace));
+    let period = if trace.len() >= 8 {
+        crate::periodicity::estimate_period(trace, trace.len() / 2)
+            .ok()
+            .flatten()
+            .unwrap_or(0)
+    } else {
+        0
+    };
+    features.push(period as f64);
+    // Spectral features: flatness (tone vs. noise) and the dominant bin's
+    // normalized position (rate signature, sample-rate agnostic).
+    let flatness = crate::spectrum::spectral_flatness(trace).unwrap_or(1.0);
+    features.push(flatness);
+    let dominant_rel = crate::spectrum::power_spectrum(trace)
+        .ok()
+        .and_then(|spec| {
+            let (bin, power) = spec
+                .iter()
+                .enumerate()
+                .skip(1)
+                .fold((0usize, 0.0f64), |acc, (i, &p)| if p > acc.1 { (i, p) } else { acc });
+            (power > 0.0).then(|| bin as f64 / spec.len() as f64)
+        })
+        .unwrap_or(0.0);
+    features.push(dominant_rel);
+    Ok(features)
+}
+
+/// Mean absolute first difference of a trace; zero for constant traces.
+pub fn mean_abs_diff(trace: &[f64]) -> f64 {
+    if trace.len() < 2 {
+        return 0.0;
+    }
+    trace
+        .windows(2)
+        .map(|w| (w[1] - w[0]).abs())
+        .sum::<f64>()
+        / (trace.len() - 1) as f64
+}
+
+/// Truncates a trace to the samples collected within `duration_s` seconds
+/// given a sampling period of `period_s` seconds. At least one sample is
+/// always retained.
+///
+/// This implements the Table III duration sweep (1 s, 2 s, ... 5 s) over
+/// full-length captures.
+pub fn truncate_to_duration(trace: &[f64], period_s: f64, duration_s: f64) -> &[f64] {
+    if trace.is_empty() || period_s <= 0.0 {
+        return trace;
+    }
+    let n = ((duration_s / period_s).floor() as usize).clamp(1, trace.len());
+    &trace[..n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn resample_identity_when_same_length() {
+        let xs = [1.0, 5.0, 2.0, 8.0];
+        assert_eq!(resample(&xs, 4).unwrap(), xs.to_vec());
+    }
+
+    #[test]
+    fn resample_downsamples_preserving_endpoints() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ys = resample(&xs, 10).unwrap();
+        assert_eq!(ys.len(), 10);
+        assert_eq!(ys[0], 0.0);
+        assert_eq!(ys[9], 99.0);
+    }
+
+    #[test]
+    fn resample_single_sample_repeats() {
+        assert_eq!(resample(&[7.0], 3).unwrap(), vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn resample_to_one_returns_mean() {
+        assert_eq!(resample(&[1.0, 3.0], 1).unwrap(), vec![2.0]);
+    }
+
+    #[test]
+    fn resample_rejects_bad_inputs() {
+        assert!(resample(&[], 4).is_err());
+        assert!(resample(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn standardize_produces_zero_mean_unit_var() {
+        let mut xs = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        standardize(&mut xs);
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|v| v * v).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardize_constant_vector_is_centered() {
+        let mut xs = vec![3.0; 4];
+        standardize(&mut xs);
+        assert!(xs.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn feature_vector_has_expected_length() {
+        let f = feature_vector(&[0.0, 1.0, 0.0, 1.0], 16).unwrap();
+        assert_eq!(f.len(), 16 + 10);
+    }
+
+    #[test]
+    fn feature_vector_captures_periodicity() {
+        let wave: Vec<f64> = (0..120)
+            .map(|i| if (i % 12) < 6 { 10.0 } else { 0.0 })
+            .collect();
+        let f = feature_vector(&wave, 8).unwrap();
+        assert_eq!(f[8 + 7], 12.0, "period feature");
+        assert!(f[8 + 8] < 0.3, "square wave is tonal, not flat");
+        assert!(f[8 + 9] > 0.0, "dominant bin present");
+    }
+
+    #[test]
+    fn mean_abs_diff_of_constant_is_zero() {
+        assert_eq!(mean_abs_diff(&[4.0; 10]), 0.0);
+        assert_eq!(mean_abs_diff(&[4.0]), 0.0);
+    }
+
+    #[test]
+    fn truncate_duration_picks_prefix() {
+        let xs: Vec<f64> = (0..143).map(|i| i as f64).collect();
+        // 35 ms period, 2 s duration -> 57 samples
+        let t = truncate_to_duration(&xs, 0.035, 2.0);
+        assert_eq!(t.len(), 57);
+        let full = truncate_to_duration(&xs, 0.035, 100.0);
+        assert_eq!(full.len(), xs.len());
+        let one = truncate_to_duration(&xs, 0.035, 0.0);
+        assert_eq!(one.len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn resample_bounded_by_input_range(
+            xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+            len in 1usize..200
+        ) {
+            let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let ys = resample(&xs, len).unwrap();
+            prop_assert_eq!(ys.len(), len);
+            for y in ys {
+                prop_assert!(y >= min - 1e-9 && y <= max + 1e-9);
+            }
+        }
+
+        #[test]
+        fn feature_vector_is_deterministic(
+            xs in prop::collection::vec(-1e3f64..1e3, 1..50)
+        ) {
+            let a = feature_vector(&xs, 8).unwrap();
+            let b = feature_vector(&xs, 8).unwrap();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

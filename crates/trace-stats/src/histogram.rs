@@ -1,0 +1,221 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, StatsError};
+
+/// Fixed-bin histogram over a closed interval.
+///
+/// Used to render the Figure 4 distributions of FPGA current and power
+/// during RSA-1024 execution at each Hamming weight.
+///
+/// # Examples
+///
+/// ```
+/// use trace_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// for x in [1.0, 1.5, 9.9, 5.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.counts()[0], 2); // 1.0 and 1.5 fall in [0, 2)
+/// assert_eq!(h.total(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram spanning `[lo, hi]` with `bins` equal-width bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] if `bins == 0` or
+    /// `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter("bins must be non-zero"));
+        }
+        if lo >= hi {
+            return Err(StatsError::InvalidParameter("lo must be less than hi"));
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+        })
+    }
+
+    /// Builds a histogram from `samples`, spanning their min..max range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Empty`] for empty input and
+    /// [`StatsError::InvalidParameter`] if `bins == 0`. Constant input
+    /// produces a single fully-populated central bin.
+    pub fn from_samples(samples: &[f64], bins: usize) -> Result<Self> {
+        if samples.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let (lo, hi) = if min == max {
+            (min - 0.5, max + 0.5)
+        } else {
+            (min, max)
+        };
+        let mut h = Histogram::new(lo, hi, bins)?;
+        for &x in samples {
+            h.add(x);
+        }
+        Ok(h)
+    }
+
+    /// Adds one sample. Values outside `[lo, hi]` are tallied in underflow /
+    /// overflow counters rather than silently dropped.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.below += 1;
+        } else if x > self.hi {
+            self.above += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.counts.len() as f64;
+            let mut idx = ((x - self.lo) / width) as usize;
+            if idx == self.counts.len() {
+                idx -= 1; // x == hi lands in the last bin
+            }
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of samples outside the histogram range (under, over).
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// Total number of samples added, including outliers.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.below + self.above
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// Index of the most populated bin (ties break toward lower index).
+    pub fn mode_bin(&self) -> usize {
+        let mut best = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > self.counts[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Renders the histogram as rows of `(bin_center, count)`.
+    pub fn rows(&self) -> Vec<(f64, u64)> {
+        (0..self.counts.len())
+            .map(|i| (self.bin_center(i), self.counts[i]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        for x in [0.0, 0.9, 1.0, 2.5, 4.0] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.outliers(), (0, 0));
+    }
+
+    #[test]
+    fn outliers_are_counted() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-1.0);
+        h.add(2.0);
+        assert_eq!(h.outliers(), (1, 1));
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn upper_edge_lands_in_last_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 10).unwrap();
+        h.add(1.0);
+        assert_eq!(h.counts()[9], 1);
+    }
+
+    #[test]
+    fn from_samples_handles_constant_input() {
+        let h = Histogram::from_samples(&[3.0, 3.0, 3.0], 5).unwrap();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn rejects_invalid_construction() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::from_samples(&[], 4).is_err());
+    }
+
+    #[test]
+    fn mode_and_centers() {
+        let mut h = Histogram::new(0.0, 3.0, 3).unwrap();
+        for x in [1.2, 1.4, 2.5] {
+            h.add(x);
+        }
+        assert_eq!(h.mode_bin(), 1);
+        assert!((h.bin_center(1) - 1.5).abs() < 1e-12);
+        let rows = h.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[1].1, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn total_equals_samples_added(
+            xs in prop::collection::vec(-10.0f64..10.0, 1..200),
+            bins in 1usize..32
+        ) {
+            let h = Histogram::from_samples(&xs, bins).unwrap();
+            prop_assert_eq!(h.total() as usize, xs.len());
+        }
+
+        #[test]
+        fn in_range_samples_never_outliers(
+            xs in prop::collection::vec(0.0f64..1.0, 1..100)
+        ) {
+            let mut h = Histogram::new(0.0, 1.0, 7).unwrap();
+            for &x in &xs {
+                h.add(x);
+            }
+            prop_assert_eq!(h.outliers(), (0, 0));
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Hypothesis testing for side-channel leakage assessment.
+//!
+//! Welch's unequal-variance t-test is the standard leakage-detection
+//! statistic in the hardware-security community (TVLA): two trace
+//! populations (e.g. "victim active" vs. "victim idle", or two key
+//! hypotheses) leak if their means differ significantly. The
+//! characterization and RSA experiments use it to state *how confidently*
+//! a channel separates conditions, and the sample-size planner answers
+//! "how many hwmon reads does the attacker need?".
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, StatsError, Summary};
+
+/// Result of a Welch two-sample t-test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WelchTest {
+    /// The t statistic (sign follows `mean(a) - mean(b)`).
+    pub t: f64,
+    /// Welch-Satterthwaite degrees of freedom.
+    pub df: f64,
+}
+
+impl WelchTest {
+    /// Whether the difference is significant at the given z-style
+    /// threshold (TVLA convention uses |t| > 4.5).
+    pub fn significant(&self, threshold: f64) -> bool {
+        self.t.abs() > threshold
+    }
+}
+
+/// Welch's t-test between two sample sets.
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] if either set has fewer than two samples.
+/// * [`StatsError::ZeroVariance`] if both sets are constant.
+///
+/// # Examples
+///
+/// ```
+/// use trace_stats::hypothesis::welch_t;
+///
+/// let idle: Vec<f64> = (0..50).map(|i| 100.0 + (i % 5) as f64).collect();
+/// let busy: Vec<f64> = (0..50).map(|i| 140.0 + (i % 5) as f64).collect();
+/// let test = welch_t(&idle, &busy).unwrap();
+/// assert!(test.significant(4.5)); // TVLA threshold
+/// ```
+pub fn welch_t(a: &[f64], b: &[f64]) -> Result<WelchTest> {
+    if a.len() < 2 || b.len() < 2 {
+        return Err(StatsError::Empty);
+    }
+    welch_t_summaries(&Summary::from_samples(a)?, &Summary::from_samples(b)?)
+}
+
+/// Welch's t-test from precomputed summaries — useful when the raw traces
+/// have already been reduced (e.g. the per-key observations of the RSA
+/// attack report).
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] if either summary has fewer than two samples.
+/// * [`StatsError::ZeroVariance`] if both summaries are constant.
+pub fn welch_t_summaries(sa: &Summary, sb: &Summary) -> Result<WelchTest> {
+    if sa.count < 2 || sb.count < 2 {
+        return Err(StatsError::Empty);
+    }
+    let va = sa.variance / sa.count as f64;
+    let vb = sb.variance / sb.count as f64;
+    let se_sqr = va + vb;
+    if se_sqr == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let t = (sa.mean - sb.mean) / se_sqr.sqrt();
+    let df = se_sqr * se_sqr
+        / (va * va / (sa.count as f64 - 1.0) + vb * vb / (sb.count as f64 - 1.0))
+            .max(f64::MIN_POSITIVE);
+    Ok(WelchTest { t, df })
+}
+
+/// Sample-size planner: how many observations per group are needed for a
+/// two-sample z-test to distinguish means `delta` apart with noise
+/// `sigma` (common standard deviation) at detection threshold `z` and
+/// power ~50% (the attacker repeats until detection, so the median case
+/// is the planning quantity).
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] for non-positive inputs.
+///
+/// # Examples
+///
+/// ```
+/// use trace_stats::hypothesis::required_samples;
+///
+/// // 8 mA group spacing, 3 mA of sensor noise, z = 4.5:
+/// let n = required_samples(8.0, 3.0, 4.5).unwrap();
+/// assert!(n < 20, "a handful of samples suffices ({n})");
+/// // 0.3 mA spacing (sub-LSB) needs thousands.
+/// let n = required_samples(0.3, 3.0, 4.5).unwrap();
+/// assert!(n > 1_000);
+/// ```
+pub fn required_samples(delta: f64, sigma: f64, z: f64) -> Result<usize> {
+    if delta <= 0.0 || sigma <= 0.0 || z <= 0.0 {
+        return Err(StatsError::InvalidParameter(
+            "delta, sigma and z must be positive",
+        ));
+    }
+    // |t| = delta / sqrt(2 sigma^2 / n) >= z  =>  n >= 2 (z sigma / delta)^2
+    let n = 2.0 * (z * sigma / delta).powi(2);
+    Ok(n.ceil().max(2.0) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn jittered(center: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|i| center + ((i * 7) % 11) as f64 * 0.1).collect()
+    }
+
+    #[test]
+    fn identical_distributions_are_insignificant() {
+        let a = jittered(5.0, 100);
+        let b = jittered(5.0, 100);
+        let test = welch_t(&a, &b).unwrap();
+        assert!(!test.significant(4.5), "t = {}", test.t);
+    }
+
+    #[test]
+    fn separated_means_are_significant() {
+        let a = jittered(5.0, 100);
+        let b = jittered(6.0, 100);
+        let test = welch_t(&a, &b).unwrap();
+        assert!(test.significant(4.5));
+        assert!(test.t < 0.0, "a < b gives negative t");
+        assert!(test.df > 50.0);
+    }
+
+    #[test]
+    fn sign_follows_order() {
+        let a = jittered(10.0, 50);
+        let b = jittered(5.0, 50);
+        assert!(welch_t(&a, &b).unwrap().t > 0.0);
+        assert!(welch_t(&b, &a).unwrap().t < 0.0);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert_eq!(welch_t(&[1.0], &[1.0, 2.0]), Err(StatsError::Empty));
+        assert_eq!(
+            welch_t(&[3.0, 3.0], &[3.0, 3.0]),
+            Err(StatsError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn planner_matches_direct_computation() {
+        // n = 2 (z sigma / delta)^2, rounded up.
+        assert_eq!(required_samples(1.0, 1.0, 3.0).unwrap(), 18);
+        assert_eq!(required_samples(2.0, 1.0, 3.0).unwrap(), 5);
+        assert!(required_samples(0.0, 1.0, 3.0).is_err());
+        assert!(required_samples(1.0, -1.0, 3.0).is_err());
+    }
+
+    #[test]
+    fn planner_is_consistent_with_welch() {
+        // With the planned n, synthetic groups at the planned spacing
+        // should reach the threshold.
+        let delta = 4.0;
+        let sigma = 2.0;
+        let z = 4.5;
+        let n = required_samples(delta, sigma, z).unwrap();
+        // Deterministic samples with std ~ sigma.
+        let noise = |i: usize| ((i * 37) % 13) as f64 / 12.0 * sigma * 3.4 - sigma * 1.7;
+        let a: Vec<f64> = (0..n).map(|i| 100.0 + noise(i)).collect();
+        let b: Vec<f64> = (0..n).map(|i| 100.0 + delta + noise(i + 5)).collect();
+        let test = welch_t(&a, &b).unwrap();
+        assert!(test.significant(z * 0.5), "t = {} with n = {n}", test.t);
+    }
+
+    proptest! {
+        #[test]
+        fn t_is_finite(
+            a in prop::collection::vec(-100.0f64..100.0, 2..50),
+            b in prop::collection::vec(-100.0f64..100.0, 2..50)
+        ) {
+            if let Ok(test) = welch_t(&a, &b) {
+                prop_assert!(test.t.is_finite());
+                prop_assert!(test.df.is_finite() && test.df > 0.0);
+            }
+        }
+
+        #[test]
+        fn planner_monotone_in_delta(
+            delta in 0.1f64..10.0, sigma in 0.1f64..10.0
+        ) {
+            let n_small = required_samples(delta, sigma, 4.5).unwrap();
+            let n_large = required_samples(delta * 2.0, sigma, 4.5).unwrap();
+            prop_assert!(n_large <= n_small);
+        }
+    }
+}

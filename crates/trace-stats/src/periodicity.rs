@@ -1,0 +1,252 @@
+//! Periodicity analysis for side-channel traces.
+//!
+//! A victim accelerator that processes requests in a loop (the DPU's
+//! inference loop, the RSA circuit's encryption loop) imprints its period
+//! onto the current trace. Estimating that period via autocorrelation
+//! gives the attacker the victim's end-to-end latency — itself a strong
+//! fingerprinting feature (a VGG-19 inference takes ~10x longer than a
+//! MobileNet-V1 inference on the same DPU).
+
+use crate::{Result, StatsError};
+
+/// Normalized autocorrelation of `trace` at integer lags `0..max_lag`.
+///
+/// The lag-0 coefficient is always 1; subsequent coefficients are the
+/// Pearson correlation of the trace with itself shifted by the lag.
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] if the trace is empty.
+/// * [`StatsError::InvalidParameter`] if `max_lag == 0` or
+///   `max_lag >= trace.len()`.
+/// * [`StatsError::ZeroVariance`] for a constant trace.
+///
+/// # Examples
+///
+/// ```
+/// let wave: Vec<f64> = (0..100)
+///     .map(|i| (i as f64 * std::f64::consts::TAU / 10.0).sin())
+///     .collect();
+/// let ac = trace_stats::periodicity::autocorrelation(&wave, 25).unwrap();
+/// assert!((ac[0] - 1.0).abs() < 1e-12);
+/// assert!(ac[10] > 0.85); // one full period (damped by the shrinking overlap)
+/// assert!(ac[5] < -0.85); // half a period, anti-phase
+/// ```
+pub fn autocorrelation(trace: &[f64], max_lag: usize) -> Result<Vec<f64>> {
+    if trace.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if max_lag == 0 || max_lag >= trace.len() {
+        return Err(StatsError::InvalidParameter(
+            "max_lag must be in 1..trace.len()",
+        ));
+    }
+    let n = trace.len();
+    let mean = trace.iter().sum::<f64>() / n as f64;
+    let var: f64 = trace.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if var == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let mut out = Vec::with_capacity(max_lag);
+    for lag in 0..max_lag {
+        let mut acc = 0.0;
+        for i in 0..n - lag {
+            acc += (trace[i] - mean) * (trace[i + lag] - mean);
+        }
+        out.push(acc / var);
+    }
+    Ok(out)
+}
+
+/// Estimates the dominant period of `trace` in samples: the lag of the
+/// highest autocorrelation peak after the first zero crossing.
+///
+/// Returns `None` when no periodic structure is detectable (no positive
+/// peak after the autocorrelation first decays through zero).
+///
+/// # Errors
+///
+/// Same conditions as [`autocorrelation`].
+///
+/// # Examples
+///
+/// ```
+/// let wave: Vec<f64> = (0..200)
+///     .map(|i| (i as f64 * std::f64::consts::TAU / 14.0).sin())
+///     .collect();
+/// let period = trace_stats::periodicity::estimate_period(&wave, 60).unwrap();
+/// assert_eq!(period, Some(14));
+/// ```
+pub fn estimate_period(trace: &[f64], max_lag: usize) -> Result<Option<usize>> {
+    let ac = autocorrelation(trace, max_lag)?;
+    // Skip the initial positive hump around lag 0.
+    let first_nonpositive = match ac.iter().position(|&c| c <= 0.0) {
+        Some(i) => i,
+        None => return Ok(None), // monotone positive: no period inside max_lag
+    };
+    let mut best: Option<(usize, f64)> = None;
+    for (lag, &c) in ac.iter().enumerate().skip(first_nonpositive) {
+        if c > 0.0 && best.is_none_or(|(_, b)| c > b) {
+            best = Some((lag, c));
+        }
+    }
+    // Require a meaningful peak, not numeric dust.
+    Ok(best.filter(|&(_, c)| c > 0.1).map(|(lag, _)| lag))
+}
+
+/// Signal-to-noise ratio of a trace against a known period: variance of
+/// the per-phase means (signal) over the mean of the per-phase variances
+/// (noise). Higher means the periodic structure dominates.
+///
+/// # Errors
+///
+/// * [`StatsError::Empty`] for an empty trace.
+/// * [`StatsError::InvalidParameter`] if `period` is 0 or not smaller
+///   than the trace length.
+pub fn periodic_snr(trace: &[f64], period: usize) -> Result<f64> {
+    if trace.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if period == 0 || period >= trace.len() {
+        return Err(StatsError::InvalidParameter(
+            "period must be in 1..trace.len()",
+        ));
+    }
+    let mut phase_sum = vec![0.0; period];
+    let mut phase_sq = vec![0.0; period];
+    let mut phase_n = vec![0usize; period];
+    for (i, &x) in trace.iter().enumerate() {
+        let p = i % period;
+        phase_sum[p] += x;
+        phase_sq[p] += x * x;
+        phase_n[p] += 1;
+    }
+    let means: Vec<f64> = (0..period)
+        .map(|p| phase_sum[p] / phase_n[p] as f64)
+        .collect();
+    let grand = means.iter().sum::<f64>() / period as f64;
+    let signal = means.iter().map(|m| (m - grand) * (m - grand)).sum::<f64>() / period as f64;
+    let noise = (0..period)
+        .map(|p| {
+            let n = phase_n[p] as f64;
+            (phase_sq[p] / n - means[p] * means[p]).max(0.0)
+        })
+        .sum::<f64>()
+        / period as f64;
+    if noise == 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok(signal / noise)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn square_wave(period: usize, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| if (i % period) < period / 2 { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    #[test]
+    fn autocorrelation_of_square_wave() {
+        let w = square_wave(20, 400);
+        let ac = autocorrelation(&w, 50).unwrap();
+        assert!((ac[0] - 1.0).abs() < 1e-12);
+        assert!(ac[20] > 0.9);
+        assert!(ac[10] < -0.9);
+    }
+
+    #[test]
+    fn estimate_period_square_wave() {
+        let w = square_wave(16, 320);
+        assert_eq!(estimate_period(&w, 40).unwrap(), Some(16));
+    }
+
+    #[test]
+    fn noise_has_no_period() {
+        // Deterministic hash noise (splitmix-style), aperiodic.
+        let w: Vec<f64> = (0..300u64)
+            .map(|i| {
+                let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let p = estimate_period(&w, 100).unwrap();
+        if let Some(lag) = p {
+            // If something is found it must be a weak accidental peak, not
+            // real periodic structure.
+            let ac = autocorrelation(&w, 100).unwrap();
+            assert!(ac[lag] < 0.5, "lag {lag} has ac {}", ac[lag]);
+        }
+    }
+
+    #[test]
+    fn constant_trace_rejected() {
+        assert_eq!(
+            autocorrelation(&[3.0; 50], 10),
+            Err(StatsError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn invalid_lags_rejected() {
+        let w = square_wave(4, 20);
+        assert!(autocorrelation(&w, 0).is_err());
+        assert!(autocorrelation(&w, 20).is_err());
+        assert!(autocorrelation(&[], 5).is_err());
+    }
+
+    #[test]
+    fn snr_high_for_clean_periodic_signal() {
+        let w = square_wave(10, 500);
+        let snr = periodic_snr(&w, 10).unwrap();
+        assert!(snr > 100.0, "clean square wave snr {snr}");
+        // Wrong period -> poor snr.
+        let wrong = periodic_snr(&w, 7).unwrap();
+        assert!(wrong < snr / 10.0);
+    }
+
+    #[test]
+    fn snr_parameter_validation() {
+        let w = square_wave(4, 40);
+        assert!(periodic_snr(&w, 0).is_err());
+        assert!(periodic_snr(&w, 40).is_err());
+        assert!(periodic_snr(&[], 2).is_err());
+    }
+
+    #[test]
+    fn snr_infinite_for_noise_free_exact_period() {
+        let w: Vec<f64> = (0..40).map(|i| (i % 4) as f64).collect();
+        assert!(periodic_snr(&w, 4).unwrap().is_infinite());
+    }
+
+    proptest! {
+        #[test]
+        fn autocorrelation_bounded(
+            xs in prop::collection::vec(-100.0f64..100.0, 10..200),
+            frac in 0.1f64..0.9
+        ) {
+            let max_lag = ((xs.len() as f64 * frac) as usize).max(1);
+            if let Ok(ac) = autocorrelation(&xs, max_lag) {
+                for (lag, c) in ac.iter().enumerate() {
+                    prop_assert!(
+                        (-1.0 - 1e-9..=1.0 + 1e-9).contains(c),
+                        "lag {lag}: {c}"
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn estimated_period_matches_construction(period in 4usize..30) {
+            let w = square_wave(period, period * 20);
+            let est = estimate_period(&w, period * 3).unwrap();
+            prop_assert_eq!(est, Some(period));
+        }
+    }
+}

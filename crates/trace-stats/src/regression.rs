@@ -1,0 +1,159 @@
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, StatsError};
+
+/// Ordinary-least-squares fit `y = slope * x + intercept`.
+///
+/// Figure 2 of the paper reports "the linear function for each type of
+/// measurements"; the slope of the current channel (~40 LSB per activation
+/// setting) versus the voltage channel (~0.006) quantifies the resolution
+/// advantage that makes AmpereBleed work.
+///
+/// # Examples
+///
+/// ```
+/// use trace_stats::LinearFit;
+///
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [1.0, 3.0, 5.0, 7.0];
+/// let fit = LinearFit::fit(&xs, &ys).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`.
+    pub r_squared: f64,
+    /// Standard deviation of the residuals.
+    pub residual_std: f64,
+}
+
+impl LinearFit {
+    /// Fits a least-squares line through `(xs[i], ys[i])`.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::LengthMismatch`] if the inputs differ in length.
+    /// * [`StatsError::Empty`] with fewer than two points.
+    /// * [`StatsError::ZeroVariance`] if all `xs` are identical.
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(StatsError::LengthMismatch {
+                left: xs.len(),
+                right: ys.len(),
+            });
+        }
+        if xs.len() < 2 {
+            return Err(StatsError::Empty);
+        }
+        let n = xs.len() as f64;
+        let mean_x = xs.iter().sum::<f64>() / n;
+        let mean_y = ys.iter().sum::<f64>() / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            let dx = x - mean_x;
+            let dy = y - mean_y;
+            sxx += dx * dx;
+            sxy += dx * dy;
+            syy += dy * dy;
+        }
+        if sxx == 0.0 {
+            return Err(StatsError::ZeroVariance);
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let mut ss_res = 0.0;
+        for (&x, &y) in xs.iter().zip(ys) {
+            let e = y - (slope * x + intercept);
+            ss_res += e * e;
+        }
+        let r_squared = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy };
+        Ok(LinearFit {
+            slope,
+            intercept,
+            r_squared,
+            residual_std: (ss_res / n).sqrt(),
+        })
+    }
+
+    /// Predicts `y` for a given `x` from the fitted line.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -3.0 * x + 7.0).collect();
+        let fit = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((fit.slope + 3.0).abs() < 1e-12);
+        assert!((fit.intercept - 7.0).abs() < 1e-12);
+        assert!(fit.residual_std < 1e-9);
+    }
+
+    #[test]
+    fn r_squared_of_constant_target_is_one() {
+        // syy == 0: the line fits perfectly (slope 0).
+        let fit = LinearFit::fit(&[0.0, 1.0, 2.0], &[4.0, 4.0, 4.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        assert!(matches!(
+            LinearFit::fit(&[1.0, 2.0], &[1.0]),
+            Err(StatsError::LengthMismatch { .. })
+        ));
+        assert_eq!(LinearFit::fit(&[1.0], &[1.0]), Err(StatsError::Empty));
+        assert_eq!(
+            LinearFit::fit(&[2.0, 2.0], &[1.0, 3.0]),
+            Err(StatsError::ZeroVariance)
+        );
+    }
+
+    #[test]
+    fn predict_uses_fit() {
+        let fit = LinearFit::fit(&[0.0, 1.0], &[1.0, 3.0]).unwrap();
+        assert!((fit.predict(2.0) - 5.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn recovers_noiseless_parameters(
+            slope in -100.0f64..100.0,
+            intercept in -100.0f64..100.0,
+            n in 2usize..50
+        ) {
+            let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+            let fit = LinearFit::fit(&xs, &ys).unwrap();
+            prop_assert!((fit.slope - slope).abs() < 1e-6);
+            prop_assert!((fit.intercept - intercept).abs() < 1e-6);
+        }
+
+        #[test]
+        fn r_squared_in_unit_interval(
+            xy in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..50)
+        ) {
+            let xs: Vec<f64> = xy.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = xy.iter().map(|p| p.1).collect();
+            if let Ok(fit) = LinearFit::fit(&xs, &ys) {
+                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&fit.r_squared));
+            }
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Spectral analysis of side-channel traces (radix-2 FFT).
+//!
+//! The time-domain features of [`crate::features`] capture amplitude and
+//! periodicity; the frequency domain exposes a victim's characteristic
+//! rates directly — a DPU's per-layer cadence, the RSA circuit's
+//! encryption-loop line, the covert channel's keying rate — even when the
+//! time-domain trace looks like noise. This module provides a
+//! from-scratch iterative radix-2 FFT, power spectra, and dominant
+//! frequency estimation.
+
+use crate::{Result, StatsError};
+
+/// A complex number (minimal, crate-internal needs only).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^(i theta)`.
+    pub fn from_angle(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re * other.re - self.im * other.im,
+            im: self.re * other.im + self.im * other.re,
+        }
+    }
+
+    fn add(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re + other.re,
+            im: self.im + other.im,
+        }
+    }
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex {
+            re: self.re - other.re,
+            im: self.im - other.im,
+        }
+    }
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.
+///
+/// # Errors
+///
+/// Returns [`StatsError::InvalidParameter`] unless `data.len()` is a
+/// non-zero power of two.
+///
+/// # Examples
+///
+/// ```
+/// use trace_stats::spectrum::{fft, Complex};
+///
+/// // FFT of an impulse is flat.
+/// let mut data = vec![Complex::ZERO; 8];
+/// data[0] = Complex::new(1.0, 0.0);
+/// fft(&mut data).unwrap();
+/// for bin in &data {
+///     assert!((bin.abs() - 1.0).abs() < 1e-12);
+/// }
+/// ```
+pub fn fft(data: &mut [Complex]) -> Result<()> {
+    let n = data.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(StatsError::InvalidParameter(
+            "fft length must be a non-zero power of two",
+        ));
+    }
+    if n == 1 {
+        return Ok(()); // length-1 transform is the identity
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterfly stages.
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * std::f64::consts::PI / len as f64;
+        let w_len = Complex::from_angle(angle);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half].mul(w);
+                chunk[k] = u.add(v);
+                chunk[k + half] = u.sub(v);
+                w = w.mul(w_len);
+            }
+        }
+        len *= 2;
+    }
+    Ok(())
+}
+
+/// One-sided power spectrum of a real trace: the trace is mean-removed,
+/// zero-padded to the next power of two, transformed, and the squared
+/// magnitudes of bins `0..=n/2` returned (bin 0 is ~0 after mean removal).
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] for an empty trace.
+///
+/// # Examples
+///
+/// ```
+/// let wave: Vec<f64> = (0..64)
+///     .map(|i| (i as f64 * std::f64::consts::TAU * 8.0 / 64.0).sin())
+///     .collect();
+/// let spectrum = trace_stats::spectrum::power_spectrum(&wave).unwrap();
+/// // Energy concentrates in bin 8.
+/// let peak = spectrum
+///     .iter()
+///     .enumerate()
+///     .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+///     .unwrap()
+///     .0;
+/// assert_eq!(peak, 8);
+/// ```
+pub fn power_spectrum(trace: &[f64]) -> Result<Vec<f64>> {
+    if trace.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    let n = trace.len().next_power_of_two();
+    let mean = trace.iter().sum::<f64>() / trace.len() as f64;
+    let mut data = vec![Complex::ZERO; n];
+    for (i, &x) in trace.iter().enumerate() {
+        data[i] = Complex::new(x - mean, 0.0);
+    }
+    fft(&mut data)?;
+    Ok(data[..=n / 2].iter().map(|c| c.norm_sqr()).collect())
+}
+
+/// Dominant frequency of a trace sampled at `sample_rate_hz`, in Hz —
+/// the strongest non-DC bin of the one-sided power spectrum. Returns
+/// `None` for traces shorter than 4 samples or with no spectral content.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] for an empty trace.
+pub fn dominant_frequency(trace: &[f64], sample_rate_hz: f64) -> Result<Option<f64>> {
+    if trace.is_empty() {
+        return Err(StatsError::Empty);
+    }
+    if trace.len() < 4 || sample_rate_hz <= 0.0 {
+        return Ok(None);
+    }
+    let spectrum = power_spectrum(trace)?;
+    let n_fft = (spectrum.len() - 1) * 2;
+    let (best_bin, best_power) = spectrum
+        .iter()
+        .enumerate()
+        .skip(1) // skip residual DC
+        .fold((0usize, 0.0f64), |acc, (i, &p)| {
+            if p > acc.1 {
+                (i, p)
+            } else {
+                acc
+            }
+        });
+    if best_power <= 0.0 || best_bin == 0 {
+        return Ok(None);
+    }
+    Ok(Some(best_bin as f64 * sample_rate_hz / n_fft as f64))
+}
+
+/// Spectral flatness (geometric mean over arithmetic mean of the non-DC
+/// power bins): ~1 for white noise, ~0 for a pure tone. A useful scalar
+/// feature for "is anything periodic running?".
+///
+/// # Errors
+///
+/// Returns [`StatsError::Empty`] for an empty trace.
+pub fn spectral_flatness(trace: &[f64]) -> Result<f64> {
+    let spectrum = power_spectrum(trace)?;
+    let bins: Vec<f64> = spectrum.into_iter().skip(1).filter(|&p| p > 0.0).collect();
+    if bins.is_empty() {
+        return Ok(1.0); // flat (empty) spectrum: nothing periodic
+    }
+    let log_mean = bins.iter().map(|p| p.ln()).sum::<f64>() / bins.len() as f64;
+    let mean = bins.iter().sum::<f64>() / bins.len() as f64;
+    Ok((log_mean.exp() / mean).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sine(freq_bins: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * std::f64::consts::TAU * freq_bins / n as f64).sin())
+            .collect()
+    }
+
+    #[test]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![Complex::ZERO; 6];
+        assert!(fft(&mut data).is_err());
+        let mut empty: Vec<Complex> = vec![];
+        assert!(fft(&mut empty).is_err());
+    }
+
+    #[test]
+    fn fft_of_constant_is_dc_only() {
+        let mut data = vec![Complex::new(2.0, 0.0); 16];
+        fft(&mut data).unwrap();
+        assert!((data[0].re - 32.0).abs() < 1e-9);
+        for bin in &data[1..] {
+            assert!(bin.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let xs = sine(3.0, 64);
+        let time_energy: f64 = xs.iter().map(|x| x * x).sum();
+        let mut data: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        fft(&mut data).unwrap();
+        let freq_energy: f64 = data.iter().map(|c| c.norm_sqr()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sine_peak_lands_in_correct_bin() {
+        for k in [2usize, 5, 13] {
+            let spectrum = power_spectrum(&sine(k as f64, 128)).unwrap();
+            let peak = spectrum
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert_eq!(peak, k, "bin for k={k}");
+        }
+    }
+
+    #[test]
+    fn dominant_frequency_in_hz() {
+        // 8 cycles over 64 samples at 1 kHz = 125 Hz.
+        let f = dominant_frequency(&sine(8.0, 64), 1_000.0).unwrap();
+        assert_eq!(f, Some(125.0));
+        assert_eq!(dominant_frequency(&[1.0, 2.0], 1_000.0).unwrap(), None);
+        assert!(dominant_frequency(&[], 1_000.0).is_err());
+    }
+
+    #[test]
+    fn flatness_separates_tone_from_noise() {
+        let tone = spectral_flatness(&sine(7.0, 256)).unwrap();
+        let noise: Vec<f64> = (0..256u64)
+            .map(|i| {
+                let mut z = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        let flat = spectral_flatness(&noise).unwrap();
+        assert!(tone < 0.05, "pure tone flatness {tone}");
+        assert!(flat > 0.3, "noise flatness {flat}");
+    }
+
+    #[test]
+    fn zero_padding_handles_non_power_lengths() {
+        let spectrum = power_spectrum(&sine(5.0, 100)).unwrap();
+        // Padded to 128: one-sided spectrum has 65 bins.
+        assert_eq!(spectrum.len(), 65);
+    }
+
+    proptest! {
+        #[test]
+        fn spectrum_is_nonnegative(xs in prop::collection::vec(-100.0f64..100.0, 1..200)) {
+            for p in power_spectrum(&xs).unwrap() {
+                prop_assert!(p >= 0.0);
+            }
+        }
+
+        #[test]
+        fn fft_linearity(
+            a in prop::collection::vec(-10.0f64..10.0, 16),
+            b in prop::collection::vec(-10.0f64..10.0, 16),
+            s in -3.0f64..3.0
+        ) {
+            let mut fa: Vec<Complex> = a.iter().map(|&x| Complex::new(x, 0.0)).collect();
+            let mut fb: Vec<Complex> = b.iter().map(|&x| Complex::new(x, 0.0)).collect();
+            let mut fc: Vec<Complex> = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| Complex::new(x + s * y, 0.0))
+                .collect();
+            fft(&mut fa).unwrap();
+            fft(&mut fb).unwrap();
+            fft(&mut fc).unwrap();
+            for i in 0..16 {
+                let expect_re = fa[i].re + s * fb[i].re;
+                let expect_im = fa[i].im + s * fb[i].im;
+                prop_assert!((fc[i].re - expect_re).abs() < 1e-6);
+                prop_assert!((fc[i].im - expect_im).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Evaluation-board catalog (Table I) and per-board sensor inventory
+//! (Table II).
+//!
+//! Table I of the paper surveys 8 representative ARM-FPGA SoC boards across
+//! the Zynq UltraScale+ and Versal families, all of which integrate INA226
+//! sensors — the attack surface AmpereBleed exploits. This module encodes
+//! that catalog verbatim so the `table1_boards` bench can regenerate it.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PowerDomain, VoltageBand};
+
+/// FPGA device family of a board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FpgaFamily {
+    /// Xilinx Zynq UltraScale+ MPSoC family.
+    ZynqUltraScalePlus,
+    /// Xilinx/AMD Versal ACAP family.
+    Versal,
+}
+
+impl fmt::Display for FpgaFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaFamily::ZynqUltraScalePlus => f.write_str("Zynq UltraScale+"),
+            FpgaFamily::Versal => f.write_str("Versal"),
+        }
+    }
+}
+
+/// ARM CPU cluster integrated on a board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CpuModel {
+    /// Quad-core ARM Cortex-A53 (Zynq UltraScale+).
+    CortexA53,
+    /// Dual-core ARM Cortex-A72 (Versal).
+    CortexA72,
+}
+
+impl fmt::Display for CpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuModel::CortexA53 => f.write_str("Cortex-A53"),
+            CpuModel::CortexA72 => f.write_str("Cortex-A72"),
+        }
+    }
+}
+
+/// One row of the Table I board survey.
+///
+/// # Examples
+///
+/// ```
+/// use zynq_soc::board::BoardSpec;
+///
+/// let b = BoardSpec::zcu102();
+/// assert_eq!(b.name, "ZCU102");
+/// assert_eq!(b.ina_sensor_count, 18);
+/// assert!(b.fpga_voltage_band.contains(0.85));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoardSpec {
+    /// Marketing name, e.g. "ZCU102".
+    pub name: &'static str,
+    /// FPGA device family.
+    pub family: FpgaFamily,
+    /// Regulated FPGA core voltage band (the stabilizer's guarantee).
+    pub fpga_voltage_band: VoltageBand,
+    /// CPU cluster model.
+    pub cpu: CpuModel,
+    /// DRAM capacity in gigabytes.
+    pub dram_gb: u32,
+    /// Number of INA226 sensors integrated on the board.
+    pub ina_sensor_count: u32,
+    /// List price in USD at the time of the survey.
+    pub price_usd: u32,
+    /// Fabric clock of the programmable logic in MHz (experimental machine
+    /// description in Section IV; 300 MHz on the ZCU102 testbed).
+    pub fabric_clock_mhz: u32,
+    /// CPU base frequency in MHz.
+    pub cpu_clock_mhz: u32,
+}
+
+impl BoardSpec {
+    /// The paper's experimental machine: Xilinx ZCU102 (4x Cortex-A53 @
+    /// 1200 MHz, fabric @ 300 MHz, 18 INA226 sensors).
+    pub fn zcu102() -> Self {
+        BoardSpec {
+            name: "ZCU102",
+            family: FpgaFamily::ZynqUltraScalePlus,
+            fpga_voltage_band: VoltageBand::ZYNQ_ULTRASCALE_PLUS,
+            cpu: CpuModel::CortexA53,
+            dram_gb: 4,
+            ina_sensor_count: 18,
+            price_usd: 3_234,
+            fabric_clock_mhz: 300,
+            cpu_clock_mhz: 1_200,
+        }
+    }
+
+    /// The full Table I survey (8 boards, both families).
+    pub fn catalog() -> Vec<BoardSpec> {
+        let zup = VoltageBand::ZYNQ_ULTRASCALE_PLUS;
+        let versal = VoltageBand::VERSAL;
+        let mk = |name,
+                  family,
+                  band,
+                  cpu,
+                  dram_gb,
+                  ina_sensor_count,
+                  price_usd| BoardSpec {
+            name,
+            family,
+            fpga_voltage_band: band,
+            cpu,
+            dram_gb,
+            ina_sensor_count,
+            price_usd,
+            fabric_clock_mhz: 300,
+            cpu_clock_mhz: match cpu {
+                CpuModel::CortexA53 => 1_200,
+                CpuModel::CortexA72 => 1_700,
+            },
+        };
+        vec![
+            mk("ZCU102", FpgaFamily::ZynqUltraScalePlus, zup, CpuModel::CortexA53, 4, 18, 3_234),
+            mk("ZCU111", FpgaFamily::ZynqUltraScalePlus, zup, CpuModel::CortexA53, 4, 14, 14_995),
+            mk("ZCU216", FpgaFamily::ZynqUltraScalePlus, zup, CpuModel::CortexA53, 4, 14, 16_995),
+            mk("ZCU1285", FpgaFamily::ZynqUltraScalePlus, zup, CpuModel::CortexA53, 8, 21, 32_394),
+            mk("VEK280", FpgaFamily::Versal, versal, CpuModel::CortexA72, 12, 20, 6_995),
+            mk("VCK190", FpgaFamily::Versal, versal, CpuModel::CortexA72, 8, 17, 13_195),
+            mk("VHK158", FpgaFamily::Versal, versal, CpuModel::CortexA72, 32, 22, 14_995),
+            mk("VPK180", FpgaFamily::Versal, versal, CpuModel::CortexA72, 12, 19, 17_995),
+        ]
+    }
+
+    /// Looks a board up by name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<BoardSpec> {
+        Self::catalog()
+            .into_iter()
+            .find(|b| b.name.eq_ignore_ascii_case(name))
+    }
+
+    /// The "sensitive sensors" of Table II: INA226 monitors whose hwmon
+    /// nodes are readable without privileges and observe security-relevant
+    /// domains. On the ZCU102 these are 4 of the 18 on-board sensors.
+    pub fn sensitive_sensors(&self) -> Vec<SensorSpec> {
+        PowerDomain::ALL
+            .iter()
+            .map(|&domain| SensorSpec {
+                designator: domain.ina226_designator(),
+                domain,
+                // Rail-appropriate shunt values; the FPGA rail carries the
+                // largest current and uses the smallest shunt.
+                shunt_milliohm: match domain {
+                    PowerDomain::FpgaLogic => 0.5,
+                    PowerDomain::Ddr => 1.0,
+                    PowerDomain::FullPowerCpu => 2.0,
+                    PowerDomain::LowPowerCpu => 5.0,
+                },
+            })
+            .collect()
+    }
+}
+
+/// Static description of one INA226 monitoring point on a board.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorSpec {
+    /// Board designator (e.g. "ina226_u79").
+    pub designator: &'static str,
+    /// Monitored power domain.
+    pub domain: PowerDomain,
+    /// Shunt resistor value in milliohms.
+    pub shunt_milliohm: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table_one() {
+        let boards = BoardSpec::catalog();
+        assert_eq!(boards.len(), 8);
+        let counts: Vec<u32> = boards.iter().map(|b| b.ina_sensor_count).collect();
+        assert_eq!(counts, vec![18, 14, 14, 21, 20, 17, 22, 19]);
+        let zup = boards
+            .iter()
+            .filter(|b| b.family == FpgaFamily::ZynqUltraScalePlus)
+            .count();
+        assert_eq!(zup, 4);
+        for b in &boards {
+            match b.family {
+                FpgaFamily::ZynqUltraScalePlus => {
+                    assert_eq!(b.cpu, CpuModel::CortexA53);
+                    assert_eq!(b.fpga_voltage_band, VoltageBand::ZYNQ_ULTRASCALE_PLUS);
+                }
+                FpgaFamily::Versal => {
+                    assert_eq!(b.cpu, CpuModel::CortexA72);
+                    assert_eq!(b.fpga_voltage_band, VoltageBand::VERSAL);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_board_has_ina_sensors() {
+        for b in BoardSpec::catalog() {
+            assert!(b.ina_sensor_count >= 14, "{} lacks sensors", b.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        assert_eq!(BoardSpec::by_name("zcu102").unwrap().name, "ZCU102");
+        assert_eq!(BoardSpec::by_name("VCK190").unwrap().price_usd, 13_195);
+        assert!(BoardSpec::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn zcu102_matches_experimental_machine() {
+        let b = BoardSpec::zcu102();
+        assert_eq!(b.cpu_clock_mhz, 1_200);
+        assert_eq!(b.fabric_clock_mhz, 300);
+        assert_eq!(b.dram_gb, 4);
+    }
+
+    #[test]
+    fn sensitive_sensors_match_table_two() {
+        let sensors = BoardSpec::zcu102().sensitive_sensors();
+        assert_eq!(sensors.len(), 4);
+        let designators: Vec<&str> = sensors.iter().map(|s| s.designator).collect();
+        assert_eq!(
+            designators,
+            vec!["ina226_u76", "ina226_u77", "ina226_u79", "ina226_u93"]
+        );
+        for s in &sensors {
+            assert!(s.shunt_milliohm > 0.0);
+        }
+    }
+
+    #[test]
+    fn family_and_cpu_display() {
+        assert_eq!(FpgaFamily::ZynqUltraScalePlus.to_string(), "Zynq UltraScale+");
+        assert_eq!(CpuModel::CortexA72.to_string(), "Cortex-A72");
+    }
+}

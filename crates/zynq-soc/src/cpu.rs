@@ -1,0 +1,306 @@
+//! Background activity of the ARM processor cores.
+//!
+//! The attacker process and the victim's trigger task run on the SoC's ARM
+//! cores alongside the OS (the paper pins the DPU trigger to core 0 and the
+//! sampler to core 3 to limit scheduling interference). This module models
+//! the resulting baseline current on the CPU power domains: a per-core idle
+//! floor plus bursty, scheduler-quantized activity.
+//!
+//! The burst pattern is a pure function of `(seed, core, time bucket)` so
+//! the electrical solve stays deterministic and replayable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{PowerDomain, PowerLoad, SimTime};
+
+/// Configuration of the CPU background-activity model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuActivityConfig {
+    /// Number of application cores (4 on the ZCU102's Cortex-A53 cluster).
+    pub core_count: u32,
+    /// Idle current per core on the full-power domain, in mA.
+    pub idle_ma_per_core: f64,
+    /// Additional current of one fully busy core, in mA.
+    pub busy_ma_per_core: f64,
+    /// Scheduler quantum in microseconds (activity changes per quantum).
+    pub quantum_us: u64,
+    /// Probability that a core is running OS background work in a quantum.
+    pub background_utilization: f64,
+    /// Constant current on the low-power domain (RPU/OCM/peripherals), mA.
+    pub low_power_base_ma: f64,
+}
+
+impl Default for CpuActivityConfig {
+    fn default() -> Self {
+        CpuActivityConfig {
+            core_count: 4,
+            idle_ma_per_core: 80.0,
+            busy_ma_per_core: 130.0,
+            quantum_us: 10_000, // 10 ms CFS-scale quantum
+            background_utilization: 0.045,
+            low_power_base_ma: 110.0,
+        }
+    }
+}
+
+/// Background OS load on the CPU power domains.
+///
+/// # Examples
+///
+/// ```
+/// use zynq_soc::cpu::{CpuActivityConfig, CpuBackgroundLoad};
+/// use zynq_soc::{PowerDomain, PowerLoad, SimTime};
+///
+/// let cpu = CpuBackgroundLoad::new(CpuActivityConfig::default(), 11);
+/// let i = cpu.current_ma(SimTime::from_ms(100), PowerDomain::FullPowerCpu);
+/// assert!(i >= 4.0 * 80.0); // at least the idle floor of 4 cores
+/// ```
+#[derive(Debug, Clone)]
+pub struct CpuBackgroundLoad {
+    config: CpuActivityConfig,
+    seed: u64,
+}
+
+impl CpuBackgroundLoad {
+    /// Creates a background load with the given configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_count == 0`, `quantum_us == 0`, or
+    /// `background_utilization` is outside `[0, 1]`.
+    pub fn new(config: CpuActivityConfig, seed: u64) -> Self {
+        assert!(config.core_count > 0, "core count must be non-zero");
+        assert!(config.quantum_us > 0, "quantum must be non-zero");
+        assert!(
+            (0.0..=1.0).contains(&config.background_utilization),
+            "utilization must be in [0, 1]"
+        );
+        CpuBackgroundLoad { config, seed }
+    }
+
+    /// The configuration this load was built with.
+    pub fn config(&self) -> &CpuActivityConfig {
+        &self.config
+    }
+
+    /// Whether `core` is running background work during the quantum that
+    /// contains `t`.
+    pub fn core_busy(&self, t: SimTime, core: u32) -> bool {
+        let bucket = t.as_micros() / self.config.quantum_us;
+        crate::hash01(self.seed, core as u64, bucket) < self.config.background_utilization
+    }
+}
+
+impl PowerLoad for CpuBackgroundLoad {
+    fn current_ma(&self, t: SimTime, domain: PowerDomain) -> f64 {
+        match domain {
+            PowerDomain::FullPowerCpu => {
+                let mut total = self.config.core_count as f64 * self.config.idle_ma_per_core;
+                for core in 0..self.config.core_count {
+                    if self.core_busy(t, core) {
+                        total += self.config.busy_ma_per_core;
+                    }
+                }
+                total
+            }
+            PowerDomain::LowPowerCpu => {
+                // Low-power domain activity is loosely coupled to OS load:
+                // peripheral DMA and OCM traffic add a small modulated term.
+                let bucket = t.as_micros() / self.config.quantum_us;
+                let wiggle = crate::hash01(self.seed ^ 0x5bd1, 255, bucket);
+                self.config.low_power_base_ma * (1.0 + 0.03 * wiggle)
+            }
+            _ => 0.0,
+        }
+    }
+
+    fn label(&self) -> &str {
+        "cpu-background"
+    }
+}
+
+/// A pinned task that keeps one core busy for a time interval, drawing
+/// extra current on the full-power domain — e.g. the victim's DPU-trigger
+/// process on core 0 or the attacker's sampler on core 3.
+///
+/// # Examples
+///
+/// ```
+/// use zynq_soc::cpu::PinnedTaskLoad;
+/// use zynq_soc::{PowerDomain, PowerLoad, SimTime};
+///
+/// let task = PinnedTaskLoad::new(0, SimTime::ZERO, SimTime::from_secs(5), 150.0);
+/// assert_eq!(task.current_ma(SimTime::from_secs(1), PowerDomain::FullPowerCpu), 150.0);
+/// assert_eq!(task.current_ma(SimTime::from_secs(6), PowerDomain::FullPowerCpu), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PinnedTaskLoad {
+    core: u32,
+    start: SimTime,
+    end: SimTime,
+    active_ma: f64,
+}
+
+impl PinnedTaskLoad {
+    /// Creates a task pinned to `core` running in `[start, end)` and
+    /// drawing `active_ma` while running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start` or `active_ma` is negative.
+    pub fn new(core: u32, start: SimTime, end: SimTime, active_ma: f64) -> Self {
+        assert!(end >= start, "task must end after it starts");
+        assert!(active_ma >= 0.0, "current must be non-negative");
+        PinnedTaskLoad {
+            core,
+            start,
+            end,
+            active_ma,
+        }
+    }
+
+    /// The core this task is pinned to.
+    pub fn core(&self) -> u32 {
+        self.core
+    }
+}
+
+impl PowerLoad for PinnedTaskLoad {
+    fn current_ma(&self, t: SimTime, domain: PowerDomain) -> f64 {
+        if domain == PowerDomain::FullPowerCpu && t >= self.start && t < self.end {
+            self.active_ma
+        } else {
+            0.0
+        }
+    }
+
+    fn label(&self) -> &str {
+        "pinned-task"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn idle_floor_is_respected() {
+        let cpu = CpuBackgroundLoad::new(CpuActivityConfig::default(), 3);
+        for ms in (0..1000).step_by(37) {
+            let i = cpu.current_ma(SimTime::from_ms(ms), PowerDomain::FullPowerCpu);
+            assert!(i >= 320.0);
+            assert!(i <= 320.0 + 4.0 * 170.0);
+        }
+    }
+
+    #[test]
+    fn background_bursts_occur_at_configured_rate() {
+        let config = CpuActivityConfig {
+            background_utilization: 0.25,
+            ..CpuActivityConfig::default()
+        };
+        let cpu = CpuBackgroundLoad::new(config, 9);
+        let mut busy = 0usize;
+        let mut total = 0usize;
+        for q in 0..4_000u64 {
+            let t = SimTime::from_us(q * config.quantum_us + 1);
+            for core in 0..4 {
+                total += 1;
+                if cpu.core_busy(t, core) {
+                    busy += 1;
+                }
+            }
+        }
+        let rate = busy as f64 / total as f64;
+        assert!((rate - 0.25).abs() < 0.03, "burst rate {rate}");
+    }
+
+    #[test]
+    fn activity_is_stable_within_a_quantum() {
+        let cpu = CpuBackgroundLoad::new(CpuActivityConfig::default(), 5);
+        let base = SimTime::from_ms(40);
+        let a = cpu.core_busy(base, 1);
+        let b = cpu.core_busy(base + SimTime::from_us(9_999), 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = CpuBackgroundLoad::new(CpuActivityConfig::default(), 77);
+        let b = CpuBackgroundLoad::new(CpuActivityConfig::default(), 77);
+        for ms in (0..500).step_by(13) {
+            let t = SimTime::from_ms(ms);
+            assert_eq!(
+                a.current_ma(t, PowerDomain::FullPowerCpu),
+                b.current_ma(t, PowerDomain::FullPowerCpu)
+            );
+        }
+    }
+
+    #[test]
+    fn low_power_domain_is_modulated_but_small() {
+        let cpu = CpuBackgroundLoad::new(CpuActivityConfig::default(), 4);
+        let mut values = Vec::new();
+        for ms in (0..2_000).step_by(10) {
+            values.push(cpu.current_ma(SimTime::from_ms(ms), PowerDomain::LowPowerCpu));
+        }
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min >= 110.0);
+        assert!(max <= 110.0 * 1.031);
+        assert!(max > min, "low-power current must be modulated");
+    }
+
+    #[test]
+    fn config_validation() {
+        let c = CpuActivityConfig {
+            core_count: 0,
+            ..CpuActivityConfig::default()
+        };
+        assert!(std::panic::catch_unwind(|| CpuBackgroundLoad::new(c, 0)).is_err());
+        let c = CpuActivityConfig {
+            background_utilization: 1.5,
+            ..CpuActivityConfig::default()
+        };
+        assert!(std::panic::catch_unwind(|| CpuBackgroundLoad::new(c, 0)).is_err());
+    }
+
+    #[test]
+    fn pinned_task_window() {
+        let t = PinnedTaskLoad::new(
+            0,
+            SimTime::from_ms(10),
+            SimTime::from_ms(20),
+            100.0,
+        );
+        assert_eq!(t.current_ma(SimTime::from_ms(5), PowerDomain::FullPowerCpu), 0.0);
+        assert_eq!(t.current_ma(SimTime::from_ms(15), PowerDomain::FullPowerCpu), 100.0);
+        assert_eq!(t.current_ma(SimTime::from_ms(20), PowerDomain::FullPowerCpu), 0.0);
+        assert_eq!(t.current_ma(SimTime::from_ms(15), PowerDomain::Ddr), 0.0);
+        assert_eq!(t.core(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "end after")]
+    fn pinned_task_rejects_inverted_window() {
+        let _ = PinnedTaskLoad::new(0, SimTime::from_ms(2), SimTime::from_ms(1), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn bucket_noise_is_uniform_ish(seed in 0u64..100) {
+            let n = 2_000u64;
+            let mean: f64 = (0..n).map(|b| crate::hash01(seed, 0, b)).sum::<f64>() / n as f64;
+            prop_assert!((mean - 0.5).abs() < 0.05);
+        }
+
+        #[test]
+        fn current_never_negative(seed in 0u64..50, ms in 0u64..100_000) {
+            let cpu = CpuBackgroundLoad::new(CpuActivityConfig::default(), seed);
+            for d in PowerDomain::ALL {
+                prop_assert!(cpu.current_ma(SimTime::from_ms(ms), d) >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A monitored power domain of the SoC.
+///
+/// These correspond to the four "sensitive sensors" of Table II on the
+/// ZCU102: each domain has a dedicated rail with a shunt resistor and an
+/// INA226 monitor exposed through hwmon.
+///
+/// # Examples
+///
+/// ```
+/// use zynq_soc::PowerDomain;
+///
+/// let d = PowerDomain::FpgaLogic;
+/// assert_eq!(d.ina226_designator(), "ina226_u79");
+/// assert_eq!(PowerDomain::ALL.len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PowerDomain {
+    /// Full-power domain of the ARM processor cores (Cortex-A53 cluster).
+    FullPowerCpu,
+    /// Low-power domain of the ARM processor cores (RPU, OCM, peripherals).
+    LowPowerCpu,
+    /// FPGA programmable-logic and processing elements.
+    FpgaLogic,
+    /// DDR memory subsystem.
+    Ddr,
+}
+
+impl PowerDomain {
+    /// All monitored domains, in Table II order.
+    pub const ALL: [PowerDomain; 4] = [
+        PowerDomain::FullPowerCpu,
+        PowerDomain::LowPowerCpu,
+        PowerDomain::FpgaLogic,
+        PowerDomain::Ddr,
+    ];
+
+    /// Board designator of the INA226 sensor monitoring this domain on the
+    /// ZCU102 (Table II).
+    pub fn ina226_designator(self) -> &'static str {
+        match self {
+            PowerDomain::FullPowerCpu => "ina226_u76",
+            PowerDomain::LowPowerCpu => "ina226_u77",
+            PowerDomain::FpgaLogic => "ina226_u79",
+            PowerDomain::Ddr => "ina226_u93",
+        }
+    }
+
+    /// Human-readable description as given in Table II.
+    pub fn description(self) -> &'static str {
+        match self {
+            PowerDomain::FullPowerCpu => {
+                "current, voltage, and power for full-power domain of the ARM processor cores"
+            }
+            PowerDomain::LowPowerCpu => {
+                "current, voltage, and power for low-power domain of the ARM processor cores"
+            }
+            PowerDomain::FpgaLogic => {
+                "current, voltage, and power for FPGA's logic and processing elements"
+            }
+            PowerDomain::Ddr => "current, voltage, and power for DDR memory",
+        }
+    }
+
+    /// Short label used in experiment tables ("FPGA", "DRAM", ...).
+    pub fn short_label(self) -> &'static str {
+        match self {
+            PowerDomain::FullPowerCpu => "Full-power CPU",
+            PowerDomain::LowPowerCpu => "Low-power CPU",
+            PowerDomain::FpgaLogic => "FPGA",
+            PowerDomain::Ddr => "DRAM",
+        }
+    }
+}
+
+impl fmt::Display for PowerDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn designators_match_table_two() {
+        assert_eq!(PowerDomain::FullPowerCpu.ina226_designator(), "ina226_u76");
+        assert_eq!(PowerDomain::LowPowerCpu.ina226_designator(), "ina226_u77");
+        assert_eq!(PowerDomain::FpgaLogic.ina226_designator(), "ina226_u79");
+        assert_eq!(PowerDomain::Ddr.ina226_designator(), "ina226_u93");
+    }
+
+    #[test]
+    fn all_domains_unique() {
+        for (i, a) in PowerDomain::ALL.iter().enumerate() {
+            for b in &PowerDomain::ALL[i + 1..] {
+                assert_ne!(a, b);
+                assert_ne!(a.ina226_designator(), b.ina226_designator());
+            }
+        }
+    }
+
+    #[test]
+    fn display_uses_short_label() {
+        assert_eq!(PowerDomain::FpgaLogic.to_string(), "FPGA");
+        assert_eq!(PowerDomain::Ddr.to_string(), "DRAM");
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for d in PowerDomain::ALL {
+            assert!(!d.description().is_empty());
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Dynamic voltage and frequency scaling (cpufreq) for the ARM cluster.
+//!
+//! The paper keeps "dynamic voltage and frequency scaling (DVFS) policies
+//! ... by default", i.e. the `performance`-like governor of the PetaLinux
+//! image. This module models the cpufreq machinery so the reproduction can
+//! also explore non-default policies: an `ondemand` governor that follows
+//! load changes the CPU rail's current signature (current scales with
+//! `f * V^2` to first order), which interacts with the full-power-CPU
+//! fingerprinting channel of Table III.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpu::CpuBackgroundLoad;
+use crate::{PowerDomain, PowerLoad, SimTime};
+
+/// One operating performance point (OPP) of the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Core clock in MHz.
+    pub freq_mhz: u32,
+    /// Core voltage in volts.
+    pub volts: f64,
+}
+
+/// cpufreq governor policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Governor {
+    /// Always the highest OPP (the PetaLinux default behaviour).
+    Performance,
+    /// Always the lowest OPP.
+    Powersave,
+    /// Highest OPP when recent utilization exceeds the threshold,
+    /// otherwise the lowest — a two-point `ondemand` approximation.
+    Ondemand {
+        /// Busy-fraction threshold in `[0, 1]` that triggers the boost.
+        up_threshold: f64,
+    },
+}
+
+/// Configuration of the DVFS model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsConfig {
+    /// Available OPPs, ascending by frequency.
+    pub opps: Vec<OperatingPoint>,
+    /// Active governor.
+    pub governor: Governor,
+}
+
+impl Default for DvfsConfig {
+    fn default() -> Self {
+        DvfsConfig {
+            // ZCU102 Cortex-A53 OPP table (PetaLinux device tree).
+            opps: vec![
+                OperatingPoint { freq_mhz: 300, volts: 0.76 },
+                OperatingPoint { freq_mhz: 600, volts: 0.80 },
+                OperatingPoint { freq_mhz: 1_200, volts: 0.85 },
+            ],
+            governor: Governor::Performance,
+        }
+    }
+}
+
+impl DvfsConfig {
+    /// The highest OPP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OPP table is empty (checked at load construction).
+    pub fn max_opp(&self) -> OperatingPoint {
+        *self.opps.last().expect("non-empty OPP table")
+    }
+
+    /// The lowest OPP.
+    pub fn min_opp(&self) -> OperatingPoint {
+        *self.opps.first().expect("non-empty OPP table")
+    }
+}
+
+/// A CPU background load whose current scales with the governor-selected
+/// operating point.
+///
+/// # Examples
+///
+/// ```
+/// use zynq_soc::cpu::{CpuActivityConfig, CpuBackgroundLoad};
+/// use zynq_soc::dvfs::{DvfsConfig, DvfsCpuLoad, Governor};
+/// use zynq_soc::{PowerDomain, PowerLoad, SimTime};
+///
+/// let base = CpuBackgroundLoad::new(CpuActivityConfig::default(), 1);
+/// let perf = DvfsCpuLoad::new(base.clone(), DvfsConfig::default());
+/// let save = DvfsCpuLoad::new(base, DvfsConfig {
+///     governor: Governor::Powersave,
+///     ..DvfsConfig::default()
+/// });
+/// let t = SimTime::from_ms(50);
+/// assert!(perf.current_ma(t, PowerDomain::FullPowerCpu)
+///     > save.current_ma(t, PowerDomain::FullPowerCpu));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DvfsCpuLoad {
+    inner: CpuBackgroundLoad,
+    config: DvfsConfig,
+}
+
+impl DvfsCpuLoad {
+    /// Wraps a background load with a DVFS policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OPP table is empty or not ascending in frequency.
+    pub fn new(inner: CpuBackgroundLoad, config: DvfsConfig) -> Self {
+        assert!(!config.opps.is_empty(), "OPP table must be non-empty");
+        assert!(
+            config.opps.windows(2).all(|w| w[0].freq_mhz < w[1].freq_mhz),
+            "OPP table must be ascending"
+        );
+        DvfsCpuLoad { inner, config }
+    }
+
+    /// The DVFS configuration.
+    pub fn config(&self) -> &DvfsConfig {
+        &self.config
+    }
+
+    /// Cluster utilization during the scheduler quantum containing `t`
+    /// (fraction of cores running background work).
+    pub fn utilization_at(&self, t: SimTime) -> f64 {
+        let cores = self.inner.config().core_count;
+        let busy = (0..cores).filter(|&c| self.inner.core_busy(t, c)).count();
+        busy as f64 / cores as f64
+    }
+
+    /// The OPP the governor selects at `t`.
+    pub fn opp_at(&self, t: SimTime) -> OperatingPoint {
+        match self.config.governor {
+            Governor::Performance => self.config.max_opp(),
+            Governor::Powersave => self.config.min_opp(),
+            Governor::Ondemand { up_threshold } => {
+                if self.utilization_at(t) >= up_threshold {
+                    self.config.max_opp()
+                } else {
+                    self.config.min_opp()
+                }
+            }
+        }
+    }
+
+    /// Dynamic-current scale factor of an OPP relative to the highest
+    /// (`I ~ C * V * f`, since `P = C * V^2 * f` and `I = P / V`).
+    fn scale(&self, opp: OperatingPoint) -> f64 {
+        let max = self.config.max_opp();
+        (opp.freq_mhz as f64 / max.freq_mhz as f64) * (opp.volts / max.volts)
+    }
+}
+
+impl PowerLoad for DvfsCpuLoad {
+    fn current_ma(&self, t: SimTime, domain: PowerDomain) -> f64 {
+        let base = self.inner.current_ma(t, domain);
+        if domain == PowerDomain::FullPowerCpu {
+            base * self.scale(self.opp_at(t))
+        } else {
+            base
+        }
+    }
+
+    fn label(&self) -> &str {
+        "cpu-dvfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuActivityConfig;
+
+    fn base(seed: u64) -> CpuBackgroundLoad {
+        CpuBackgroundLoad::new(CpuActivityConfig::default(), seed)
+    }
+
+    #[test]
+    fn performance_governor_runs_flat_out() {
+        let load = DvfsCpuLoad::new(base(1), DvfsConfig::default());
+        for ms in (0..500).step_by(50) {
+            assert_eq!(load.opp_at(SimTime::from_ms(ms)).freq_mhz, 1_200);
+        }
+    }
+
+    #[test]
+    fn powersave_governor_stays_low() {
+        let load = DvfsCpuLoad::new(
+            base(1),
+            DvfsConfig {
+                governor: Governor::Powersave,
+                ..DvfsConfig::default()
+            },
+        );
+        assert_eq!(load.opp_at(SimTime::from_ms(5)).freq_mhz, 300);
+    }
+
+    #[test]
+    fn ondemand_tracks_utilization() {
+        // High utilization config so boosts actually happen.
+        let busy_cpu = CpuBackgroundLoad::new(
+            CpuActivityConfig {
+                background_utilization: 0.7,
+                ..CpuActivityConfig::default()
+            },
+            3,
+        );
+        let load = DvfsCpuLoad::new(
+            busy_cpu,
+            DvfsConfig {
+                governor: Governor::Ondemand { up_threshold: 0.5 },
+                ..DvfsConfig::default()
+            },
+        );
+        let mut boosted = 0;
+        let mut low = 0;
+        for q in 0..200u64 {
+            let t = SimTime::from_ms(q * 10 + 1);
+            match load.opp_at(t).freq_mhz {
+                1_200 => boosted += 1,
+                300 => low += 1,
+                other => panic!("unexpected OPP {other}"),
+            }
+        }
+        assert!(boosted > 100, "90% busy cluster should mostly boost ({boosted})");
+        assert!(low > 0, "occasionally idle quanta drop to the low OPP");
+    }
+
+    #[test]
+    fn current_scales_with_opp() {
+        let t = SimTime::from_ms(77);
+        let perf = DvfsCpuLoad::new(base(5), DvfsConfig::default());
+        let save = DvfsCpuLoad::new(
+            base(5),
+            DvfsConfig {
+                governor: Governor::Powersave,
+                ..DvfsConfig::default()
+            },
+        );
+        let i_perf = perf.current_ma(t, PowerDomain::FullPowerCpu);
+        let i_save = save.current_ma(t, PowerDomain::FullPowerCpu);
+        let expect_scale = (300.0 / 1200.0) * (0.76 / 0.85);
+        assert!((i_save / i_perf - expect_scale).abs() < 1e-9);
+    }
+
+    #[test]
+    fn other_domains_unscaled() {
+        let t = SimTime::from_ms(10);
+        let raw = base(6);
+        let load = DvfsCpuLoad::new(
+            raw.clone(),
+            DvfsConfig {
+                governor: Governor::Powersave,
+                ..DvfsConfig::default()
+            },
+        );
+        assert_eq!(
+            load.current_ma(t, PowerDomain::LowPowerCpu),
+            raw.current_ma(t, PowerDomain::LowPowerCpu)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_opp_table_rejected() {
+        let _ = DvfsCpuLoad::new(
+            base(0),
+            DvfsConfig {
+                opps: vec![
+                    OperatingPoint { freq_mhz: 1_200, volts: 0.85 },
+                    OperatingPoint { freq_mhz: 300, volts: 0.76 },
+                ],
+                governor: Governor::Performance,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_opp_table_rejected() {
+        let _ = DvfsCpuLoad::new(
+            base(0),
+            DvfsConfig {
+                opps: vec![],
+                governor: Governor::Performance,
+            },
+        );
+    }
+}

@@ -1,0 +1,225 @@
+//! First-order (RC) thermal model of the SoC die.
+//!
+//! Dynamic power heats the die; junction temperature follows with a
+//! thermal time constant; static (leakage) current rises with temperature
+//! (Moradi, CHES'14 — the paper cites leakage as the reason Figure 2's
+//! current "does not start from 0"). This module provides the standard
+//! junction-temperature integrator
+//!
+//! ```text
+//! dT/dt = (P * R_theta - (T - T_ambient)) / tau
+//! ```
+//!
+//! and the leakage-vs-temperature scale factor, for thermal analyses of
+//! capture campaigns (long captures wander as the board heats, which is
+//! why per-run sensor means are not stable identity features). The live
+//! electrical solve keeps loads as pure functions of time —
+//! [`crate::StaticFabricLoad`]'s deterministic drift stands in for the
+//! integrated thermal state there.
+
+use serde::{Deserialize, Serialize};
+
+/// Thermal parameters of the package/heatsink assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalConfig {
+    /// Ambient temperature, Celsius.
+    pub ambient_c: f64,
+    /// Junction-to-ambient thermal resistance, Celsius per watt.
+    pub r_theta_c_per_w: f64,
+    /// Thermal time constant, seconds.
+    pub tau_s: f64,
+    /// Relative leakage increase per Celsius (exponential coefficient).
+    pub leakage_tempco: f64,
+    /// Junction temperature that triggers thermal throttling, Celsius.
+    pub throttle_c: f64,
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        ThermalConfig {
+            ambient_c: 35.0,
+            r_theta_c_per_w: 2.8,
+            tau_s: 12.0,
+            leakage_tempco: 0.010,
+            throttle_c: 100.0,
+        }
+    }
+}
+
+/// Junction-temperature integrator.
+///
+/// # Examples
+///
+/// ```
+/// use zynq_soc::thermal::{ThermalConfig, ThermalModel};
+///
+/// let mut th = ThermalModel::new(ThermalConfig::default());
+/// // 10 W sustained for five time constants: ~28 C of self-heating.
+/// for _ in 0..600 {
+///     th.step(10.0, 0.1);
+/// }
+/// assert!((th.junction_c() - (35.0 + 28.0)).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    config: ThermalConfig,
+    junction_c: f64,
+    elapsed_s: f64,
+}
+
+impl ThermalModel {
+    /// Starts at ambient temperature.
+    pub fn new(config: ThermalConfig) -> Self {
+        ThermalModel {
+            junction_c: config.ambient_c,
+            config,
+            elapsed_s: 0.0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ThermalConfig {
+        &self.config
+    }
+
+    /// Current junction temperature, Celsius.
+    pub fn junction_c(&self) -> f64 {
+        self.junction_c
+    }
+
+    /// Total integrated time, seconds.
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// Steady-state junction temperature for a constant power, Celsius.
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.config.ambient_c + power_w * self.config.r_theta_c_per_w
+    }
+
+    /// Advances the integrator by `dt_s` seconds of `power_w` dissipation
+    /// (exact first-order step, stable for any `dt_s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt_s` is not positive or `power_w` is negative.
+    pub fn step(&mut self, power_w: f64, dt_s: f64) {
+        assert!(dt_s > 0.0, "time step must be positive");
+        assert!(power_w >= 0.0, "power must be non-negative");
+        let target = self.steady_state_c(power_w);
+        let alpha = (-dt_s / self.config.tau_s).exp();
+        self.junction_c = target + (self.junction_c - target) * alpha;
+        self.elapsed_s += dt_s;
+    }
+
+    /// Leakage-current scale factor at the present junction temperature,
+    /// relative to leakage at ambient (`exp(tempco * dT)`).
+    pub fn leakage_scale(&self) -> f64 {
+        (self.config.leakage_tempco * (self.junction_c - self.config.ambient_c)).exp()
+    }
+
+    /// Whether the die has crossed the throttling threshold.
+    pub fn throttling(&self) -> bool {
+        self.junction_c >= self.config.throttle_c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn starts_at_ambient() {
+        let th = ThermalModel::new(ThermalConfig::default());
+        assert_eq!(th.junction_c(), 35.0);
+        assert_eq!(th.leakage_scale(), 1.0);
+        assert!(!th.throttling());
+    }
+
+    #[test]
+    fn approaches_steady_state_exponentially() {
+        let mut th = ThermalModel::new(ThermalConfig::default());
+        // One time constant at 10 W: 63.2% of the 28 C rise.
+        th.step(10.0, 12.0);
+        let rise = th.junction_c() - 35.0;
+        assert!((rise - 28.0 * 0.632).abs() < 0.1, "rise {rise}");
+        // Five time constants: essentially settled.
+        for _ in 0..5 {
+            th.step(10.0, 12.0);
+        }
+        assert!((th.junction_c() - th.steady_state_c(10.0)).abs() < 0.1);
+    }
+
+    #[test]
+    fn cools_back_to_ambient() {
+        let mut th = ThermalModel::new(ThermalConfig::default());
+        th.step(15.0, 60.0);
+        assert!(th.junction_c() > 70.0);
+        th.step(0.0, 120.0);
+        assert!((th.junction_c() - 35.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn step_size_invariance() {
+        // The exact exponential step makes 1x60s equal 60x1s.
+        let mut coarse = ThermalModel::new(ThermalConfig::default());
+        coarse.step(8.0, 60.0);
+        let mut fine = ThermalModel::new(ThermalConfig::default());
+        for _ in 0..60 {
+            fine.step(8.0, 1.0);
+        }
+        assert!((coarse.junction_c() - fine.junction_c()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn leakage_rises_with_temperature() {
+        let mut th = ThermalModel::new(ThermalConfig::default());
+        th.step(10.0, 120.0);
+        // ~28 C rise -> exp(0.01 * 28) ~ 1.32.
+        let scale = th.leakage_scale();
+        assert!((1.25..1.40).contains(&scale), "leakage scale {scale}");
+    }
+
+    #[test]
+    fn throttling_threshold() {
+        let mut th = ThermalModel::new(ThermalConfig::default());
+        th.step(30.0, 600.0); // 35 + 84 = 119 C steady state
+        assert!(th.throttling());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_rejected() {
+        let mut th = ThermalModel::new(ThermalConfig::default());
+        th.step(1.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn temperature_bounded_by_ambient_and_steady_state(
+            power in 0.0f64..30.0,
+            steps in 1usize..50,
+            dt in 0.01f64..20.0
+        ) {
+            let mut th = ThermalModel::new(ThermalConfig::default());
+            for _ in 0..steps {
+                th.step(power, dt);
+            }
+            let ss = th.steady_state_c(power);
+            prop_assert!(th.junction_c() >= 35.0 - 1e-9);
+            prop_assert!(th.junction_c() <= ss + 1e-9);
+        }
+
+        #[test]
+        fn monotone_heating_under_constant_power(dt in 0.1f64..10.0) {
+            let mut th = ThermalModel::new(ThermalConfig::default());
+            let mut prev = th.junction_c();
+            for _ in 0..20 {
+                th.step(12.0, dt);
+                prop_assert!(th.junction_c() >= prev - 1e-12);
+                prev = th.junction_c();
+            }
+        }
+    }
+}

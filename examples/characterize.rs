@@ -1,0 +1,58 @@
+//! Figure 2 in miniature: sweep the 161 victim activity levels and compare
+//! the hwmon channels against the ring-oscillator baseline.
+//!
+//! Run with: `cargo run --release --example characterize`
+//! (the full 161-level sweep; pass `--quick` for a coarse sweep)
+
+use amperebleed::characterize::{self, CharacterizeConfig};
+use amperebleed::Platform;
+use fpga_fabric::ring_oscillator::RoConfig;
+use fpga_fabric::virus::VirusConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut platform = Platform::zcu102(7);
+    platform.deploy_virus(VirusConfig::default())?;
+    platform.deploy_ro_bank(RoConfig::default())?;
+
+    let config = if quick {
+        CharacterizeConfig::quick()
+    } else {
+        CharacterizeConfig {
+            samples_per_level: 2_000,
+            ..CharacterizeConfig::default()
+        }
+    };
+    eprintln!(
+        "sweeping {} levels x {} samples ...",
+        config.levels.len(),
+        config.samples_per_level
+    );
+    let report = characterize::run(&platform, &config)?;
+
+    println!("{:>7} {:>12} {:>10} {:>12} {:>10}", "groups", "I(mA)", "V(mV)", "P(mW)", "RO");
+    for row in report.rows.iter().step_by((report.rows.len() / 16).max(1)) {
+        println!(
+            "{:>7} {:>12.1} {:>10.2} {:>12.1} {:>10.2}",
+            row.active_groups,
+            row.current_ma.mean,
+            row.voltage_mv.mean,
+            row.power_uw.mean / 1_000.0,
+            row.ro_count.as_ref().map_or(f64::NAN, |s| s.mean),
+        );
+    }
+
+    println!("\nPearson correlation vs. activity level:");
+    println!("  current : {:+.4}", report.pearson_current);
+    println!("  power   : {:+.4}", report.pearson_power);
+    println!("  voltage : {:+.4}", report.pearson_voltage);
+    println!("  RO      : {:+.4}", report.pearson_ro.unwrap_or(f64::NAN));
+    println!("\nper-step slopes:");
+    println!("  current : {:.2} mA  (~LSBs at 1 mA resolution)", report.fit_current.slope);
+    println!("  voltage : {:.4} LSB (1.25 mV each)", report.voltage_lsb_per_step());
+    println!("  power   : {:.2} LSB (25 mW each)", report.power_lsb_per_step());
+    if let Some(ratio) = report.variation_ratio_vs_ro {
+        println!("\ncurrent variation / RO variation = {ratio:.0}x (paper: 261x)");
+    }
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! The complete AmpereBleed campaign in one run: characterization,
+//! fingerprinting, RSA Hamming-weight recovery, the covert channel, the
+//! TEE and workload-reconnaissance extensions, and the mitigation check.
+//!
+//! Run with: `cargo run --release --example full_campaign`
+
+use amperebleed::campaign::{run, CampaignConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("running the full campaign (six stages) ...");
+    let report = run(&CampaignConfig::default())?;
+    print!("{}", report.summary());
+
+    println!("\nfingerprinting grid (Figure 3 model set):");
+    for (sc, cells) in &report.fingerprint_grid.rows {
+        let cell = cells.last().expect("one duration evaluated");
+        println!("  {:<24} top-1 {:.3}  top-5 {:.3}", sc.to_string(), cell.top1, cell.top5);
+    }
+
+    println!("\nadjacent RSA group confidence (Welch t, threshold 4.5):");
+    for (i, t) in report.rsa.adjacent_current_t().iter().enumerate() {
+        let w0 = report.rsa.observations[i].hamming_weight;
+        let w1 = report.rsa.observations[i + 1].hamming_weight;
+        println!("  HW {w0:>4} vs {w1:>4}: t = {t:.1}");
+    }
+    Ok(())
+}

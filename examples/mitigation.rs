@@ -1,0 +1,62 @@
+//! Section V mitigation demo: restricting INA226 hwmon nodes to root
+//! kills the unprivileged attack but also breaks benign unprivileged
+//! monitoring.
+//!
+//! Run with: `cargo run --example mitigation`
+
+use amperebleed::mitigation::{restrict_all_sensors, unrestrict_all_sensors};
+use amperebleed::{Channel, CurrentSampler, Platform};
+use fpga_fabric::virus::VirusConfig;
+use zynq_soc::{PowerDomain, SimTime};
+
+fn try_attack(platform: &Platform, label: &str) {
+    let sampler = CurrentSampler::unprivileged(platform);
+    match sampler.capture(
+        PowerDomain::FpgaLogic,
+        Channel::Current,
+        SimTime::from_ms(40),
+        1_000.0,
+        100,
+    ) {
+        Ok(trace) => println!(
+            "[{label}] unprivileged attack SUCCEEDS: mean FPGA current {:.0} mA",
+            trace.mean()
+        ),
+        Err(e) => println!("[{label}] unprivileged attack FAILS: {e}"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut platform = Platform::zcu102(99);
+    let virus = platform.deploy_virus(VirusConfig::default())?;
+    virus.activate_groups(120).unwrap();
+
+    try_attack(&platform, "default ");
+
+    println!("\napplying mitigation: chmod 600 on every INA226 node ...");
+    restrict_all_sensors(&mut platform)?;
+    try_attack(&platform, "hardened");
+
+    // The cost: a benign unprivileged power monitor breaks too.
+    let benign = CurrentSampler::unprivileged(&platform);
+    match benign.read_once(PowerDomain::FullPowerCpu, Channel::Power, SimTime::from_ms(40)) {
+        Ok(_) => println!("benign unprivileged power monitor still works"),
+        Err(e) => println!("benign unprivileged power monitor ALSO breaks: {e}"),
+    }
+
+    // Root monitoring is unaffected.
+    let root = CurrentSampler::privileged(&platform);
+    let trace = root.capture(
+        PowerDomain::FpgaLogic,
+        Channel::Current,
+        SimTime::from_ms(40),
+        1_000.0,
+        100,
+    )?;
+    println!("root monitoring unaffected: mean {:.0} mA", trace.mean());
+
+    println!("\nrolling the policy back (legacy image without the fix) ...");
+    unrestrict_all_sensors(&mut platform);
+    try_attack(&platform, "legacy  ");
+    Ok(())
+}

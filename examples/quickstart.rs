@@ -1,0 +1,56 @@
+//! Quickstart: spy on FPGA activity from an unprivileged process.
+//!
+//! Builds the simulated ZCU102, deploys a victim workload in the fabric,
+//! and shows that an unprivileged hwmon reader sees every change in the
+//! victim's activity through the FPGA current channel — no crafted
+//! circuit, no fabric access, no root.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use amperebleed::{CurrentSampler, Platform};
+use fpga_fabric::virus::VirusConfig;
+use zynq_soc::{PowerDomain, SimTime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's experimental machine: a ZCU102 with four sensitive
+    // INA226 sensors behind /sys/class/hwmon.
+    let mut platform = Platform::zcu102(2025);
+    println!("platform: {:?}", platform.board().name);
+    println!("hwmon nodes:");
+    for path in platform.hwmon().list() {
+        println!("  {path}");
+    }
+
+    // Victim: a bitstream whose activity we will spy on.
+    let virus = platform.deploy_virus(VirusConfig::default())?;
+    println!(
+        "\nvictim deployed: {} instances in {} groups",
+        virus.total_instances(),
+        virus.config().groups
+    );
+
+    // Attacker: an unprivileged process polling curr1_input.
+    let sampler = CurrentSampler::unprivileged(&platform);
+    println!("\n{:>8} {:>12} {:>12} {:>14}", "groups", "current(mA)", "volt(mV)", "power(mW)");
+    let mut cursor = SimTime::from_ms(40);
+    for groups in [0u32, 20, 40, 80, 120, 160] {
+        virus.activate_groups(groups).unwrap();
+        cursor += SimTime::from_ms(70); // let the 35 ms sensor update
+        let [current, voltage, power] =
+            sampler.capture_all_channels(PowerDomain::FpgaLogic, cursor, 200.0, 50)?;
+        println!(
+            "{:>8} {:>12.0} {:>12.1} {:>14.1}",
+            groups,
+            current.mean(),
+            voltage.mean(),
+            power.mean() / 1_000.0
+        );
+        cursor += SimTime::from_ms(250);
+    }
+
+    println!(
+        "\nThe current column swings by amps while the stabilized voltage\n\
+         column barely moves — that asymmetry is the AmpereBleed channel."
+    );
+    Ok(())
+}

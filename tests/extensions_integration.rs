@@ -1,0 +1,121 @@
+//! Integration tests for the extension scenarios built on top of the
+//! paper's evaluation: covert channel, TEE inference, workload
+//! reconnaissance, the DRC story, baselines, and the campaign orchestrator.
+
+use amperebleed::campaign::{run as run_campaign, CampaignConfig};
+use amperebleed::covert::{bit_error_rate, receive};
+use amperebleed::{Channel, CurrentSampler, Platform};
+use fpga_fabric::covert::CovertConfig;
+use fpga_fabric::drc::{check, Netlist, Violation};
+use fpga_fabric::enclave::EnclaveTask;
+use fpga_fabric::tdc::TdcConfig;
+use fpga_fabric::virus::VirusConfig;
+use zynq_soc::{PowerDomain, SimTime};
+
+#[test]
+fn covert_channel_round_trip_with_background_noise() {
+    // The transmitter shares the fabric with a busy victim: the receiver
+    // must still sync (the virus adds a DC offset, not keying-rate energy).
+    let payload = b"x51";
+    let config = CovertConfig::default();
+    let mut p = Platform::zcu102(0xAB);
+    let virus = p.deploy_virus(VirusConfig::default()).unwrap();
+    virus.activate_groups(30).unwrap();
+    p.deploy_covert_transmitter(config, payload).unwrap();
+    let rx = receive(&p, &config, payload.len(), SimTime::from_ms(333)).unwrap();
+    assert_eq!(
+        bit_error_rate(payload, &rx.payload),
+        0.0,
+        "decoded {:?}",
+        String::from_utf8_lossy(&rx.payload)
+    );
+}
+
+#[test]
+fn enclave_activity_visible_next_to_other_tenants() {
+    let mut p = Platform::zcu102(0xAC);
+    let enclave = p.deploy_enclave().unwrap();
+    let sampler = CurrentSampler::unprivileged(&p);
+    let mean = |start: SimTime| {
+        sampler
+            .capture(PowerDomain::FpgaLogic, Channel::Current, start, 28.0, 40)
+            .unwrap()
+            .mean()
+    };
+    enclave.run(EnclaveTask::Idle);
+    let idle = mean(SimTime::from_ms(40));
+    enclave.run(EnclaveTask::MatMul);
+    let busy = mean(SimTime::from_secs(5));
+    assert!(busy - idle > 200.0, "{idle} -> {busy}");
+}
+
+#[test]
+fn ro_fails_cloud_drc_but_amperebleed_needs_no_circuit() {
+    // The baseline's circuit is rejected by the provider's flow...
+    let violations = check(&Netlist::ring_oscillator(7));
+    assert!(violations
+        .iter()
+        .any(|v| matches!(v, Violation::CombinationalLoop { .. })));
+    // ...while the sensor attack runs with zero deployed logic.
+    let p = Platform::zcu102(0xAD);
+    let sampler = CurrentSampler::unprivileged(&p);
+    let trace = sampler
+        .capture(
+            PowerDomain::FpgaLogic,
+            Channel::Current,
+            SimTime::from_ms(40),
+            100.0,
+            20,
+        )
+        .unwrap();
+    assert!(trace.mean() > 0.0);
+    assert!(p.fabric().deployed().is_empty(), "no attacker bitstream");
+}
+
+#[test]
+fn tdc_baseline_coexists_with_ro_baseline() {
+    let mut p = Platform::zcu102(0xAE);
+    p.deploy_virus(VirusConfig::default()).unwrap();
+    p.deploy_ro_bank(fpga_fabric::ring_oscillator::RoConfig::default())
+        .unwrap();
+    p.deploy_tdc(TdcConfig::default()).unwrap();
+    let t = SimTime::from_ms(50);
+    let ro = p.sample_ro(t).unwrap();
+    let tdc = p.sample_tdc(t).unwrap();
+    assert!(ro > 0.0);
+    assert!(tdc > 0);
+}
+
+#[test]
+fn minimal_campaign_is_reproducible() {
+    let config = CampaignConfig::minimal();
+    let a = run_campaign(&config).unwrap();
+    let b = run_campaign(&config).unwrap();
+    assert_eq!(
+        a.characterization.pearson_current,
+        b.characterization.pearson_current
+    );
+    assert_eq!(a.covert_ber, b.covert_ber);
+    assert_eq!(a.tee_accuracy, b.tee_accuracy);
+    assert_eq!(a.mitigation_effective, b.mitigation_effective);
+}
+
+#[test]
+fn dpu_runner_queueing_shapes_cpu_load_window() {
+    use dpu::runner::DpuRunner;
+    use dpu::DpuConfig;
+    let models = dnn_models::zoo();
+    let vgg = models.iter().find(|m| m.name == "vgg-19").unwrap();
+    let runner = DpuRunner::new(vgg, DpuConfig::default(), 5);
+    // The victim's 5-second serve window fits only ~peak_throughput * 5
+    // requests; later submissions spill past the window.
+    let submits: Vec<SimTime> = (0..200).map(|k| SimTime::from_ms(k * 25)).collect();
+    let completed = runner.serve(&submits);
+    let stats = DpuRunner::stats(&completed);
+    assert!(stats.throughput_ips <= runner.peak_throughput_ips() * 1.05);
+    let within_5s = completed
+        .iter()
+        .filter(|r| r.finished_at <= SimTime::from_secs(5))
+        .count();
+    assert!(within_5s as f64 <= runner.peak_throughput_ips() * 5.0 + 1.0);
+}

@@ -1,0 +1,192 @@
+//! Cross-crate integration tests of the assembled platform: board model,
+//! fabric deployment, PDN, sensors and hwmon working together.
+
+use amperebleed::{Channel, CurrentSampler, Platform};
+use dpu::DpuConfig;
+use fpga_fabric::rsa::{RsaConfig, RsaKey};
+use fpga_fabric::virus::VirusConfig;
+use hwmon_sim::Privilege;
+use zynq_soc::{PowerDomain, SimTime};
+
+#[test]
+fn hwmon_tree_matches_table_two() {
+    let p = Platform::zcu102(1);
+    let paths = p.hwmon().list();
+    assert_eq!(paths.len(), 4 * 6);
+    // All four Table II designators are present with correct names.
+    let mut names = Vec::new();
+    for i in 0..4 {
+        let name = p
+            .hwmon()
+            .read(
+                &format!("/sys/class/hwmon/hwmon{i}/name"),
+                SimTime::ZERO,
+                Privilege::User,
+            )
+            .unwrap();
+        names.push(name.trim().to_owned());
+    }
+    names.sort();
+    assert_eq!(
+        names,
+        vec!["ina226_u76", "ina226_u77", "ina226_u79", "ina226_u93"]
+    );
+}
+
+#[test]
+fn all_victims_coexist_on_the_fabric() {
+    let mut p = Platform::zcu102(2);
+    p.deploy_virus(VirusConfig::default()).unwrap();
+    p.deploy_rsa(
+        RsaConfig::default(),
+        RsaKey::with_hamming_weight(512, 0).unwrap(),
+    )
+    .unwrap();
+    p.deploy_dpu(DpuConfig::default()).unwrap();
+    let used = p.fabric().used();
+    let cap = p.fabric().capacity();
+    assert!(used.fits_within(&cap));
+    assert!(used.luts > 200_000, "the three designs are substantial");
+}
+
+#[test]
+fn fabric_rejects_oversubscription() {
+    let mut p = Platform::zcu102(3);
+    p.deploy_virus(VirusConfig::default()).unwrap();
+    // A second 160k-instance array does not fit next to the first.
+    let err = p.deploy_virus(VirusConfig::default()).unwrap_err();
+    assert!(err.to_string().contains("exceeds"));
+}
+
+#[test]
+fn sensors_track_ground_truth_within_quantization() {
+    let mut p = Platform::zcu102(4);
+    let virus = p.deploy_virus(VirusConfig::default()).unwrap();
+    virus.activate_groups(100).unwrap();
+    let t = SimTime::from_ms(70);
+    let sampler = CurrentSampler::unprivileged(&p);
+    let measured = sampler
+        .read_once(PowerDomain::FpgaLogic, Channel::Current, t)
+        .unwrap();
+    // Ground truth at the conversion window; allow noise + averaging slack.
+    let truth = p.ground_truth_ma(PowerDomain::FpgaLogic, t);
+    assert!(
+        (measured - truth).abs() < truth * 0.02 + 10.0,
+        "hwmon {measured} mA vs ground truth {truth} mA"
+    );
+}
+
+#[test]
+fn stabilizer_keeps_voltage_channel_quiet_under_full_load() {
+    let mut p = Platform::zcu102(5);
+    let virus = p.deploy_virus(VirusConfig::default()).unwrap();
+    let sampler = CurrentSampler::unprivileged(&p);
+
+    virus.activate_groups(0).unwrap();
+    let v_idle = sampler
+        .capture(PowerDomain::FpgaLogic, Channel::Voltage, SimTime::from_ms(40), 100.0, 50)
+        .unwrap()
+        .mean();
+    virus.activate_groups(160).unwrap();
+    let v_busy = sampler
+        .capture(PowerDomain::FpgaLogic, Channel::Voltage, SimTime::from_secs(10), 100.0, 50)
+        .unwrap()
+        .mean();
+    // 6.4 A of swing moves the voltage reading by only a few mV...
+    let droop_mv = v_idle - v_busy;
+    assert!(droop_mv >= 0.0);
+    assert!(droop_mv < 10.0, "droop {droop_mv} mV");
+    // ...while the current reading moves by amps.
+    virus.activate_groups(0).unwrap();
+    let i_idle = sampler
+        .capture(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_secs(20), 100.0, 50)
+        .unwrap()
+        .mean();
+    virus.activate_groups(160).unwrap();
+    let i_busy = sampler
+        .capture(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_secs(30), 100.0, 50)
+        .unwrap()
+        .mean();
+    assert!(i_busy - i_idle > 5_000.0);
+}
+
+#[test]
+fn concurrent_attacker_and_victim_threads() {
+    // The victim reconfigures virus groups while the attacker samples;
+    // the shared platform must stay consistent (no panics, sane readings).
+    let mut p = Platform::zcu102(6);
+    let virus = p.deploy_virus(VirusConfig::default()).unwrap();
+    let p = std::sync::Arc::new(p);
+
+    let victim_virus = std::sync::Arc::clone(&virus);
+    let victim = std::thread::spawn(move || {
+        for level in [0u32, 40, 80, 120, 160] {
+            victim_virus.activate_groups(level).unwrap();
+        }
+    });
+    let attacker_p = std::sync::Arc::clone(&p);
+    let attacker = std::thread::spawn(move || {
+        let sampler = CurrentSampler::unprivileged(&attacker_p);
+        let mut last = 0.0;
+        for k in 0..50u64 {
+            last = sampler
+                .read_once(
+                    PowerDomain::FpgaLogic,
+                    Channel::Current,
+                    SimTime::from_ms(40 + k * 35),
+                )
+                .unwrap();
+        }
+        last
+    });
+    victim.join().unwrap();
+    let final_reading = attacker.join().unwrap();
+    assert!(final_reading > 0.0);
+}
+
+#[test]
+fn attack_transfers_to_versal_boards() {
+    // Table I spans two families; the sensor layout is the same, so the
+    // attack works unchanged on a Versal board (and its tighter
+    // 0.775-0.825 V band changes nothing for the current channel).
+    let board = zynq_soc::board::BoardSpec::by_name("VCK190").unwrap();
+    let mut p = Platform::for_board(board, 42);
+    let virus = p.deploy_virus(VirusConfig::default()).unwrap();
+    let sampler = CurrentSampler::unprivileged(&p);
+
+    virus.activate_groups(0).unwrap();
+    let idle = sampler
+        .capture(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_ms(40), 100.0, 30)
+        .unwrap()
+        .mean();
+    virus.activate_groups(160).unwrap();
+    let busy = sampler
+        .capture(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_secs(5), 100.0, 30)
+        .unwrap()
+        .mean();
+    assert!(busy - idle > 5_000.0, "attack must transfer: {idle} -> {busy}");
+
+    let v = p.ground_truth_volts(PowerDomain::FpgaLogic, SimTime::from_secs(5));
+    assert!(p.board().fpga_voltage_band.contains(v), "Versal band holds ({v} V)");
+}
+
+#[test]
+fn per_domain_isolation_of_victim_activity() {
+    // An FPGA-only victim must not move the CPU sensors (beyond their own
+    // background noise).
+    let mut p = Platform::zcu102(7);
+    let virus = p.deploy_virus(VirusConfig::default()).unwrap();
+    let sampler = CurrentSampler::unprivileged(&p);
+    let capture_mean = |start_s: u64, domain| {
+        sampler
+            .capture(domain, Channel::Current, SimTime::from_secs(start_s), 28.0, 60)
+            .unwrap()
+            .mean()
+    };
+    virus.activate_groups(0).unwrap();
+    let cpu_idle = capture_mean(1, PowerDomain::FullPowerCpu);
+    virus.activate_groups(160).unwrap();
+    let cpu_busy = capture_mean(10, PowerDomain::FullPowerCpu);
+    let rel = (cpu_busy - cpu_idle).abs() / cpu_idle;
+    assert!(rel < 0.25, "CPU rail moved {rel} under an FPGA-only victim");
+}

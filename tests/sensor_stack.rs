@@ -1,0 +1,142 @@
+//! Integration tests of the sensing stack: loads -> PDN -> INA226 -> hwmon,
+//! focusing on the resolution asymmetries the attack exploits.
+
+use amperebleed::{Channel, CurrentSampler, Platform};
+use fpga_fabric::virus::VirusConfig;
+use hwmon_sim::Privilege;
+use zynq_soc::{PowerDomain, SimTime};
+
+fn fpga_path(p: &Platform, attr: &str) -> String {
+    p.sensor_path(PowerDomain::FpgaLogic, attr)
+}
+
+#[test]
+fn default_update_interval_is_35ms() {
+    let p = Platform::zcu102(11);
+    let s = p
+        .hwmon()
+        .read(&fpga_path(&p, "update_interval"), SimTime::ZERO, Privilege::User)
+        .unwrap();
+    assert_eq!(s.trim(), "35");
+}
+
+#[test]
+fn update_interval_requires_root_and_reconfigures_averaging() {
+    let mut p = Platform::zcu102(12);
+    let virus = p.deploy_virus(VirusConfig::default()).unwrap();
+    virus.activate_groups(80).unwrap();
+    let path = fpga_path(&p, "update_interval");
+    assert!(p.hwmon().write(&path, "2", Privilege::User).is_err());
+    p.hwmon().write(&path, "2", Privilege::Root).unwrap();
+    let s = p
+        .hwmon()
+        .read(&path, SimTime::ZERO, Privilege::User)
+        .unwrap();
+    assert_eq!(s.trim(), "2");
+
+    // At a 2 ms interval the sensor converts ~17x more often: two reads
+    // 5 ms apart come from different conversions.
+    let sampler = CurrentSampler::unprivileged(&p);
+    let a = sampler
+        .read_once(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_ms(10))
+        .unwrap();
+    let b = sampler
+        .read_once(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_ms(15))
+        .unwrap();
+    // Values differ with overwhelming probability (independent noise).
+    assert_ne!(a, b);
+}
+
+#[test]
+fn voltage_reads_are_quantized_to_1_25mv() {
+    let mut p = Platform::zcu102(13);
+    p.deploy_virus(VirusConfig::default()).unwrap();
+    let sampler = CurrentSampler::unprivileged(&p);
+    let t = sampler
+        .capture(PowerDomain::FpgaLogic, Channel::Voltage, SimTime::from_ms(40), 28.0, 100)
+        .unwrap();
+    // mV readings must be multiples of 1.25 mV within rounding: the set of
+    // distinct values is tiny.
+    let distinct: std::collections::BTreeSet<i64> =
+        t.samples.iter().map(|&v| v.round() as i64).collect();
+    assert!(
+        distinct.len() <= 5,
+        "stabilized rail must show few voltage levels: {distinct:?}"
+    );
+}
+
+#[test]
+fn power_is_current_times_voltage_with_truncation() {
+    let mut p = Platform::zcu102(14);
+    let virus = p.deploy_virus(VirusConfig::default()).unwrap();
+    virus.activate_groups(120).unwrap();
+    let sampler = CurrentSampler::unprivileged(&p);
+    for k in 0..20u64 {
+        let t = SimTime::from_ms(40 + 35 * k);
+        let i_ma = sampler
+            .read_once(PowerDomain::FpgaLogic, Channel::Current, t)
+            .unwrap();
+        let v_mv = sampler
+            .read_once(PowerDomain::FpgaLogic, Channel::Voltage, t)
+            .unwrap();
+        let p_uw = sampler
+            .read_once(PowerDomain::FpgaLogic, Channel::Power, t)
+            .unwrap();
+        let implied_uw = i_ma * v_mv;
+        // The register pipeline truncates: measured <= implied, within one
+        // power LSB (12.5 mW at this calibration) plus rounding slack.
+        assert!(
+            p_uw <= implied_uw + 30_000.0,
+            "power {p_uw} should not exceed I*V {implied_uw}"
+        );
+        assert!(
+            implied_uw - p_uw < 40_000.0,
+            "power {p_uw} too far below I*V {implied_uw}"
+        );
+    }
+}
+
+#[test]
+fn current_resolution_beats_power_resolution() {
+    // Step the victim by ONE group (~40 mA, ~34 mW): the current channel
+    // must resolve it crisply; the power channel moves by only 1-3 LSBs.
+    let mut p = Platform::zcu102(15);
+    let virus = p.deploy_virus(VirusConfig::default()).unwrap();
+    let sampler = CurrentSampler::unprivileged(&p);
+    let mean = |start: SimTime, ch| {
+        sampler
+            .capture(PowerDomain::FpgaLogic, ch, start, 28.0, 80)
+            .unwrap()
+            .mean()
+    };
+    virus.activate_groups(80).unwrap();
+    let i0 = mean(SimTime::from_ms(40), Channel::Current);
+    let p0 = mean(SimTime::from_ms(40), Channel::Power);
+    virus.activate_groups(81).unwrap();
+    let i1 = mean(SimTime::from_secs(10), Channel::Current);
+    let p1 = mean(SimTime::from_secs(10), Channel::Power);
+    let di = i1 - i0; // mA
+    let dp = (p1 - p0) / 1_000.0; // mW
+    assert!((25.0..55.0).contains(&di), "current step {di} mA");
+    // Power steps by roughly di * 0.85 mW but can only land on 12.5 mW
+    // register multiples.
+    assert!((10.0..60.0).contains(&dp), "power step {dp} mW");
+}
+
+#[test]
+fn sensor_noise_is_a_few_lsb() {
+    let mut p = Platform::zcu102(16);
+    let virus = p.deploy_virus(VirusConfig::default()).unwrap();
+    virus.activate_groups(80).unwrap();
+    let sampler = CurrentSampler::unprivileged(&p);
+    let t = sampler
+        .capture(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_ms(40), 28.0, 200)
+        .unwrap();
+    let s = trace_stats::Summary::from_samples(&t.samples).unwrap();
+    assert!(s.std_dev > 0.0, "real sensors are never noise-free");
+    assert!(
+        s.std_dev < 25.0,
+        "noise {} mA would swamp the 40 mA signal",
+        s.std_dev
+    );
+}
