@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Offline CI gate for the AmpereBleed reproduction.
+#
+# The workspace has zero registry dependencies (everything lives under
+# crates/, anchored by the crates/sim-rt runtime), so every step below
+# runs with --offline and needs nothing but a Rust toolchain.
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release --workspace
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "==> ci.sh: all gates passed"

@@ -29,7 +29,10 @@ fn ablate_update_interval() {
     let mut p = Platform::zcu102(401);
     let virus = p.deploy_virus(VirusConfig::default()).expect("virus");
     virus.activate_groups(80).unwrap();
-    println!("{:>12} {:>16} {:>14}", "interval", "fresh conv/s", "trace std(mA)");
+    println!(
+        "{:>12} {:>16} {:>14}",
+        "interval", "fresh conv/s", "trace std(mA)"
+    );
     for interval_ms in [2u64, 4, 9, 18, 35] {
         p.hwmon()
             .write(
@@ -76,8 +79,7 @@ fn ablate_power_truncation() {
         report.power_separability.distinguishable
     );
     assert!(
-        report.power_separability.distinguishable
-            < report.current_separability.distinguishable
+        report.power_separability.distinguishable < report.current_separability.distinguishable
     );
     println!("(the x25 LSB ratio is fixed by the INA226 datasheet: the power");
     println!(" channel is the current channel with its low bits cut off)");
@@ -87,15 +89,24 @@ fn ablate_stabilizer() {
     section("ablation 3: PDN stabilizer strength vs. RO baseline viability");
     // Drive the same load swing through PDNs of varying stabilizer
     // strength and measure the RO-observable relative variation.
-    println!("{:>10} {:>14} {:>18}", "strength", "droop (mV)", "RO rel. variation");
+    println!(
+        "{:>10} {:>14} {:>18}",
+        "strength", "droop (mV)", "RO rel. variation"
+    );
     for strength in [1.0, 0.75, 0.5, 0.25, 0.0] {
         let pdn = Pdn::for_board(&BoardSpec::zcu102(), PowerDomain::FpgaLogic)
             .with_stabilizer_strength(strength);
         let v_idle = pdn.rail_voltage(880.0, 0.0);
         let v_busy = pdn.rail_voltage(7_280.0, 0.0);
         let mut bank = RoBank::new(RoConfig::default(), 4);
-        let hi: f64 = (0..200).map(|_| bank.sample_mean_count(v_idle)).sum::<f64>() / 200.0;
-        let lo: f64 = (0..200).map(|_| bank.sample_mean_count(v_busy)).sum::<f64>() / 200.0;
+        let hi: f64 = (0..200)
+            .map(|_| bank.sample_mean_count(v_idle))
+            .sum::<f64>()
+            / 200.0;
+        let lo: f64 = (0..200)
+            .map(|_| bank.sample_mean_count(v_busy))
+            .sum::<f64>()
+            / 200.0;
         println!(
             "{:>10.2} {:>14.2} {:>18.5}",
             strength,
@@ -159,18 +170,33 @@ fn ablate_covert_bandwidth() {
     use fpga_fabric::covert::CovertConfig;
     let payload = b"0123456789abcdef";
     println!("{:>12} {:>12} {:>10}", "bit period", "raw bit/s", "BER");
-    for (ms, on_ma) in [(140u64, 400.0), (105, 400.0), (70, 400.0), (35, 400.0), (105, 8.0)] {
+    for (ms, on_ma) in [
+        (140u64, 400.0),
+        (105, 400.0),
+        (70, 400.0),
+        (35, 400.0),
+        (105, 8.0),
+    ] {
         let config = CovertConfig {
             bit_period: SimTime::from_ms(ms),
             on_ma,
             ..CovertConfig::default()
         };
         let mut p = Platform::zcu102(405 ^ ms ^ on_ma as u64);
-        p.deploy_covert_transmitter(config, payload).expect("tx fits");
+        p.deploy_covert_transmitter(config, payload)
+            .expect("tx fits");
         let rx = receive(&p, &config, payload.len(), SimTime::from_ms(91)).expect("rx");
         let ber = bit_error_rate(payload, &rx.payload);
-        let label = if on_ma < 50.0 { format!("{ms}ms/weak") } else { format!("{ms}ms") };
-        println!("{label:>12} {:>12.1} {:>10.4}", config.raw_bandwidth_bps(), ber);
+        let label = if on_ma < 50.0 {
+            format!("{ms}ms/weak")
+        } else {
+            format!("{ms}ms")
+        };
+        println!(
+            "{label:>12} {:>12.1} {:>10.4}",
+            config.raw_bandwidth_bps(),
+            ber
+        );
     }
     println!("(multiple sensor updates per bit give voting margin; sub-update");
     println!(" periods and near-noise amplitudes corrupt the channel)");
@@ -182,13 +208,22 @@ fn ablate_dvfs_governor() {
     use zynq_soc::dvfs::{DvfsConfig, DvfsCpuLoad, Governor};
     use zynq_soc::PowerLoad;
     let base = CpuBackgroundLoad::new(CpuActivityConfig::default(), 406);
-    println!("{:>14} {:>14} {:>12}", "governor", "mean I (mA)", "p2p (mA)");
+    println!(
+        "{:>14} {:>14} {:>12}",
+        "governor", "mean I (mA)", "p2p (mA)"
+    );
     for (name, governor) in [
         ("performance", Governor::Performance),
         ("powersave", Governor::Powersave),
         ("ondemand", Governor::Ondemand { up_threshold: 0.25 }),
     ] {
-        let load = DvfsCpuLoad::new(base.clone(), DvfsConfig { governor, ..DvfsConfig::default() });
+        let load = DvfsCpuLoad::new(
+            base.clone(),
+            DvfsConfig {
+                governor,
+                ..DvfsConfig::default()
+            },
+        );
         let samples: Vec<f64> = (0..600)
             .map(|k| load.current_ma(SimTime::from_ms(k * 10 + 3), PowerDomain::FullPowerCpu))
             .collect();

@@ -22,8 +22,12 @@ fn main() {
         .unwrap_or(2_000);
 
     let mut platform = Platform::zcu102(261);
-    platform.deploy_virus(VirusConfig::default()).expect("virus fits");
-    platform.deploy_ro_bank(RoConfig::default()).expect("ro fits");
+    platform
+        .deploy_virus(VirusConfig::default())
+        .expect("virus fits");
+    platform
+        .deploy_ro_bank(RoConfig::default())
+        .expect("ro fits");
     platform
         .deploy_tdc(fpga_fabric::tdc::TdcConfig::default())
         .expect("tdc fits");
@@ -52,9 +56,18 @@ fn main() {
     }
 
     section("correlations and slopes");
-    println!("pearson current : {:+.4}   (paper +0.999)", report.pearson_current);
-    println!("pearson power   : {:+.4}   (paper +0.999)", report.pearson_power);
-    println!("pearson voltage : {:+.4}   (paper +0.958 on means)", report.pearson_voltage.abs());
+    println!(
+        "pearson current : {:+.4}   (paper +0.999)",
+        report.pearson_current
+    );
+    println!(
+        "pearson power   : {:+.4}   (paper +0.999)",
+        report.pearson_power
+    );
+    println!(
+        "pearson voltage : {:+.4}   (paper +0.958 on means)",
+        report.pearson_voltage.abs()
+    );
     println!(
         "pearson RO      : {:+.4}   (paper -0.996)",
         report.pearson_ro.unwrap_or(f64::NAN)

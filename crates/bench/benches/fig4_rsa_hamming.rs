@@ -71,7 +71,11 @@ fn main() {
         "power should collapse to ~5 groups, got {n_power}"
     );
     // Monotone means.
-    let means: Vec<f64> = report.observations.iter().map(|o| o.current_ma.mean).collect();
+    let means: Vec<f64> = report
+        .observations
+        .iter()
+        .map(|o| o.current_ma.mean)
+        .collect();
     for w in means.windows(2) {
         assert!(w[1] > w[0], "current means must be monotone in HW");
     }

@@ -1,148 +1,17 @@
-//! Criterion performance benchmarks of the reproduction's hot paths:
-//! hwmon sampling throughput, the electrical solve, big-integer modular
-//! arithmetic, and random-forest training.
+//! Performance benchmarks of the reproduction's hot paths: hwmon sampling
+//! throughput, the electrical solve, big-integer modular arithmetic,
+//! random-forest training (serial and on the work-stealing pool), and the
+//! signal-processing kernels.
 //!
-//! Run with: `cargo bench --bench perf`
+//! Run with: `cargo bench --bench perf` (full schedule) or
+//! `cargo bench --bench perf -- --quick` (3-iteration smoke). The same
+//! smoke schedule also runs inside `cargo test` via the bench library's
+//! `perf_smoke` test.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
+use sim_rt::bench::Harness;
 
-use amperebleed::{Channel, CurrentSampler, Platform};
-use dnn_models::zoo;
-use dpu::{DpuAccelerator, DpuConfig};
-use fpga_fabric::bigint::U1024;
-use fpga_fabric::virus::VirusConfig;
-use rforest::{Dataset, ForestConfig, RandomForest};
-use zynq_soc::{PowerDomain, PowerLoad, SimTime};
-
-fn bench_sampler(c: &mut Criterion) {
-    let mut platform = Platform::zcu102(1);
-    let virus = platform.deploy_virus(VirusConfig::default()).unwrap();
-    virus.activate_groups(80).unwrap();
-    let sampler = CurrentSampler::unprivileged(&platform);
-    let mut t = 40_000_000u64; // advance so every read hits a fresh window
-    c.bench_function("hwmon_read_current_fresh_conversion", |b| {
-        b.iter(|| {
-            t += 35_000_000;
-            black_box(
-                sampler
-                    .read_once(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_nanos(t))
-                    .unwrap(),
-            )
-        })
-    });
-    c.bench_function("hwmon_read_current_held_value", |b| {
-        b.iter(|| {
-            black_box(
-                sampler
-                    .read_once(
-                        PowerDomain::FpgaLogic,
-                        Channel::Current,
-                        SimTime::from_ms(40),
-                    )
-                    .unwrap(),
-            )
-        })
-    });
+fn main() {
+    let mut h = Harness::from_env("perf");
+    amperebleed_bench::perf::run_suite(&mut h);
+    h.finish();
 }
-
-fn bench_loads(c: &mut Criterion) {
-    let virus = fpga_fabric::virus::PowerVirusArray::new(VirusConfig::default(), 2);
-    virus.activate_groups(160).unwrap();
-    c.bench_function("virus_array_current_eval", |b| {
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 100_000;
-            black_box(virus.current_ma(SimTime::from_nanos(t), PowerDomain::FpgaLogic))
-        })
-    });
-
-    let models = zoo();
-    let densenet = models.iter().find(|m| m.name == "densenet-264").unwrap();
-    let dpu = DpuAccelerator::new(DpuConfig::default(), 3);
-    dpu.load_model(densenet);
-    c.bench_function("dpu_current_eval_densenet264", |b| {
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 137_000;
-            black_box(dpu.current_ma(SimTime::from_nanos(t), PowerDomain::FpgaLogic))
-        })
-    });
-}
-
-fn bench_bigint(c: &mut Criterion) {
-    let mut m = U1024::random(10);
-    m.set_bit(0, true);
-    m.set_bit(1023, true);
-    let a = U1024::random(11).reduce(&m);
-    let b_val = U1024::random(12).reduce(&m);
-    c.bench_function("u1024_mod_mul_full_width", |bch| {
-        bch.iter(|| black_box(a.mod_mul(black_box(&b_val), &m)))
-    });
-    c.bench_function("u1024_mod_exp_e65537", |bch| {
-        let e = U1024::from_u64(65_537);
-        bch.iter(|| black_box(a.mod_exp(black_box(&e), &m)))
-    });
-}
-
-fn bench_forest(c: &mut Criterion) {
-    // A Table III-shaped dataset: 39 classes x 10 samples x 103 features.
-    let mut features = Vec::new();
-    let mut labels = Vec::new();
-    for class in 0..39usize {
-        for rep in 0..10usize {
-            let row: Vec<f64> = (0..103)
-                .map(|f| ((class * 31 + rep * 7 + f) as f64 * 0.37).sin() + class as f64)
-                .collect();
-            features.push(row);
-            labels.push(class);
-        }
-    }
-    let data = Dataset::new(features, labels).unwrap();
-    let config = ForestConfig {
-        n_trees: 20,
-        ..ForestConfig::default()
-    };
-    c.bench_function("rforest_fit_39class_20trees", |b| {
-        b.iter_batched(
-            || data.clone(),
-            |d| black_box(RandomForest::fit(&d, &config)),
-            BatchSize::LargeInput,
-        )
-    });
-    let forest = RandomForest::fit(&data, &config);
-    let probe = data.features_of(0).to_vec();
-    c.bench_function("rforest_predict", |b| {
-        b.iter(|| black_box(forest.predict(black_box(&probe))))
-    });
-}
-
-fn bench_signal(c: &mut Criterion) {
-    // A 5 s capture at the 35 ms cadence is 143 samples; pad to 256.
-    let trace: Vec<f64> = (0..143)
-        .map(|i| (i as f64 * 0.37).sin() * 100.0 + 1_500.0)
-        .collect();
-    c.bench_function("power_spectrum_143_samples", |b| {
-        b.iter(|| black_box(trace_stats::spectrum::power_spectrum(black_box(&trace)).unwrap()))
-    });
-    c.bench_function("feature_vector_143_samples", |b| {
-        b.iter(|| {
-            black_box(trace_stats::features::feature_vector(black_box(&trace), 96).unwrap())
-        })
-    });
-    c.bench_function("autocorrelation_143_samples", |b| {
-        b.iter(|| {
-            black_box(trace_stats::periodicity::autocorrelation(black_box(&trace), 71).unwrap())
-        })
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_sampler,
-    bench_loads,
-    bench_bigint,
-    bench_forest,
-    bench_signal
-);
-criterion_main!(benches);

@@ -17,7 +17,10 @@ fn main() {
             "{:<10} {:<18} {:<16} {:<11} {:>4}GB {:>8} {:>9}",
             b.name,
             b.family.to_string(),
-            format!("{:.3}-{:.3} V", b.fpga_voltage_band.min_v, b.fpga_voltage_band.max_v),
+            format!(
+                "{:.3}-{:.3} V",
+                b.fpga_voltage_band.min_v, b.fpga_voltage_band.max_v
+            ),
             b.cpu.to_string(),
             b.dram_gb,
             b.ina_sensor_count,

@@ -14,10 +14,10 @@ use amperebleed::fingerprint::{
     build_fused_dataset, collect_corpus, evaluate_grid, FingerprintConfig, SensorChannel,
     TABLE3_CHANNELS,
 };
-use rforest::cross_validate;
 use amperebleed::Channel;
 use amperebleed_bench::{acc, section};
 use dnn_models::{zoo, ModelArch};
+use rforest::cross_validate;
 use zynq_soc::PowerDomain;
 
 fn main() {
@@ -77,8 +77,14 @@ fn main() {
 
     // Shape assertions against the paper's ordering.
     let cell = |d: PowerDomain, ch: Channel| {
-        grid.cell(SensorChannel { domain: d, channel: ch }, 5.0)
-            .expect("cell")
+        grid.cell(
+            SensorChannel {
+                domain: d,
+                channel: ch,
+            },
+            5.0,
+        )
+        .expect("cell")
     };
     let fpga_i = cell(PowerDomain::FpgaLogic, Channel::Current);
     let fpga_v = cell(PowerDomain::FpgaLogic, Channel::Voltage);
@@ -86,9 +92,21 @@ fn main() {
     let dram_i = cell(PowerDomain::Ddr, Channel::Current);
     let lp_i = cell(PowerDomain::LowPowerCpu, Channel::Current);
 
-    assert!(fpga_i.top1 > 0.9, "FPGA current top-1 {} (paper 0.997)", fpga_i.top1);
-    assert!(fpga_p.top1 > 0.8, "FPGA power top-1 {} (paper 0.989)", fpga_p.top1);
-    assert!(dram_i.top1 > 0.7, "DRAM top-1 {} (paper 0.958)", dram_i.top1);
+    assert!(
+        fpga_i.top1 > 0.9,
+        "FPGA current top-1 {} (paper 0.997)",
+        fpga_i.top1
+    );
+    assert!(
+        fpga_p.top1 > 0.8,
+        "FPGA power top-1 {} (paper 0.989)",
+        fpga_p.top1
+    );
+    assert!(
+        dram_i.top1 > 0.7,
+        "DRAM top-1 {} (paper 0.958)",
+        dram_i.top1
+    );
     assert!(
         fpga_v.top1 < 0.5,
         "FPGA voltage top-1 {} must collapse (paper 0.116)",

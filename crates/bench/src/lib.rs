@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 /// Prints a section header for bench output.
 pub fn section(title: &str) {
     println!("\n=== {title} ===");

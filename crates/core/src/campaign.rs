@@ -10,7 +10,6 @@ use dnn_models::ModelArch;
 use fpga_fabric::covert::CovertConfig;
 use fpga_fabric::ring_oscillator::RoConfig;
 use fpga_fabric::virus::VirusConfig;
-use serde::{Deserialize, Serialize};
 use zynq_soc::SimTime;
 
 use crate::characterize::{self, CharacterizationReport, CharacterizeConfig};
@@ -22,7 +21,7 @@ use crate::workload::{self, WorkloadConfig};
 use crate::{covert, AttackError, Platform, Result};
 
 /// Campaign-wide configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignConfig {
     /// Master seed.
     pub seed: u64,
@@ -113,7 +112,9 @@ impl CampaignReport {
             "characterization : r_I={:+.4} r_RO={:+.4} ratio={:.0}x\n",
             self.characterization.pearson_current,
             self.characterization.pearson_ro.unwrap_or(f64::NAN),
-            self.characterization.variation_ratio_vs_ro.unwrap_or(f64::NAN),
+            self.characterization
+                .variation_ratio_vs_ro
+                .unwrap_or(f64::NAN),
         ));
         let best = self
             .fingerprint_grid
@@ -134,7 +135,10 @@ impl CampaignReport {
             self.rsa.observations.len(),
         ));
         out.push_str(&format!("covert channel   : BER {:.4}\n", self.covert_ber));
-        out.push_str(&format!("tee inference    : {:.0}%\n", self.tee_accuracy * 100.0));
+        out.push_str(&format!(
+            "tee inference    : {:.0}%\n",
+            self.tee_accuracy * 100.0
+        ));
         out.push_str(&format!(
             "workload recon   : {:.0}%\n",
             self.workload_accuracy * 100.0
@@ -217,8 +221,7 @@ pub fn run(config: &CampaignConfig) -> Result<CampaignReport> {
     let mut hardened = Platform::zcu102(config.seed ^ 0xF0);
     hardened.deploy_virus(VirusConfig::default())?;
     restrict_all_sensors(&mut hardened)?;
-    let mitigation_effective =
-        characterize::run(&hardened, &config.characterize).is_err();
+    let mitigation_effective = characterize::run(&hardened, &config.characterize).is_err();
 
     Ok(CampaignReport {
         characterization,

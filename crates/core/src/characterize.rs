@@ -10,14 +10,14 @@
 //! 0.999, voltage r = 0.958 with a near-zero slope, RO r = -0.996, and
 //! the current channel's relative variation is ~261x the RO's.
 
-use serde::{Deserialize, Serialize};
+use sim_rt::pool::Pool;
 use trace_stats::{pearson, LinearFit, Summary};
 use zynq_soc::{PowerDomain, SimTime};
 
 use crate::{AttackError, Channel, CurrentSampler, Platform, Result};
 
 /// Parameters of the characterization sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CharacterizeConfig {
     /// Activation levels to visit (default: 0..=160, the paper's 161).
     pub levels: Vec<u32>,
@@ -52,7 +52,7 @@ impl CharacterizeConfig {
 }
 
 /// Per-level measurement summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LevelRow {
     /// Number of active power-virus groups.
     pub active_groups: u32,
@@ -69,7 +69,7 @@ pub struct LevelRow {
 }
 
 /// Result of the Figure 2 sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CharacterizationReport {
     /// One row per activity level.
     pub rows: Vec<LevelRow>,
@@ -138,54 +138,109 @@ pub fn run(platform: &Platform, config: &CharacterizeConfig) -> Result<Character
 
     let mut cursor = SimTime::from_ms(40);
     let mut rows = Vec::with_capacity(config.levels.len());
-    let ro_deployed = platform.sample_ro(cursor).is_ok();
-    let tdc_deployed = platform.sample_tdc(cursor).is_ok();
 
     for &level in &config.levels {
         virus
             .activate_groups(level)
             .map_err(|e| AttackError::InvalidParameter(e.to_string()))?;
         cursor += config.settle;
-
-        let [current, voltage, power] = sampler.capture_all_channels(
-            PowerDomain::FpgaLogic,
-            cursor,
-            config.sample_rate_hz,
-            config.samples_per_level,
-        )?;
-        let ro_count = if ro_deployed {
-            let counts: Vec<f64> = (0..config.samples_per_level)
-                .map(|k| {
-                    let t = cursor + SimTime::from_nanos(period.as_nanos() * k as u64);
-                    platform.sample_ro(t)
-                })
-                .collect::<Result<_>>()?;
-            Some(Summary::from_samples(&counts)?)
-        } else {
-            None
-        };
-        let tdc_code = if tdc_deployed {
-            let codes: Vec<f64> = (0..config.samples_per_level)
-                .map(|k| {
-                    let t = cursor + SimTime::from_nanos(period.as_nanos() * k as u64);
-                    platform.sample_tdc(t).map(|c| c as f64)
-                })
-                .collect::<Result<_>>()?;
-            Some(Summary::from_samples(&codes)?)
-        } else {
-            None
-        };
-        rows.push(LevelRow {
-            active_groups: level,
-            current_ma: Summary::from_samples(&current.samples)?,
-            voltage_mv: Summary::from_samples(&voltage.samples)?,
-            power_uw: Summary::from_samples(&power.samples)?,
-            ro_count,
-            tdc_code,
-        });
+        rows.push(measure_row(platform, &sampler, config, level, cursor)?);
         cursor += level_span;
     }
 
+    analyze(rows)
+}
+
+/// Runs the characterization sweep with one fresh platform per activity
+/// level, spreading levels across `pool`.
+///
+/// The serial [`run`] walks one platform through the levels with a moving
+/// time cursor; here every level instead gets its own platform from
+/// `factory(level)` and is measured right after settling. Keep the factory
+/// a pure function of the level (e.g. `Platform::zcu102(seed ^ level)` with
+/// virus/RO deployment) and the report is identical at any thread count.
+///
+/// # Errors
+///
+/// Same failure modes as [`run`], plus any error from `factory`.
+pub fn run_parallel(
+    factory: impl Fn(u32) -> Result<Platform> + Sync,
+    config: &CharacterizeConfig,
+    pool: &Pool,
+) -> Result<CharacterizationReport> {
+    if config.levels.len() < 2 {
+        return Err(AttackError::InvalidParameter(
+            "characterization needs at least two levels".into(),
+        ));
+    }
+    let rows = pool
+        .par_map(&config.levels, |_, &level| -> Result<LevelRow> {
+            let platform = factory(level)?;
+            let virus = platform
+                .virus()
+                .ok_or(AttackError::NotDeployed("power-virus array"))?;
+            virus
+                .activate_groups(level)
+                .map_err(|e| AttackError::InvalidParameter(e.to_string()))?;
+            let sampler = CurrentSampler::unprivileged(&platform);
+            let cursor = SimTime::from_ms(40) + config.settle;
+            measure_row(&platform, &sampler, config, level, cursor)
+        })
+        .into_iter()
+        .collect::<Result<Vec<LevelRow>>>()?;
+    analyze(rows)
+}
+
+/// Captures all channels (plus any deployed fabric baselines) for one
+/// activity level at time `cursor`.
+fn measure_row(
+    platform: &Platform,
+    sampler: &CurrentSampler<'_>,
+    config: &CharacterizeConfig,
+    level: u32,
+    cursor: SimTime,
+) -> Result<LevelRow> {
+    let period = SimTime::from_secs_f64(1.0 / config.sample_rate_hz);
+    let [current, voltage, power] = sampler.capture_all_channels(
+        PowerDomain::FpgaLogic,
+        cursor,
+        config.sample_rate_hz,
+        config.samples_per_level,
+    )?;
+    let ro_count = if platform.sample_ro(cursor).is_ok() {
+        let counts: Vec<f64> = (0..config.samples_per_level)
+            .map(|k| {
+                let t = cursor + SimTime::from_nanos(period.as_nanos() * k as u64);
+                platform.sample_ro(t)
+            })
+            .collect::<Result<_>>()?;
+        Some(Summary::from_samples(&counts)?)
+    } else {
+        None
+    };
+    let tdc_code = if platform.sample_tdc(cursor).is_ok() {
+        let codes: Vec<f64> = (0..config.samples_per_level)
+            .map(|k| {
+                let t = cursor + SimTime::from_nanos(period.as_nanos() * k as u64);
+                platform.sample_tdc(t).map(|c| c as f64)
+            })
+            .collect::<Result<_>>()?;
+        Some(Summary::from_samples(&codes)?)
+    } else {
+        None
+    };
+    Ok(LevelRow {
+        active_groups: level,
+        current_ma: Summary::from_samples(&current.samples)?,
+        voltage_mv: Summary::from_samples(&voltage.samples)?,
+        power_uw: Summary::from_samples(&power.samples)?,
+        ro_count,
+        tdc_code,
+    })
+}
+
+/// Correlates per-level means against the activity level (Figure 2).
+fn analyze(rows: Vec<LevelRow>) -> Result<CharacterizationReport> {
     let levels_f: Vec<f64> = rows.iter().map(|r| r.active_groups as f64).collect();
     let mean_i: Vec<f64> = rows.iter().map(|r| r.current_ma.mean).collect();
     let mean_v: Vec<f64> = rows.iter().map(|r| r.voltage_mv.mean).collect();
@@ -275,14 +330,19 @@ mod tests {
     #[test]
     fn tdc_baseline_shares_the_ro_verdict() {
         let mut p = ready_platform(37);
-        p.deploy_tdc(fpga_fabric::tdc::TdcConfig::default()).unwrap();
+        p.deploy_tdc(fpga_fabric::tdc::TdcConfig::default())
+            .unwrap();
         let mut cfg = CharacterizeConfig::quick();
         cfg.levels = (0..=160).step_by(32).collect();
         cfg.samples_per_level = 400;
         let report = run(&p, &cfg).unwrap();
         // The TDC tracks load negatively (more load, more droop, fewer
         // taps), and its relative variation is as tiny as the RO's.
-        assert!(report.pearson_tdc.unwrap() < -0.8, "{:?}", report.pearson_tdc);
+        assert!(
+            report.pearson_tdc.unwrap() < -0.8,
+            "{:?}",
+            report.pearson_tdc
+        );
         let ratio = report.variation_ratio_vs_tdc.unwrap();
         assert!(ratio > 50.0, "current must dwarf TDC variation ({ratio}x)");
     }
@@ -293,13 +353,25 @@ mod tests {
         let report = run(&p, &CharacterizeConfig::quick()).unwrap();
         assert_eq!(report.rows.len(), 11);
         // Current and power: near-perfect positive correlation.
-        assert!(report.pearson_current > 0.995, "r_I = {}", report.pearson_current);
-        assert!(report.pearson_power > 0.995, "r_P = {}", report.pearson_power);
+        assert!(
+            report.pearson_current > 0.995,
+            "r_I = {}",
+            report.pearson_current
+        );
+        assert!(
+            report.pearson_power > 0.995,
+            "r_P = {}",
+            report.pearson_power
+        );
         // Voltage correlates on means but with a tiny slope.
         assert!(report.pearson_voltage < -0.5, "voltage droops with load");
         assert!(report.voltage_lsb_per_step().abs() < 0.2);
         // RO: strong negative correlation, tiny relative variation.
-        assert!(report.pearson_ro.unwrap() < -0.95, "r_RO = {:?}", report.pearson_ro);
+        assert!(
+            report.pearson_ro.unwrap() < -0.95,
+            "r_RO = {:?}",
+            report.pearson_ro
+        );
         // ~40 mA per group step.
         assert!(
             (30.0..50.0).contains(&report.fit_current.slope),
@@ -333,6 +405,37 @@ mod tests {
     }
 
     #[test]
+    fn parallel_sweep_is_identical_at_any_thread_count() {
+        // One fixed seed: per-seed RO calibration offsets are larger than
+        // the RO's (deliberately tiny) load response, so the baseline
+        // columns only trend cleanly when every level shares a platform
+        // build. The levels stay independent jobs either way.
+        let factory = |_level: u32| Ok(ready_platform(1_000));
+        let mut cfg = CharacterizeConfig::quick();
+        cfg.levels = vec![0, 40, 80, 120, 160];
+        cfg.samples_per_level = 120;
+        let serial = run_parallel(factory, &cfg, &Pool::serial()).unwrap();
+        let two = run_parallel(factory, &cfg, &Pool::new(2)).unwrap();
+        let eight = run_parallel(factory, &cfg, &Pool::new(8)).unwrap();
+        assert_eq!(serial, two);
+        assert_eq!(serial, eight);
+        // The parallel sweep still reproduces the Figure 2 shape.
+        assert!(
+            serial.pearson_current > 0.99,
+            "r_I = {}",
+            serial.pearson_current
+        );
+        assert!(serial.pearson_ro.unwrap() < -0.9);
+    }
+
+    #[test]
+    fn parallel_sweep_requires_virus_in_factory_platforms() {
+        let factory = |level: u32| Ok(Platform::zcu102(level as u64));
+        let report = run_parallel(factory, &CharacterizeConfig::quick(), &Pool::serial());
+        assert!(matches!(report, Err(AttackError::NotDeployed(_))));
+    }
+
+    #[test]
     fn requires_virus_deployment() {
         let p = Platform::zcu102(33);
         assert!(matches!(
@@ -348,7 +451,10 @@ mod tests {
             levels: vec![],
             ..CharacterizeConfig::quick()
         };
-        assert!(matches!(run(&p, &cfg), Err(AttackError::InvalidParameter(_))));
+        assert!(matches!(
+            run(&p, &cfg),
+            Err(AttackError::InvalidParameter(_))
+        ));
     }
 
     #[test]

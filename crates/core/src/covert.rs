@@ -9,13 +9,12 @@
 //! mitigation (which kills this channel too).
 
 use fpga_fabric::covert::{CovertConfig, PREAMBLE};
-use serde::{Deserialize, Serialize};
 use zynq_soc::{PowerDomain, SimTime};
 
 use crate::{AttackError, Channel, CurrentSampler, Platform, Result};
 
 /// Result of one covert reception attempt.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Reception {
     /// Decoded payload bytes.
     pub payload: Vec<u8>,
@@ -67,17 +66,30 @@ pub fn receive(
     let count = frame_samples * 2 + samples_per_bit;
 
     let sampler = CurrentSampler::unprivileged(platform);
-    let trace = sampler.capture(PowerDomain::FpgaLogic, Channel::Current, start, rate_hz, count)?;
+    let trace = sampler.capture(
+        PowerDomain::FpgaLogic,
+        Channel::Current,
+        start,
+        rate_hz,
+        count,
+    )?;
 
     // Threshold at the amplitude midpoint.
     let min = trace.samples.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = trace.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let max = trace
+        .samples
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
     let threshold = (min + max) / 2.0;
     let bits: Vec<bool> = trace.samples.iter().map(|&s| s > threshold).collect();
 
     // Majority vote of the slot starting at sample `pos`.
     let slot_vote = |pos: usize| -> bool {
-        let ones = bits[pos..pos + samples_per_bit].iter().filter(|&&b| b).count();
+        let ones = bits[pos..pos + samples_per_bit]
+            .iter()
+            .filter(|&&b| b)
+            .count();
         ones * 2 > samples_per_bit
     };
 
@@ -153,7 +165,12 @@ mod tests {
         let config = CovertConfig::default();
         let p = platform_with_tx(payload, config);
         let rx = receive(&p, &config, payload.len(), SimTime::from_ms(40)).unwrap();
-        assert_eq!(rx.payload, payload, "decoded {:?}", String::from_utf8_lossy(&rx.payload));
+        assert_eq!(
+            rx.payload,
+            payload,
+            "decoded {:?}",
+            String::from_utf8_lossy(&rx.payload)
+        );
         assert!(rx.sync_quality >= 0.99);
         assert_eq!(bit_error_rate(payload, &rx.payload), 0.0);
         assert!(rx.payload_bandwidth_bps > 5.0);
@@ -189,7 +206,10 @@ mod tests {
         let p = platform_with_tx(payload, weak);
         let rx = receive(&p, &weak, payload.len(), SimTime::from_ms(40)).unwrap();
         let ber = bit_error_rate(payload, &rx.payload);
-        assert!(ber > 0.02, "a 3 mA swing should not decode cleanly (ber {ber})");
+        assert!(
+            ber > 0.02,
+            "a 3 mA swing should not decode cleanly (ber {ber})"
+        );
     }
 
     #[test]

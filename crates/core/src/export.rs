@@ -1,13 +1,18 @@
-//! CSV export of traces and experiment reports.
+//! CSV and JSON Lines export of traces and experiment reports.
 //!
 //! The benches print human-readable tables; downstream users plotting the
 //! figures (Figure 2 curves, Figure 4 distributions, the Table III grid)
 //! want machine-readable data. These helpers render the experiment
-//! artifacts as CSV strings — the caller decides where to write them.
+//! artifacts as CSV or JSONL strings — the caller decides where to write
+//! them. The JSONL exporters go through [`sim_rt::ser`]'s record model, so
+//! every row type here also implements [`ToRecord`] for callers composing
+//! their own exports.
 
-use crate::characterize::CharacterizationReport;
-use crate::fingerprint::AccuracyGrid;
-use crate::rsa_attack::RsaAttackReport;
+use sim_rt::{Record, ToRecord, Value};
+
+use crate::characterize::{CharacterizationReport, LevelRow};
+use crate::fingerprint::{AccuracyCell, AccuracyGrid};
+use crate::rsa_attack::{KeyObservation, RsaAttackReport};
 use crate::Trace;
 
 /// Renders a trace as `time_s,value` rows.
@@ -101,6 +106,117 @@ pub fn rsa_report_to_csv(report: &RsaAttackReport) -> String {
     out
 }
 
+impl ToRecord for LevelRow {
+    fn to_record(&self) -> Record {
+        let mut r = Record::new();
+        r.push("active_groups", self.active_groups)
+            .push("current_ma_mean", self.current_ma.mean)
+            .push("current_ma_std", self.current_ma.std_dev)
+            .push("voltage_mv_mean", self.voltage_mv.mean)
+            .push("power_uw_mean", self.power_uw.mean)
+            .push("ro_count_mean", self.ro_count.as_ref().map(|s| s.mean))
+            .push("tdc_code_mean", self.tdc_code.as_ref().map(|s| s.mean));
+        r
+    }
+}
+
+impl ToRecord for AccuracyCell {
+    fn to_record(&self) -> Record {
+        let mut r = Record::new();
+        r.push("duration_s", self.duration_s)
+            .push("top1", self.top1)
+            .push("top5", self.top5);
+        r
+    }
+}
+
+impl ToRecord for KeyObservation {
+    fn to_record(&self) -> Record {
+        let mut r = Record::new();
+        r.push("hamming_weight", self.hamming_weight)
+            .push("current_ma_mean", self.current_ma.mean)
+            .push("current_ma_std", self.current_ma.std_dev)
+            .push("current_ma_min", self.current_ma.min)
+            .push("current_ma_max", self.current_ma.max)
+            .push("power_mw_mean", self.power_mw.mean);
+        r
+    }
+}
+
+/// Renders a trace as JSON Lines: one `{"time_s": .., "<unit>": ..}`
+/// object per sample.
+pub fn trace_to_jsonl(trace: &Trace) -> String {
+    let unit = match trace.channel {
+        crate::Channel::Current => "current_ma",
+        crate::Channel::Voltage => "voltage_mv",
+        crate::Channel::Power => "power_uw",
+    };
+    let rows: Vec<Record> = trace
+        .samples
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let t = trace.start.as_secs_f64() + trace.period.as_secs_f64() * i as f64;
+            let mut r = Record::new();
+            r.push("time_s", t).push(unit, v);
+            r
+        })
+        .collect();
+    sim_rt::to_jsonl(&rows)
+}
+
+/// Renders the Figure 2 sweep as JSON Lines, one object per activity
+/// level. Unlike the CSV form this keeps the TDC baseline column and uses
+/// explicit `null` for undeployed baselines.
+pub fn characterization_to_jsonl(report: &CharacterizationReport) -> String {
+    sim_rt::to_jsonl(&report.rows)
+}
+
+/// Renders the Table III grid as JSON Lines, one object per
+/// `channel x duration` cell.
+pub fn grid_to_jsonl(grid: &AccuracyGrid) -> String {
+    let rows: Vec<Record> = grid
+        .rows
+        .iter()
+        .flat_map(|(sc, cells)| {
+            cells.iter().map(|cell| {
+                let mut r = Record::new();
+                r.push("domain", sc.domain.to_string())
+                    .push("channel", sc.channel.to_string());
+                for (name, value) in cell.to_record().into_fields() {
+                    r.push(name, value);
+                }
+                r
+            })
+        })
+        .collect();
+    sim_rt::to_jsonl(&rows)
+}
+
+/// Renders the Figure 4 observations as JSON Lines, one object per key,
+/// including the cluster assignments from both channels' separability
+/// analyses.
+pub fn rsa_report_to_jsonl(report: &RsaAttackReport) -> String {
+    let rows: Vec<Record> = report
+        .observations
+        .iter()
+        .enumerate()
+        .map(|(i, obs)| {
+            let mut r = obs.to_record();
+            r.push(
+                "current_cluster",
+                Value::from(report.current_separability.cluster_of[i]),
+            )
+            .push(
+                "power_cluster",
+                Value::from(report.power_separability.cluster_of[i]),
+            );
+            r
+        })
+        .collect();
+    sim_rt::to_jsonl(&rows)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +255,52 @@ mod tests {
         assert_eq!(csv.lines().count(), 1 + 3);
         // Without an RO bank the last column is empty.
         assert!(csv.lines().nth(1).unwrap().ends_with(','));
+    }
+
+    #[test]
+    fn trace_jsonl_one_object_per_sample() {
+        let t = Trace {
+            domain: PowerDomain::FpgaLogic,
+            channel: Channel::Current,
+            start: SimTime::from_ms(40),
+            period: SimTime::from_ms(35),
+            samples: vec![100.0, 140.5],
+        };
+        let jsonl = trace_to_jsonl(&t);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"time_s\":0.04,"), "{}", lines[0]);
+        assert!(lines[1].contains("\"current_ma\":140.5"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn characterization_jsonl_keeps_null_baselines() {
+        let mut p = Platform::zcu102(91);
+        p.deploy_virus(VirusConfig::default()).unwrap();
+        let cfg = CharacterizeConfig {
+            levels: vec![0, 160],
+            samples_per_level: 60,
+            ..CharacterizeConfig::quick()
+        };
+        let report = characterize::run(&p, &cfg).unwrap();
+        let jsonl = characterization_to_jsonl(&report);
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"ro_count_mean\":null"), "{jsonl}");
+        assert!(jsonl.contains("\"active_groups\":160"), "{jsonl}");
+    }
+
+    #[test]
+    fn rsa_jsonl_matches_csv_rows() {
+        let cfg = RsaAttackConfig {
+            hamming_weights: vec![1, 1024],
+            samples_per_key: 400,
+            ..RsaAttackConfig::quick()
+        };
+        let report = rsa_attack::run(&cfg).unwrap();
+        let jsonl = rsa_report_to_jsonl(&report);
+        assert_eq!(jsonl.lines().count(), report.observations.len());
+        assert!(jsonl.contains("\"hamming_weight\":1024"), "{jsonl}");
+        assert!(jsonl.contains("\"current_cluster\":"), "{jsonl}");
     }
 
     #[test]

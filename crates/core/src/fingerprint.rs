@@ -14,8 +14,8 @@
 //! current is moderate, and FPGA *voltage* is barely above chance.
 
 use dnn_models::ModelArch;
-use rforest::{cross_validate, CvReport, Dataset, ForestConfig, RandomForest};
-use serde::{Deserialize, Serialize};
+use rforest::{cross_validate_with, CvReport, Dataset, ForestConfig, RandomForest};
+use sim_rt::pool::Pool;
 use trace_stats::features::feature_vector;
 use zynq_soc::{PowerDomain, SimTime};
 
@@ -24,7 +24,7 @@ use dpu::DpuConfig;
 use crate::{AttackError, Channel, CurrentSampler, Platform, Result, Trace};
 
 /// One sensor/channel combination — a row of Table III.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SensorChannel {
     /// Monitored power domain.
     pub domain: PowerDomain,
@@ -67,7 +67,7 @@ pub const TABLE3_CHANNELS: [SensorChannel; 6] = [
 ];
 
 /// Parameters of the fingerprinting experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FingerprintConfig {
     /// Labelled traces collected per model in the offline phase.
     pub traces_per_model: usize,
@@ -115,7 +115,7 @@ impl FingerprintConfig {
 
 /// One labelled capture: all six Table III channels recorded while a known
 /// model ran for the capture window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelCapture {
     /// Index into the model list used for collection.
     pub label: usize,
@@ -128,7 +128,7 @@ pub struct ModelCapture {
 /// Collects the offline trace corpus: for each model, `traces_per_model`
 /// runs on fresh platform instances (fresh noise seeds model run-to-run
 /// variation), sampling all six channels at the sensor's natural 35 ms
-/// update cadence.
+/// update cadence. Captures run on the process-wide thread pool.
 ///
 /// # Errors
 ///
@@ -137,38 +137,56 @@ pub fn collect_corpus(
     models: &[&ModelArch],
     config: &FingerprintConfig,
 ) -> Result<Vec<ModelCapture>> {
+    collect_corpus_with(models, config, Pool::global())
+}
+
+/// [`collect_corpus`] with captures spread across `pool`.
+///
+/// Each `(model, repetition)` capture derives its platform seed purely
+/// from the campaign seed and its own indices, so the corpus is
+/// byte-identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates platform deployment and capture errors.
+pub fn collect_corpus_with(
+    models: &[&ModelArch],
+    config: &FingerprintConfig,
+    pool: &Pool,
+) -> Result<Vec<ModelCapture>> {
     if models.is_empty() {
         return Err(AttackError::InvalidParameter("no victim models".into()));
     }
     let rate_hz = 1_000.0 / 35.0;
     let count = (config.capture_seconds * rate_hz).ceil() as usize;
-    let mut corpus = Vec::with_capacity(models.len() * config.traces_per_model);
-    for (label, model) in models.iter().enumerate() {
-        for rep in 0..config.traces_per_model {
-            let seed = config
-                .seed
-                .wrapping_mul(0x9E37_79B9)
-                .wrapping_add((label * 1_000 + rep) as u64);
-            let mut platform = Platform::zcu102(seed);
-            let dpu = platform.deploy_dpu(DpuConfig::default())?;
-            dpu.load_model(model);
-            let sampler = CurrentSampler::unprivileged(&platform);
-            // The attacker's capture starts at an arbitrary phase of the
-            // victim's inference loop.
-            let start =
-                SimTime::from_ms(40 + (zynq_soc::hash01(seed, 9, 0) * 400.0) as u64);
-            let traces = TABLE3_CHANNELS
-                .iter()
-                .map(|sc| sampler.capture(sc.domain, sc.channel, start, rate_hz, count))
-                .collect::<Result<Vec<Trace>>>()?;
-            corpus.push(ModelCapture {
-                label,
-                model_name: model.name.clone(),
-                traces,
-            });
-        }
-    }
-    Ok(corpus)
+    let jobs: Vec<(usize, usize)> = (0..models.len())
+        .flat_map(|label| (0..config.traces_per_model).map(move |rep| (label, rep)))
+        .collect();
+    pool.par_map(&jobs, |_, &(label, rep)| -> Result<ModelCapture> {
+        let model = models[label];
+        let seed = config
+            .seed
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add((label * 1_000 + rep) as u64);
+        let mut platform = Platform::zcu102(seed);
+        let dpu = platform.deploy_dpu(DpuConfig::default())?;
+        dpu.load_model(model);
+        let sampler = CurrentSampler::unprivileged(&platform);
+        // The attacker's capture starts at an arbitrary phase of the
+        // victim's inference loop.
+        let start = SimTime::from_ms(40 + (zynq_soc::hash01(seed, 9, 0) * 400.0) as u64);
+        let traces = TABLE3_CHANNELS
+            .iter()
+            .map(|sc| sampler.capture(sc.domain, sc.channel, start, rate_hz, count))
+            .collect::<Result<Vec<Trace>>>()?;
+        Ok(ModelCapture {
+            label,
+            model_name: model.name.clone(),
+            traces,
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Builds the classification dataset for one channel and capture duration
@@ -242,7 +260,7 @@ pub fn build_fused_dataset(
 }
 
 /// One cell of the Table III accuracy grid.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AccuracyCell {
     /// Capture duration in seconds.
     pub duration_s: f64,
@@ -253,7 +271,7 @@ pub struct AccuracyCell {
 }
 
 /// The full Table III grid: per channel, accuracy at each duration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AccuracyGrid {
     /// Rows in [`TABLE3_CHANNELS`] order.
     pub rows: Vec<(SensorChannel, Vec<AccuracyCell>)>,
@@ -269,18 +287,21 @@ impl AccuracyGrid {
 
     /// Accuracy cell for a channel/duration, if present.
     pub fn cell(&self, channel: SensorChannel, duration_s: f64) -> Option<AccuracyCell> {
-        self.rows.iter().find(|(sc, _)| *sc == channel).and_then(|(_, cells)| {
-            cells
-                .iter()
-                .find(|c| (c.duration_s - duration_s).abs() < 1e-9)
-                .copied()
-        })
+        self.rows
+            .iter()
+            .find(|(sc, _)| *sc == channel)
+            .and_then(|(_, cells)| {
+                cells
+                    .iter()
+                    .find(|c| (c.duration_s - duration_s).abs() < 1e-9)
+                    .copied()
+            })
     }
 }
 
 /// Runs the full Table III evaluation over a corpus: for every channel and
 /// every duration in `durations_s`, build the dataset and cross-validate a
-/// fresh forest.
+/// fresh forest. Cells are evaluated on the process-wide thread pool.
 ///
 /// # Errors
 ///
@@ -290,21 +311,56 @@ pub fn evaluate_grid(
     config: &FingerprintConfig,
     durations_s: &[f64],
 ) -> Result<AccuracyGrid> {
+    evaluate_grid_with(corpus, config, durations_s, Pool::global())
+}
+
+/// [`evaluate_grid`] with the `channel x duration` cells spread across
+/// `pool`.
+///
+/// Each cell trains its forests serially (the grid itself is the parallel
+/// axis), and every cell is a pure function of the corpus and the campaign
+/// seed, so the grid is identical at any thread count.
+///
+/// # Errors
+///
+/// Propagates dataset construction errors.
+pub fn evaluate_grid_with(
+    corpus: &[ModelCapture],
+    config: &FingerprintConfig,
+    durations_s: &[f64],
+    pool: &Pool,
+) -> Result<AccuracyGrid> {
     let n_classes = corpus.iter().map(|c| c.label).max().unwrap_or(0) + 1;
-    let mut rows = Vec::with_capacity(TABLE3_CHANNELS.len());
-    for &channel in &TABLE3_CHANNELS {
-        let mut cells = Vec::with_capacity(durations_s.len());
-        for &duration in durations_s {
+    let cells_spec: Vec<(SensorChannel, f64)> = TABLE3_CHANNELS
+        .iter()
+        .flat_map(|&channel| durations_s.iter().map(move |&d| (channel, d)))
+        .collect();
+    let cells = pool.par_map(
+        &cells_spec,
+        |_, &(channel, duration)| -> Result<AccuracyCell> {
             let dataset = build_dataset(corpus, channel, duration, config.resample_len)?;
-            let report: CvReport =
-                cross_validate(&dataset, &config.forest, config.folds, config.seed);
-            cells.push(AccuracyCell {
+            let report: CvReport = cross_validate_with(
+                &dataset,
+                &config.forest,
+                config.folds,
+                config.seed,
+                &Pool::serial(),
+            );
+            Ok(AccuracyCell {
                 duration_s: duration,
                 top1: report.top1,
                 top5: report.top5,
-            });
+            })
+        },
+    );
+    let mut rows = Vec::with_capacity(TABLE3_CHANNELS.len());
+    let mut iter = cells.into_iter();
+    for &channel in &TABLE3_CHANNELS {
+        let mut row = Vec::with_capacity(durations_s.len());
+        for _ in durations_s {
+            row.push(iter.next().expect("one cell per channel x duration")?);
         }
-        rows.push((channel, cells));
+        rows.push((channel, row));
     }
     Ok(AccuracyGrid { rows, n_classes })
 }

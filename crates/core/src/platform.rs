@@ -9,7 +9,7 @@ use fpga_fabric::rsa::{RsaCircuit, RsaConfig, RsaKey};
 use fpga_fabric::tdc::{TdcConfig, TdcSensor};
 use fpga_fabric::virus::{PowerVirusArray, VirusConfig};
 use hwmon_sim::{HwmonDevice, HwmonFs, RailProbe};
-use parking_lot::{Mutex, RwLock};
+use std::sync::{Mutex, RwLock};
 use zynq_soc::board::BoardSpec;
 use zynq_soc::cpu::{CpuActivityConfig, CpuBackgroundLoad};
 use zynq_soc::{
@@ -29,7 +29,10 @@ struct SocModel {
 
 impl SocModel {
     fn total_current_ma(&self, t: SimTime, domain: PowerDomain) -> f64 {
-        self.loads.read().current_ma(t, domain)
+        self.loads
+            .read()
+            .expect("loads lock poisoned")
+            .current_ma(t, domain)
     }
 
     /// Rail voltage from the PDN model under the instantaneous load,
@@ -124,8 +127,7 @@ impl Platform {
             .map(|&d| {
                 let mut p = Pdn::for_board(&board, d);
                 let offset = trim.sample(0.0, 1.3e-3);
-                p.v_set = (p.v_set + offset)
-                    .clamp(p.band.min_v + 2.0e-3, p.band.max_v - 2.0e-3);
+                p.v_set = (p.v_set + offset).clamp(p.band.min_v + 2.0e-3, p.band.max_v - 2.0e-3);
                 (d, p)
             })
             .collect();
@@ -224,7 +226,11 @@ impl Platform {
     }
 
     fn attach_load(&self, load: Arc<dyn PowerLoad>) {
-        self.soc.loads.write().push(load);
+        self.soc
+            .loads
+            .write()
+            .expect("loads lock poisoned")
+            .push(load);
     }
 
     /// Deploys the 160k-instance power-virus array (Figure 2 victim).
@@ -375,7 +381,10 @@ impl Platform {
             .as_ref()
             .ok_or(AttackError::NotDeployed("ring-oscillator bank"))?;
         let v = self.soc.rail_voltage(t, PowerDomain::FpgaLogic);
-        Ok(bank.lock().sample_mean_count(v))
+        Ok(bank
+            .lock()
+            .expect("ro bank lock poisoned")
+            .sample_mean_count(v))
     }
 
     /// Samples the TDC's thermometer code at time `t`.
@@ -389,7 +398,7 @@ impl Platform {
             .as_ref()
             .ok_or(AttackError::NotDeployed("tdc sensor"))?;
         let v = self.soc.rail_voltage(t, PowerDomain::FpgaLogic);
-        Ok(sensor.lock().sample(v))
+        Ok(sensor.lock().expect("tdc lock poisoned").sample(v))
     }
 }
 
@@ -418,7 +427,10 @@ mod tests {
         assert_eq!(p.hwmon().len(), 4);
         for d in PowerDomain::ALL {
             let path = p.sensor_path(d, "name");
-            let name = p.hwmon().read(&path, SimTime::ZERO, Privilege::User).unwrap();
+            let name = p
+                .hwmon()
+                .read(&path, SimTime::ZERO, Privilege::User)
+                .unwrap();
             assert_eq!(name.trim(), d.ina226_designator());
         }
     }
@@ -480,8 +492,11 @@ mod tests {
         let mut p = Platform::zcu102(5);
         assert!(p.virus().is_none());
         p.deploy_virus(VirusConfig::default()).unwrap();
-        p.deploy_rsa(RsaConfig::default(), RsaKey::with_hamming_weight(512, 1).unwrap())
-            .unwrap();
+        p.deploy_rsa(
+            RsaConfig::default(),
+            RsaKey::with_hamming_weight(512, 1).unwrap(),
+        )
+        .unwrap();
         p.deploy_dpu(DpuConfig::default()).unwrap();
         p.deploy_ro_bank(RoConfig::default()).unwrap();
         assert!(p.virus().is_some());
@@ -514,7 +529,10 @@ mod tests {
         let idle = mean(&p, 300);
         virus.activate_groups(160).unwrap();
         let busy = mean(&p, 300);
-        assert!(busy < idle, "RO count must drop under load: {idle} -> {busy}");
+        assert!(
+            busy < idle,
+            "RO count must drop under load: {idle} -> {busy}"
+        );
         let rel = (idle - busy) / idle;
         assert!(rel < 0.02, "stabilizer must cap RO variation ({rel})");
     }
@@ -523,7 +541,8 @@ mod tests {
     fn tdc_baseline_sees_less_than_current_channel() {
         let mut p = Platform::zcu102(9);
         let virus = p.deploy_virus(VirusConfig::default()).unwrap();
-        p.deploy_tdc(fpga_fabric::tdc::TdcConfig::default()).unwrap();
+        p.deploy_tdc(fpga_fabric::tdc::TdcConfig::default())
+            .unwrap();
         let mean_tdc = |p: &Platform, base_ms: u64| {
             (0..400)
                 .map(|k| p.sample_tdc(SimTime::from_ms(base_ms + k)).unwrap() as f64)

@@ -14,7 +14,6 @@
 //! statistical key-recovery attacks.
 
 use fpga_fabric::rsa::{RsaConfig, RsaKey};
-use serde::{Deserialize, Serialize};
 use trace_stats::separability::{separability_quantized, Separability};
 use trace_stats::Summary;
 use zynq_soc::{PowerDomain, SimTime};
@@ -22,7 +21,7 @@ use zynq_soc::{PowerDomain, SimTime};
 use crate::{AttackError, Channel, CurrentSampler, Platform, Result};
 
 /// Parameters of the Hamming-weight experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RsaAttackConfig {
     /// Key Hamming weights to profile (default: the paper's 17).
     pub hamming_weights: Vec<u32>,
@@ -97,7 +96,7 @@ pub fn search_space_bits(hw: u32) -> f64 {
 }
 
 /// Measured distribution for one key.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KeyObservation {
     /// The (secret) Hamming weight this key was constructed with.
     pub hamming_weight: u32,
@@ -108,7 +107,7 @@ pub struct KeyObservation {
 }
 
 /// Result of the Figure 4 experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RsaAttackReport {
     /// Per-key distributions, in the order of the configured weights.
     pub observations: Vec<KeyObservation>,
@@ -201,8 +200,7 @@ pub fn run(config: &RsaAttackConfig) -> Result<RsaAttackReport> {
     // indistinguishable register values.
     let power_lsb_mw = 25.0;
     let current_separability = separability_quantized(&current_refs, config.z_score, 1.0)?;
-    let power_separability =
-        separability_quantized(&power_refs, config.z_score, power_lsb_mw)?;
+    let power_separability = separability_quantized(&power_refs, config.z_score, power_lsb_mw)?;
 
     Ok(RsaAttackReport {
         observations,
@@ -258,7 +256,13 @@ pub fn windowed_profile(
     let sampler = crate::CurrentSampler::privileged(platform);
     let period_ns = circuit_config.encryption_period().as_nanos();
     let rate_hz = 500.0;
-    let trace = sampler.capture(PowerDomain::FpgaLogic, Channel::Current, start, rate_hz, samples)?;
+    let trace = sampler.capture(
+        PowerDomain::FpgaLogic,
+        Channel::Current,
+        start,
+        rate_hz,
+        samples,
+    )?;
 
     // Phase-fold into bins over the iteration portion of the period.
     let iterations_ns =
@@ -325,7 +329,11 @@ mod tests {
     #[test]
     fn mean_current_is_monotone_in_weight() {
         let report = run(&RsaAttackConfig::quick()).unwrap();
-        let means: Vec<f64> = report.observations.iter().map(|o| o.current_ma.mean).collect();
+        let means: Vec<f64> = report
+            .observations
+            .iter()
+            .map(|o| o.current_ma.mean)
+            .collect();
         for pair in means.windows(2) {
             assert!(pair[1] > pair[0], "means not monotone: {means:?}");
         }
@@ -335,11 +343,7 @@ mod tests {
     fn adjacent_groups_pass_tvla_threshold() {
         let report = run(&RsaAttackConfig::quick()).unwrap();
         for (i, t) in report.adjacent_current_t().iter().enumerate() {
-            assert!(
-                *t > 4.5,
-                "adjacent groups {i}/{} only reach t = {t}",
-                i + 1
-            );
+            assert!(*t > 4.5, "adjacent groups {i}/{} only reach t = {t}", i + 1);
         }
     }
 
@@ -359,7 +363,10 @@ mod tests {
             hamming_weights: vec![],
             ..RsaAttackConfig::quick()
         };
-        assert!(matches!(run(&config), Err(AttackError::InvalidParameter(_))));
+        assert!(matches!(
+            run(&config),
+            Err(AttackError::InvalidParameter(_))
+        ));
     }
 
     #[test]
@@ -368,7 +375,10 @@ mod tests {
             hamming_weights: vec![0],
             ..RsaAttackConfig::quick()
         };
-        assert!(matches!(run(&config), Err(AttackError::InvalidParameter(_))));
+        assert!(matches!(
+            run(&config),
+            Err(AttackError::InvalidParameter(_))
+        ));
     }
 
     #[test]
@@ -383,8 +393,7 @@ mod tests {
         let mut platform = Platform::zcu102(314);
         platform.deploy_rsa(RsaConfig::default(), key).unwrap();
 
-        let profile =
-            windowed_profile(&platform, 8, 12_000, SimTime::from_ms(40)).unwrap();
+        let profile = windowed_profile(&platform, 8, 12_000, SimTime::from_ms(40)).unwrap();
         assert_eq!(profile.len(), 8);
         let low: f64 = profile[..4].iter().sum::<f64>() / 4.0;
         let high: f64 = profile[4..].iter().sum::<f64>() / 4.0;
@@ -421,7 +430,10 @@ mod tests {
         assert!(search_space_bits(1) < 11.0);
         // Entropy bound: 1024 * H(64/1024) = 1024 * 0.337 ~ 345 bits.
         let hw64 = search_space_bits(64);
-        assert!((330.0..345.0).contains(&hw64), "C(1024,64) ~ 2^341, got {hw64}");
+        assert!(
+            (330.0..345.0).contains(&hw64),
+            "C(1024,64) ~ 2^341, got {hw64}"
+        );
         let hw512 = search_space_bits(512);
         assert!(hw512 < 1024.0);
         assert!(hw512 > 1015.0);
@@ -441,8 +453,7 @@ mod tests {
             ..RsaAttackConfig::quick()
         };
         let report = run(&config).unwrap();
-        let delta =
-            report.observations[1].current_ma.mean - report.observations[0].current_ma.mean;
+        let delta = report.observations[1].current_ma.mean - report.observations[0].current_ma.mean;
         assert!((3.0..15.0).contains(&delta), "step {delta} mA");
     }
 }

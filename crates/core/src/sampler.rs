@@ -139,7 +139,13 @@ mod tests {
         let p = platform_with_virus(40);
         let s = CurrentSampler::unprivileged(&p);
         let t = s
-            .capture(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_ms(40), 1_000.0, 50)
+            .capture(
+                PowerDomain::FpgaLogic,
+                Channel::Current,
+                SimTime::from_ms(40),
+                1_000.0,
+                50,
+            )
             .unwrap();
         assert_eq!(t.len(), 50);
         assert_eq!(t.period, SimTime::from_ms(1));
@@ -154,11 +160,20 @@ mod tests {
         // 10 kHz against the 35 ms update interval: long runs of equal
         // values.
         let t = s
-            .capture(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_ms(40), 10_000.0, 200)
+            .capture(
+                PowerDomain::FpgaLogic,
+                Channel::Current,
+                SimTime::from_ms(40),
+                10_000.0,
+                200,
+            )
             .unwrap();
         let distinct: std::collections::BTreeSet<i64> =
             t.samples.iter().map(|&v| v as i64).collect();
-        assert!(distinct.len() <= 2, "expected held values, got {distinct:?}");
+        assert!(
+            distinct.len() <= 2,
+            "expected held values, got {distinct:?}"
+        );
     }
 
     #[test]
@@ -198,7 +213,10 @@ mod tests {
     #[test]
     fn privilege_levels() {
         let p = platform_with_virus(0);
-        assert_eq!(CurrentSampler::unprivileged(&p).privilege(), Privilege::User);
+        assert_eq!(
+            CurrentSampler::unprivileged(&p).privilege(),
+            Privilege::User
+        );
         assert_eq!(CurrentSampler::privileged(&p).privilege(), Privilege::Root);
     }
 }

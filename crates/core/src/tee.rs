@@ -9,14 +9,13 @@
 
 use fpga_fabric::enclave::EnclaveTask;
 use rforest::{Dataset, ForestConfig, RandomForest};
-use serde::{Deserialize, Serialize};
 use trace_stats::features::feature_vector;
 use zynq_soc::{PowerDomain, SimTime};
 
 use crate::{AttackError, Channel, CurrentSampler, Platform, Result, Trace};
 
 /// Parameters of the TEE workload-inference attack.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TeeAttackConfig {
     /// Labelled traces collected per task in the profiling phase.
     pub traces_per_task: usize,
@@ -172,7 +171,10 @@ mod tests {
         let enclave = platform.deploy_enclave().unwrap();
         enclave.run(EnclaveTask::MatMul);
         let trace = capture_task_trace(&platform, &config, SimTime::from_ms(40)).unwrap();
-        assert_eq!(report.classifier.identify(&trace).unwrap(), EnclaveTask::MatMul);
+        assert_eq!(
+            report.classifier.identify(&trace).unwrap(),
+            EnclaveTask::MatMul
+        );
     }
 
     #[test]

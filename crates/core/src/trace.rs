@@ -1,8 +1,7 @@
-use serde::{Deserialize, Serialize};
 use zynq_soc::{PowerDomain, SimTime};
 
 /// The hwmon measurement channel a trace was captured from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Channel {
     /// `curr1_input` — mA resolution; the channel AmpereBleed exploits.
     Current,
@@ -66,7 +65,7 @@ impl std::fmt::Display for Channel {
 /// assert_eq!(t.mean(), 100.0);
 /// assert_eq!(t.duration(), SimTime::from_ms(3));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     /// Monitored power domain.
     pub domain: PowerDomain,

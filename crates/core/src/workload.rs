@@ -12,7 +12,6 @@ use fpga_fabric::covert::CovertConfig;
 use fpga_fabric::rsa::{RsaConfig, RsaKey};
 use fpga_fabric::virus::VirusConfig;
 use rforest::{Dataset, ForestConfig, RandomForest};
-use serde::{Deserialize, Serialize};
 use trace_stats::features::feature_vector;
 use zynq_soc::{PowerDomain, SimTime};
 
@@ -21,7 +20,7 @@ use dpu::DpuConfig;
 use crate::{AttackError, Channel, CurrentSampler, Platform, Result, Trace};
 
 /// The workload classes the reconnaissance step distinguishes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum WorkloadClass {
     /// Nothing deployed beyond the platform's base bitstream.
     Idle,
@@ -60,7 +59,7 @@ impl std::fmt::Display for WorkloadClass {
 }
 
 /// Parameters of the reconnaissance classifier.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
     /// Labelled traces per class in the profiling phase.
     pub traces_per_class: usize,

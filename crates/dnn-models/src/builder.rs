@@ -187,7 +187,6 @@ impl NetBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn conv_shapes_and_macs() {
@@ -240,19 +239,17 @@ mod tests {
         let _ = NetBuilder::new(0, 3);
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn spatial_never_zero(
             input in 1u64..300, k in 1u64..8, stride in 1u64..5
         ) {
             let mut b = NetBuilder::new(input, 3);
             b.conv("c", k, stride, 8);
-            prop_assert!(b.spatial() >= 1);
+            assert!(b.spatial() >= 1);
             b.pool("p", k, stride);
-            prop_assert!(b.spatial() >= 1);
+            assert!(b.spatial() >= 1);
         }
 
-        #[test]
         fn all_layers_have_positive_traffic(
             stride in 1u64..4, out_c in 1u64..64
         ) {
@@ -263,7 +260,7 @@ mod tests {
                 .add("a")
                 .fc("f", 10);
             for l in b.finish() {
-                prop_assert!(l.dram_bytes > 0, "{} has zero traffic", l.name);
+                assert!(l.dram_bytes > 0, "{} has zero traffic", l.name);
             }
         }
     }

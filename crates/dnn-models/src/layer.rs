@@ -1,12 +1,10 @@
-use serde::{Deserialize, Serialize};
-
 /// The kind of a network layer, as the DPU's scheduler sees it.
 ///
 /// Kinds matter because they determine the accelerator's achievable
 /// efficiency: standard convolutions keep the MAC array busy, depthwise
 /// convolutions and pooling are memory-bound, fully-connected layers are
 /// weight-bandwidth-bound.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
     /// Standard convolution (im2col / systolic friendly).
     Conv,
@@ -66,7 +64,7 @@ impl LayerKind {
 /// };
 /// assert!(l.arithmetic_intensity() > 100.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Layer {
     /// Layer name (unique within a model).
     pub name: String,
@@ -97,8 +95,12 @@ mod tests {
 
     #[test]
     fn efficiency_ordering_is_sane() {
-        assert!(LayerKind::Conv.compute_efficiency() > LayerKind::DepthwiseConv.compute_efficiency());
-        assert!(LayerKind::DepthwiseConv.compute_efficiency() > LayerKind::Concat.compute_efficiency());
+        assert!(
+            LayerKind::Conv.compute_efficiency() > LayerKind::DepthwiseConv.compute_efficiency()
+        );
+        assert!(
+            LayerKind::DepthwiseConv.compute_efficiency() > LayerKind::Concat.compute_efficiency()
+        );
         for k in [
             LayerKind::Conv,
             LayerKind::DepthwiseConv,

@@ -1,9 +1,7 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Layer, NetBuilder};
 
 /// Architecture family of a model (7 families, per Section IV-B).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Family {
     /// Residual networks.
     ResNet,
@@ -37,7 +35,7 @@ impl std::fmt::Display for Family {
 }
 
 /// One model architecture with its full layer schedule.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelArch {
     /// Model name, e.g. "resnet-50".
     pub name: String,
@@ -183,8 +181,19 @@ fn mobilenet_v1(name: &str, alpha: f64) -> ModelArch {
     b.conv("conv1", 3, 2, scaled(32, alpha));
     // (stride, out_channels) of the 13 depthwise-separable blocks.
     let blocks: [(u64, u64); 13] = [
-        (1, 64), (2, 128), (1, 128), (2, 256), (1, 256), (2, 512),
-        (1, 512), (1, 512), (1, 512), (1, 512), (1, 512), (2, 1024), (1, 1024),
+        (1, 64),
+        (2, 128),
+        (1, 128),
+        (2, 256),
+        (1, 256),
+        (2, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (1, 512),
+        (2, 1024),
+        (1, 1024),
     ];
     for (i, &(stride, out_c)) in blocks.iter().enumerate() {
         b.dw_conv(&format!("dw{i}"), 3, stride)
@@ -231,8 +240,12 @@ fn mobilenet_v3(name: &str, large: bool) -> ModelArch {
     b.conv("conv1", 3, 2, 16);
     let stages: &[(u64, u64, u64, u64)] = if large {
         &[
-            (1, 16, 1, 1), (4, 24, 2, 2), (3, 40, 3, 2),
-            (6, 80, 4, 2), (6, 112, 2, 1), (6, 160, 3, 2),
+            (1, 16, 1, 1),
+            (4, 24, 2, 2),
+            (3, 40, 3, 2),
+            (6, 80, 4, 2),
+            (6, 112, 2, 1),
+            (6, 160, 3, 2),
         ]
     } else {
         &[(1, 16, 1, 2), (4, 24, 2, 2), (4, 40, 3, 2), (6, 96, 3, 2)]
@@ -273,8 +286,14 @@ fn squeezenet(name: &str, v11: bool, residual: bool) -> ModelArch {
         b.conv("conv1", 7, 2, 96).pool("pool1", 3, 2);
     }
     let fires: [(u64, u64); 8] = [
-        (16, 64), (16, 64), (32, 128), (32, 128),
-        (48, 192), (48, 192), (64, 256), (64, 256),
+        (16, 64),
+        (16, 64),
+        (32, 128),
+        (32, 128),
+        (48, 192),
+        (48, 192),
+        (64, 256),
+        (64, 256),
     ];
     for (i, &(s, e)) in fires.iter().enumerate() {
         fire(&mut b, &format!("fire{}", i + 2), s, e);
@@ -340,8 +359,12 @@ fn densenet(name: &str, blocks: [u64; 4], growth: u64) -> ModelArch {
         for i in 0..n {
             let tag = format!("d{stage}_{i}");
             let c_in = b.channels();
-            b.conv(&format!("{tag}.bn1x1"), 1, 1, growth * 4)
-                .conv(&format!("{tag}.c3"), 3, 1, growth);
+            b.conv(&format!("{tag}.bn1x1"), 1, 1, growth * 4).conv(
+                &format!("{tag}.c3"),
+                3,
+                1,
+                growth,
+            );
             b.set_channels(c_in);
             b.concat(&format!("{tag}.cat"), growth);
         }
@@ -460,15 +483,26 @@ mod tests {
     #[test]
     fn absolute_mac_counts_are_plausible() {
         let models = zoo();
-        let gmacs = |n: &str| {
-            models.iter().find(|m| m.name == n).unwrap().total_macs() as f64 / 1e9
-        };
+        let gmacs =
+            |n: &str| models.iter().find(|m| m.name == n).unwrap().total_macs() as f64 / 1e9;
         // Published figures: VGG-19 ~19.6 GMACs, ResNet-50 ~4.1,
         // MobileNet-v1 ~0.57. Allow generous tolerance for the simplified
         // bookkeeping (no bias/BN terms, approximate inception branches).
-        assert!((15.0..26.0).contains(&gmacs("vgg-19")), "{}", gmacs("vgg-19"));
-        assert!((2.5..6.5).contains(&gmacs("resnet-50")), "{}", gmacs("resnet-50"));
-        assert!((0.3..1.0).contains(&gmacs("mobilenet-v1")), "{}", gmacs("mobilenet-v1"));
+        assert!(
+            (15.0..26.0).contains(&gmacs("vgg-19")),
+            "{}",
+            gmacs("vgg-19")
+        );
+        assert!(
+            (2.5..6.5).contains(&gmacs("resnet-50")),
+            "{}",
+            gmacs("resnet-50")
+        );
+        assert!(
+            (0.3..1.0).contains(&gmacs("mobilenet-v1")),
+            "{}",
+            gmacs("mobilenet-v1")
+        );
     }
 
     #[test]

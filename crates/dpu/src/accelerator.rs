@@ -118,8 +118,7 @@ impl DpuAccelerator {
         // Resize/normalize cost grows with the model's input resolution
         // (ILSVRC images are rescaled per-model, Section IV-B).
         let scale = (model.input as f64 / 224.0).powi(2);
-        let pre_post =
-            SimTime::from_secs_f64(self.config.pre_post_time.as_secs_f64() * scale);
+        let pre_post = SimTime::from_secs_f64(self.config.pre_post_time.as_secs_f64() * scale);
         *self.state.write().expect("dpu state lock poisoned") = Some(LoadedModel {
             schedule,
             loaded_at: at,
@@ -162,7 +161,8 @@ impl DpuAccelerator {
         let offset = since % period;
         // Input-dependent jitter: each inference is a little faster/slower;
         // model it as a phase wobble of the layer lookup.
-        let jitter = (hash01(self.seed, 2, inference_idx) - 0.5) * 2.0 * self.config.inference_jitter;
+        let jitter =
+            (hash01(self.seed, 2, inference_idx) - 0.5) * 2.0 * self.config.inference_jitter;
         let pre_post_ns = m.pre_post.as_nanos();
         if offset < pre_post_ns {
             return (0.0, 0.0, 0.2, true); // light memory traffic during resize
@@ -187,7 +187,11 @@ impl PowerLoad for DpuAccelerator {
             Some(m) => m,
             None => {
                 // Unconfigured fabric region: nothing but a trickle.
-                return if domain == PowerDomain::FpgaLogic { 40.0 } else { 0.0 };
+                return if domain == PowerDomain::FpgaLogic {
+                    40.0
+                } else {
+                    0.0
+                };
             }
         };
         let (util, switching, dram_gbps, in_pre_post) = self.activity_at(t, m);
@@ -305,9 +309,8 @@ mod tests {
     fn accelerator_is_shareable_across_threads() {
         let dpu = Arc::new(dpu_with("resnet-50"));
         let d2 = Arc::clone(&dpu);
-        let handle = std::thread::spawn(move || {
-            d2.current_ma(SimTime::from_ms(5), PowerDomain::FpgaLogic)
-        });
+        let handle =
+            std::thread::spawn(move || d2.current_ma(SimTime::from_ms(5), PowerDomain::FpgaLogic));
         let a = dpu.current_ma(SimTime::from_ms(5), PowerDomain::FpgaLogic);
         let b = handle.join().unwrap();
         assert_eq!(a, b);

@@ -337,7 +337,9 @@ mod tests {
     fn compile_produces_valid_programs_for_whole_zoo() {
         for model in zoo() {
             let program = Program::compile(&model);
-            program.validate().unwrap_or_else(|e| panic!("{}: {e}", model.name));
+            program
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", model.name));
             assert_eq!(program.model_name(), model.name);
             assert!(!program.is_empty());
         }
@@ -354,10 +356,7 @@ mod tests {
             .filter(|i| i.opcode.is_compute())
             .count();
         assert_eq!(compute_ops, model.layers.len());
-        assert_eq!(
-            program.instructions().last().unwrap().opcode,
-            Opcode::End
-        );
+        assert_eq!(program.instructions().last().unwrap().opcode, Opcode::End);
     }
 
     #[test]
@@ -463,7 +462,10 @@ mod tests {
                 assert!(entry.start >= mem_end, "memory engine overlap at {entry:?}");
                 mem_end = entry.end;
             } else if instr.opcode.is_compute() {
-                assert!(entry.start >= compute_end, "compute engine overlap at {entry:?}");
+                assert!(
+                    entry.start >= compute_end,
+                    "compute engine overlap at {entry:?}"
+                );
                 compute_end = entry.end;
             }
         }

@@ -122,8 +122,7 @@ impl DpuRunner {
             let started_at = submitted_at.max(engine_free);
             // Input-dependent service jitter, deterministic per request.
             let jitter = 1.0 + (hash01(self.seed, 6, id as u64) - 0.5) * 2.0 * self.jitter;
-            let service =
-                SimTime::from_secs_f64(self.service_time().as_secs_f64() * jitter);
+            let service = SimTime::from_secs_f64(self.service_time().as_secs_f64() * jitter);
             let finished_at = started_at + service;
             engine_free = finished_at;
             completed.push(CompletedRequest {
@@ -201,8 +200,9 @@ mod tests {
         let runner = runner_for("mobilenet-v1");
         // Widely spaced submissions: no queueing.
         let spacing = SimTime::from_secs(1);
-        let submits: Vec<SimTime> =
-            (0..5).map(|k| SimTime::from_nanos(spacing.as_nanos() * k)).collect();
+        let submits: Vec<SimTime> = (0..5)
+            .map(|k| SimTime::from_nanos(spacing.as_nanos() * k))
+            .collect();
         let completed = runner.serve(&submits);
         for r in &completed {
             assert_eq!(r.queue_delay(), SimTime::ZERO);

@@ -157,7 +157,10 @@ mod tests {
             .collect();
         assert!(!convs.is_empty());
         let peak = convs.iter().map(|l| l.utilization).fold(0.0, f64::max);
-        assert!(peak > 0.5, "VGG convs should near-saturate the array ({peak})");
+        assert!(
+            peak > 0.5,
+            "VGG convs should near-saturate the array ({peak})"
+        );
     }
 
     #[test]

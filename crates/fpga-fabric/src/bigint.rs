@@ -8,8 +8,6 @@
 //! LSB-first modular exponentiation (the two-multiplier formulation used
 //! by the victim hardware).
 
-use serde::{Deserialize, Serialize};
-
 /// Number of 64-bit limbs in a [`U1024`].
 pub const LIMBS: usize = 16;
 
@@ -29,7 +27,7 @@ pub const BITS: usize = LIMBS * 64;
 /// let r = a.mod_exp(&U1024::from_u64(4), &m);
 /// assert_eq!(r, U1024::from_u64(9));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct U1024 {
     limbs: [u64; LIMBS],
 }
@@ -309,7 +307,10 @@ impl U1024 {
     /// Returns [`ParseU1024Error`] for empty input, non-hex digits, or
     /// more than 256 hex digits.
     pub fn from_hex(s: &str) -> std::result::Result<Self, ParseU1024Error> {
-        let digits = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let digits = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
         if digits.is_empty() {
             return Err(ParseU1024Error::Empty);
         }
@@ -389,7 +390,6 @@ impl std::fmt::Display for U1024 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn small(v: u64) -> U1024 {
         U1024::from_u64(v)
@@ -551,7 +551,12 @@ mod tests {
 
     #[test]
     fn hex_parse_round_trip() {
-        for v in [U1024::ZERO, U1024::ONE, small(0xdead_beef), U1024::random(3)] {
+        for v in [
+            U1024::ZERO,
+            U1024::ONE,
+            small(0xdead_beef),
+            U1024::random(3),
+        ] {
             let parsed = U1024::from_hex(&v.to_string()).unwrap();
             assert_eq!(parsed, v);
         }
@@ -563,7 +568,10 @@ mod tests {
     fn hex_parse_errors() {
         assert_eq!(U1024::from_hex(""), Err(ParseU1024Error::Empty));
         assert_eq!(U1024::from_hex("0x"), Err(ParseU1024Error::Empty));
-        assert_eq!(U1024::from_hex("xyz"), Err(ParseU1024Error::InvalidDigit('x')));
+        assert_eq!(
+            U1024::from_hex("xyz"),
+            Err(ParseU1024Error::InvalidDigit('x'))
+        );
         let too_long = "f".repeat(257);
         assert_eq!(
             U1024::from_hex(&too_long),
@@ -585,43 +593,39 @@ mod tests {
         assert_ne!(U1024::random(5), U1024::random(6));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
+    sim_rt::prop_check! {
+        cases = 64;
 
-        #[test]
         fn mod_mul_matches_u128_random(a in 0u64..1_000_000, b in 0u64..1_000_000, m in 2u64..1_000_000) {
             let got = small(a % m).mod_mul(&small(b % m), &small(m));
             let expect = ((a % m) as u128 * (b % m) as u128 % m as u128) as u64;
-            prop_assert_eq!(got, small(expect));
+            assert_eq!(got, small(expect));
         }
 
-        #[test]
         fn mod_exp_matches_naive(a in 1u64..1000, e in 0u64..64, m in 2u64..10_000) {
             let mut expect = 1u128;
             for _ in 0..e {
                 expect = expect * (a % m) as u128 % m as u128;
             }
             let got = small(a % m).mod_exp(&small(e), &small(m));
-            prop_assert_eq!(got, small(expect as u64));
+            assert_eq!(got, small(expect as u64));
         }
 
-        #[test]
         fn hamming_weight_matches_set_bits(
-            bits in prop::collection::btree_set(0usize..1024, 0..64)
+            bits in sim_rt::check::btree_set_of(0usize..1024, 0..64)
         ) {
             let mut v = U1024::ZERO;
             for &b in &bits {
                 v.set_bit(b, true);
             }
-            prop_assert_eq!(v.hamming_weight() as usize, bits.len());
+            assert_eq!(v.hamming_weight() as usize, bits.len());
         }
 
-        #[test]
         fn ordering_consistent_with_subtraction(sa in 0u64..1000, sb in 0u64..1000) {
             let a = U1024::random(sa);
             let b = U1024::random(sb);
             let (_, borrow) = a.overflowing_sub(&b);
-            prop_assert_eq!(borrow, a < b);
+            assert_eq!(borrow, a < b);
         }
     }
 }

@@ -120,8 +120,7 @@ impl CovertTransmitter {
 
     /// The bit on the wire at time `t`.
     pub fn bit_at(&self, t: SimTime) -> bool {
-        let slot =
-            (t.as_nanos() / self.config.bit_period.as_nanos()) as usize % self.frame.len();
+        let slot = (t.as_nanos() / self.config.bit_period.as_nanos()) as usize % self.frame.len();
         self.frame[slot]
     }
 

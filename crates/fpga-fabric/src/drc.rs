@@ -79,7 +79,10 @@ impl Netlist {
     ///
     /// Panics if either id is out of range.
     pub fn connect(&mut self, driver: usize, sink: usize) {
-        assert!(driver < self.cells.len() && sink < self.cells.len(), "cell id out of range");
+        assert!(
+            driver < self.cells.len() && sink < self.cells.len(),
+            "cell id out of range"
+        );
         self.edges.push((driver, sink));
     }
 
@@ -334,7 +337,9 @@ mod tests {
         let violations = check(&n);
         assert_eq!(
             violations,
-            vec![Violation::DanglingCell { cell: "orphan".into() }]
+            vec![Violation::DanglingCell {
+                cell: "orphan".into()
+            }]
         );
         assert!(violations[0].to_string().contains("orphan"));
     }

@@ -8,8 +8,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Resource utilization of a design or capacity of a device.
 ///
 /// # Examples
@@ -23,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(sum.luts, 150);
 /// assert!(b.fits_within(&a));
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct Utilization {
     /// Lookup tables.
     pub luts: u64,
@@ -66,7 +64,7 @@ impl std::ops::AddAssign for Utilization {
 
 /// A rectangular placement region on the fabric die, in normalized
 /// coordinates (`0.0..=1.0` on each axis).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Region {
     /// Left edge.
     pub x: f64,
@@ -119,7 +117,7 @@ impl Region {
 }
 
 /// A compiled design ready for deployment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Bitstream {
     /// Design name.
     pub name: String,
@@ -206,7 +204,7 @@ impl std::error::Error for DeployError {}
 /// fabric.deploy(&design).unwrap();
 /// assert_eq!(fabric.deployed().len(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FabricInventory {
     capacity: Utilization,
     fabric_clock_mhz: u32,
@@ -302,7 +300,6 @@ impl FabricInventory {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn zcu102_capacity_matches_paper() {
@@ -337,10 +334,23 @@ mod tests {
 
     #[test]
     fn utilization_addition() {
-        let a = Utilization { luts: 1, ffs: 2, dsps: 3, bram_kb: 4 };
+        let a = Utilization {
+            luts: 1,
+            ffs: 2,
+            dsps: 3,
+            bram_kb: 4,
+        };
         let mut b = a;
         b += a;
-        assert_eq!(b, Utilization { luts: 2, ffs: 4, dsps: 6, bram_kb: 8 });
+        assert_eq!(
+            b,
+            Utilization {
+                luts: 2,
+                ffs: 4,
+                dsps: 6,
+                bram_kb: 8
+            }
+        );
     }
 
     #[test]
@@ -378,17 +388,16 @@ mod tests {
         assert!(b.encrypted);
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn fits_within_is_reflexive_and_monotone(
             luts in 0u64..1_000_000, ffs in 0u64..1_000_000,
             dsps in 0u64..10_000, bram in 0u64..100_000
         ) {
             let u = Utilization { luts, ffs, dsps, bram_kb: bram };
-            prop_assert!(u.fits_within(&u));
+            assert!(u.fits_within(&u));
             let bigger = u + Utilization { luts: 1, ffs: 1, dsps: 1, bram_kb: 1 };
-            prop_assert!(u.fits_within(&bigger));
-            prop_assert!(!bigger.fits_within(&u));
+            assert!(u.fits_within(&bigger));
+            assert!(!bigger.fits_within(&u));
         }
     }
 }

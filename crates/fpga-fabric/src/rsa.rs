@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use zynq_soc::{hash01, PowerDomain, PowerLoad, SimTime};
 
-use crate::bigint::{U1024, BITS};
+use crate::bigint::{BITS, U1024};
 use crate::resources::{Bitstream, Utilization};
 
 /// A 1024-bit RSA private exponent.
@@ -313,7 +313,6 @@ impl PowerLoad for RsaCircuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn key_weight_construction() {
@@ -339,9 +338,7 @@ mod tests {
     #[test]
     fn seventeen_paper_keys() {
         // HW = 1, then 64..1024 in steps of 64 -> 17 keys.
-        let weights: Vec<u32> = std::iter::once(1)
-            .chain((1..=16).map(|i| i * 64))
-            .collect();
+        let weights: Vec<u32> = std::iter::once(1).chain((1..=16).map(|i| i * 64)).collect();
         assert_eq!(weights.len(), 17);
         for w in weights {
             assert_eq!(
@@ -421,12 +418,7 @@ mod tests {
         // Small modulus keeps the shift-add datapath fast in tests while
         // exercising the genuine 1024-bit-wide machinery.
         let key = RsaKey::new(U1024::from_u64(117)).unwrap();
-        let rsa = RsaCircuit::with_modulus(
-            RsaConfig::default(),
-            key,
-            U1024::from_u64(1009),
-            0,
-        );
+        let rsa = RsaCircuit::with_modulus(RsaConfig::default(), key, U1024::from_u64(1009), 0);
         let mut expect = 1u64;
         for _ in 0..117 {
             expect = expect * 5 % 1009;
@@ -456,22 +448,20 @@ mod tests {
         assert_eq!(i, config.idle_ma);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    sim_rt::prop_check! {
+        cases = 32;
 
-        #[test]
         fn weight_construction_exact(w in 1u32..=1024, seed in 0u64..100) {
             let k = RsaKey::with_hamming_weight(w, seed).unwrap();
-            prop_assert_eq!(k.hamming_weight(), w);
+            assert_eq!(k.hamming_weight(), w);
         }
 
-        #[test]
         fn current_bounded(ms in 0u64..100, hw in 1u32..=1024) {
             let key = RsaKey::with_hamming_weight(hw, 2).unwrap();
             let rsa = RsaCircuit::new(RsaConfig::default(), key, 2);
             let i = rsa.current_ma(SimTime::from_ms(ms), PowerDomain::FpgaLogic);
             let max = (45.0 + 60.0 + 128.0) * 1.01;
-            prop_assert!(i >= 0.0 && i <= max);
+            assert!(i >= 0.0 && i <= max);
         }
     }
 }

@@ -82,7 +82,10 @@ impl TdcSensor {
     pub fn new(config: TdcConfig, seed: u64) -> Self {
         assert!(config.taps > 0, "tap count must be non-zero");
         assert!(config.tap_delay_ps > 0.0, "tap delay must be positive");
-        assert!(config.nominal_volts > 0.0, "nominal voltage must be positive");
+        assert!(
+            config.nominal_volts > 0.0,
+            "nominal voltage must be positive"
+        );
         TdcSensor {
             config,
             noise: GaussianNoise::new(seed ^ 0x7464_6373), // "tdcs"
@@ -157,7 +160,10 @@ mod tests {
         let mut slowed = TdcSensor::new(TdcConfig::default(), 3);
         let crawl = slowed.sample(0.2);
         let nominal = slowed.sample(0.85);
-        assert!((crawl as f64) < nominal as f64 * 0.6, "{crawl} vs {nominal}");
+        assert!(
+            (crawl as f64) < nominal as f64 * 0.6,
+            "{crawl} vs {nominal}"
+        );
     }
 
     #[test]

@@ -106,7 +106,10 @@ impl PowerVirusArray {
     /// Panics if `groups == 0` or `instances_per_group == 0`.
     pub fn new(config: VirusConfig, seed: u64) -> Self {
         assert!(config.groups > 0, "group count must be non-zero");
-        assert!(config.instances_per_group > 0, "instances per group must be non-zero");
+        assert!(
+            config.instances_per_group > 0,
+            "instances per group must be non-zero"
+        );
         let mut noise = GaussianNoise::new(seed ^ 0x7672_7573); // "virus"
         let group_gain: Vec<f64> = (0..config.groups)
             .map(|_| (1.0 + noise.sample(0.0, config.process_variation)).max(0.5))
@@ -210,7 +213,8 @@ impl PowerLoad for PowerVirusArray {
         let bucket = t.as_micros() / 100;
         let mut dynamic = 0.0;
         for (g, gain) in self.group_gain[..active].iter().enumerate() {
-            let jitter = (hash01(self.seed, g as u64, bucket) - 0.5) * 2.0 * self.config.activity_jitter;
+            let jitter =
+                (hash01(self.seed, g as u64, bucket) - 0.5) * 2.0 * self.config.activity_jitter;
             dynamic += self.config.active_ma_per_group * gain * (1.0 + jitter);
         }
         leakage + dynamic
@@ -224,7 +228,6 @@ impl PowerLoad for PowerVirusArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn array() -> PowerVirusArray {
         PowerVirusArray::new(VirusConfig::default(), 42)
@@ -287,7 +290,11 @@ mod tests {
     fn other_domains_unaffected() {
         let v = array();
         v.activate_groups(160).unwrap();
-        for d in [PowerDomain::FullPowerCpu, PowerDomain::LowPowerCpu, PowerDomain::Ddr] {
+        for d in [
+            PowerDomain::FullPowerCpu,
+            PowerDomain::LowPowerCpu,
+            PowerDomain::Ddr,
+        ] {
             assert_eq!(v.current_ma(SimTime::ZERO, d), 0.0);
         }
     }
@@ -337,20 +344,18 @@ mod tests {
         );
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn current_nonnegative_and_bounded(n in 0u32..=160, ms in 0u64..10_000) {
             let v = array();
             v.activate_groups(n).unwrap();
             let i = v.current_ma(SimTime::from_ms(ms), PowerDomain::FpgaLogic);
-            prop_assert!(i >= 0.0);
-            prop_assert!(i < 8_000.0);
+            assert!(i >= 0.0);
+            assert!(i < 8_000.0);
         }
 
-        #[test]
         fn nominal_active_ma_is_monotone(n in 0u32..160) {
             let v = array();
-            prop_assert!(v.nominal_active_ma(n) <= v.nominal_active_ma(n + 1));
+            assert!(v.nominal_active_ma(n) <= v.nominal_active_ma(n + 1));
         }
     }
 }

@@ -1,7 +1,6 @@
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use ina226::{Config, Ina226};
-use parking_lot::Mutex;
 use zynq_soc::SimTime;
 
 /// Source of the true electrical operating point of a monitored rail.
@@ -41,7 +40,7 @@ impl std::fmt::Debug for HwmonDevice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HwmonDevice")
             .field("name", &self.name)
-            .field("state", &self.state.lock())
+            .field("state", &*self.state.lock().expect("state lock poisoned"))
             .finish_non_exhaustive()
     }
 }
@@ -96,7 +95,10 @@ impl HwmonDevice {
 
     /// Current update interval in milliseconds.
     pub fn update_interval_ms(&self) -> u64 {
-        self.state.lock().update_interval_ms
+        self.state
+            .lock()
+            .expect("state lock poisoned")
+            .update_interval_ms
     }
 
     /// Sets the update interval (the root-only `update_interval` write).
@@ -104,24 +106,26 @@ impl HwmonDevice {
     /// configuration is re-derived like the Linux driver does.
     pub fn set_update_interval_ms(&self, ms: u64) {
         let ms = ms.clamp(MIN_UPDATE_INTERVAL_MS, 1_000);
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().expect("state lock poisoned");
         state.update_interval_ms = ms;
         state.last_boundary = None;
-        self.sensor.lock().set_config(Config::for_update_interval_ms(ms));
+        self.sensor
+            .lock()
+            .expect("sensor lock poisoned")
+            .set_config(Config::for_update_interval_ms(ms));
     }
 
     /// Ensures the latched registers reflect the conversion whose window
     /// ends at the last update boundary before `now`.
     fn refresh(&self, now: SimTime) {
-        let mut state = self.state.lock();
+        let mut state = self.state.lock().expect("state lock poisoned");
         let interval = SimTime::from_ms(state.update_interval_ms);
-        let boundary = SimTime::from_nanos(
-            now.as_nanos() / interval.as_nanos() * interval.as_nanos(),
-        );
+        let boundary =
+            SimTime::from_nanos(now.as_nanos() / interval.as_nanos() * interval.as_nanos());
         if state.last_boundary == Some(boundary) {
             return;
         }
-        let mut sensor = self.sensor.lock();
+        let mut sensor = self.sensor.lock().expect("sensor lock poisoned");
         let n = sensor.config().avg.samples() as u64;
         let cycle = SimTime::from_us(sensor.config().cycle_micros());
         let start = boundary.saturating_sub(cycle);
@@ -139,7 +143,13 @@ impl HwmonDevice {
     /// paper's "resolution of +/-1 mA").
     pub fn curr1_input(&self, now: SimTime) -> i64 {
         self.refresh(now);
-        (self.sensor.lock().current_amps() * 1_000.0).round() as i64
+        (self
+            .sensor
+            .lock()
+            .expect("sensor lock poisoned")
+            .current_amps()
+            * 1_000.0)
+            .round() as i64
     }
 
     /// `in0_input`: latched shunt voltage in mV (2.5 µV register LSB, so
@@ -147,24 +157,42 @@ impl HwmonDevice {
     /// mV here too).
     pub fn in0_input(&self, now: SimTime) -> i64 {
         self.refresh(now);
-        (self.sensor.lock().shunt_volts() * 1_000.0).round() as i64
+        (self
+            .sensor
+            .lock()
+            .expect("sensor lock poisoned")
+            .shunt_volts()
+            * 1_000.0)
+            .round() as i64
     }
 
     /// `in1_input`: latched bus voltage in mV (1.25 mV register LSB).
     pub fn in1_input(&self, now: SimTime) -> i64 {
         self.refresh(now);
-        (self.sensor.lock().bus_volts() * 1_000.0).round() as i64
+        (self
+            .sensor
+            .lock()
+            .expect("sensor lock poisoned")
+            .bus_volts()
+            * 1_000.0)
+            .round() as i64
     }
 
     /// `power1_input`: latched power in µW (25 x current LSB register).
     pub fn power1_input(&self, now: SimTime) -> i64 {
         self.refresh(now);
-        (self.sensor.lock().power_watts() * 1e6).round() as i64
+        (self
+            .sensor
+            .lock()
+            .expect("sensor lock poisoned")
+            .power_watts()
+            * 1e6)
+            .round() as i64
     }
 
     /// Direct access to the sensor model (tests and calibration).
     pub fn with_sensor<R>(&self, f: impl FnOnce(&mut Ina226) -> R) -> R {
-        f(&mut self.sensor.lock())
+        f(&mut self.sensor.lock().expect("sensor lock poisoned"))
     }
 }
 
@@ -268,13 +296,11 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
+        sim_rt::prop_check! {
             /// Value-hold invariant: any two reads whose timestamps fall in
             /// the same update window return the same latched value,
             /// regardless of read order or spacing.
-            #[test]
             fn reads_within_a_window_are_identical(
                 window in 1u64..500,
                 a_off in 0u64..35_000,
@@ -284,19 +310,18 @@ mod tests {
                 let base = window * 35_000; // us
                 let ta = SimTime::from_us(base + a_off);
                 let tb = SimTime::from_us(base + b_off);
-                prop_assert_eq!(dev.curr1_input(ta), dev.curr1_input(tb));
+                assert_eq!(dev.curr1_input(ta), dev.curr1_input(tb));
             }
 
             /// Monotone source, monotone windows: later windows never read
             /// lower on a strictly increasing rail.
-            #[test]
             fn later_windows_read_higher_on_a_ramp(w1 in 1u64..200, gap in 5u64..200) {
                 let dev = quiet_device(Arc::new(Ramp));
                 let t1 = SimTime::from_ms(w1 * 35 + 1);
                 let t2 = SimTime::from_ms((w1 + gap) * 35 + 1);
                 let a = dev.curr1_input(t1);
                 let b = dev.curr1_input(t2);
-                prop_assert!(b >= a, "{a} then {b}");
+                assert!(b >= a, "{a} then {b}");
             }
         }
     }

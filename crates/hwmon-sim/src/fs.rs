@@ -188,7 +188,13 @@ mod tests {
     fn fs_with_two() -> HwmonFs {
         let probe: Arc<dyn RailProbe> = Arc::new(|_t: SimTime| (1.0, 0.85));
         let mut fs = HwmonFs::new();
-        fs.register(HwmonDevice::new("ina226_u76", 0.002, 0.0005, Arc::clone(&probe), 1));
+        fs.register(HwmonDevice::new(
+            "ina226_u76",
+            0.002,
+            0.0005,
+            Arc::clone(&probe),
+            1,
+        ));
         fs.register(HwmonDevice::new("ina226_u79", 0.0005, 0.0005, probe, 2));
         fs
     }

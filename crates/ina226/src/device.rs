@@ -1,8 +1,9 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_rt::rng::{Rng, SimRng};
 
 use crate::registers::{Config, Register};
-use crate::{Ina226Error, Result, BUS_LSB_V, DIE_ID, MANUFACTURER_ID, POWER_LSB_RATIO, SHUNT_LSB_V};
+use crate::{
+    Ina226Error, Result, BUS_LSB_V, DIE_ID, MANUFACTURER_ID, POWER_LSB_RATIO, SHUNT_LSB_V,
+};
 
 /// Behavioural INA226 device instance attached to one rail.
 ///
@@ -41,7 +42,7 @@ pub struct Ina226 {
     current_reg: i16,
     power_reg: u16,
     conversions: u64,
-    rng: StdRng,
+    rng: SimRng,
     gauss_cache: Option<f64>,
     shunt_noise_v: f64,
     bus_noise_v: f64,
@@ -74,7 +75,7 @@ impl Ina226 {
             current_reg: 0,
             power_reg: 0,
             conversions: 0,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             gauss_cache: None,
             // ~1 shunt LSB and ~0.4 bus LSB of per-sample ADC noise.
             shunt_noise_v: SHUNT_LSB_V,
@@ -130,7 +131,10 @@ impl Ina226 {
     ///
     /// Panics if either value is negative.
     pub fn set_adc_noise(&mut self, shunt_noise_v: f64, bus_noise_v: f64) {
-        assert!(shunt_noise_v >= 0.0 && bus_noise_v >= 0.0, "noise must be non-negative");
+        assert!(
+            shunt_noise_v >= 0.0 && bus_noise_v >= 0.0,
+            "noise must be non-negative"
+        );
         self.shunt_noise_v = shunt_noise_v;
         self.bus_noise_v = bus_noise_v;
     }
@@ -167,9 +171,8 @@ impl Ina226 {
             Register::MaskEnable => {
                 // Status flags (AFF/CVRF/OVF) are read-only; host writes
                 // only set the enable bits.
-                let status_mask = crate::alert::bits::AFF
-                    | crate::alert::bits::CVRF
-                    | crate::alert::bits::OVF;
+                let status_mask =
+                    crate::alert::bits::AFF | crate::alert::bits::CVRF | crate::alert::bits::OVF;
                 self.mask_enable = (value & !status_mask) | (self.mask_enable & status_mask);
             }
             Register::AlertLimit => self.alert_limit = value,
@@ -294,7 +297,6 @@ impl Ina226 {
 mod tests {
     use super::*;
     use crate::AvgMode;
-    use proptest::prelude::*;
 
     fn quiet(shunt_ohm: f64, lsb: f64) -> Ina226 {
         let mut s = Ina226::new(shunt_ohm, lsb, 0);
@@ -327,7 +329,11 @@ mod tests {
     fn noiseless_conversion_recovers_operating_point() {
         let mut s = quiet(0.0005, 0.0005);
         s.convert_constant(2.0, 0.85);
-        assert!((s.current_amps() - 2.0).abs() < 0.0011, "{}", s.current_amps());
+        assert!(
+            (s.current_amps() - 2.0).abs() < 0.0011,
+            "{}",
+            s.current_amps()
+        );
         assert!((s.bus_volts() - 0.85).abs() <= BUS_LSB_V / 2.0 + 1e-12);
         assert!((s.power_watts() - 1.7).abs() < 0.02);
         assert_eq!(s.conversions(), 1);
@@ -373,7 +379,8 @@ mod tests {
             avg: AvgMode::X16,
             ..Config::default()
         };
-        s.write_register(Register::Configuration, cfg.encode()).unwrap();
+        s.write_register(Register::Configuration, cfg.encode())
+            .unwrap();
         assert_eq!(s.config().avg, AvgMode::X16);
         assert_eq!(s.config().cycle_micros(), 16 * 2_200);
     }
@@ -446,7 +453,10 @@ mod tests {
             ..Config::default()
         });
         s.convert_constant(3.0, 0.70);
-        assert!((s.current_amps() - 3.0).abs() < 0.01, "shunt channel updates");
+        assert!(
+            (s.current_amps() - 3.0).abs() < 0.01,
+            "shunt channel updates"
+        );
         assert_eq!(s.bus_volts(), bus_before, "bus register held");
     }
 
@@ -468,8 +478,7 @@ mod tests {
         assert!((s.current_amps() + 1.0).abs() < 0.005);
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn conversion_error_bounded_by_lsb(
             amps in 0.0f64..6.0,
             volts in 0.7f64..1.3
@@ -477,11 +486,10 @@ mod tests {
             let mut s = quiet(0.0005, 0.0005);
             s.convert_constant(amps, volts);
             // Within 1 current LSB + shunt quantization (0.0025/0.5mΩ = 5 mA).
-            prop_assert!((s.current_amps() - amps).abs() < 0.006);
-            prop_assert!((s.bus_volts() - volts).abs() <= BUS_LSB_V);
+            assert!((s.current_amps() - amps).abs() < 0.006);
+            assert!((s.bus_volts() - volts).abs() <= BUS_LSB_V);
         }
 
-        #[test]
         fn power_consistent_with_current_times_voltage(
             amps in 0.1f64..6.0,
             volts in 0.7f64..1.3
@@ -491,8 +499,8 @@ mod tests {
             let p = s.power_watts();
             let expect = s.current_amps() * s.bus_volts();
             // Truncation means p <= expect, within one power LSB.
-            prop_assert!(p <= expect + 1e-9);
-            prop_assert!(expect - p <= s.power_lsb_w() + 1e-9);
+            assert!(p <= expect + 1e-9);
+            assert!(expect - p <= s.power_lsb_w() + 1e-9);
         }
     }
 }

@@ -33,6 +33,8 @@ mod tests {
     fn display_is_informative() {
         let e = Ina226Error::ReadOnlyRegister(Register::Current);
         assert!(e.to_string().contains("read-only"));
-        assert!(Ina226Error::InvalidValue("shunt").to_string().contains("shunt"));
+        assert!(Ina226Error::InvalidValue("shunt")
+            .to_string()
+            .contains("shunt"));
     }
 }

@@ -194,11 +194,13 @@ impl I2cBus {
             }
             [pointer, hi, lo] => {
                 target.pointer = *pointer;
-                let reg = register_for(*pointer).ok_or(I2cError::MalformedTransaction(
-                    "unknown register pointer",
-                ))?;
+                let reg = register_for(*pointer)
+                    .ok_or(I2cError::MalformedTransaction("unknown register pointer"))?;
                 let value = u16::from_be_bytes([*hi, *lo]);
-                target.device.write_register(reg, value).map_err(I2cError::Target)
+                target
+                    .device
+                    .write_register(reg, value)
+                    .map_err(I2cError::Target)
             }
             _ => Err(I2cError::MalformedTransaction(
                 "writes are 1 (pointer) or 3 (pointer + u16) bytes",

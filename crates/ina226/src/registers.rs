@@ -1,7 +1,5 @@
-use serde::{Deserialize, Serialize};
-
 /// INA226 register map (datasheet Table 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Register {
     /// 00h — operating configuration.
     Configuration,
@@ -55,7 +53,7 @@ impl Register {
 }
 
 /// Averaging mode (AVG bits of the configuration register).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AvgMode {
     /// 1 sample (no averaging).
     X1,
@@ -112,7 +110,7 @@ impl AvgMode {
 }
 
 /// Per-channel ADC conversion time (VBUSCT / VSHCT bits).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ConversionTime {
     /// 140 µs.
     Us140,
@@ -169,7 +167,7 @@ impl ConversionTime {
 }
 
 /// Operating mode (MODE bits).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OperatingMode {
     /// Power-down.
     PowerDown,
@@ -251,7 +249,7 @@ impl OperatingMode {
 /// // Default cycle: (1.1ms + 1.1ms) * 1 sample = 2.2 ms
 /// assert_eq!(c.cycle_micros(), 2_200);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Config {
     /// Averaging mode applied to both channels.
     pub avg: AvgMode,
@@ -331,7 +329,6 @@ impl Config {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn default_encodes_to_power_on_value() {
@@ -422,13 +419,12 @@ mod tests {
         assert!(!OperatingMode::PowerDown.converts_bus());
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn decode_never_panics(raw in 0u16..=u16::MAX) {
             let c = Config::decode(raw);
             // Re-encoding normalizes reserved bits but preserves fields.
             let c2 = Config::decode(c.encode());
-            prop_assert_eq!(c, c2);
+            assert_eq!(c, c2);
         }
     }
 }

@@ -1,12 +1,11 @@
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use sim_rt::pool::Pool;
+use sim_rt::rng::{SimRng, SliceShuffle};
+use sim_rt::ser::{Record, ToRecord};
 
 use crate::{Dataset, ForestConfig, RandomForest};
 
 /// Aggregate result of a cross-validation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CvReport {
     /// Mean top-1 accuracy across folds.
     pub top1: f64,
@@ -14,6 +13,16 @@ pub struct CvReport {
     pub top5: f64,
     /// Number of folds evaluated.
     pub folds: usize,
+}
+
+impl ToRecord for CvReport {
+    fn to_record(&self) -> Record {
+        let mut r = Record::new();
+        r.push("top1", self.top1)
+            .push("top5", self.top5)
+            .push("folds", self.folds);
+        r
+    }
 }
 
 /// Splits sample indices into `k` stratified folds: each fold receives a
@@ -43,7 +52,7 @@ pub struct CvReport {
 pub fn stratified_k_fold(data: &Dataset, k: usize, seed: u64) -> Vec<Vec<usize>> {
     assert!(k > 0, "fold count must be non-zero");
     assert!(k <= data.len(), "more folds than samples");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SimRng::seed_from_u64(seed);
     // Bucket indices per class, shuffle within class, deal round-robin.
     let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); data.n_classes()];
     for i in 0..data.len() {
@@ -90,11 +99,29 @@ pub fn stratified_k_fold(data: &Dataset, k: usize, seed: u64) -> Vec<Vec<usize>>
 /// # Ok::<(), rforest::DatasetError>(())
 /// ```
 pub fn cross_validate(data: &Dataset, config: &ForestConfig, k: usize, seed: u64) -> CvReport {
+    cross_validate_with(data, config, k, seed, Pool::global())
+}
+
+/// [`cross_validate`] with fold evaluations spread across `pool`.
+///
+/// Each fold is an independent train/test job (the forests inside a fold
+/// train serially to avoid nested parallelism), and fold accuracies are
+/// reduced in fold order, so the report is identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `k` exceeds the dataset size.
+pub fn cross_validate_with(
+    data: &Dataset,
+    config: &ForestConfig,
+    k: usize,
+    seed: u64,
+    pool: &Pool,
+) -> CvReport {
     assert!(k >= 2, "cross-validation needs at least 2 folds");
     let folds = stratified_k_fold(data, k, seed);
-    let mut top1_sum = 0.0;
-    let mut top5_sum = 0.0;
-    for test_fold in 0..k {
+    let fold_ids: Vec<usize> = (0..k).collect();
+    let accuracies = pool.par_map(&fold_ids, |_, &test_fold| {
         let train_idx: Vec<usize> = folds
             .iter()
             .enumerate()
@@ -102,11 +129,16 @@ pub fn cross_validate(data: &Dataset, config: &ForestConfig, k: usize, seed: u64
             .flat_map(|(_, fold)| fold.iter().copied())
             .collect();
         let train = data.subset(&train_idx);
-        let forest = RandomForest::fit(&train, config);
+        let forest = RandomForest::fit_with(&train, config, &Pool::serial());
         let test = data.subset(&folds[test_fold]);
-        top1_sum += forest.top_k_accuracy(&test, 1);
-        top5_sum += forest.top_k_accuracy(&test, 5);
-    }
+        (
+            forest.top_k_accuracy(&test, 1),
+            forest.top_k_accuracy(&test, 5),
+        )
+    });
+    let (top1_sum, top5_sum) = accuracies
+        .iter()
+        .fold((0.0, 0.0), |(a1, a5), &(t1, t5)| (a1 + t1, a5 + t5));
     CvReport {
         top1: top1_sum / k as f64,
         top5: top5_sum / k as f64,
@@ -179,7 +211,11 @@ mod tests {
             ..ForestConfig::default()
         };
         let report = cross_validate(&data, &config, 5, 1);
-        assert!(report.top1 < 0.35, "top1 {} should be near 0.1", report.top1);
+        assert!(
+            report.top1 < 0.35,
+            "top1 {} should be near 0.1",
+            report.top1
+        );
     }
 
     #[test]
@@ -203,5 +239,22 @@ mod tests {
             stratified_k_fold(&data, 5, 11),
             stratified_k_fold(&data, 5, 11)
         );
+    }
+
+    #[test]
+    fn report_identical_at_any_thread_count() {
+        let data = labelled(4, 10);
+        let config = ForestConfig {
+            n_trees: 6,
+            ..ForestConfig::default()
+        };
+        let serial = cross_validate_with(&data, &config, 5, 2, &Pool::serial());
+        for threads in [2, 8] {
+            let parallel = cross_validate_with(&data, &config, 5, 2, &Pool::new(threads));
+            assert_eq!(
+                serial, parallel,
+                "thread count {threads} changed the report"
+            );
+        }
     }
 }

@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Error constructing a [`Dataset`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -36,9 +34,16 @@ impl fmt::Display for DatasetError {
         match self {
             DatasetError::Empty => write!(f, "dataset has no samples"),
             DatasetError::LengthMismatch { features, labels } => {
-                write!(f, "feature count {features} does not match label count {labels}")
+                write!(
+                    f,
+                    "feature count {features} does not match label count {labels}"
+                )
             }
-            DatasetError::RaggedFeatures { index, expected, actual } => write!(
+            DatasetError::RaggedFeatures {
+                index,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "sample {index} has {actual} features, expected {expected}"
             ),
@@ -67,7 +72,7 @@ impl std::error::Error for DatasetError {}
 /// assert_eq!(d.n_features(), 1);
 /// # Ok::<(), rforest::DatasetError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     features: Vec<Vec<f64>>,
     labels: Vec<usize>,
@@ -194,7 +199,10 @@ mod tests {
     fn rejects_length_mismatch() {
         assert_eq!(
             Dataset::new(vec![vec![1.0]], vec![0, 1]),
-            Err(DatasetError::LengthMismatch { features: 1, labels: 2 })
+            Err(DatasetError::LengthMismatch {
+                features: 1,
+                labels: 2
+            })
         );
     }
 
@@ -202,7 +210,11 @@ mod tests {
     fn rejects_ragged() {
         assert!(matches!(
             Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]),
-            Err(DatasetError::RaggedFeatures { index: 1, expected: 1, actual: 2 })
+            Err(DatasetError::RaggedFeatures {
+                index: 1,
+                expected: 1,
+                actual: 2
+            })
         ));
     }
 

@@ -1,6 +1,5 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use sim_rt::pool::Pool;
+use sim_rt::rng::{derive_seed, SimRng};
 
 use crate::tree::bootstrap_indices;
 use crate::{Dataset, DecisionTree, TreeConfig};
@@ -9,7 +8,7 @@ use crate::{Dataset, DecisionTree, TreeConfig};
 ///
 /// The default matches the paper's classifier: 100 trees, depth 32, Gini
 /// impurity, bootstrap sampling, sqrt(d) features per split.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ForestConfig {
     /// Number of trees (paper: 100).
     pub n_trees: usize,
@@ -40,38 +39,56 @@ impl Default for ForestConfig {
 /// # Examples
 ///
 /// See the [crate-level documentation](crate) for a complete example.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
     n_classes: usize,
 }
 
 impl RandomForest {
-    /// Trains the ensemble.
+    /// Trains the ensemble on the process-wide thread pool.
     ///
     /// # Panics
     ///
     /// Panics if `config.n_trees` is zero.
     pub fn fit(data: &Dataset, config: &ForestConfig) -> Self {
+        Self::fit_with(data, config, Pool::global())
+    }
+
+    /// Trains the ensemble, building trees in parallel on `pool`.
+    ///
+    /// Each tree's training and bootstrap seeds are derived up front from
+    /// `config.seed` and the tree index, so the resulting forest is
+    /// identical at any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.n_trees` is zero.
+    pub fn fit_with(data: &Dataset, config: &ForestConfig, pool: &Pool) -> Self {
         assert!(config.n_trees > 0, "forest needs at least one tree");
-        let mut rng = StdRng::seed_from_u64(config.seed);
         let tree_config = TreeConfig {
             max_depth: config.max_depth,
             min_samples_split: config.min_samples_split,
             features_per_split: Some((data.n_features() as f64).sqrt().ceil() as usize),
         };
-        let trees = (0..config.n_trees)
-            .map(|_| {
-                let tree_seed: u64 = rng.gen();
-                if config.bootstrap {
-                    let idx = bootstrap_indices(data.len(), &mut rng);
-                    let sample = data.subset(&idx);
-                    DecisionTree::fit(&sample, &tree_config, tree_seed)
-                } else {
-                    DecisionTree::fit(data, &tree_config, tree_seed)
-                }
+        let seeds: Vec<(u64, u64)> = (0..config.n_trees as u64)
+            .map(|t| {
+                (
+                    derive_seed(config.seed, 2 * t),
+                    derive_seed(config.seed, 2 * t + 1),
+                )
             })
             .collect();
+        let trees = pool.par_map(&seeds, |_, &(tree_seed, bootstrap_seed)| {
+            if config.bootstrap {
+                let mut rng = SimRng::seed_from_u64(bootstrap_seed);
+                let idx = bootstrap_indices(data.len(), &mut rng);
+                let sample = data.subset(&idx);
+                DecisionTree::fit(&sample, &tree_config, tree_seed)
+            } else {
+                DecisionTree::fit(data, &tree_config, tree_seed)
+            }
+        });
         RandomForest {
             trees,
             n_classes: data.n_classes(),
@@ -239,6 +256,24 @@ mod tests {
         let a = RandomForest::fit(&data, &config);
         let b = RandomForest::fit(&data, &config);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn identical_at_any_thread_count() {
+        let data = blobs(3, 12, 1.0);
+        let config = ForestConfig {
+            n_trees: 12,
+            seed: 7,
+            ..ForestConfig::default()
+        };
+        let serial = RandomForest::fit_with(&data, &config, &Pool::serial());
+        for threads in [2, 8] {
+            let parallel = RandomForest::fit_with(&data, &config, &Pool::new(threads));
+            assert_eq!(
+                serial, parallel,
+                "thread count {threads} changed the forest"
+            );
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ mod dataset;
 mod forest;
 mod tree;
 
-pub use cv::{cross_validate, stratified_k_fold, CvReport};
+pub use cv::{cross_validate, cross_validate_with, stratified_k_fold, CvReport};
 pub use dataset::{Dataset, DatasetError};
 pub use forest::{ForestConfig, RandomForest};
 pub use tree::{DecisionTree, TreeConfig};

@@ -1,12 +1,9 @@
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use sim_rt::rng::{Rng, SimRng, SliceShuffle};
 
 use crate::Dataset;
 
 /// Configuration of a single CART decision tree.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TreeConfig {
     /// Maximum depth (paper: 32).
     pub max_depth: usize,
@@ -27,7 +24,7 @@ impl Default for TreeConfig {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 enum Node {
     Leaf {
         /// Class vote distribution at this leaf.
@@ -57,7 +54,7 @@ enum Node {
 /// assert_eq!(tree.predict(&[10.5]), 1);
 /// # Ok::<(), rforest::DatasetError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTree {
     nodes: Vec<Node>,
     n_classes: usize,
@@ -66,7 +63,7 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Trains a tree on `data`.
     pub fn fit(data: &Dataset, config: &TreeConfig, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let mut tree = DecisionTree {
             nodes: Vec::new(),
             n_classes: data.n_classes(),
@@ -90,7 +87,7 @@ impl DecisionTree {
         indices: Vec<usize>,
         config: &TreeConfig,
         depth: usize,
-        rng: &mut StdRng,
+        rng: &mut SimRng,
     ) -> usize {
         let counts = self.class_counts(data, &indices);
         let pure = counts.iter().filter(|&&c| c > 0).count() <= 1;
@@ -119,7 +116,10 @@ impl DecisionTree {
                 });
                 let left = self.build(data, left_idx, config, depth + 1, rng);
                 let right = self.build(data, right_idx, config, depth + 1, rng);
-                if let Node::Split { left: l, right: r, .. } = &mut self.nodes[id] {
+                if let Node::Split {
+                    left: l, right: r, ..
+                } = &mut self.nodes[id]
+                {
                     *l = left;
                     *r = right;
                 }
@@ -140,7 +140,7 @@ impl DecisionTree {
         data: &Dataset,
         indices: &[usize],
         config: &TreeConfig,
-        rng: &mut StdRng,
+        rng: &mut SimRng,
     ) -> Option<(usize, f64)> {
         let d = data.n_features();
         let k = config.features_per_split.unwrap_or(d).clamp(1, d);
@@ -194,7 +194,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -230,9 +234,7 @@ impl DecisionTree {
         fn walk(nodes: &[Node], id: usize) -> usize {
             match &nodes[id] {
                 Node::Leaf { .. } => 0,
-                Node::Split { left, right, .. } => {
-                    1 + walk(nodes, *left).max(walk(nodes, *right))
-                }
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
             }
         }
         walk(&self.nodes, 0)
@@ -253,14 +255,13 @@ fn gini(counts: &[u32], n: f64) -> f64 {
 }
 
 /// Draws a bootstrap resample (n samples with replacement).
-pub(crate) fn bootstrap_indices(n: usize, rng: &mut StdRng) -> Vec<usize> {
+pub(crate) fn bootstrap_indices(n: usize, rng: &mut SimRng) -> Vec<usize> {
     (0..n).map(|_| rng.gen_range(0..n)).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn xor_dataset() -> Dataset {
         // XOR is not linearly separable; a depth>=2 tree handles it.
@@ -337,7 +338,7 @@ mod tests {
 
     #[test]
     fn bootstrap_is_full_size_with_replacement() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let idx = bootstrap_indices(100, &mut rng);
         assert_eq!(idx.len(), 100);
         assert!(idx.iter().all(|&i| i < 100));
@@ -346,10 +347,9 @@ mod tests {
         assert!(unique.len() < 100);
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(32))]
+    sim_rt::prop_check! {
+        cases = 32;
 
-        #[test]
         fn training_accuracy_is_high_on_separable_data(
             seed in 0u64..100, gap in 2.0f64..10.0
         ) {
@@ -367,14 +367,13 @@ mod tests {
             let correct = (0..data.len())
                 .filter(|&i| tree.predict(data.features_of(i)) == data.label_of(i))
                 .count();
-            prop_assert_eq!(correct, data.len());
+            assert_eq!(correct, data.len());
         }
 
-        #[test]
-        fn gini_is_bounded(counts in prop::collection::vec(0u32..100, 1..10)) {
+        fn gini_is_bounded(counts in sim_rt::check::vec_of(0u32..100, 1..10usize)) {
             let n: u32 = counts.iter().sum();
             let g = gini(&counts, n as f64);
-            prop_assert!((0.0..=1.0).contains(&g));
+            assert!((0.0..=1.0).contains(&g));
         }
     }
 }

@@ -1,0 +1,224 @@
+//! Wall-clock micro-benchmark harness — the runtime's replacement for
+//! external bench frameworks.
+//!
+//! Each [`Harness::bench`] call warms the closure up, picks an iteration
+//! count that fills a fixed measurement window, then reports mean
+//! nanoseconds per iteration. *Quick mode* (`--quick` argv flag or
+//! `SIM_RT_BENCH_QUICK=1`) collapses the schedule to a handful of
+//! iterations so the whole suite doubles as a smoke test inside
+//! `cargo test`.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_rt::bench::Harness;
+//!
+//! let mut h = Harness::quick("demo");
+//! h.bench("sum", || (0..1000u64).sum::<u64>());
+//! h.finish();
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement window per benchmark in full mode.
+const FULL_WINDOW: Duration = Duration::from_millis(500);
+/// Warmup window in full mode.
+const FULL_WARMUP: Duration = Duration::from_millis(100);
+/// Iterations per benchmark in quick (smoke) mode.
+const QUICK_ITERS: u64 = 3;
+
+/// One benchmark's measured result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measurement {
+    /// Benchmark name.
+    pub name: String,
+    /// Iterations measured.
+    pub iters: u64,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+}
+
+impl Measurement {
+    /// Mean iterations per second.
+    pub fn per_sec(&self) -> f64 {
+        if self.ns_per_iter <= 0.0 {
+            return 0.0;
+        }
+        1e9 / self.ns_per_iter
+    }
+}
+
+/// Whether quick (smoke) mode is requested via argv or environment.
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("SIM_RT_BENCH_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// A named group of wall-clock benchmarks.
+#[derive(Debug)]
+pub struct Harness {
+    group: String,
+    quick: bool,
+    results: Vec<Measurement>,
+}
+
+impl Harness {
+    /// A harness honouring `--quick` / `SIM_RT_BENCH_QUICK`.
+    pub fn from_env(group: impl Into<String>) -> Self {
+        Harness {
+            group: group.into(),
+            quick: quick_requested(),
+            results: Vec::new(),
+        }
+    }
+
+    /// A harness pinned to quick (smoke) mode, for use inside tests.
+    pub fn quick(group: impl Into<String>) -> Self {
+        Harness {
+            group: group.into(),
+            quick: true,
+            results: Vec::new(),
+        }
+    }
+
+    /// Whether this harness runs the abbreviated quick schedule.
+    pub fn is_quick(&self) -> bool {
+        self.quick
+    }
+
+    /// Times `f`, printing and recording the result. Returns the
+    /// measurement for callers that want to compare (e.g. serial vs
+    /// parallel speedup).
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, mut f: F) -> Measurement {
+        let iters = if self.quick {
+            QUICK_ITERS
+        } else {
+            // Warm up, then size the run so it fills the window.
+            let warm_start = Instant::now();
+            let mut warm_iters = 0u64;
+            while warm_start.elapsed() < FULL_WARMUP || warm_iters == 0 {
+                black_box(f());
+                warm_iters += 1;
+            }
+            let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+            ((FULL_WINDOW.as_secs_f64() / per_iter) as u64).max(1)
+        };
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+
+        let m = Measurement {
+            name: name.to_string(),
+            iters,
+            ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+        };
+        println!(
+            "{}/{:<40} {:>14.1} ns/iter  ({} iters)",
+            self.group, m.name, m.ns_per_iter, m.iters
+        );
+        self.results.push(m.clone());
+        m
+    }
+
+    /// Times `f` over fresh per-iteration inputs built by `setup`; only
+    /// the `f` portion is measured. Use when each iteration consumes its
+    /// input (e.g. training on an owned dataset).
+    pub fn bench_with_setup<I, R, S, F>(
+        &mut self,
+        name: &str,
+        mut setup: S,
+        mut f: F,
+    ) -> Measurement
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let iters = if self.quick {
+            QUICK_ITERS
+        } else {
+            let warm_start = Instant::now();
+            let mut warm_iters = 0u64;
+            let mut measured = Duration::ZERO;
+            while warm_start.elapsed() < FULL_WARMUP || warm_iters == 0 {
+                let input = setup();
+                let t = Instant::now();
+                black_box(f(input));
+                measured += t.elapsed();
+                warm_iters += 1;
+            }
+            let per_iter = (measured.as_secs_f64() / warm_iters as f64).max(1e-9);
+            ((FULL_WINDOW.as_secs_f64() / per_iter) as u64).max(1)
+        };
+
+        let mut measured = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(f(input));
+            measured += t.elapsed();
+        }
+
+        let m = Measurement {
+            name: name.to_string(),
+            iters,
+            ns_per_iter: measured.as_nanos() as f64 / iters as f64,
+        };
+        println!(
+            "{}/{:<40} {:>14.1} ns/iter  ({} iters)",
+            self.group, m.name, m.ns_per_iter, m.iters
+        );
+        self.results.push(m.clone());
+        m
+    }
+
+    /// All measurements recorded so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Prints a closing summary line.
+    pub fn finish(&self) {
+        println!(
+            "{}: {} benchmark(s){}",
+            self.group,
+            self.results.len(),
+            if self.quick { " [quick mode]" } else { "" }
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_harness_runs_few_iters() {
+        let mut h = Harness::quick("t");
+        let m = h.bench("noop", || 1u32 + 1);
+        assert_eq!(m.iters, QUICK_ITERS);
+        assert!(m.ns_per_iter >= 0.0);
+        assert_eq!(h.results().len(), 1);
+    }
+
+    #[test]
+    fn setup_cost_is_excluded() {
+        let mut h = Harness::quick("t");
+        let m = h.bench_with_setup("consume", || vec![1u64; 64], |v| v.into_iter().sum::<u64>());
+        assert_eq!(m.iters, QUICK_ITERS);
+        assert!(m.per_sec() > 0.0);
+    }
+
+    #[test]
+    fn measurements_accumulate_in_order() {
+        let mut h = Harness::quick("t");
+        h.bench("a", || 0u8);
+        h.bench("b", || 0u8);
+        let names: Vec<&str> = h.results().iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+        h.finish();
+    }
+}

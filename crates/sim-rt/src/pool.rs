@@ -1,0 +1,364 @@
+//! Crossbeam-free work-stealing thread pool with a deterministic
+//! `par_map` API.
+//!
+//! Jobs are distributed round-robin into per-worker deques; an idle worker
+//! pops from its own queue front and steals from the back of its
+//! neighbours'. Results land in their input slot, so the output order (and
+//! therefore every downstream computation) is **identical at any thread
+//! count** as long as each job is a pure function of its input — which is
+//! what [`Pool::par_map_seeded`] guarantees by deriving per-job child
+//! seeds from a master seed with [`derive_seed`].
+//!
+//! A panicking job is retried once (transient-failure capture); a second
+//! panic is re-raised on the calling thread after every worker has
+//! drained, so no result is silently dropped.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::rng::derive_seed;
+
+/// Snapshot of a pool's cumulative progress counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Total jobs completed across all `par_map` calls.
+    pub jobs_completed: u64,
+    /// Jobs that panicked once and were retried.
+    pub jobs_retried: u64,
+    /// `par_map` invocations served.
+    pub maps_run: u64,
+    /// Wall-clock nanoseconds spent inside `par_map` calls.
+    pub busy_nanos: u64,
+}
+
+impl PoolStats {
+    /// Mean throughput in jobs per second over the pool's lifetime.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.busy_nanos == 0 {
+            return 0.0;
+        }
+        self.jobs_completed as f64 / (self.busy_nanos as f64 / 1e9)
+    }
+}
+
+/// A fixed-width scoped thread pool.
+///
+/// The pool holds no threads between calls — each `par_map` spawns scoped
+/// workers (`std::thread::scope`), which keeps borrows of the input slice
+/// safe without `'static` bounds and leaves nothing running between
+/// campaigns.
+///
+/// # Examples
+///
+/// ```
+/// use sim_rt::pool::Pool;
+///
+/// let pool = Pool::new(4);
+/// let squares = pool.par_map(&[1, 2, 3, 4], |_, &x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+#[derive(Debug)]
+pub struct Pool {
+    threads: usize,
+    jobs_completed: AtomicU64,
+    jobs_retried: AtomicU64,
+    maps_run: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+impl Pool {
+    /// Creates a pool with `threads` workers; `0` means one worker per
+    /// available CPU (overridable with the `SIM_RT_THREADS` env var).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        Pool {
+            threads,
+            jobs_completed: AtomicU64::new(0),
+            jobs_retried: AtomicU64::new(0),
+            maps_run: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// A single-threaded pool: `par_map` degenerates to an in-order loop.
+    pub const fn serial() -> Self {
+        Pool {
+            threads: 1,
+            jobs_completed: AtomicU64::new(0),
+            jobs_retried: AtomicU64::new(0),
+            maps_run: AtomicU64::new(0),
+            busy_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// The process-wide shared pool, sized by `SIM_RT_THREADS` or the
+    /// available CPU count.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::new(0))
+    }
+
+    /// Worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Cumulative progress counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
+            maps_run: self.maps_run.load(Ordering::Relaxed),
+            busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Maps `f` over `items` in parallel; `out[i] == f(i, &items[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the panic of any job that fails twice.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let started = Instant::now();
+        self.maps_run.fetch_add(1, Ordering::Relaxed);
+        let workers = self.threads.min(items.len()).max(1);
+        let out = if workers == 1 {
+            self.serial_map(items, &f)
+        } else {
+            self.stealing_map(items, &f, workers)
+        };
+        self.busy_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// [`par_map`](Pool::par_map) with a per-job child seed derived from
+    /// `master_seed` and the job index — the deterministic fan-out used by
+    /// the campaign, fingerprinting, and characterization sweeps.
+    pub fn par_map_seeded<T, R, F>(&self, master_seed: u64, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(u64, usize, &T) -> R + Sync,
+    {
+        self.par_map(items, |i, item| {
+            f(derive_seed(master_seed, i as u64), i, item)
+        })
+    }
+
+    fn serial_map<T, R, F>(&self, items: &[T], f: &F) -> Vec<R>
+    where
+        F: Fn(usize, &T) -> R,
+    {
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let r = self.run_job(i, item, f);
+                self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                r
+            })
+            .collect()
+    }
+
+    fn stealing_map<T, R, F>(&self, items: &[T], f: &F, workers: usize) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        // Round-robin deal into per-worker deques.
+        let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+            .map(|w| Mutex::new((w..items.len()).step_by(workers).collect()))
+            .collect();
+        let (tx, rx) = mpsc::channel::<(usize, std::thread::Result<R>)>();
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let queues = &queues;
+                scope.spawn(move || {
+                    while let Some(i) = next_job(queues, w) {
+                        let result =
+                            catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).or_else(|_| {
+                                // One retry per job before giving up.
+                                self.jobs_retried.fetch_add(1, Ordering::Relaxed);
+                                catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))
+                            });
+                        if tx.send((i, result)).is_err() {
+                            return; // collector gone: a sibling job failed
+                        }
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+            let mut failure: Option<Box<dyn std::any::Any + Send>> = None;
+            for (i, result) in rx {
+                match result {
+                    Ok(r) => {
+                        slots[i] = Some(r);
+                        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(payload) => failure = Some(payload),
+                }
+            }
+            if let Some(payload) = failure {
+                std::panic::resume_unwind(payload);
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every job sends exactly one result"))
+                .collect()
+        })
+    }
+
+    fn run_job<T, R, F>(&self, i: usize, item: &T, f: &F) -> R
+    where
+        F: Fn(usize, &T) -> R,
+    {
+        match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+            Ok(r) => r,
+            Err(_) => {
+                self.jobs_retried.fetch_add(1, Ordering::Relaxed);
+                f(i, item)
+            }
+        }
+    }
+}
+
+/// Pops a job index: own queue front first, then steal from the back of
+/// the busiest sibling.
+fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    if let Some(i) = queues[me].lock().expect("queue lock poisoned").pop_front() {
+        return Some(i);
+    }
+    for off in 1..queues.len() {
+        let victim = (me + off) % queues.len();
+        if let Some(i) = queues[victim]
+            .lock()
+            .expect("queue lock poisoned")
+            .pop_back()
+        {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("SIM_RT_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng, SimRng};
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let pool = Pool::new(4);
+        let items: Vec<usize> = (0..1_000).collect();
+        let out = pool.par_map(&items, |_, &x| x * 2);
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identical_at_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let reference = Pool::serial().par_map_seeded(99, &items, |seed, _, &x| {
+            let mut rng = SimRng::seed_from_u64(seed ^ x);
+            rng.next_u64()
+        });
+        for threads in [2, 3, 8] {
+            let out = Pool::new(threads).par_map_seeded(99, &items, |seed, _, &x| {
+                let mut rng = SimRng::seed_from_u64(seed ^ x);
+                rng.next_u64()
+            });
+            assert_eq!(out, reference, "thread count {threads} changed results");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let pool = Pool::new(4);
+        let out: Vec<u32> = pool.par_map(&[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn transient_panic_is_retried_once() {
+        let pool = Pool::new(2);
+        let flaky = AtomicUsize::new(0);
+        let items = [0u32; 16];
+        let out = pool.par_map(&items, |i, _| {
+            // Job 5 fails on its first attempt only.
+            if i == 5 && flaky.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient");
+            }
+            i
+        });
+        assert_eq!(out[5], 5);
+        assert_eq!(pool.stats().jobs_retried, 1);
+        assert_eq!(pool.stats().jobs_completed, 16);
+    }
+
+    #[test]
+    fn persistent_panic_propagates() {
+        let pool = Pool::new(2);
+        let items = [0u32; 8];
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_map(&items, |i, _| {
+                assert!(i != 3, "job 3 always fails");
+                i
+            })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn progress_counters_accumulate() {
+        let pool = Pool::new(2);
+        pool.par_map(&[0u8; 10], |i, _| i);
+        pool.par_map(&[0u8; 5], |i, _| i);
+        let stats = pool.stats();
+        assert_eq!(stats.jobs_completed, 15);
+        assert_eq!(stats.maps_run, 2);
+        assert!(stats.jobs_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn serial_pool_has_one_thread() {
+        assert_eq!(Pool::serial().threads(), 1);
+        assert!(Pool::global().threads() >= 1);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let pool = Pool::new(64);
+        let out = pool.par_map(&[1u32, 2], |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3]);
+    }
+}

@@ -1,0 +1,435 @@
+//! Minimal self-describing value model with JSON, JSON Lines and CSV
+//! rendering — the runtime's replacement for derive-based serialization
+//! frameworks in trace/result export.
+//!
+//! Result types implement [`ToRecord`], flattening themselves into an
+//! ordered field list; the same [`Record`] then renders as a JSON object,
+//! a JSONL stream row, or a CSV row without any per-format code at the
+//! call site.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_rt::ser::{Record, ToRecord};
+//!
+//! struct Cell { duration_s: f64, top1: f64 }
+//! impl ToRecord for Cell {
+//!     fn to_record(&self) -> Record {
+//!         let mut r = Record::new();
+//!         r.push("duration_s", self.duration_s);
+//!         r.push("top1", self.top1);
+//!         r
+//!     }
+//! }
+//!
+//! let cell = Cell { duration_s: 5.0, top1: 0.997 };
+//! assert_eq!(cell.to_record().to_json(), r#"{"duration_s":5,"top1":0.997}"#);
+//! ```
+
+use std::fmt::Write as _;
+
+/// A dynamically-typed serializable value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// IEEE-754 double.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Value>),
+    /// Ordered key/value object.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Renders the value as compact JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Float(x) => write_f64_json(*x, out),
+            Value::Str(s) => write_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                out.push('{');
+                for (k, (name, value)) in fields.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(name, out);
+                    out.push(':');
+                    value.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders the value as a CSV cell (strings quoted when needed,
+    /// nested values as JSON inside a quoted cell).
+    fn write_csv(&self, out: &mut String) {
+        match self {
+            Value::Null => {}
+            Value::Bool(_) | Value::Int(_) | Value::Float(_) => {
+                let json = self.to_json();
+                out.push_str(&json);
+            }
+            Value::Str(s) => write_csv_escaped(s, out),
+            Value::Array(_) | Value::Object(_) => write_csv_escaped(&self.to_json(), out),
+        }
+    }
+}
+
+fn write_f64_json(x: f64, out: &mut String) {
+    if x.is_finite() {
+        let _ = write!(out, "{x}");
+    } else {
+        // JSON has no NaN/Infinity; null is the conventional stand-in.
+        out.push_str("null");
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_csv_escaped(s: &str, out: &mut String) {
+    if s.contains([',', '"', '\n', '\r']) {
+        out.push('"');
+        out.push_str(&s.replace('"', "\"\""));
+        out.push('"');
+    } else {
+        out.push_str(s);
+    }
+}
+
+macro_rules! impl_value_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Int(v as i64)
+            }
+        }
+    )*};
+}
+impl_value_from_int!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        // Preserve values beyond i64::MAX through the float path.
+        i64::try_from(v).map_or(Value::Float(v as f64), Value::Int)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Float(v as f64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// An ordered list of named fields — one exported row.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Record {
+    fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// An empty record.
+    pub fn new() -> Self {
+        Record::default()
+    }
+
+    /// Appends a field.
+    pub fn push(&mut self, name: impl Into<String>, value: impl Into<Value>) -> &mut Self {
+        self.fields.push((name.into(), value.into()));
+        self
+    }
+
+    /// Field names in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Consumes the record, yielding its `(name, value)` pairs in order —
+    /// for splicing one record's fields into another.
+    pub fn into_fields(self) -> Vec<(String, Value)> {
+        self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The record as a JSON object string.
+    pub fn to_json(&self) -> String {
+        Value::Object(self.fields.clone()).to_json()
+    }
+
+    fn csv_row(&self, out: &mut String) {
+        for (k, (_, value)) in self.fields.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            value.write_csv(out);
+        }
+        out.push('\n');
+    }
+}
+
+/// Conversion of a result type into its export [`Record`].
+pub trait ToRecord {
+    /// Flattens `self` into an ordered field list.
+    fn to_record(&self) -> Record;
+}
+
+impl ToRecord for Record {
+    fn to_record(&self) -> Record {
+        self.clone()
+    }
+}
+
+/// Renders items as JSON Lines: one compact JSON object per row.
+pub fn to_jsonl<'a, T, I>(items: I) -> String
+where
+    T: ToRecord + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    let mut out = String::new();
+    for item in items {
+        out.push_str(&item.to_record().to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders items as CSV with a header row taken from the first record.
+///
+/// # Panics
+///
+/// Panics if a subsequent record's field names differ from the header —
+/// heterogenous rows are a bug in the exporter, not an I/O condition.
+pub fn to_csv<'a, T, I>(items: I) -> String
+where
+    T: ToRecord + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    let mut out = String::new();
+    let mut header: Option<Vec<String>> = None;
+    for item in items {
+        let record = item.to_record();
+        match &header {
+            None => {
+                let names: Vec<String> = record.names().map(str::to_string).collect();
+                for (k, name) in names.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    write_csv_escaped(name, &mut out);
+                }
+                out.push('\n');
+                header = Some(names);
+            }
+            Some(names) => {
+                assert!(
+                    record.names().eq(names.iter().map(String::as_str)),
+                    "CSV rows must share one schema"
+                );
+            }
+        }
+        record.csv_row(&mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_json_rendering() {
+        assert_eq!(Value::Null.to_json(), "null");
+        assert_eq!(Value::Bool(true).to_json(), "true");
+        assert_eq!(Value::Int(-3).to_json(), "-3");
+        assert_eq!(Value::Float(0.25).to_json(), "0.25");
+        assert_eq!(Value::Float(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Float(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(Value::from("a\"b\\c\nd").to_json(), r#""a\"b\\c\nd""#);
+        assert_eq!(Value::from("\u{1}").to_json(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn nested_values_render() {
+        let v = Value::Object(vec![
+            ("xs".into(), Value::from(vec![1, 2, 3])),
+            ("name".into(), Value::from("trace")),
+            ("extra".into(), Value::from(None::<f64>)),
+        ]);
+        assert_eq!(v.to_json(), r#"{"xs":[1,2,3],"name":"trace","extra":null}"#);
+    }
+
+    #[test]
+    fn u64_beyond_i64_survives() {
+        let v = Value::from(u64::MAX);
+        assert!(matches!(v, Value::Float(_)));
+        assert_eq!(Value::from(7u64), Value::Int(7));
+    }
+
+    struct Row {
+        id: usize,
+        score: f64,
+        tag: &'static str,
+    }
+
+    impl ToRecord for Row {
+        fn to_record(&self) -> Record {
+            let mut r = Record::new();
+            r.push("id", self.id)
+                .push("score", self.score)
+                .push("tag", self.tag);
+            r
+        }
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let rows = [
+            Row {
+                id: 0,
+                score: 0.5,
+                tag: "a",
+            },
+            Row {
+                id: 1,
+                score: 1.5,
+                tag: "b",
+            },
+        ];
+        let jsonl = to_jsonl(rows.iter());
+        assert_eq!(
+            jsonl,
+            "{\"id\":0,\"score\":0.5,\"tag\":\"a\"}\n{\"id\":1,\"score\":1.5,\"tag\":\"b\"}\n"
+        );
+    }
+
+    #[test]
+    fn csv_has_header_and_escaped_cells() {
+        let rows = [
+            Row {
+                id: 0,
+                score: 0.5,
+                tag: "plain",
+            },
+            Row {
+                id: 1,
+                score: 1.5,
+                tag: "with,comma",
+            },
+        ];
+        let csv = to_csv(rows.iter());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "id,score,tag");
+        assert_eq!(lines[1], "0,0.5,plain");
+        assert_eq!(lines[2], "1,1.5,\"with,comma\"");
+    }
+
+    #[test]
+    fn empty_iterator_yields_empty_strings() {
+        let rows: [Row; 0] = [];
+        assert!(to_jsonl(rows.iter()).is_empty());
+        assert!(to_csv(rows.iter()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one schema")]
+    fn mismatched_schema_panics() {
+        let mut a = Record::new();
+        a.push("x", 1);
+        let mut b = Record::new();
+        b.push("y", 2);
+        let _ = to_csv([a, b].iter());
+    }
+}

@@ -1,0 +1,107 @@
+//! Statistical sanity of the runtime PRNG: distribution moments and
+//! stream independence.
+//!
+//! These are not strict randomness tests (dieharder territory) — they pin
+//! down the properties the simulation relies on: uniform doubles with the
+//! right mean and variance, Box-Muller normals with the requested
+//! moments, unbiased bounded integers, and negligible correlation between
+//! derived streams so per-job seeds behave like independent generators.
+
+use sim_rt::{derive_seed, Rng, SimRng};
+
+const N: usize = 100_000;
+
+fn moments(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var)
+}
+
+/// Pearson correlation of two equal-length sequences.
+fn correlation(a: &[f64], b: &[f64]) -> f64 {
+    let (ma, va) = moments(a);
+    let (mb, vb) = moments(b);
+    let cov = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| (x - ma) * (y - mb))
+        .sum::<f64>()
+        / a.len() as f64;
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+#[test]
+fn uniform_f64_has_uniform_moments() {
+    let mut rng = SimRng::seed_from_u64(0xA11CE);
+    let xs: Vec<f64> = (0..N).map(|_| rng.next_f64()).collect();
+    let (mean, var) = moments(&xs);
+    // Exact values 1/2 and 1/12; standard error of the mean at N=1e5 is
+    // ~0.0009, so a 0.005 band is > 5 sigma.
+    assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    assert!((var - 1.0 / 12.0).abs() < 0.005, "variance {var}");
+    assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+}
+
+#[test]
+fn normal_matches_requested_moments() {
+    let mut rng = SimRng::seed_from_u64(0xB0B);
+    let xs: Vec<f64> = (0..N).map(|_| rng.normal(3.0, 2.0)).collect();
+    let (mean, var) = moments(&xs);
+    assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    assert!((var.sqrt() - 2.0).abs() < 0.05, "std dev {}", var.sqrt());
+    // Rough shape check: ~68% within one sigma.
+    let within = xs.iter().filter(|&&x| (1.0..5.0).contains(&x)).count();
+    let frac = within as f64 / N as f64;
+    assert!((frac - 0.6827).abs() < 0.02, "1-sigma mass {frac}");
+}
+
+#[test]
+fn bounded_integers_fill_buckets_evenly() {
+    let mut rng = SimRng::seed_from_u64(0xC0DE);
+    let buckets = 16u64;
+    let mut counts = [0usize; 16];
+    for _ in 0..N {
+        counts[rng.gen_below(buckets) as usize] += 1;
+    }
+    let expected = N as f64 / buckets as f64;
+    for (i, &c) in counts.iter().enumerate() {
+        // Poisson-ish std dev is ~79 at 6250/bucket; allow ~5 sigma.
+        assert!(
+            (c as f64 - expected).abs() < 400.0,
+            "bucket {i} holds {c}, expected ~{expected}"
+        );
+    }
+}
+
+#[test]
+fn derived_streams_are_uncorrelated() {
+    let master = 0xDEAD_BEEF;
+    let mut a = SimRng::seed_from_u64(derive_seed(master, 0));
+    let mut b = SimRng::seed_from_u64(derive_seed(master, 1));
+    let xs: Vec<f64> = (0..N).map(|_| a.next_f64()).collect();
+    let ys: Vec<f64> = (0..N).map(|_| b.next_f64()).collect();
+    let r = correlation(&xs, &ys);
+    // Independent uniforms at N=1e5: |r| beyond 0.02 is > 6 sigma.
+    assert!(r.abs() < 0.02, "stream correlation {r}");
+    // And the streams must actually differ.
+    assert_ne!(xs[..10], ys[..10]);
+}
+
+#[test]
+fn split_generator_is_uncorrelated_with_parent() {
+    let mut parent = SimRng::seed_from_u64(42);
+    let mut child = parent.split();
+    let xs: Vec<f64> = (0..N).map(|_| parent.next_f64()).collect();
+    let ys: Vec<f64> = (0..N).map(|_| child.next_f64()).collect();
+    let r = correlation(&xs, &ys);
+    assert!(r.abs() < 0.02, "parent/child correlation {r}");
+}
+
+#[test]
+fn lagged_self_correlation_is_negligible() {
+    let mut rng = SimRng::seed_from_u64(7);
+    let xs: Vec<f64> = (0..N + 1).map(|_| rng.next_f64()).collect();
+    let r = correlation(&xs[..N], &xs[1..]);
+    assert!(r.abs() < 0.02, "lag-1 autocorrelation {r}");
+}

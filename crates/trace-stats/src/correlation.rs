@@ -82,7 +82,11 @@ fn check_paired(xs: &[f64], ys: &[f64]) -> Result<()> {
 /// Fractional ranks with ties assigned the average rank of the tied block.
 fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("samples must not contain NaN"));
+    idx.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .expect("samples must not contain NaN")
+    });
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < idx.len() {
@@ -102,7 +106,6 @@ fn ranks(xs: &[f64]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn perfect_positive_correlation() {
@@ -158,41 +161,38 @@ mod tests {
         assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn pearson_is_bounded(
-            xy in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..100)
+            xy in sim_rt::check::vec_of((-1e3f64..1e3, -1e3f64..1e3), 3..100)
         ) {
             let xs: Vec<f64> = xy.iter().map(|p| p.0).collect();
             let ys: Vec<f64> = xy.iter().map(|p| p.1).collect();
             if let Ok(r) = pearson(&xs, &ys) {
-                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+                assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
             }
         }
 
-        #[test]
         fn pearson_is_symmetric(
-            xy in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..50)
+            xy in sim_rt::check::vec_of((-1e3f64..1e3, -1e3f64..1e3), 3..50)
         ) {
             let xs: Vec<f64> = xy.iter().map(|p| p.0).collect();
             let ys: Vec<f64> = xy.iter().map(|p| p.1).collect();
             match (pearson(&xs, &ys), pearson(&ys, &xs)) {
-                (Ok(a), Ok(b)) => prop_assert!((a - b).abs() < 1e-9),
-                (Err(a), Err(b)) => prop_assert_eq!(a, b),
-                _ => prop_assert!(false, "asymmetric result"),
+                (Ok(a), Ok(b)) => assert!((a - b).abs() < 1e-9),
+                (Err(a), Err(b)) => assert_eq!(a, b),
+                _ => panic!("asymmetric result"),
             }
         }
 
-        #[test]
         fn pearson_invariant_under_affine_transform(
-            xy in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..50),
+            xy in sim_rt::check::vec_of((-1e3f64..1e3, -1e3f64..1e3), 3..50),
             scale in 0.1f64..10.0, shift in -100.0f64..100.0
         ) {
             let xs: Vec<f64> = xy.iter().map(|p| p.0).collect();
             let ys: Vec<f64> = xy.iter().map(|p| p.1).collect();
             let xs2: Vec<f64> = xs.iter().map(|x| x * scale + shift).collect();
             if let (Ok(a), Ok(b)) = (pearson(&xs, &ys), pearson(&xs2, &ys)) {
-                prop_assert!((a - b).abs() < 1e-6);
+                assert!((a - b).abs() < 1e-6);
             }
         }
     }

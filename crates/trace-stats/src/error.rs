@@ -45,7 +45,10 @@ mod tests {
             StatsError::LengthMismatch { left: 3, right: 5 }.to_string(),
             "input lengths differ: 3 vs 5"
         );
-        assert_eq!(StatsError::ZeroVariance.to_string(), "input has zero variance");
+        assert_eq!(
+            StatsError::ZeroVariance.to_string(),
+            "input has zero variance"
+        );
         assert_eq!(
             StatsError::InvalidParameter("bins").to_string(),
             "invalid parameter: bins"

@@ -27,7 +27,9 @@ pub fn resample(trace: &[f64], len: usize) -> Result<Vec<f64>> {
         return Err(StatsError::Empty);
     }
     if len == 0 {
-        return Err(StatsError::InvalidParameter("resample length must be non-zero"));
+        return Err(StatsError::InvalidParameter(
+            "resample length must be non-zero",
+        ));
     }
     if len == 1 {
         return Ok(vec![trace.iter().sum::<f64>() / trace.len() as f64]);
@@ -114,11 +116,14 @@ pub fn feature_vector(trace: &[f64], resample_len: usize) -> Result<Vec<f64>> {
     let dominant_rel = crate::spectrum::power_spectrum(trace)
         .ok()
         .and_then(|spec| {
-            let (bin, power) = spec
-                .iter()
-                .enumerate()
-                .skip(1)
-                .fold((0usize, 0.0f64), |acc, (i, &p)| if p > acc.1 { (i, p) } else { acc });
+            let (bin, power) =
+                spec.iter()
+                    .enumerate()
+                    .skip(1)
+                    .fold(
+                        (0usize, 0.0f64),
+                        |acc, (i, &p)| if p > acc.1 { (i, p) } else { acc },
+                    );
             (power > 0.0).then(|| bin as f64 / spec.len() as f64)
         })
         .unwrap_or(0.0);
@@ -131,11 +136,7 @@ pub fn mean_abs_diff(trace: &[f64]) -> f64 {
     if trace.len() < 2 {
         return 0.0;
     }
-    trace
-        .windows(2)
-        .map(|w| (w[1] - w[0]).abs())
-        .sum::<f64>()
-        / (trace.len() - 1) as f64
+    trace.windows(2).map(|w| (w[1] - w[0]).abs()).sum::<f64>() / (trace.len() - 1) as f64
 }
 
 /// Truncates a trace to the samples collected within `duration_s` seconds
@@ -155,7 +156,6 @@ pub fn truncate_to_duration(trace: &[f64], period_s: f64, duration_s: f64) -> &[
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn resample_identity_when_same_length() {
@@ -240,28 +240,26 @@ mod tests {
         assert_eq!(one.len(), 1);
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn resample_bounded_by_input_range(
-            xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+            xs in sim_rt::check::vec_of(-1e3f64..1e3, 1..100),
             len in 1usize..200
         ) {
             let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
             let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
             let ys = resample(&xs, len).unwrap();
-            prop_assert_eq!(ys.len(), len);
+            assert_eq!(ys.len(), len);
             for y in ys {
-                prop_assert!(y >= min - 1e-9 && y <= max + 1e-9);
+                assert!(y >= min - 1e-9 && y <= max + 1e-9);
             }
         }
 
-        #[test]
         fn feature_vector_is_deterministic(
-            xs in prop::collection::vec(-1e3f64..1e3, 1..50)
+            xs in sim_rt::check::vec_of(-1e3f64..1e3, 1..50)
         ) {
             let a = feature_vector(&xs, 8).unwrap();
             let b = feature_vector(&xs, 8).unwrap();
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
     }
 }

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Result, StatsError};
 
 /// Fixed-bin histogram over a closed interval.
@@ -19,7 +17,7 @@ use crate::{Result, StatsError};
 /// assert_eq!(h.counts()[0], 2); // 1.0 and 1.5 fall in [0, 2)
 /// assert_eq!(h.total(), 4);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,
@@ -141,7 +139,6 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn bins_partition_range() {
@@ -197,25 +194,23 @@ mod tests {
         assert_eq!(rows[1].1, 2);
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn total_equals_samples_added(
-            xs in prop::collection::vec(-10.0f64..10.0, 1..200),
+            xs in sim_rt::check::vec_of(-10.0f64..10.0, 1..200),
             bins in 1usize..32
         ) {
             let h = Histogram::from_samples(&xs, bins).unwrap();
-            prop_assert_eq!(h.total() as usize, xs.len());
+            assert_eq!(h.total() as usize, xs.len());
         }
 
-        #[test]
         fn in_range_samples_never_outliers(
-            xs in prop::collection::vec(0.0f64..1.0, 1..100)
+            xs in sim_rt::check::vec_of(0.0f64..1.0, 1..100)
         ) {
             let mut h = Histogram::new(0.0, 1.0, 7).unwrap();
             for &x in &xs {
                 h.add(x);
             }
-            prop_assert_eq!(h.outliers(), (0, 0));
+            assert_eq!(h.outliers(), (0, 0));
         }
     }
 }

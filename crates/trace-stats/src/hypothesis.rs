@@ -8,12 +8,10 @@
 //! a channel separates conditions, and the sample-size planner answers
 //! "how many hwmon reads does the attacker need?".
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Result, StatsError, Summary};
 
 /// Result of a Welch two-sample t-test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WelchTest {
     /// The t statistic (sign follows `mean(a) - mean(b)`).
     pub t: f64,
@@ -114,10 +112,11 @@ pub fn required_samples(delta: f64, sigma: f64, z: f64) -> Result<usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn jittered(center: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| center + ((i * 7) % 11) as f64 * 0.1).collect()
+        (0..n)
+            .map(|i| center + ((i * 7) % 11) as f64 * 0.1)
+            .collect()
     }
 
     #[test]
@@ -180,25 +179,23 @@ mod tests {
         assert!(test.significant(z * 0.5), "t = {} with n = {n}", test.t);
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn t_is_finite(
-            a in prop::collection::vec(-100.0f64..100.0, 2..50),
-            b in prop::collection::vec(-100.0f64..100.0, 2..50)
+            a in sim_rt::check::vec_of(-100.0f64..100.0, 2..50),
+            b in sim_rt::check::vec_of(-100.0f64..100.0, 2..50)
         ) {
             if let Ok(test) = welch_t(&a, &b) {
-                prop_assert!(test.t.is_finite());
-                prop_assert!(test.df.is_finite() && test.df > 0.0);
+                assert!(test.t.is_finite());
+                assert!(test.df.is_finite() && test.df > 0.0);
             }
         }
 
-        #[test]
         fn planner_monotone_in_delta(
             delta in 0.1f64..10.0, sigma in 0.1f64..10.0
         ) {
             let n_small = required_samples(delta, sigma, 4.5).unwrap();
             let n_large = required_samples(delta * 2.0, sigma, 4.5).unwrap();
-            prop_assert!(n_large <= n_small);
+            assert!(n_large <= n_small);
         }
     }
 }

@@ -142,7 +142,6 @@ pub fn periodic_snr(trace: &[f64], period: usize) -> Result<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn square_wave(period: usize, n: usize) -> Vec<f64> {
         (0..n)
@@ -225,16 +224,15 @@ mod tests {
         assert!(periodic_snr(&w, 4).unwrap().is_infinite());
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn autocorrelation_bounded(
-            xs in prop::collection::vec(-100.0f64..100.0, 10..200),
+            xs in sim_rt::check::vec_of(-100.0f64..100.0, 10..200),
             frac in 0.1f64..0.9
         ) {
             let max_lag = ((xs.len() as f64 * frac) as usize).max(1);
             if let Ok(ac) = autocorrelation(&xs, max_lag) {
                 for (lag, c) in ac.iter().enumerate() {
-                    prop_assert!(
+                    assert!(
                         (-1.0 - 1e-9..=1.0 + 1e-9).contains(c),
                         "lag {lag}: {c}"
                     );
@@ -242,11 +240,10 @@ mod tests {
             }
         }
 
-        #[test]
         fn estimated_period_matches_construction(period in 4usize..30) {
             let w = square_wave(period, period * 20);
             let est = estimate_period(&w, period * 3).unwrap();
-            prop_assert_eq!(est, Some(period));
+            assert_eq!(est, Some(period));
         }
     }
 }

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Result, StatsError};
 
 /// Ordinary-least-squares fit `y = slope * x + intercept`.
@@ -21,7 +19,7 @@ use crate::{Result, StatsError};
 /// assert!((fit.intercept - 1.0).abs() < 1e-12);
 /// assert!((fit.r_squared - 1.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// Fitted slope.
     pub slope: f64,
@@ -92,7 +90,6 @@ impl LinearFit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn fits_exact_line() {
@@ -131,8 +128,7 @@ mod tests {
         assert!((fit.predict(2.0) - 5.0).abs() < 1e-12);
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn recovers_noiseless_parameters(
             slope in -100.0f64..100.0,
             intercept in -100.0f64..100.0,
@@ -141,18 +137,17 @@ mod tests {
             let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
             let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
             let fit = LinearFit::fit(&xs, &ys).unwrap();
-            prop_assert!((fit.slope - slope).abs() < 1e-6);
-            prop_assert!((fit.intercept - intercept).abs() < 1e-6);
+            assert!((fit.slope - slope).abs() < 1e-6);
+            assert!((fit.intercept - intercept).abs() < 1e-6);
         }
 
-        #[test]
         fn r_squared_in_unit_interval(
-            xy in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..50)
+            xy in sim_rt::check::vec_of((-1e3f64..1e3, -1e3f64..1e3), 3..50)
         ) {
             let xs: Vec<f64> = xy.iter().map(|p| p.0).collect();
             let ys: Vec<f64> = xy.iter().map(|p| p.1).collect();
             if let Ok(fit) = LinearFit::fit(&xs, &ys) {
-                prop_assert!((-1e-9..=1.0 + 1e-9).contains(&fit.r_squared));
+                assert!((-1e-9..=1.0 + 1e-9).contains(&fit.r_squared));
             }
         }
     }

@@ -6,12 +6,10 @@
 //! the clustering logic that turns per-group sample distributions into a
 //! "number of distinguishable groups" verdict.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Result, StatsError, Summary};
 
 /// Distribution summary for one labelled group of observations.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupSummary {
     /// Caller-supplied label (e.g. the key's Hamming weight).
     pub label: String,
@@ -20,7 +18,7 @@ pub struct GroupSummary {
 }
 
 /// Result of a separability analysis over several groups.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Separability {
     /// Per-group summaries, in the caller's group order.
     pub groups: Vec<GroupSummary>,
@@ -92,7 +90,9 @@ pub fn separability_quantized(
         return Err(StatsError::InvalidParameter("z must be positive"));
     }
     if resolution < 0.0 {
-        return Err(StatsError::InvalidParameter("resolution must be non-negative"));
+        return Err(StatsError::InvalidParameter(
+            "resolution must be non-negative",
+        ));
     }
     let summaries: Vec<GroupSummary> = groups
         .iter()
@@ -138,10 +138,11 @@ fn means_distinguishable(a: &Summary, b: &Summary, z: f64, resolution: f64) -> b
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn spread(center: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| center + ((i % 7) as f64 - 3.0) * 0.1).collect()
+        (0..n)
+            .map(|i| center + ((i % 7) as f64 - 3.0) * 0.1)
+            .collect()
     }
 
     #[test]
@@ -209,10 +210,9 @@ mod tests {
         assert_eq!(r.cluster_of, vec![0]);
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn distinguishable_never_exceeds_group_count(
-            centers in prop::collection::vec(-100.0f64..100.0, 1..10),
+            centers in sim_rt::check::vec_of(-100.0f64..100.0, 1..10),
             z in 0.5f64..5.0
         ) {
             let groups: Vec<Vec<f64>> = centers.iter().map(|&c| spread(c, 20)).collect();
@@ -223,9 +223,9 @@ mod tests {
                 .map(|(l, g)| (l.as_str(), g.as_slice()))
                 .collect();
             let r = separability(&refs, z).unwrap();
-            prop_assert!(r.distinguishable >= 1);
-            prop_assert!(r.distinguishable <= groups.len());
-            prop_assert_eq!(r.cluster_of.len(), groups.len());
+            assert!(r.distinguishable >= 1);
+            assert!(r.distinguishable <= groups.len());
+            assert_eq!(r.cluster_of.len(), groups.len());
         }
     }
 }

@@ -185,13 +185,16 @@ pub fn dominant_frequency(trace: &[f64], sample_rate_hz: f64) -> Result<Option<f
         .iter()
         .enumerate()
         .skip(1) // skip residual DC
-        .fold((0usize, 0.0f64), |acc, (i, &p)| {
-            if p > acc.1 {
-                (i, p)
-            } else {
-                acc
-            }
-        });
+        .fold(
+            (0usize, 0.0f64),
+            |acc, (i, &p)| {
+                if p > acc.1 {
+                    (i, p)
+                } else {
+                    acc
+                }
+            },
+        );
     if best_power <= 0.0 || best_bin == 0 {
         return Ok(None);
     }
@@ -219,7 +222,6 @@ pub fn spectral_flatness(trace: &[f64]) -> Result<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn sine(freq_bins: f64, n: usize) -> Vec<f64> {
         (0..n)
@@ -300,18 +302,16 @@ mod tests {
         assert_eq!(spectrum.len(), 65);
     }
 
-    proptest! {
-        #[test]
-        fn spectrum_is_nonnegative(xs in prop::collection::vec(-100.0f64..100.0, 1..200)) {
+    sim_rt::prop_check! {
+        fn spectrum_is_nonnegative(xs in sim_rt::check::vec_of(-100.0f64..100.0, 1..200)) {
             for p in power_spectrum(&xs).unwrap() {
-                prop_assert!(p >= 0.0);
+                assert!(p >= 0.0);
             }
         }
 
-        #[test]
         fn fft_linearity(
-            a in prop::collection::vec(-10.0f64..10.0, 16),
-            b in prop::collection::vec(-10.0f64..10.0, 16),
+            a in sim_rt::check::vec_of(-10.0f64..10.0, 16),
+            b in sim_rt::check::vec_of(-10.0f64..10.0, 16),
             s in -3.0f64..3.0
         ) {
             let mut fa: Vec<Complex> = a.iter().map(|&x| Complex::new(x, 0.0)).collect();
@@ -327,8 +327,8 @@ mod tests {
             for i in 0..16 {
                 let expect_re = fa[i].re + s * fb[i].re;
                 let expect_im = fa[i].im + s * fb[i].im;
-                prop_assert!((fc[i].re - expect_re).abs() < 1e-6);
-                prop_assert!((fc[i].im - expect_im).abs() < 1e-6);
+                assert!((fc[i].re - expect_re).abs() < 1e-6);
+                assert!((fc[i].im - expect_im).abs() < 1e-6);
             }
         }
     }

@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::{Result, StatsError};
 
 /// Descriptive statistics over a finite sample set.
@@ -19,7 +17,7 @@ use crate::{Result, StatsError};
 /// assert_eq!(s.max, 4.0);
 /// assert_eq!(s.count, 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -119,7 +117,7 @@ impl Summary {
 /// assert_eq!(acc.mean(), 5.0);
 /// assert!((acc.population_variance() - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OnlineStats {
     count: usize,
     mean: f64,
@@ -205,8 +203,8 @@ impl OnlineStats {
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
         self.mean += delta * other.count as f64 / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
@@ -246,7 +244,6 @@ pub fn quantile(samples: &[f64], q: f64) -> Result<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn summary_of_single_sample() {
@@ -337,33 +334,30 @@ mod tests {
         ));
     }
 
-    proptest! {
-        #[test]
-        fn online_stats_match_summary(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+    sim_rt::prop_check! {
+        fn online_stats_match_summary(xs in sim_rt::check::vec_of(-1e6f64..1e6, 1..200)) {
             let mut acc = OnlineStats::new();
             for &x in &xs {
                 acc.push(x);
             }
             let s = Summary::from_samples(&xs).unwrap();
-            prop_assert!((acc.mean() - s.mean).abs() < 1e-6);
-            prop_assert!((acc.variance() - s.variance).abs() / (1.0 + s.variance) < 1e-6);
-            prop_assert_eq!(acc.min().unwrap(), s.min);
-            prop_assert_eq!(acc.max().unwrap(), s.max);
+            assert!((acc.mean() - s.mean).abs() < 1e-6);
+            assert!((acc.variance() - s.variance).abs() / (1.0 + s.variance) < 1e-6);
+            assert_eq!(acc.min().unwrap(), s.min);
+            assert_eq!(acc.max().unwrap(), s.max);
         }
 
-        #[test]
-        fn quantile_is_monotone(xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+        fn quantile_is_monotone(xs in sim_rt::check::vec_of(-1e3f64..1e3, 2..100),
                                  a in 0.0f64..1.0, b in 0.0f64..1.0) {
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
             let ql = quantile(&xs, lo).unwrap();
             let qh = quantile(&xs, hi).unwrap();
-            prop_assert!(ql <= qh + 1e-12);
+            assert!(ql <= qh + 1e-12);
         }
 
-        #[test]
-        fn mean_bounded_by_min_max(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        fn mean_bounded_by_min_max(xs in sim_rt::check::vec_of(-1e6f64..1e6, 1..100)) {
             let s = Summary::from_samples(&xs).unwrap();
-            prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+            assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
         }
     }
 }

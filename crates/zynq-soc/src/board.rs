@@ -8,12 +8,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{PowerDomain, VoltageBand};
 
 /// FPGA device family of a board.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FpgaFamily {
     /// Xilinx Zynq UltraScale+ MPSoC family.
     ZynqUltraScalePlus,
@@ -31,7 +29,7 @@ impl fmt::Display for FpgaFamily {
 }
 
 /// ARM CPU cluster integrated on a board.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CpuModel {
     /// Quad-core ARM Cortex-A53 (Zynq UltraScale+).
     CortexA53,
@@ -60,7 +58,7 @@ impl fmt::Display for CpuModel {
 /// assert_eq!(b.ina_sensor_count, 18);
 /// assert!(b.fpga_voltage_band.contains(0.85));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BoardSpec {
     /// Marketing name, e.g. "ZCU102".
     pub name: &'static str,
@@ -104,13 +102,7 @@ impl BoardSpec {
     pub fn catalog() -> Vec<BoardSpec> {
         let zup = VoltageBand::ZYNQ_ULTRASCALE_PLUS;
         let versal = VoltageBand::VERSAL;
-        let mk = |name,
-                  family,
-                  band,
-                  cpu,
-                  dram_gb,
-                  ina_sensor_count,
-                  price_usd| BoardSpec {
+        let mk = |name, family, band, cpu, dram_gb, ina_sensor_count, price_usd| BoardSpec {
             name,
             family,
             fpga_voltage_band: band,
@@ -125,14 +117,78 @@ impl BoardSpec {
             },
         };
         vec![
-            mk("ZCU102", FpgaFamily::ZynqUltraScalePlus, zup, CpuModel::CortexA53, 4, 18, 3_234),
-            mk("ZCU111", FpgaFamily::ZynqUltraScalePlus, zup, CpuModel::CortexA53, 4, 14, 14_995),
-            mk("ZCU216", FpgaFamily::ZynqUltraScalePlus, zup, CpuModel::CortexA53, 4, 14, 16_995),
-            mk("ZCU1285", FpgaFamily::ZynqUltraScalePlus, zup, CpuModel::CortexA53, 8, 21, 32_394),
-            mk("VEK280", FpgaFamily::Versal, versal, CpuModel::CortexA72, 12, 20, 6_995),
-            mk("VCK190", FpgaFamily::Versal, versal, CpuModel::CortexA72, 8, 17, 13_195),
-            mk("VHK158", FpgaFamily::Versal, versal, CpuModel::CortexA72, 32, 22, 14_995),
-            mk("VPK180", FpgaFamily::Versal, versal, CpuModel::CortexA72, 12, 19, 17_995),
+            mk(
+                "ZCU102",
+                FpgaFamily::ZynqUltraScalePlus,
+                zup,
+                CpuModel::CortexA53,
+                4,
+                18,
+                3_234,
+            ),
+            mk(
+                "ZCU111",
+                FpgaFamily::ZynqUltraScalePlus,
+                zup,
+                CpuModel::CortexA53,
+                4,
+                14,
+                14_995,
+            ),
+            mk(
+                "ZCU216",
+                FpgaFamily::ZynqUltraScalePlus,
+                zup,
+                CpuModel::CortexA53,
+                4,
+                14,
+                16_995,
+            ),
+            mk(
+                "ZCU1285",
+                FpgaFamily::ZynqUltraScalePlus,
+                zup,
+                CpuModel::CortexA53,
+                8,
+                21,
+                32_394,
+            ),
+            mk(
+                "VEK280",
+                FpgaFamily::Versal,
+                versal,
+                CpuModel::CortexA72,
+                12,
+                20,
+                6_995,
+            ),
+            mk(
+                "VCK190",
+                FpgaFamily::Versal,
+                versal,
+                CpuModel::CortexA72,
+                8,
+                17,
+                13_195,
+            ),
+            mk(
+                "VHK158",
+                FpgaFamily::Versal,
+                versal,
+                CpuModel::CortexA72,
+                32,
+                22,
+                14_995,
+            ),
+            mk(
+                "VPK180",
+                FpgaFamily::Versal,
+                versal,
+                CpuModel::CortexA72,
+                12,
+                19,
+                17_995,
+            ),
         ]
     }
 
@@ -166,7 +222,7 @@ impl BoardSpec {
 }
 
 /// Static description of one INA226 monitoring point on a board.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SensorSpec {
     /// Board designator (e.g. "ina226_u79").
     pub designator: &'static str,
@@ -243,7 +299,10 @@ mod tests {
 
     #[test]
     fn family_and_cpu_display() {
-        assert_eq!(FpgaFamily::ZynqUltraScalePlus.to_string(), "Zynq UltraScale+");
+        assert_eq!(
+            FpgaFamily::ZynqUltraScalePlus.to_string(),
+            "Zynq UltraScale+"
+        );
         assert_eq!(CpuModel::CortexA72.to_string(), "Cortex-A72");
     }
 }

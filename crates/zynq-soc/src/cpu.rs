@@ -9,12 +9,10 @@
 //! The burst pattern is a pure function of `(seed, core, time bucket)` so
 //! the electrical solve stays deterministic and replayable.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{PowerDomain, PowerLoad, SimTime};
 
 /// Configuration of the CPU background-activity model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpuActivityConfig {
     /// Number of application cores (4 on the ZCU102's Cortex-A53 cluster).
     pub core_count: u32,
@@ -182,7 +180,6 @@ impl PowerLoad for PinnedTaskLoad {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn idle_floor_is_respected() {
@@ -268,15 +265,19 @@ mod tests {
 
     #[test]
     fn pinned_task_window() {
-        let t = PinnedTaskLoad::new(
-            0,
-            SimTime::from_ms(10),
-            SimTime::from_ms(20),
-            100.0,
+        let t = PinnedTaskLoad::new(0, SimTime::from_ms(10), SimTime::from_ms(20), 100.0);
+        assert_eq!(
+            t.current_ma(SimTime::from_ms(5), PowerDomain::FullPowerCpu),
+            0.0
         );
-        assert_eq!(t.current_ma(SimTime::from_ms(5), PowerDomain::FullPowerCpu), 0.0);
-        assert_eq!(t.current_ma(SimTime::from_ms(15), PowerDomain::FullPowerCpu), 100.0);
-        assert_eq!(t.current_ma(SimTime::from_ms(20), PowerDomain::FullPowerCpu), 0.0);
+        assert_eq!(
+            t.current_ma(SimTime::from_ms(15), PowerDomain::FullPowerCpu),
+            100.0
+        );
+        assert_eq!(
+            t.current_ma(SimTime::from_ms(20), PowerDomain::FullPowerCpu),
+            0.0
+        );
         assert_eq!(t.current_ma(SimTime::from_ms(15), PowerDomain::Ddr), 0.0);
         assert_eq!(t.core(), 0);
     }
@@ -287,19 +288,17 @@ mod tests {
         let _ = PinnedTaskLoad::new(0, SimTime::from_ms(2), SimTime::from_ms(1), 1.0);
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn bucket_noise_is_uniform_ish(seed in 0u64..100) {
             let n = 2_000u64;
             let mean: f64 = (0..n).map(|b| crate::hash01(seed, 0, b)).sum::<f64>() / n as f64;
-            prop_assert!((mean - 0.5).abs() < 0.05);
+            assert!((mean - 0.5).abs() < 0.05);
         }
 
-        #[test]
         fn current_never_negative(seed in 0u64..50, ms in 0u64..100_000) {
             let cpu = CpuBackgroundLoad::new(CpuActivityConfig::default(), seed);
             for d in PowerDomain::ALL {
-                prop_assert!(cpu.current_ma(SimTime::from_ms(ms), d) >= 0.0);
+                assert!(cpu.current_ma(SimTime::from_ms(ms), d) >= 0.0);
             }
         }
     }

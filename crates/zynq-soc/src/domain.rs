@@ -1,7 +1,5 @@
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A monitored power domain of the SoC.
 ///
 /// These correspond to the four "sensitive sensors" of Table II on the
@@ -17,7 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(d.ina226_designator(), "ina226_u79");
 /// assert_eq!(PowerDomain::ALL.len(), 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum PowerDomain {
     /// Full-power domain of the ARM processor cores (Cortex-A53 cluster).
     FullPowerCpu,

@@ -8,13 +8,11 @@
 //! `f * V^2` to first order), which interacts with the full-power-CPU
 //! fingerprinting channel of Table III.
 
-use serde::{Deserialize, Serialize};
-
 use crate::cpu::CpuBackgroundLoad;
 use crate::{PowerDomain, PowerLoad, SimTime};
 
 /// One operating performance point (OPP) of the cluster.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatingPoint {
     /// Core clock in MHz.
     pub freq_mhz: u32,
@@ -23,7 +21,7 @@ pub struct OperatingPoint {
 }
 
 /// cpufreq governor policy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Governor {
     /// Always the highest OPP (the PetaLinux default behaviour).
     Performance,
@@ -38,7 +36,7 @@ pub enum Governor {
 }
 
 /// Configuration of the DVFS model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DvfsConfig {
     /// Available OPPs, ascending by frequency.
     pub opps: Vec<OperatingPoint>,
@@ -51,9 +49,18 @@ impl Default for DvfsConfig {
         DvfsConfig {
             // ZCU102 Cortex-A53 OPP table (PetaLinux device tree).
             opps: vec![
-                OperatingPoint { freq_mhz: 300, volts: 0.76 },
-                OperatingPoint { freq_mhz: 600, volts: 0.80 },
-                OperatingPoint { freq_mhz: 1_200, volts: 0.85 },
+                OperatingPoint {
+                    freq_mhz: 300,
+                    volts: 0.76,
+                },
+                OperatingPoint {
+                    freq_mhz: 600,
+                    volts: 0.80,
+                },
+                OperatingPoint {
+                    freq_mhz: 1_200,
+                    volts: 0.85,
+                },
             ],
             governor: Governor::Performance,
         }
@@ -111,7 +118,10 @@ impl DvfsCpuLoad {
     pub fn new(inner: CpuBackgroundLoad, config: DvfsConfig) -> Self {
         assert!(!config.opps.is_empty(), "OPP table must be non-empty");
         assert!(
-            config.opps.windows(2).all(|w| w[0].freq_mhz < w[1].freq_mhz),
+            config
+                .opps
+                .windows(2)
+                .all(|w| w[0].freq_mhz < w[1].freq_mhz),
             "OPP table must be ascending"
         );
         DvfsCpuLoad { inner, config }
@@ -224,7 +234,10 @@ mod tests {
                 other => panic!("unexpected OPP {other}"),
             }
         }
-        assert!(boosted > 100, "90% busy cluster should mostly boost ({boosted})");
+        assert!(
+            boosted > 100,
+            "90% busy cluster should mostly boost ({boosted})"
+        );
         assert!(low > 0, "occasionally idle quanta drop to the low OPP");
     }
 
@@ -269,8 +282,14 @@ mod tests {
             base(0),
             DvfsConfig {
                 opps: vec![
-                    OperatingPoint { freq_mhz: 1_200, volts: 0.85 },
-                    OperatingPoint { freq_mhz: 300, volts: 0.76 },
+                    OperatingPoint {
+                        freq_mhz: 1_200,
+                        volts: 0.85,
+                    },
+                    OperatingPoint {
+                        freq_mhz: 300,
+                        volts: 0.76,
+                    },
                 ],
                 governor: Governor::Performance,
             },

@@ -41,10 +41,10 @@ pub mod board;
 pub mod cpu;
 mod domain;
 pub mod dvfs;
-pub mod thermal;
 mod noise;
 mod pdn;
 mod power;
+pub mod thermal;
 mod time;
 
 pub use domain::PowerDomain;

@@ -1,5 +1,4 @@
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_rt::rng::{Rng, SimRng};
 
 /// Deterministic stateless hash of a `(seed, stream, bucket)` triple to a
 /// uniform value in `[0, 1)`.
@@ -42,7 +41,7 @@ pub fn hash01(seed: u64, stream: u64, bucket: u64) -> f64 {
 /// ```
 #[derive(Debug, Clone)]
 pub struct GaussianNoise {
-    rng: StdRng,
+    rng: SimRng,
     cached: Option<f64>,
 }
 
@@ -50,7 +49,7 @@ impl GaussianNoise {
     /// Creates a noise source from a seed.
     pub fn new(seed: u64) -> Self {
         GaussianNoise {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             cached: None,
         }
     }
@@ -101,7 +100,6 @@ impl GaussianNoise {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn deterministic_for_same_seed() {
@@ -144,22 +142,20 @@ mod tests {
         let _ = g.sample(0.0, -1.0);
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn uniform_respects_bounds(seed in 0u64..1000, lo in -10.0f64..0.0, width in 0.1f64..10.0) {
             let mut g = GaussianNoise::new(seed);
             let hi = lo + width;
             for _ in 0..20 {
                 let x = g.uniform(lo, hi);
-                prop_assert!(x >= lo && x < hi);
+                assert!(x >= lo && x < hi);
             }
         }
 
-        #[test]
         fn below_respects_bound(seed in 0u64..1000, n in 1usize..100) {
             let mut g = GaussianNoise::new(seed);
             for _ in 0..20 {
-                prop_assert!(g.below(n) < n);
+                assert!(g.below(n) < n);
             }
         }
     }

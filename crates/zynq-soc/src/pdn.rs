@@ -1,5 +1,3 @@
-use serde::{Deserialize, Serialize};
-
 use crate::board::BoardSpec;
 use crate::PowerDomain;
 
@@ -16,7 +14,7 @@ use crate::PowerDomain;
 /// assert!(!band.contains(0.9));
 /// assert_eq!(band.clamp(1.0), band.max_v);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VoltageBand {
     /// Lower bound in volts.
     pub min_v: f64,
@@ -93,7 +91,7 @@ impl VoltageBand {
 /// assert!(idle > busy);           // IR droop is monotone in load
 /// assert!(idle - busy < 0.01);    // ...but stabilized to millivolts
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pdn {
     /// Regulator set-point in volts.
     pub v_set: f64,
@@ -156,8 +154,8 @@ impl Pdn {
     pub fn rail_voltage(&self, i_ma: f64, di_dt_ma_per_us: f64) -> f64 {
         let i_a = i_ma / 1_000.0;
         let di_dt_a_per_s = di_dt_ma_per_us * 1_000.0; // mA/us == A/ms -> A/s x1000
-        // Interpolate impedance between regulated and raw as the stabilizer
-        // weakens.
+                                                       // Interpolate impedance between regulated and raw as the stabilizer
+                                                       // weakens.
         let raw_factor = 20.0;
         let scale = self.stabilizer_strength + (1.0 - self.stabilizer_strength) * raw_factor;
         let drop = i_a * self.r_eff_ohm * scale + self.l_eff_h * scale * di_dt_a_per_s;
@@ -173,7 +171,6 @@ impl Pdn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn bands_match_table_one() {
@@ -216,7 +213,10 @@ mod tests {
         let pdn = Pdn::for_board(&BoardSpec::zcu102(), PowerDomain::FpgaLogic);
         let droop = pdn.rail_voltage(500.0, 0.0) - pdn.rail_voltage(6_900.0, 0.0);
         assert!(droop > 0.0);
-        assert!(droop < 0.010, "droop {droop} V too large for a stabilized rail");
+        assert!(
+            droop < 0.010,
+            "droop {droop} V too large for a stabilized rail"
+        );
         assert!(droop / 1.25e-3 < 8.0, "more than 8 voltage LSBs of droop");
     }
 
@@ -245,20 +245,18 @@ mod tests {
             .with_stabilizer_strength(1.5);
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn clamp_is_idempotent(v in -10.0f64..10.0) {
             let band = VoltageBand::ZYNQ_ULTRASCALE_PLUS;
             let once = band.clamp(v);
-            prop_assert_eq!(band.clamp(once), once);
-            prop_assert!(band.contains(once));
+            assert_eq!(band.clamp(once), once);
+            assert!(band.contains(once));
         }
 
-        #[test]
         fn rail_voltage_in_band_at_full_strength(i_ma in 0.0f64..50_000.0, slew in -1e5f64..1e5) {
             let pdn = Pdn::for_board(&BoardSpec::zcu102(), PowerDomain::FpgaLogic);
             let v = pdn.rail_voltage(i_ma, slew);
-            prop_assert!(pdn.band.contains(v));
+            assert!(pdn.band.contains(v));
         }
     }
 }

@@ -212,7 +212,10 @@ impl CompositeLoad {
 impl std::fmt::Debug for CompositeLoad {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CompositeLoad")
-            .field("parts", &self.parts.iter().map(|p| p.label()).collect::<Vec<_>>())
+            .field(
+                "parts",
+                &self.parts.iter().map(|p| p.label()).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -244,13 +247,16 @@ impl Extend<Arc<dyn PowerLoad>> for CompositeLoad {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn constant_load_only_on_its_domain() {
         let l = ConstantLoad::new(PowerDomain::FullPowerCpu, 250.0);
         for d in PowerDomain::ALL {
-            let expect = if d == PowerDomain::FullPowerCpu { 250.0 } else { 0.0 };
+            let expect = if d == PowerDomain::FullPowerCpu {
+                250.0
+            } else {
+                0.0
+            };
             assert_eq!(l.current_ma(SimTime::from_ms(5), d), expect);
         }
     }
@@ -317,10 +323,9 @@ mod tests {
         assert_send_sync::<Arc<dyn PowerLoad>>();
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn composite_sum_matches_manual(
-            currents in prop::collection::vec(0.0f64..1e4, 0..10)
+            currents in sim_rt::check::vec_of(0.0f64..1e4, 0..10)
         ) {
             let mut c = CompositeLoad::new();
             for &i in &currents {
@@ -328,7 +333,7 @@ mod tests {
             }
             let total: f64 = currents.iter().sum();
             let got = c.current_ma(SimTime::ZERO, PowerDomain::FpgaLogic);
-            prop_assert!((got - total).abs() < 1e-9);
+            assert!((got - total).abs() < 1e-9);
         }
     }
 }

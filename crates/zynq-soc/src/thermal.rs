@@ -17,10 +17,8 @@
 //! [`crate::StaticFabricLoad`]'s deterministic drift stands in for the
 //! integrated thermal state there.
 
-use serde::{Deserialize, Serialize};
-
 /// Thermal parameters of the package/heatsink assembly.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThermalConfig {
     /// Ambient temperature, Celsius.
     pub ambient_c: f64,
@@ -60,7 +58,7 @@ impl Default for ThermalConfig {
 /// }
 /// assert!((th.junction_c() - (35.0 + 28.0)).abs() < 1.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ThermalModel {
     config: ThermalConfig,
     junction_c: f64,
@@ -127,7 +125,6 @@ impl ThermalModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn starts_at_ambient() {
@@ -195,8 +192,7 @@ mod tests {
         th.step(1.0, 0.0);
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn temperature_bounded_by_ambient_and_steady_state(
             power in 0.0f64..30.0,
             steps in 1usize..50,
@@ -207,17 +203,16 @@ mod tests {
                 th.step(power, dt);
             }
             let ss = th.steady_state_c(power);
-            prop_assert!(th.junction_c() >= 35.0 - 1e-9);
-            prop_assert!(th.junction_c() <= ss + 1e-9);
+            assert!(th.junction_c() >= 35.0 - 1e-9);
+            assert!(th.junction_c() <= ss + 1e-9);
         }
 
-        #[test]
         fn monotone_heating_under_constant_power(dt in 0.1f64..10.0) {
             let mut th = ThermalModel::new(ThermalConfig::default());
             let mut prev = th.junction_c();
             for _ in 0..20 {
                 th.step(12.0, dt);
-                prop_assert!(th.junction_c() >= prev - 1e-12);
+                assert!(th.junction_c() >= prev - 1e-12);
                 prev = th.junction_c();
             }
         }

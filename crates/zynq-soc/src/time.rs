@@ -1,8 +1,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// Simulation timestamp with nanosecond resolution.
 ///
 /// All platform components (loads, sensors, the hwmon update clock, the
@@ -20,9 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t + SimTime::from_us(500), SimTime::from_us(35_500));
 /// assert!((t.as_secs_f64() - 0.035).abs() < 1e-12);
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -56,7 +52,10 @@ impl SimTime {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "time must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "time must be finite and non-negative"
+        );
         SimTime((s * 1e9).round() as u64)
     }
 
@@ -137,7 +136,6 @@ impl fmt::Display for SimTime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn unit_conversions_round_trip() {
@@ -161,7 +159,10 @@ mod tests {
 
     #[test]
     fn checked_add_detects_overflow() {
-        assert_eq!(SimTime::from_nanos(u64::MAX).checked_add(SimTime::from_nanos(1)), None);
+        assert_eq!(
+            SimTime::from_nanos(u64::MAX).checked_add(SimTime::from_nanos(1)),
+            None
+        );
         assert_eq!(
             SimTime::from_nanos(1).checked_add(SimTime::from_nanos(2)),
             Some(SimTime::from_nanos(3))
@@ -182,20 +183,18 @@ mod tests {
         assert_eq!(SimTime::from_secs(5).to_string(), "5.000000s");
     }
 
-    proptest! {
-        #[test]
+    sim_rt::prop_check! {
         fn ordering_consistent_with_nanos(a in 0u64..1u64 << 60, b in 0u64..1u64 << 60) {
             let (ta, tb) = (SimTime::from_nanos(a), SimTime::from_nanos(b));
-            prop_assert_eq!(ta < tb, a < b);
-            prop_assert_eq!(ta == tb, a == b);
+            assert_eq!(ta < tb, a < b);
+            assert_eq!(ta == tb, a == b);
         }
 
-        #[test]
         fn secs_f64_round_trip(ms in 0u64..10_000_000) {
             let t = SimTime::from_ms(ms);
             let back = SimTime::from_secs_f64(t.as_secs_f64());
             // f64 has 52 bits of mantissa; millisecond inputs survive exactly.
-            prop_assert_eq!(back, t);
+            assert_eq!(back, t);
         }
     }
 }

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let report = characterize::run(&platform, &config)?;
 
-    println!("{:>7} {:>12} {:>10} {:>12} {:>10}", "groups", "I(mA)", "V(mV)", "P(mW)", "RO");
+    println!(
+        "{:>7} {:>12} {:>10} {:>12} {:>10}",
+        "groups", "I(mA)", "V(mV)", "P(mW)", "RO"
+    );
     for row in report.rows.iter().step_by((report.rows.len() / 16).max(1)) {
         println!(
             "{:>7} {:>12.1} {:>10.2} {:>12.1} {:>10.2}",
@@ -48,9 +51,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  voltage : {:+.4}", report.pearson_voltage);
     println!("  RO      : {:+.4}", report.pearson_ro.unwrap_or(f64::NAN));
     println!("\nper-step slopes:");
-    println!("  current : {:.2} mA  (~LSBs at 1 mA resolution)", report.fit_current.slope);
-    println!("  voltage : {:.4} LSB (1.25 mV each)", report.voltage_lsb_per_step());
-    println!("  power   : {:.2} LSB (25 mW each)", report.power_lsb_per_step());
+    println!(
+        "  current : {:.2} mA  (~LSBs at 1 mA resolution)",
+        report.fit_current.slope
+    );
+    println!(
+        "  voltage : {:.4} LSB (1.25 mV each)",
+        report.voltage_lsb_per_step()
+    );
+    println!(
+        "  power   : {:.2} LSB (25 mW each)",
+        report.power_lsb_per_step()
+    );
     if let Some(ratio) = report.variation_ratio_vs_ro {
         println!("\ncurrent variation / RO variation = {ratio:.0}x (paper: 261x)");
     }

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rx.sync_quality * 100.0,
         rx.payload_bandwidth_bps
     );
-    println!("bit error rate: {:.4}", bit_error_rate(payload, &rx.payload));
+    println!(
+        "bit error rate: {:.4}",
+        bit_error_rate(payload, &rx.payload)
+    );
 
     // Faster signalling degrades: one sensor update per bit leaves no
     // voting margin.

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..FingerprintConfig::default()
     };
 
-    eprintln!("offline phase: collecting {} traces ...", victims.len() * config.traces_per_model);
+    eprintln!(
+        "offline phase: collecting {} traces ...",
+        victims.len() * config.traces_per_model
+    );
     let corpus = collect_corpus(&victims, &config)?;
 
     eprintln!("training / cross-validating ...");

@@ -14,7 +14,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nfingerprinting grid (Figure 3 model set):");
     for (sc, cells) in &report.fingerprint_grid.rows {
         let cell = cells.last().expect("one duration evaluated");
-        println!("  {:<24} top-1 {:.3}  top-5 {:.3}", sc.to_string(), cell.top1, cell.top5);
+        println!(
+            "  {:<24} top-1 {:.3}  top-5 {:.3}",
+            sc.to_string(),
+            cell.top1,
+            cell.top5
+        );
     }
 
     println!("\nadjacent RSA group confidence (Welch t, threshold 4.5):");

@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The cost: a benign unprivileged power monitor breaks too.
     let benign = CurrentSampler::unprivileged(&platform);
-    match benign.read_once(PowerDomain::FullPowerCpu, Channel::Power, SimTime::from_ms(40)) {
+    match benign.read_once(
+        PowerDomain::FullPowerCpu,
+        Channel::Power,
+        SimTime::from_ms(40),
+    ) {
         Ok(_) => println!("benign unprivileged power monitor still works"),
         Err(e) => println!("benign unprivileged power monitor ALSO breaks: {e}"),
     }

@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Attacker: an unprivileged process polling curr1_input.
     let sampler = CurrentSampler::unprivileged(&platform);
-    println!("\n{:>8} {:>12} {:>12} {:>14}", "groups", "current(mA)", "volt(mV)", "power(mW)");
+    println!(
+        "\n{:>8} {:>12} {:>12} {:>14}",
+        "groups", "current(mA)", "volt(mV)", "power(mW)"
+    );
     let mut cursor = SimTime::from_ms(40);
     for groups in [0u32, 20, 40, 80, 120, 160] {
         virus.activate_groups(groups).unwrap();

@@ -4,8 +4,7 @@
 
 use amperebleed::characterize::{self, CharacterizeConfig};
 use amperebleed::fingerprint::{
-    collect_corpus, evaluate_grid, FingerprintConfig, Fingerprinter, SensorChannel,
-    TABLE3_CHANNELS,
+    collect_corpus, evaluate_grid, FingerprintConfig, Fingerprinter, SensorChannel, TABLE3_CHANNELS,
 };
 use amperebleed::rsa_attack::{self, RsaAttackConfig};
 use amperebleed::{Channel, CurrentSampler, Platform};
@@ -138,8 +137,7 @@ fn rsa_hamming_weight_recovery() {
     // keys, so power may still separate all of them — check ordering only).
     assert!(report.current_separates_all());
     assert!(
-        report.power_separability.distinguishable
-            <= report.current_separability.distinguishable
+        report.power_separability.distinguishable <= report.current_separability.distinguishable
     );
     // Mean current monotone in weight.
     let means: Vec<f64> = report

@@ -84,12 +84,24 @@ fn stabilizer_keeps_voltage_channel_quiet_under_full_load() {
 
     virus.activate_groups(0).unwrap();
     let v_idle = sampler
-        .capture(PowerDomain::FpgaLogic, Channel::Voltage, SimTime::from_ms(40), 100.0, 50)
+        .capture(
+            PowerDomain::FpgaLogic,
+            Channel::Voltage,
+            SimTime::from_ms(40),
+            100.0,
+            50,
+        )
         .unwrap()
         .mean();
     virus.activate_groups(160).unwrap();
     let v_busy = sampler
-        .capture(PowerDomain::FpgaLogic, Channel::Voltage, SimTime::from_secs(10), 100.0, 50)
+        .capture(
+            PowerDomain::FpgaLogic,
+            Channel::Voltage,
+            SimTime::from_secs(10),
+            100.0,
+            50,
+        )
         .unwrap()
         .mean();
     // 6.4 A of swing moves the voltage reading by only a few mV...
@@ -99,12 +111,24 @@ fn stabilizer_keeps_voltage_channel_quiet_under_full_load() {
     // ...while the current reading moves by amps.
     virus.activate_groups(0).unwrap();
     let i_idle = sampler
-        .capture(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_secs(20), 100.0, 50)
+        .capture(
+            PowerDomain::FpgaLogic,
+            Channel::Current,
+            SimTime::from_secs(20),
+            100.0,
+            50,
+        )
         .unwrap()
         .mean();
     virus.activate_groups(160).unwrap();
     let i_busy = sampler
-        .capture(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_secs(30), 100.0, 50)
+        .capture(
+            PowerDomain::FpgaLogic,
+            Channel::Current,
+            SimTime::from_secs(30),
+            100.0,
+            50,
+        )
         .unwrap()
         .mean();
     assert!(i_busy - i_idle > 5_000.0);
@@ -156,18 +180,36 @@ fn attack_transfers_to_versal_boards() {
 
     virus.activate_groups(0).unwrap();
     let idle = sampler
-        .capture(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_ms(40), 100.0, 30)
+        .capture(
+            PowerDomain::FpgaLogic,
+            Channel::Current,
+            SimTime::from_ms(40),
+            100.0,
+            30,
+        )
         .unwrap()
         .mean();
     virus.activate_groups(160).unwrap();
     let busy = sampler
-        .capture(PowerDomain::FpgaLogic, Channel::Current, SimTime::from_secs(5), 100.0, 30)
+        .capture(
+            PowerDomain::FpgaLogic,
+            Channel::Current,
+            SimTime::from_secs(5),
+            100.0,
+            30,
+        )
         .unwrap()
         .mean();
-    assert!(busy - idle > 5_000.0, "attack must transfer: {idle} -> {busy}");
+    assert!(
+        busy - idle > 5_000.0,
+        "attack must transfer: {idle} -> {busy}"
+    );
 
     let v = p.ground_truth_volts(PowerDomain::FpgaLogic, SimTime::from_secs(5));
-    assert!(p.board().fpga_voltage_band.contains(v), "Versal band holds ({v} V)");
+    assert!(
+        p.board().fpga_voltage_band.contains(v),
+        "Versal band holds ({v} V)"
+    );
 }
 
 #[test]
@@ -179,7 +221,13 @@ fn per_domain_isolation_of_victim_activity() {
     let sampler = CurrentSampler::unprivileged(&p);
     let capture_mean = |start_s: u64, domain| {
         sampler
-            .capture(domain, Channel::Current, SimTime::from_secs(start_s), 28.0, 60)
+            .capture(
+                domain,
+                Channel::Current,
+                SimTime::from_secs(start_s),
+                28.0,
+                60,
+            )
             .unwrap()
             .mean()
     };
