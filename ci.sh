@@ -21,4 +21,22 @@ cargo build --offline --release --workspace
 echo "==> cargo test"
 cargo test --offline --workspace -q
 
+echo "==> cargo doc (sim-obs)"
+cargo doc --offline --no-deps -p sim-obs
+
+echo "==> observability smoke (trace-level events + JSONL sink)"
+trace_file="$(mktemp)"
+trap 'rm -f "$trace_file"' EXIT
+AMPEREBLEED_LOG=trace AMPEREBLEED_TRACE_FILE="$trace_file" \
+    cargo run --offline --release --example quickstart >/dev/null 2>&1
+if ! [ -s "$trace_file" ]; then
+    echo "ci.sh: trace-level run left $trace_file empty" >&2
+    exit 1
+fi
+head -n 1 "$trace_file" | grep -q '"level":' || {
+    echo "ci.sh: trace file rows are not obs events" >&2
+    exit 1
+}
+echo "    $(wc -l < "$trace_file") events traced"
+
 echo "==> ci.sh: all gates passed"

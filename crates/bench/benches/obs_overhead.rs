@@ -1,0 +1,110 @@
+//! Overhead of the observability layer on the sampler hot path.
+//!
+//! Measures [`CurrentSampler::capture`] twice in alternating rounds —
+//! metrics recording enabled (the default) versus runtime-disabled via
+//! [`obs::metrics::set_enabled`] — and writes the comparison to
+//! `BENCH_obs_overhead.json`. The budget is < 5% mean overhead on the
+//! capture path; the process exits non-zero when a full run blows it.
+//!
+//! Run with: `cargo bench --bench obs_overhead` (full schedule) or
+//! `cargo bench --bench obs_overhead -- --quick` (smoke: measures and
+//! writes the artifact, never fails on the timing).
+//!
+//! Both arms run in one process with the metrics feature compiled in, so
+//! the comparison isolates the *runtime* cost of the atomic updates — the
+//! honest bound for users who keep the default build. The `compile-off`
+//! feature removes even the disabled-path branch.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use amperebleed::{Channel, CurrentSampler, Platform};
+use fpga_fabric::virus::VirusConfig;
+use sim_rt::Record;
+use zynq_soc::{PowerDomain, SimTime};
+
+/// Samples per capture: a 2 s window at the hwmon cadence.
+const SAMPLES: usize = 64;
+/// Overhead budget on the capture path, in percent.
+const THRESHOLD_PCT: f64 = 5.0;
+
+/// Mean nanoseconds per call over `iters` calls of `f`.
+fn time_ns(iters: u64, mut f: impl FnMut() -> f64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let quick = sim_rt::bench::quick_requested();
+    obs::init();
+
+    let mut platform = Platform::zcu102(42);
+    let virus = platform.deploy_virus(VirusConfig::default()).unwrap();
+    virus.activate_groups(80).unwrap();
+    let sampler = CurrentSampler::unprivileged(&platform);
+
+    // Each capture starts at a fresh sim time so every sample converts
+    // instead of hitting the held-value cache.
+    let mut t = 40_000_000u64;
+    let mut capture = move || {
+        t += 10 * 35_000_000 * SAMPLES as u64;
+        let trace = sampler
+            .capture(
+                PowerDomain::FpgaLogic,
+                Channel::Current,
+                SimTime::from_nanos(t),
+                1.0 / 0.035,
+                SAMPLES,
+            )
+            .unwrap();
+        trace.samples[SAMPLES - 1]
+    };
+
+    let (rounds, iters) = if quick { (2, 3) } else { (7, 200) };
+    // Alternate off/on rounds and keep the minimum per arm: the minimum is
+    // what the code costs; everything above it is scheduler noise.
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for round in 0..rounds {
+        obs::metrics::set_enabled(false);
+        let off = time_ns(iters, &mut capture);
+        obs::metrics::set_enabled(true);
+        let on = time_ns(iters, &mut capture);
+        best_off = best_off.min(off);
+        best_on = best_on.min(on);
+        println!(
+            "obs_overhead/round {round}: off {off:>12.1} ns/capture, on {on:>12.1} ns/capture"
+        );
+    }
+
+    let overhead_pct = (best_on - best_off) / best_off * 100.0;
+    let pass = overhead_pct < THRESHOLD_PCT;
+    println!(
+        "obs_overhead/capture_{SAMPLES}_samples: off {best_off:.1} ns, on {best_on:.1} ns, \
+         overhead {overhead_pct:+.2}% (budget {THRESHOLD_PCT}%) -> {}",
+        if pass { "pass" } else { "FAIL" }
+    );
+
+    let mut row = Record::new();
+    row.push("bench", "sampler_capture_hot_path")
+        .push("samples_per_capture", SAMPLES as u64)
+        .push("iters_per_round", iters)
+        .push("rounds", rounds as u64)
+        .push("quick", quick)
+        .push("off_ns_per_capture", best_off)
+        .push("on_ns_per_capture", best_on)
+        .push("overhead_pct", overhead_pct)
+        .push("threshold_pct", THRESHOLD_PCT)
+        .push("pass", pass);
+    let path = "BENCH_obs_overhead.json";
+    std::fs::write(path, sim_rt::to_jsonl(&[row])).expect("write artifact");
+    println!("obs_overhead: wrote {path}");
+
+    // Quick (smoke) timings are 3-iteration noise; only a full run judges.
+    if !quick && !pass {
+        std::process::exit(1);
+    }
+}

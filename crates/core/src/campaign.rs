@@ -85,6 +85,15 @@ impl CampaignConfig {
     }
 }
 
+/// Wall-clock timing of one campaign stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseTiming {
+    /// Stage name (`characterization`, `fingerprinting`, ...).
+    pub name: &'static str,
+    /// Elapsed wall-clock time.
+    pub elapsed: std::time::Duration,
+}
+
 /// The composite result of a full campaign.
 #[derive(Debug, Clone)]
 pub struct CampaignReport {
@@ -102,6 +111,11 @@ pub struct CampaignReport {
     pub workload_accuracy: f64,
     /// Whether the Section V mitigation blocked an attack re-run.
     pub mitigation_effective: bool,
+    /// Wall-clock elapsed per stage, in execution order.
+    pub phase_timings: Vec<PhaseTiming>,
+    /// Process-global metrics frozen at campaign end: sensor-read
+    /// counters, conversion telemetry, per-phase latency histograms.
+    pub metrics: obs::MetricsSnapshot,
 }
 
 impl CampaignReport {
@@ -151,6 +165,35 @@ impl CampaignReport {
                 "FAILED to block"
             }
         ));
+        let total: f64 = self
+            .phase_timings
+            .iter()
+            .map(|p| p.elapsed.as_secs_f64())
+            .sum();
+        for phase in &self.phase_timings {
+            out.push_str(&format!(
+                "  {:<16}: {:>8.3} s\n",
+                phase.name,
+                phase.elapsed.as_secs_f64()
+            ));
+        }
+        out.push_str(&format!("  {:<16}: {total:>8.3} s\n", "total"));
+        out
+    }
+
+    /// Renders the embedded metrics snapshot as a human-readable profile
+    /// table (the `--profile` view of `examples/full_campaign.rs`).
+    pub fn profile_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("phase timings:\n");
+        for phase in &self.phase_timings {
+            out.push_str(&format!(
+                "  {:<44} {:>11.3} s\n",
+                phase.name,
+                phase.elapsed.as_secs_f64()
+            ));
+        }
+        out.push_str(&self.metrics.render_table());
         out
     }
 }
@@ -181,13 +224,20 @@ fn figure3_models(models: &[ModelArch]) -> Result<Vec<&ModelArch>> {
 ///
 /// Propagates the first failure from any stage.
 pub fn run(config: &CampaignConfig) -> Result<CampaignReport> {
+    obs::init();
+    obs::info!("core.campaign", "campaign started"; "seed" => config.seed);
+    let mut phase_timings = Vec::with_capacity(6);
+
     // Stage 1: characterization with the RO baseline co-deployed.
+    let phase = TimedPhase::enter("characterization");
     let mut platform = Platform::zcu102(config.seed);
     platform.deploy_virus(VirusConfig::default())?;
     platform.deploy_ro_bank(RoConfig::default())?;
     let characterization = characterize::run(&platform, &config.characterize)?;
+    phase.close(&mut phase_timings);
 
     // Stage 2: fingerprinting over the Figure 3 set.
+    let phase = TimedPhase::enter("fingerprinting");
     let models = dnn_models::zoo();
     let victims = figure3_models(&models)?;
     let corpus = collect_corpus(&victims, &config.fingerprint)?;
@@ -196,11 +246,15 @@ pub fn run(config: &CampaignConfig) -> Result<CampaignReport> {
         &config.fingerprint,
         &[config.fingerprint.capture_seconds],
     )?;
+    phase.close(&mut phase_timings);
 
     // Stage 3: RSA Hamming-weight recovery.
+    let phase = TimedPhase::enter("rsa");
     let rsa = rsa_attack::run(&config.rsa)?;
+    phase.close(&mut phase_timings);
 
     // Stage 4: covert channel round trip.
+    let phase = TimedPhase::enter("covert");
     let payload = b"ampere";
     let covert_config = CovertConfig::default();
     let mut covert_platform = Platform::zcu102(config.seed ^ 0xC0);
@@ -212,16 +266,26 @@ pub fn run(config: &CampaignConfig) -> Result<CampaignReport> {
         SimTime::from_ms(91),
     )?;
     let covert_ber = covert::bit_error_rate(payload, &rx.payload);
+    phase.close(&mut phase_timings);
 
     // Stage 5: TEE and workload reconnaissance.
+    let phase = TimedPhase::enter("tee+workload");
     let tee_accuracy = tee::run(&config.tee)?.holdout_accuracy;
     let workload_accuracy = workload::run(&config.workload)?.holdout_accuracy;
+    phase.close(&mut phase_timings);
 
     // Stage 6: mitigation check — the characterization re-run must fail.
+    let phase = TimedPhase::enter("mitigation");
     let mut hardened = Platform::zcu102(config.seed ^ 0xF0);
     hardened.deploy_virus(VirusConfig::default())?;
     restrict_all_sensors(&mut hardened)?;
     let mitigation_effective = characterize::run(&hardened, &config.characterize).is_err();
+    phase.close(&mut phase_timings);
+
+    // Freeze pool telemetry and the whole metrics registry into the report.
+    obs::record_pool_stats("pool.global", &sim_rt::pool::Pool::global().stats());
+    let metrics = obs::metrics::snapshot();
+    obs::info!("core.campaign", "campaign finished");
 
     Ok(CampaignReport {
         characterization,
@@ -231,7 +295,37 @@ pub fn run(config: &CampaignConfig) -> Result<CampaignReport> {
         tee_accuracy,
         workload_accuracy,
         mitigation_effective,
+        phase_timings,
+        metrics,
     })
+}
+
+/// One stage's span + stopwatch. Closing records the [`PhaseTiming`]; a
+/// stage aborted by `?` drops the span, which still records its latency
+/// histogram (`span.core.campaign.{name}.ns`).
+struct TimedPhase {
+    name: &'static str,
+    span: obs::Span,
+    started: std::time::Instant,
+}
+
+impl TimedPhase {
+    fn enter(name: &'static str) -> TimedPhase {
+        obs::info!("core.campaign", "stage started"; "stage" => name);
+        TimedPhase {
+            name,
+            span: obs::span!("core.campaign", name),
+            started: std::time::Instant::now(),
+        }
+    }
+
+    fn close(self, timings: &mut Vec<PhaseTiming>) {
+        self.span.close();
+        timings.push(PhaseTiming {
+            name: self.name,
+            elapsed: self.started.elapsed(),
+        });
+    }
 }
 
 #[cfg(test)]
@@ -252,5 +346,25 @@ mod tests {
         let summary = report.summary();
         assert!(summary.contains("characterization"));
         assert!(summary.contains("blocks every attack"));
+        assert!(summary.contains("total"), "summary lists wall-clock totals");
+
+        // Observability: all six stages timed, in order, and the embedded
+        // snapshot carries the sampler's read counters.
+        let names: Vec<&str> = report.phase_timings.iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            [
+                "characterization",
+                "fingerprinting",
+                "rsa",
+                "covert",
+                "tee+workload",
+                "mitigation"
+            ]
+        );
+        assert!(report.metrics.counter("sampler.reads.current").unwrap_or(0) > 0);
+        let profile = report.profile_table();
+        assert!(profile.contains("phase timings"));
+        assert!(profile.contains("sampler.reads.current"));
     }
 }

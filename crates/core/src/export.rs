@@ -193,6 +193,18 @@ pub fn grid_to_jsonl(grid: &AccuracyGrid) -> String {
     sim_rt::to_jsonl(&rows)
 }
 
+/// Renders a frozen metrics snapshot as JSON Lines, one object per metric
+/// with a uniform schema across counters, gauges, and histograms (the same
+/// rows `sim_rt::to_csv` accepts).
+pub fn metrics_to_jsonl(snapshot: &obs::MetricsSnapshot) -> String {
+    sim_rt::to_jsonl(&snapshot.to_records())
+}
+
+/// Renders a frozen metrics snapshot as CSV, one row per metric.
+pub fn metrics_to_csv(snapshot: &obs::MetricsSnapshot) -> String {
+    sim_rt::to_csv(snapshot.to_records().iter())
+}
+
 /// Renders the Figure 4 observations as JSON Lines, one object per key,
 /// including the cluster assignments from both channels' separability
 /// analyses.

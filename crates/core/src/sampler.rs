@@ -50,8 +50,19 @@ impl<'a> CurrentSampler<'a> {
     /// Returns [`AttackError::Hwmon`] on sysfs failures (notably
     /// `PermissionDenied` under the mitigation).
     pub fn read_once(&self, domain: PowerDomain, channel: Channel, t: SimTime) -> Result<f64> {
+        match channel {
+            Channel::Current => obs::counter!("sampler.reads.current").inc(),
+            Channel::Voltage => obs::counter!("sampler.reads.voltage").inc(),
+            Channel::Power => obs::counter!("sampler.reads.power").inc(),
+        }
         let path = self.platform.sensor_path(domain, channel.attribute());
-        let raw = self.platform.hwmon().read(&path, t, self.privilege)?;
+        let raw = match self.platform.hwmon().read(&path, t, self.privilege) {
+            Ok(raw) => raw,
+            Err(e) => {
+                obs::counter!("sampler.read_errors").inc();
+                return Err(e.into());
+            }
+        };
         raw.trim()
             .parse::<f64>()
             .map_err(|_| AttackError::InvalidParameter(format!("unparseable sysfs value: {raw:?}")))
@@ -86,12 +97,23 @@ impl<'a> CurrentSampler<'a> {
                 "sample count must be non-zero".into(),
             ));
         }
+        let started = obs::clock::monotonic_ns();
         let period = SimTime::from_secs_f64(1.0 / rate_hz);
         let mut samples = Vec::with_capacity(count);
         for k in 0..count {
             let t = start + SimTime::from_nanos(period.as_nanos() * k as u64);
             samples.push(self.read_once(domain, channel, t)?);
         }
+        obs::histogram!("sampler.capture.ns")
+            .observe(obs::clock::monotonic_ns().saturating_sub(started));
+        obs::debug!(
+            "core.sampler",
+            sim = start.as_nanos(),
+            "capture complete";
+            "channel" => channel.attribute(),
+            "rate_hz" => rate_hz,
+            "count" => count as u64
+        );
         Ok(Trace {
             domain,
             channel,

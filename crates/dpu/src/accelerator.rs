@@ -114,6 +114,13 @@ impl DpuAccelerator {
 
     /// Loads a model whose inference loop starts at `at`.
     pub fn load_model_at(&self, model: &ModelArch, at: SimTime) {
+        obs::counter!("dpu.model_loads").inc();
+        obs::debug!(
+            "dpu.accelerator",
+            sim = at.as_nanos(),
+            "model loaded";
+            "model" => model.name.as_str()
+        );
         let schedule = DpuSchedule::lower(model, &self.config);
         // Resize/normalize cost grows with the model's input resolution
         // (ILSVRC images are rescaled per-model, Section IV-B).

@@ -148,12 +148,20 @@ impl PowerVirusArray {
     /// Returns [`ActivateError`] if `n` exceeds the deployed group count.
     pub fn activate_groups(&self, n: u32) -> Result<(), ActivateError> {
         if n > self.config.groups {
+            obs::warn!(
+                "fabric.virus",
+                "activation beyond deployed group count rejected";
+                "requested" => n as u64,
+                "deployed" => self.config.groups as u64
+            );
             return Err(ActivateError {
                 requested: n,
                 deployed: self.config.groups,
             });
         }
         self.active_groups.store(n, Ordering::Release);
+        obs::counter!("fabric.virus.activations").inc();
+        obs::gauge!("fabric.virus.active_groups").set(n as f64);
         Ok(())
     }
 

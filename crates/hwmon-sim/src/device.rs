@@ -123,8 +123,12 @@ impl HwmonDevice {
         let boundary =
             SimTime::from_nanos(now.as_nanos() / interval.as_nanos() * interval.as_nanos());
         if state.last_boundary == Some(boundary) {
+            // The driver's cached-register path: the read waits on no new
+            // conversion and returns the held value.
+            obs::counter!("hwmon.reads.held").inc();
             return;
         }
+        obs::counter!("hwmon.reads.fresh").inc();
         let mut sensor = self.sensor.lock().expect("sensor lock poisoned");
         let n = sensor.config().avg.samples() as u64;
         let cycle = SimTime::from_us(sensor.config().cycle_micros());

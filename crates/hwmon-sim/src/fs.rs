@@ -120,6 +120,7 @@ impl HwmonFs {
     /// * [`HwmonError::PermissionDenied`] when the mitigation restricts
     ///   the device and the caller is not root.
     pub fn read(&self, path: &str, now: SimTime, privilege: Privilege) -> Result<String> {
+        obs::counter!("hwmon.fs.reads").inc();
         let (index, attr) = Self::parse(path)?;
         let dev = self
             .devices
@@ -131,8 +132,21 @@ impl HwmonFs {
             "curr1_input" | "in0_input" | "in1_input" | "power1_input"
         );
         if restricted && measurement && privilege != Privilege::Root {
+            obs::counter!("hwmon.fs.reads_denied").inc();
+            obs::warn!(
+                "hwmon.fs",
+                sim = now.as_nanos(),
+                "unprivileged read denied by mitigation";
+                "path" => path
+            );
             return Err(HwmonError::PermissionDenied(path.to_owned()));
         }
+        obs::trace!(
+            "hwmon.fs",
+            sim = now.as_nanos(),
+            "sysfs read";
+            "path" => path
+        );
         match attr {
             "name" => Ok(format!("{}\n", dev.name())),
             "curr1_input" => Ok(format!("{}\n", dev.curr1_input(now))),
@@ -154,6 +168,7 @@ impl HwmonFs {
     /// * [`HwmonError::ReadOnly`] for measurement attributes.
     /// * [`HwmonError::InvalidInput`] for unparseable values.
     pub fn write(&self, path: &str, value: &str, privilege: Privilege) -> Result<()> {
+        obs::counter!("hwmon.fs.writes").inc();
         let (index, attr) = Self::parse(path)?;
         let dev = self
             .devices

@@ -225,20 +225,30 @@ impl Ina226 {
         // Quantize through the two ADCs — but only the channels the mode
         // enables; the other register holds its previous value.
         if self.config.mode.converts_shunt() {
-            self.shunt_reg = (shunt_mean / SHUNT_LSB_V)
-                .round()
-                .clamp(i16::MIN as f64, i16::MAX as f64) as i16;
+            let counts = (shunt_mean / SHUNT_LSB_V).round();
+            if !(i16::MIN as f64..=i16::MAX as f64).contains(&counts) {
+                obs::counter!("ina226.clips.shunt").inc();
+            }
+            self.shunt_reg = counts.clamp(i16::MIN as f64, i16::MAX as f64) as i16;
         }
         if self.config.mode.converts_bus() {
-            self.bus_reg = (bus_mean / BUS_LSB_V).round().clamp(0.0, 0x7FFF as f64) as u16;
+            let counts = (bus_mean / BUS_LSB_V).round();
+            if !(0.0..=0x7FFF as f64).contains(&counts) {
+                obs::counter!("ina226.clips.bus").inc();
+            }
+            self.bus_reg = counts.clamp(0.0, 0x7FFF as f64) as u16;
         }
 
         // Datasheet integer pipeline.
         let current = (self.shunt_reg as i64 * self.calibration as i64) / 2048;
+        if !(i16::MIN as i64..=i16::MAX as i64).contains(&current) {
+            obs::counter!("ina226.clips.current").inc();
+        }
         self.current_reg = current.clamp(i16::MIN as i64, i16::MAX as i64) as i16;
         let power = (self.current_reg as i64 * self.bus_reg as i64) / 20_000;
         self.power_reg = power.clamp(0, u16::MAX as i64) as u16;
         self.conversions += 1;
+        obs::counter!("ina226.conversions").inc();
 
         // Alert function: refresh the status bits from this conversion.
         let status_mask =

@@ -66,6 +66,8 @@ impl RandomForest {
     /// Panics if `config.n_trees` is zero.
     pub fn fit_with(data: &Dataset, config: &ForestConfig, pool: &Pool) -> Self {
         assert!(config.n_trees > 0, "forest needs at least one tree");
+        let _span = obs::span!("rforest.forest", "fit");
+        obs::counter!("rforest.fits").inc();
         let tree_config = TreeConfig {
             max_depth: config.max_depth,
             min_samples_split: config.min_samples_split,

@@ -1,0 +1,46 @@
+//! Monotonic wall-clock for event timestamps.
+//!
+//! Simulation code keeps its own `SimTime` nanosecond clock; this module
+//! supplies the *other* half of every event's dual timestamp — real
+//! elapsed nanoseconds since the observability runtime started. Using a
+//! process-relative monotonic origin (instead of Unix time) keeps
+//! timestamps meaningful for latency arithmetic and avoids any dependency
+//! on the system calendar.
+//!
+//! # Examples
+//!
+//! ```
+//! let a = obs::clock::monotonic_ns();
+//! let b = obs::clock::monotonic_ns();
+//! assert!(b >= a);
+//! ```
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static START: OnceLock<Instant> = OnceLock::new();
+
+/// Pins the clock origin to "now" if it is not already pinned. Called by
+/// runtime initialization; safe to call repeatedly.
+pub fn init() {
+    let _ = START.get_or_init(Instant::now);
+}
+
+/// Monotonic nanoseconds elapsed since the clock origin (first
+/// observability activity in the process).
+pub fn monotonic_ns() -> u64 {
+    START.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        init();
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,284 @@
+//! Structured events and the sinks that consume them.
+
+use std::io::Write as _;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use sim_rt::ser::{Record, ToRecord, Value};
+
+use crate::level::Level;
+use crate::{clock, metrics};
+
+/// One structured event: severity, dotted target, message, dual
+/// timestamps, and an ordered field list.
+///
+/// Build events with the [`crate::event!`] macro (which performs the level
+/// check first) or directly through this builder API when the call site
+/// needs the simulation timestamp:
+///
+/// ```
+/// use obs::{Event, Level};
+///
+/// Event::new(Level::Debug, "demo.sensor", "conversion latched")
+///     .sim_time_ns(35_000_000)
+///     .field("channel", "current")
+///     .emit();
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Severity.
+    pub level: Level,
+    /// Dotted origin, e.g. `core.sampler`.
+    pub target: String,
+    /// Human-readable message.
+    pub message: String,
+    /// Monotonic wall-clock nanoseconds since runtime start.
+    pub wall_ns: u64,
+    /// Simulation timestamp in nanoseconds, when the site knows it.
+    pub sim_ns: Option<u64>,
+    /// Ordered structured fields.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Starts an event stamped with the current wall clock.
+    pub fn new(level: Level, target: impl Into<String>, message: impl Into<String>) -> Event {
+        Event {
+            level,
+            target: target.into(),
+            message: message.into(),
+            wall_ns: clock::monotonic_ns(),
+            sim_ns: None,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Attaches the simulation timestamp (dual-clock events).
+    #[must_use]
+    pub fn sim_time_ns(mut self, ns: u64) -> Event {
+        self.sim_ns = Some(ns);
+        self
+    }
+
+    /// Appends a structured field.
+    #[must_use]
+    pub fn field(mut self, name: impl Into<String>, value: impl Into<Value>) -> Event {
+        self.fields.push((name.into(), value.into()));
+        self
+    }
+
+    /// Sends the event to the installed sinks (no level check — the
+    /// macros check before building).
+    pub fn emit(self) {
+        crate::emit(self);
+    }
+}
+
+impl ToRecord for Event {
+    fn to_record(&self) -> Record {
+        let mut r = Record::new();
+        r.push("wall_ns", self.wall_ns)
+            .push("sim_ns", self.sim_ns)
+            .push("level", self.level.as_str())
+            .push("target", self.target.as_str())
+            .push("message", self.message.as_str());
+        for (name, value) in &self.fields {
+            r.push(name.clone(), value.clone());
+        }
+        r
+    }
+}
+
+/// A consumer of emitted events. Implementations must be `Send + Sync`;
+/// `record` may be called concurrently from pool workers.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes any buffering. Default: no-op.
+    fn flush(&self) {}
+}
+
+/// Increments the per-level event counters (`obs.events.error`, …) —
+/// called once per dispatched event, so "no error events fired" is an
+/// assertable metric.
+pub(crate) fn count_event(level: Level) {
+    static COUNTERS: OnceLock<[Arc<metrics::Counter>; 5]> = OnceLock::new();
+    let counters = COUNTERS.get_or_init(|| {
+        crate::level::ALL_LEVELS.map(|l| metrics::counter(format!("obs.events.{}", l.as_str())))
+    });
+    counters[(level.as_u8() - 1) as usize].force_inc();
+}
+
+/// Human-oriented pretty-printer writing one line per event to stderr.
+///
+/// Format: `[   12.345ms WARN  core.sampler] message key=value (sim 40.000ms)`.
+#[derive(Debug, Default)]
+pub struct StderrSink {}
+
+impl StderrSink {
+    /// Creates the sink.
+    pub fn new() -> StderrSink {
+        StderrSink {}
+    }
+
+    /// Renders an event the way the sink prints it (exposed for tests).
+    pub fn render(event: &Event) -> String {
+        let mut line = format!(
+            "[{:>12.3}ms {:<5} {}] {}",
+            event.wall_ns as f64 / 1e6,
+            event.level.as_str(),
+            event.target,
+            event.message
+        );
+        for (name, value) in &event.fields {
+            line.push(' ');
+            line.push_str(name);
+            line.push('=');
+            line.push_str(&value.to_json());
+        }
+        if let Some(sim) = event.sim_ns {
+            line.push_str(&format!(" (sim {:.3}ms)", sim as f64 / 1e6));
+        }
+        line
+    }
+}
+
+impl Sink for StderrSink {
+    fn record(&self, event: &Event) {
+        let mut line = Self::render(event);
+        line.push('\n');
+        // Diagnostics must never take the process down with them.
+        let _ = std::io::stderr().lock().write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = std::io::stderr().lock().flush();
+    }
+}
+
+/// JSON Lines file sink: every event becomes one [`sim_rt::ser`] record
+/// row, replayable by anything that reads the workspace's JSONL exports.
+#[derive(Debug)]
+pub struct JsonlSink {
+    file: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn create(path: &str) -> std::io::Result<JsonlSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink {
+            file: Mutex::new(std::io::BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let mut row = event.to_record().to_json();
+        row.push('\n');
+        let mut file = self.file.lock().expect("jsonl sink poisoned");
+        let _ = file.write_all(row.as_bytes());
+        // Keep the file inspectable while a campaign is still running.
+        let _ = file.flush();
+    }
+
+    fn flush(&self) {
+        let _ = self.file.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+/// In-memory sink for tests: captures every event it sees.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// Creates an empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A copy of everything captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Number of captured events.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_record_schema() {
+        let e = Event::new(Level::Info, "t.sub", "msg")
+            .sim_time_ns(42)
+            .field("x", 1.5);
+        let json = e.to_record().to_json();
+        assert!(json.contains("\"level\":\"info\""));
+        assert!(json.contains("\"target\":\"t.sub\""));
+        assert!(json.contains("\"sim_ns\":42"));
+        assert!(json.contains("\"x\":1.5"));
+    }
+
+    #[test]
+    fn stderr_rendering() {
+        let mut e = Event::new(Level::Warn, "core.pdn", "clip").field("uv", 12);
+        e.wall_ns = 1_500_000;
+        e.sim_ns = Some(35_000_000);
+        let line = StderrSink::render(&e);
+        assert!(line.contains("warn"));
+        assert!(line.contains("core.pdn"));
+        assert!(line.contains("uv=12"));
+        assert!(line.contains("(sim 35.000ms)"));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join(format!("obs-test-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(path.to_str().unwrap()).unwrap();
+        sink.record(&Event::new(Level::Info, "t", "a"));
+        sink.record(&Event::new(Level::Info, "t", "b").field("n", 2));
+        sink.flush();
+        let body = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn memory_sink_accumulates() {
+        let sink = MemorySink::new();
+        assert!(sink.is_empty());
+        sink.record(&Event::new(Level::Debug, "t", "one"));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.events()[0].message, "one");
+    }
+}

@@ -1,0 +1,138 @@
+//! Event severity levels and filter-spec parsing.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Event severity, ordered from most to least severe.
+///
+/// Filter semantics follow the usual convention: a filter of
+/// [`Level::Info`] passes `error`, `warn`, and `info` events and drops
+/// `debug` and `trace`.
+///
+/// # Examples
+///
+/// ```
+/// use obs::Level;
+///
+/// assert!(Level::Error.as_u8() < Level::Trace.as_u8());
+/// assert_eq!("debug".parse::<Level>().unwrap(), Level::Debug);
+/// assert_eq!(Level::Warn.to_string(), "warn");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or contract-violating conditions.
+    Error = 1,
+    /// Suspicious conditions the run survives (clipping, retries).
+    Warn = 2,
+    /// Coarse progress: campaign stages, deployments.
+    Info = 3,
+    /// Per-operation detail: span closures, conversions.
+    Debug = 4,
+    /// Hot-path detail: individual sensor reads.
+    Trace = 5,
+}
+
+/// Every level, most severe first.
+pub const ALL_LEVELS: [Level; 5] = [
+    Level::Error,
+    Level::Warn,
+    Level::Info,
+    Level::Debug,
+    Level::Trace,
+];
+
+impl Level {
+    /// Numeric verbosity (1 = error … 5 = trace); filters store 0 for
+    /// "off".
+    pub const fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Lower-case name, as it appears in `AMPEREBLEED_LOG` and sink
+    /// output.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Level {
+    type Err = ParseLevelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            _ => Err(ParseLevelError(s.to_owned())),
+        }
+    }
+}
+
+/// Error returned when a string names no [`Level`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLevelError(String);
+
+impl fmt::Display for ParseLevelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown level {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseLevelError {}
+
+/// Parses one filter token into a numeric level: a level name, or
+/// `off`/`none` for 0. `None` for unrecognized tokens.
+pub(crate) fn parse_filter_level(s: &str) -> Option<u8> {
+    match s.to_ascii_lowercase().as_str() {
+        "off" | "none" => Some(0),
+        _ => s.parse::<Level>().ok().map(Level::as_u8),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_by_verbosity() {
+        for pair in ALL_LEVELS.windows(2) {
+            assert!(pair[0] < pair[1]);
+            assert!(pair[0].as_u8() < pair[1].as_u8());
+        }
+    }
+
+    #[test]
+    fn round_trips_through_strings() {
+        for level in ALL_LEVELS {
+            assert_eq!(level.as_str().parse::<Level>().unwrap(), level);
+            assert_eq!(level.to_string(), level.as_str());
+        }
+        assert_eq!("WARNING".parse::<Level>().unwrap(), Level::Warn);
+        assert!("verbose".parse::<Level>().is_err());
+        let err = "verbose".parse::<Level>().unwrap_err();
+        assert!(err.to_string().contains("verbose"));
+    }
+
+    #[test]
+    fn filter_tokens() {
+        assert_eq!(parse_filter_level("off"), Some(0));
+        assert_eq!(parse_filter_level("none"), Some(0));
+        assert_eq!(parse_filter_level("TRACE"), Some(5));
+        assert_eq!(parse_filter_level("loud"), None);
+    }
+}

@@ -1,0 +1,165 @@
+//! The user-facing instrumentation macros.
+//!
+//! All macros are `#[macro_export]`, so they live at the crate root
+//! (`obs::event!`, `obs::counter!`, …). Each one checks
+//! [`crate::COMPILED_OUT`] first — a `const`, so the `compile-off` feature
+//! folds the whole call site away — and the event macros check
+//! [`crate::enabled`] *before* building the event, keeping disabled levels
+//! at one atomic load.
+
+/// Emits a structured event if `level` is enabled for `target`.
+///
+/// Forms:
+///
+/// ```
+/// use obs::Level;
+///
+/// obs::event!(Level::Info, "demo.ev", "plain message");
+/// obs::event!(Level::Info, "demo.ev", "with fields"; "n" => 3, "ok" => true);
+/// obs::event!(Level::Info, "demo.ev", sim = 1_000, "dual timestamp"; "n" => 3);
+/// ```
+///
+/// Field values may be anything convertible into a
+/// [`sim_rt::ser::Value`] (integers, floats, bools, strings).
+#[macro_export]
+macro_rules! event {
+    ($level:expr, $target:expr, sim = $sim:expr, $msg:expr $(; $($k:expr => $v:expr),+ $(,)?)?) => {{
+        if !$crate::COMPILED_OUT {
+            let __lvl = $level;
+            let __target = $target;
+            if $crate::enabled(__lvl, __target) {
+                let __e = $crate::Event::new(__lvl, __target, $msg).sim_time_ns($sim);
+                $(let __e = __e $(.field($k, $v))+;)?
+                __e.emit();
+            }
+        }
+    }};
+    ($level:expr, $target:expr, $msg:expr $(; $($k:expr => $v:expr),+ $(,)?)?) => {{
+        if !$crate::COMPILED_OUT {
+            let __lvl = $level;
+            let __target = $target;
+            if $crate::enabled(__lvl, __target) {
+                let __e = $crate::Event::new(__lvl, __target, $msg);
+                $(let __e = __e $(.field($k, $v))+;)?
+                __e.emit();
+            }
+        }
+    }};
+}
+
+/// [`crate::event!`] at [`crate::Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($rest:tt)*) => { $crate::event!($crate::Level::Error, $($rest)*) };
+}
+
+/// [`crate::event!`] at [`crate::Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($rest:tt)*) => { $crate::event!($crate::Level::Warn, $($rest)*) };
+}
+
+/// [`crate::event!`] at [`crate::Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($rest:tt)*) => { $crate::event!($crate::Level::Info, $($rest)*) };
+}
+
+/// [`crate::event!`] at [`crate::Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($rest:tt)*) => { $crate::event!($crate::Level::Debug, $($rest)*) };
+}
+
+/// [`crate::event!`] at [`crate::Level::Trace`].
+#[macro_export]
+macro_rules! trace {
+    ($($rest:tt)*) => { $crate::event!($crate::Level::Trace, $($rest)*) };
+}
+
+/// Starts a [`crate::Span`] over `target`/`name`. Bind it — the span
+/// closes (and records its latency) when the binding drops.
+///
+/// ```
+/// let _span = obs::span!("demo.mac", "phase");
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($target:expr, $name:expr $(,)?) => {
+        $crate::Span::enter($target, $name)
+    };
+}
+
+/// Returns the `&'static` [`crate::Counter`] named `$name`, caching the
+/// registry lookup in a per-call-site static.
+///
+/// ```
+/// obs::counter!("demo.mac.reads").inc();
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static __HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Counter>> =
+            ::std::sync::OnceLock::new();
+        &**__HANDLE.get_or_init(|| $crate::metrics::counter($name))
+    }};
+}
+
+/// Returns the `&'static` [`crate::Gauge`] named `$name`, caching the
+/// registry lookup in a per-call-site static.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Gauge>> =
+            ::std::sync::OnceLock::new();
+        &**__HANDLE.get_or_init(|| $crate::metrics::gauge($name))
+    }};
+}
+
+/// Returns the `&'static` [`crate::Histogram`] named `$name`, caching the
+/// registry lookup in a per-call-site static.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __HANDLE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Histogram>> =
+            ::std::sync::OnceLock::new();
+        &**__HANDLE.get_or_init(|| $crate::metrics::histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Level;
+
+    #[test]
+    fn metric_macros_cache_per_site() {
+        let a = crate::counter!("obs.mac.counter");
+        let b = crate::counter!("obs.mac.counter");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        crate::gauge!("obs.mac.gauge").set(4.0);
+        crate::histogram!("obs.mac.hist").observe(7);
+        let snap = crate::metrics::snapshot();
+        assert_eq!(snap.counter("obs.mac.counter"), Some(3));
+        assert_eq!(snap.gauge("obs.mac.gauge"), Some(4.0));
+    }
+
+    #[test]
+    fn event_macro_forms_compile_and_filter() {
+        // All forms must compile; disabled levels must not panic or emit.
+        crate::event!(Level::Trace, "obs.mac.ev", "plain");
+        crate::event!(Level::Trace, "obs.mac.ev", "fields"; "a" => 1, "b" => "two",);
+        crate::event!(Level::Trace, "obs.mac.ev", sim = 5u64, "sim stamped"; "a" => 1.5);
+        crate::trace!("obs.mac.ev", "shorthand");
+        crate::debug!("obs.mac.ev", "shorthand"; "k" => true);
+        crate::info!("obs.mac.ev", sim = 9u64, "shorthand");
+    }
+
+    #[test]
+    fn span_macro_times_a_region() {
+        let span = crate::span!("obs.mac", "region");
+        let d = span.close();
+        assert!(d.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Timed spans around multi-step operations (campaign phases, captures).
+//!
+//! A [`Span`] measures wall-clock time between `enter` and `close`. Closing
+//! (explicitly or on drop) emits a [`crate::Level::Debug`] event carrying
+//! the elapsed time and records the duration into the histogram named
+//! `span.{target}.{name}.ns`, so phase latencies show up in
+//! [`crate::metrics::snapshot`] with p50/p95/p99 attached.
+//!
+//! # Examples
+//!
+//! ```
+//! let span = obs::span!("demo.campaign", "warmup");
+//! // ... do the phase work ...
+//! let elapsed = span.close();
+//! assert!(elapsed.as_nanos() > 0);
+//!
+//! let snap = obs::metrics::snapshot();
+//! assert_eq!(snap.histogram("span.demo.campaign.warmup.ns").unwrap().count, 1);
+//! ```
+
+use std::time::Duration;
+
+use crate::level::Level;
+use crate::{clock, metrics};
+
+/// An in-flight timed region. Create with [`Span::enter`] or the
+/// [`crate::span!`] macro; finish with [`Span::close`] (or let it drop).
+#[derive(Debug)]
+pub struct Span {
+    target: &'static str,
+    name: &'static str,
+    start_ns: u64,
+    sim_start_ns: Option<u64>,
+    closed: bool,
+}
+
+impl Span {
+    /// Starts timing a region identified by `target` (dotted origin) and
+    /// `name` (the operation).
+    pub fn enter(target: &'static str, name: &'static str) -> Span {
+        if !crate::COMPILED_OUT && crate::enabled(Level::Trace, target) {
+            crate::Event::new(Level::Trace, target, format!("enter {name}")).emit();
+        }
+        Span {
+            target,
+            name,
+            start_ns: clock::monotonic_ns(),
+            sim_start_ns: None,
+            closed: false,
+        }
+    }
+
+    /// Attaches the simulation timestamp at span start, so the closing
+    /// event carries a dual timestamp.
+    #[must_use]
+    pub fn with_sim_time_ns(mut self, ns: u64) -> Span {
+        self.sim_start_ns = Some(ns);
+        self
+    }
+
+    /// Elapsed wall-clock time so far, without closing the span.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(clock::monotonic_ns().saturating_sub(self.start_ns))
+    }
+
+    /// Closes the span: emits the debug event, records the latency
+    /// histogram, and returns the elapsed wall-clock time.
+    pub fn close(mut self) -> Duration {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> Duration {
+        let elapsed = self.elapsed();
+        if self.closed || crate::COMPILED_OUT {
+            return elapsed;
+        }
+        self.closed = true;
+        let ns = elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        metrics::histogram(format!("span.{}.{}.ns", self.target, self.name)).observe(ns);
+        if crate::enabled(Level::Debug, self.target) {
+            let mut event =
+                crate::Event::new(Level::Debug, self.target, format!("{} done", self.name))
+                    .field("elapsed_ms", ns as f64 / 1e6);
+            if let Some(sim) = self.sim_start_ns {
+                event = event.sim_time_ns(sim);
+            }
+            event.emit();
+        }
+        elapsed
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_records_histogram_and_returns_elapsed() {
+        let span = Span::enter("obs.spantest", "close");
+        std::thread::sleep(Duration::from_millis(1));
+        let elapsed = span.close();
+        assert!(elapsed >= Duration::from_millis(1));
+        let h = metrics::histogram("span.obs.spantest.close.ns");
+        assert!(h.count() >= 1);
+        assert!(h.percentile(0.5) >= 1e6);
+    }
+
+    #[test]
+    fn drop_closes_exactly_once() {
+        {
+            let span = Span::enter("obs.spantest", "drop");
+            assert!(span.elapsed() <= span.elapsed());
+        }
+        let before = metrics::histogram("span.obs.spantest.drop.ns").count();
+        {
+            let _span = Span::enter("obs.spantest", "drop");
+        }
+        let after = metrics::histogram("span.obs.spantest.drop.ns").count();
+        assert_eq!(after, before + 1);
+    }
+}

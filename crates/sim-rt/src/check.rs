@@ -226,11 +226,19 @@ macro_rules! __prop_check_items {
                     ::std::panic::AssertUnwindSafe(move || $body),
                 );
                 if let Err(payload) = outcome {
-                    eprintln!(
-                        "property `{}` failed on case {}/{} with inputs:\n{}",
-                        stringify!($name), case + 1, cases, inputs,
+                    // Carry the failing inputs in the panic itself so the
+                    // test harness reports them without a stray stderr line.
+                    let detail = match payload.downcast_ref::<&str>() {
+                        Some(s) => (*s).to_owned(),
+                        None => payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .unwrap_or_else(|| "non-string panic payload".to_owned()),
+                    };
+                    panic!(
+                        "property `{}` failed on case {}/{} with inputs:\n{}caused by: {}",
+                        stringify!($name), case + 1, cases, inputs, detail,
                     );
-                    ::std::panic::resume_unwind(payload);
                 }
             }
         }

@@ -29,6 +29,8 @@ pub struct PoolStats {
     pub jobs_completed: u64,
     /// Jobs that panicked once and were retried.
     pub jobs_retried: u64,
+    /// Jobs executed by a worker other than the one they were dealt to.
+    pub jobs_stolen: u64,
     /// `par_map` invocations served.
     pub maps_run: u64,
     /// Wall-clock nanoseconds spent inside `par_map` calls.
@@ -66,6 +68,7 @@ pub struct Pool {
     threads: usize,
     jobs_completed: AtomicU64,
     jobs_retried: AtomicU64,
+    jobs_stolen: AtomicU64,
     maps_run: AtomicU64,
     busy_nanos: AtomicU64,
 }
@@ -83,6 +86,7 @@ impl Pool {
             threads,
             jobs_completed: AtomicU64::new(0),
             jobs_retried: AtomicU64::new(0),
+            jobs_stolen: AtomicU64::new(0),
             maps_run: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
         }
@@ -94,6 +98,7 @@ impl Pool {
             threads: 1,
             jobs_completed: AtomicU64::new(0),
             jobs_retried: AtomicU64::new(0),
+            jobs_stolen: AtomicU64::new(0),
             maps_run: AtomicU64::new(0),
             busy_nanos: AtomicU64::new(0),
         }
@@ -116,6 +121,7 @@ impl Pool {
         PoolStats {
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_retried: self.jobs_retried.load(Ordering::Relaxed),
+            jobs_stolen: self.jobs_stolen.load(Ordering::Relaxed),
             maps_run: self.maps_run.load(Ordering::Relaxed),
             busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
         }
@@ -191,7 +197,10 @@ impl Pool {
                 let tx = tx.clone();
                 let queues = &queues;
                 scope.spawn(move || {
-                    while let Some(i) = next_job(queues, w) {
+                    while let Some((i, stolen)) = next_job(queues, w) {
+                        if stolen {
+                            self.jobs_stolen.fetch_add(1, Ordering::Relaxed);
+                        }
                         let result =
                             catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).or_else(|_| {
                                 // One retry per job before giving up.
@@ -242,10 +251,10 @@ impl Pool {
 }
 
 /// Pops a job index: own queue front first, then steal from the back of
-/// the busiest sibling.
-fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+/// the busiest sibling. The flag says whether the job was stolen.
+fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<(usize, bool)> {
     if let Some(i) = queues[me].lock().expect("queue lock poisoned").pop_front() {
-        return Some(i);
+        return Some((i, false));
     }
     for off in 1..queues.len() {
         let victim = (me + off) % queues.len();
@@ -254,7 +263,7 @@ fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
             .expect("queue lock poisoned")
             .pop_back()
         {
-            return Some(i);
+            return Some((i, true));
         }
     }
     None
@@ -347,6 +356,15 @@ mod tests {
         assert_eq!(stats.jobs_completed, 15);
         assert_eq!(stats.maps_run, 2);
         assert!(stats.jobs_per_sec() > 0.0);
+        // Steals are scheduling-dependent, but can never exceed the work.
+        assert!(stats.jobs_stolen <= stats.jobs_completed);
+    }
+
+    #[test]
+    fn serial_pool_never_steals() {
+        let pool = Pool::serial();
+        pool.par_map(&[0u8; 64], |i, _| i);
+        assert_eq!(pool.stats().jobs_stolen, 0);
     }
 
     #[test]

@@ -106,8 +106,20 @@ impl ThermalModel {
         assert!(power_w >= 0.0, "power must be non-negative");
         let target = self.steady_state_c(power_w);
         let alpha = (-dt_s / self.config.tau_s).exp();
+        let was_throttling = self.throttling();
         self.junction_c = target + (self.junction_c - target) * alpha;
         self.elapsed_s += dt_s;
+        obs::gauge!("zynq.thermal.junction_c").set(self.junction_c);
+        obs::gauge!("zynq.thermal.leakage_scale").set(self.leakage_scale());
+        if !was_throttling && self.throttling() {
+            obs::counter!("zynq.thermal.throttle_crossings").inc();
+            obs::warn!(
+                "zynq.thermal",
+                "junction crossed the throttle threshold";
+                "junction_c" => self.junction_c,
+                "throttle_c" => self.config.throttle_c
+            );
+        }
     }
 
     /// Leakage-current scale factor at the present junction temperature,

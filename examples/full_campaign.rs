@@ -3,10 +3,17 @@
 //! TEE and workload-reconnaissance extensions, and the mitigation check.
 //!
 //! Run with: `cargo run --release --example full_campaign`
+//!
+//! Pass `--profile` to append the observability profile: per-phase
+//! wall-clock timings and the frozen metrics registry (sensor-read
+//! counters, conversion telemetry, latency percentiles). Set
+//! `AMPEREBLEED_LOG=debug` for live stage/capture events and
+//! `AMPEREBLEED_TRACE_FILE=trace.jsonl` for a replayable JSONL trace.
 
 use amperebleed::campaign::{run, CampaignConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = std::env::args().any(|a| a == "--profile");
     eprintln!("running the full campaign (six stages) ...");
     let report = run(&CampaignConfig::default())?;
     print!("{}", report.summary());
@@ -27,6 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let w0 = report.rsa.observations[i].hamming_weight;
         let w1 = report.rsa.observations[i + 1].hamming_weight;
         println!("  HW {w0:>4} vs {w1:>4}: t = {t:.1}");
+    }
+
+    if profile {
+        println!("\n== observability profile ==");
+        print!("{}", report.profile_table());
     }
     Ok(())
 }
