@@ -39,4 +39,17 @@ head -n 1 "$trace_file" | grep -q '"level":' || {
 }
 echo "    $(wc -l < "$trace_file") events traced"
 
+echo "==> sampler fast-path smoke (bench --quick)"
+fastpath_artifact="crates/bench/BENCH_sampler_fastpath.json"
+rm -f "$fastpath_artifact"
+cargo bench --offline --bench sampler_fastpath -- --quick
+if ! [ -s "$fastpath_artifact" ]; then
+    echo "ci.sh: sampler_fastpath smoke left no artifact" >&2
+    exit 1
+fi
+grep -q '"all_channels_fresh"' "$fastpath_artifact" || {
+    echo "ci.sh: $fastpath_artifact is missing the headline row" >&2
+    exit 1
+}
+
 echo "==> ci.sh: all gates passed"

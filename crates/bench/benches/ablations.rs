@@ -36,7 +36,7 @@ fn ablate_update_interval() {
     for interval_ms in [2u64, 4, 9, 18, 35] {
         p.hwmon()
             .write(
-                &p.sensor_path(PowerDomain::FpgaLogic, "update_interval"),
+                p.sensor_path(PowerDomain::FpgaLogic, "update_interval"),
                 &interval_ms.to_string(),
                 Privilege::Root,
             )

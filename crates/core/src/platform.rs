@@ -8,12 +8,13 @@ use fpga_fabric::ring_oscillator::{RoBank, RoConfig};
 use fpga_fabric::rsa::{RsaCircuit, RsaConfig, RsaKey};
 use fpga_fabric::tdc::{TdcConfig, TdcSensor};
 use fpga_fabric::virus::{PowerVirusArray, VirusConfig};
-use hwmon_sim::{HwmonDevice, HwmonFs, RailProbe};
+use hwmon_sim::{Attribute, HwmonDevice, HwmonFs, RailProbe, SensorHandle};
 use std::sync::{Mutex, RwLock};
 use zynq_soc::board::BoardSpec;
 use zynq_soc::cpu::{CpuActivityConfig, CpuBackgroundLoad};
 use zynq_soc::{
-    CompositeLoad, ConstantLoad, Pdn, PowerDomain, PowerLoad, SimTime, StaticFabricLoad,
+    CompositeLoad, ConstantLoad, OpPointCache, Pdn, PowerDomain, PowerLoad, RailOperatingPoint,
+    SimTime, StaticFabricLoad,
 };
 
 use dpu::{DpuAccelerator, DpuConfig};
@@ -25,6 +26,12 @@ use crate::{AttackError, Result};
 struct SocModel {
     loads: RwLock<CompositeLoad>,
     pdn: BTreeMap<PowerDomain, Pdn>,
+    /// Memoized `(domain, t)` operating points, invalidated by the global
+    /// load-control epoch. An INA226 conversion samples the same instant
+    /// for current, voltage and power, and averaging steps are revisited
+    /// whenever captures overlap a conversion window — this cache turns
+    /// those repeats into a lookup instead of a composite-load walk.
+    op_cache: OpPointCache,
 }
 
 impl SocModel {
@@ -35,13 +42,48 @@ impl SocModel {
             .current_ma(t, domain)
     }
 
-    /// Rail voltage from the PDN model under the instantaneous load,
-    /// including the transient `L * dI/dt` term (1 µs finite difference).
+    /// The full electrical operating point of a rail at `t`: present and
+    /// 1 µs-previous current plus the PDN rail voltage (including the
+    /// transient `L * dI/dt` term), computed in a single composite-load
+    /// pass under one read-lock hold. Bit-identical to evaluating
+    /// `total_current_ma` twice and `Pdn::rail_voltage` separately.
+    fn operating_point(&self, t: SimTime, domain: PowerDomain) -> RailOperatingPoint {
+        let epoch = zynq_soc::load_control_epoch();
+        if let Some(point) = self.op_cache.get(domain, t, epoch) {
+            return point;
+        }
+        let t_prev = t.saturating_sub(SimTime::from_us(1));
+        let (i_now, i_prev) = self
+            .loads
+            .read()
+            .expect("loads lock poisoned")
+            .current_ma_pair(t, t_prev, domain);
+        let point = self.pdn[&domain].operating_point(i_now, i_prev);
+        self.op_cache.insert(domain, t, epoch, point);
+        point
+    }
+
     fn rail_voltage(&self, t: SimTime, domain: PowerDomain) -> f64 {
-        let i_now = self.total_current_ma(t, domain);
-        let i_prev = self.total_current_ma(t.saturating_sub(SimTime::from_us(1)), domain);
-        let di_dt_ma_per_us = i_now - i_prev;
-        self.pdn[&domain].rail_voltage(i_now, di_dt_ma_per_us)
+        self.operating_point(t, domain).volts
+    }
+
+    /// Batched [`operating_point`](Self::operating_point) for a
+    /// conversion's averaging steps: one read-lock hold and one PDN
+    /// lookup serve the whole window. Skips the keyed cache — averaging
+    /// instants are effectively never revisited — but each element is
+    /// bit-identical to the per-instant path.
+    fn operating_points(&self, times: &[SimTime], domain: PowerDomain) -> Vec<(f64, f64)> {
+        let pdn = &self.pdn[&domain];
+        let loads = self.loads.read().expect("loads lock poisoned");
+        times
+            .iter()
+            .map(|&t| {
+                let t_prev = t.saturating_sub(SimTime::from_us(1));
+                let (i_now, i_prev) = loads.current_ma_pair(t, t_prev, domain);
+                let point = pdn.operating_point(i_now, i_prev);
+                (point.amps(), point.volts)
+            })
+            .collect()
     }
 }
 
@@ -54,9 +96,12 @@ struct DomainProbe {
 
 impl RailProbe for DomainProbe {
     fn operating_point(&self, t: SimTime) -> (f64, f64) {
-        let amps = self.soc.total_current_ma(t, self.domain) / 1_000.0;
-        let volts = self.soc.rail_voltage(t, self.domain);
-        (amps, volts)
+        let point = self.soc.operating_point(t, self.domain);
+        (point.amps(), point.volts)
+    }
+
+    fn operating_points(&self, times: &[SimTime]) -> Vec<(f64, f64)> {
+        self.soc.operating_points(times, self.domain)
     }
 }
 
@@ -77,6 +122,9 @@ pub struct Platform {
     soc: Arc<SocModel>,
     hwmon: HwmonFs,
     sensor_index: BTreeMap<PowerDomain, usize>,
+    /// Pre-rendered sysfs paths, one per `(domain, Attribute::ALL)` slot,
+    /// so `sensor_path` hands out `&str` instead of allocating per read.
+    sensor_paths: BTreeMap<PowerDomain, [String; 6]>,
     seed: u64,
     virus: Option<Arc<PowerVirusArray>>,
     rsa: Option<Arc<RsaCircuit>>,
@@ -135,6 +183,7 @@ impl Platform {
         let soc = Arc::new(SocModel {
             loads: RwLock::new(loads),
             pdn,
+            op_cache: OpPointCache::new(),
         });
 
         // Register the four sensitive sensors of Table II. Shunt values
@@ -165,12 +214,22 @@ impl Platform {
             sensor_index.insert(spec.domain, idx);
         }
 
+        let sensor_paths = sensor_index
+            .iter()
+            .map(|(&domain, &idx)| {
+                let paths = Attribute::ALL
+                    .map(|attr| format!("/sys/class/hwmon/hwmon{idx}/{}", attr.file_name()));
+                (domain, paths)
+            })
+            .collect();
+
         Platform {
             board,
             fabric,
             soc,
             hwmon,
             sensor_index,
+            sensor_paths,
             seed,
             virus: None,
             rsa: None,
@@ -208,10 +267,27 @@ impl Platform {
     }
 
     /// Sysfs path of a domain's sensor attribute, e.g.
-    /// `/sys/class/hwmon/hwmon2/curr1_input` for the FPGA rail.
-    pub fn sensor_path(&self, domain: PowerDomain, attribute: &str) -> String {
-        let idx = self.sensor_index[&domain];
-        format!("/sys/class/hwmon/hwmon{idx}/{attribute}")
+    /// `/sys/class/hwmon/hwmon2/curr1_input` for the FPGA rail. Returns a
+    /// pre-rendered borrowed path — no per-call allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attribute` is not a hwmon attribute file name.
+    pub fn sensor_path(&self, domain: PowerDomain, attribute: &str) -> &str {
+        let attr = Attribute::from_file_name(attribute)
+            .unwrap_or_else(|| panic!("unknown hwmon attribute {attribute:?}"));
+        let slot = Attribute::ALL
+            .iter()
+            .position(|a| *a == attr)
+            .expect("Attribute::ALL is exhaustive");
+        &self.sensor_paths[&domain][slot]
+    }
+
+    /// Pre-resolved handle for a domain's sensor attribute — the typed
+    /// equivalent of [`sensor_path`](Self::sensor_path) for use with
+    /// [`HwmonFs::read_value`].
+    pub fn sensor_handle(&self, domain: PowerDomain, attr: Attribute) -> SensorHandle {
+        SensorHandle::new(self.sensor_index[&domain], attr)
     }
 
     /// True (un-quantized) rail current in mA — ground truth for tests and
@@ -231,6 +307,7 @@ impl Platform {
             .write()
             .expect("loads lock poisoned")
             .push(load);
+        zynq_soc::invalidate_load_caches();
     }
 
     /// Deploys the 160k-instance power-virus array (Figure 2 victim).
@@ -429,7 +506,7 @@ mod tests {
             let path = p.sensor_path(d, "name");
             let name = p
                 .hwmon()
-                .read(&path, SimTime::ZERO, Privilege::User)
+                .read(path, SimTime::ZERO, Privilege::User)
                 .unwrap();
             assert_eq!(name.trim(), d.ina226_designator());
         }
@@ -468,7 +545,7 @@ mod tests {
         let read = |p: &Platform, t: SimTime| -> i64 {
             p.hwmon()
                 .read(
-                    &p.sensor_path(PowerDomain::FpgaLogic, "curr1_input"),
+                    p.sensor_path(PowerDomain::FpgaLogic, "curr1_input"),
                     t,
                     Privilege::User,
                 )
@@ -575,5 +652,55 @@ mod tests {
     fn debug_format_mentions_board() {
         let p = Platform::zcu102(8);
         assert!(format!("{p:?}").contains("ZCU102"));
+    }
+
+    #[test]
+    fn sensor_paths_are_prerendered() {
+        let p = Platform::zcu102(20);
+        let a = p.sensor_path(PowerDomain::FpgaLogic, "curr1_input");
+        let b = p.sensor_path(PowerDomain::FpgaLogic, "curr1_input");
+        // Same borrowed bytes both times — the path is rendered once at
+        // construction, not per call.
+        assert!(std::ptr::eq(a, b));
+        let h = p.sensor_handle(PowerDomain::FpgaLogic, Attribute::Curr1Input);
+        assert_eq!(h.path(), a);
+        assert_eq!(
+            p.hwmon().resolve(a).unwrap(),
+            h,
+            "cached path and typed handle must name the same file"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown hwmon attribute")]
+    fn sensor_path_rejects_unknown_attribute() {
+        let p = Platform::zcu102(21);
+        let _ = p.sensor_path(PowerDomain::FpgaLogic, "temp1_input");
+    }
+
+    #[test]
+    fn operating_point_cache_preserves_ground_truth() {
+        // Same seed, two platforms: one reads the voltage twice (second
+        // read is a cache hit), the other once. All observations must be
+        // bit-identical — the cache may never change the physics.
+        let t = SimTime::from_ms(41);
+        let mut a = Platform::zcu102(22);
+        let va = a.deploy_virus(VirusConfig::default()).unwrap();
+        va.activate_groups(80).unwrap();
+        let first = a.ground_truth_volts(PowerDomain::FpgaLogic, t);
+        let second = a.ground_truth_volts(PowerDomain::FpgaLogic, t);
+        assert_eq!(first.to_bits(), second.to_bits());
+
+        let mut b = Platform::zcu102(22);
+        let vb = b.deploy_virus(VirusConfig::default()).unwrap();
+        vb.activate_groups(80).unwrap();
+        let fresh = b.ground_truth_volts(PowerDomain::FpgaLogic, t);
+        assert_eq!(first.to_bits(), fresh.to_bits());
+
+        // A control change must invalidate: activating more groups moves
+        // the cached instant's value.
+        va.activate_groups(160).unwrap();
+        let after = a.ground_truth_volts(PowerDomain::FpgaLogic, t);
+        assert_ne!(first.to_bits(), after.to_bits());
     }
 }

@@ -247,7 +247,7 @@ pub fn windowed_profile(
     platform
         .hwmon()
         .write(
-            &platform.sensor_path(PowerDomain::FpgaLogic, "update_interval"),
+            platform.sensor_path(PowerDomain::FpgaLogic, "update_interval"),
             "2",
             hwmon_sim::Privilege::Root,
         )

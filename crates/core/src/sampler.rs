@@ -43,29 +43,64 @@ impl<'a> CurrentSampler<'a> {
         self.privilege
     }
 
+    fn count_read(channel: Channel) {
+        match channel {
+            Channel::Current => obs::counter!("sampler.reads.current").inc(),
+            Channel::Voltage => obs::counter!("sampler.reads.voltage").inc(),
+            Channel::Power => obs::counter!("sampler.reads.power").inc(),
+        }
+    }
+
+    /// Validates capture parameters and derives the sampling period,
+    /// rejecting windows whose last timestamp would overflow the u64
+    /// nanosecond simulation clock.
+    fn capture_period(rate_hz: f64, start: SimTime, count: usize) -> Result<SimTime> {
+        if rate_hz <= 0.0 || rate_hz.is_nan() {
+            return Err(AttackError::InvalidParameter(
+                "sampling rate must be positive".into(),
+            ));
+        }
+        if count == 0 {
+            return Err(AttackError::InvalidParameter(
+                "sample count must be non-zero".into(),
+            ));
+        }
+        let period = SimTime::from_secs_f64(1.0 / rate_hz);
+        period
+            .as_nanos()
+            .checked_mul(count as u64 - 1)
+            .and_then(|span| start.as_nanos().checked_add(span))
+            .ok_or_else(|| {
+                AttackError::InvalidParameter(
+                    "capture window overflows the u64 nanosecond clock".into(),
+                )
+            })?;
+        Ok(period)
+    }
+
     /// Reads one sample of `channel` on `domain` at simulation time `t`.
+    ///
+    /// Uses the typed hwmon path: a pre-resolved handle and an integer
+    /// read, no path rendering or string parsing. The hwmon integers are
+    /// far below 2^53, so the `i64 -> f64` conversion is exact and the
+    /// result is bit-identical to parsing the sysfs string.
     ///
     /// # Errors
     ///
     /// Returns [`AttackError::Hwmon`] on sysfs failures (notably
     /// `PermissionDenied` under the mitigation).
     pub fn read_once(&self, domain: PowerDomain, channel: Channel, t: SimTime) -> Result<f64> {
-        match channel {
-            Channel::Current => obs::counter!("sampler.reads.current").inc(),
-            Channel::Voltage => obs::counter!("sampler.reads.voltage").inc(),
-            Channel::Power => obs::counter!("sampler.reads.power").inc(),
-        }
-        let path = self.platform.sensor_path(domain, channel.attribute());
-        let raw = match self.platform.hwmon().read(&path, t, self.privilege) {
-            Ok(raw) => raw,
+        Self::count_read(channel);
+        let handle = self
+            .platform
+            .sensor_handle(domain, channel.hwmon_attribute());
+        match self.platform.hwmon().read_value(handle, t, self.privilege) {
+            Ok(v) => Ok(v as f64),
             Err(e) => {
                 obs::counter!("sampler.read_errors").inc();
-                return Err(e.into());
+                Err(e.into())
             }
-        };
-        raw.trim()
-            .parse::<f64>()
-            .map_err(|_| AttackError::InvalidParameter(format!("unparseable sysfs value: {raw:?}")))
+        }
     }
 
     /// Captures `count` samples at `rate_hz`, starting at `start`.
@@ -87,22 +122,23 @@ impl<'a> CurrentSampler<'a> {
         rate_hz: f64,
         count: usize,
     ) -> Result<Trace> {
-        if rate_hz <= 0.0 || rate_hz.is_nan() {
-            return Err(AttackError::InvalidParameter(
-                "sampling rate must be positive".into(),
-            ));
-        }
-        if count == 0 {
-            return Err(AttackError::InvalidParameter(
-                "sample count must be non-zero".into(),
-            ));
-        }
+        let period = Self::capture_period(rate_hz, start, count)?;
         let started = obs::clock::monotonic_ns();
-        let period = SimTime::from_secs_f64(1.0 / rate_hz);
+        let handle = self
+            .platform
+            .sensor_handle(domain, channel.hwmon_attribute());
+        let fs = self.platform.hwmon();
         let mut samples = Vec::with_capacity(count);
         for k in 0..count {
             let t = start + SimTime::from_nanos(period.as_nanos() * k as u64);
-            samples.push(self.read_once(domain, channel, t)?);
+            Self::count_read(channel);
+            match fs.read_value(handle, t, self.privilege) {
+                Ok(v) => samples.push(v as f64),
+                Err(e) => {
+                    obs::counter!("sampler.read_errors").inc();
+                    return Err(e.into());
+                }
+            }
         }
         obs::histogram!("sampler.capture.ns")
             .observe(obs::clock::monotonic_ns().saturating_sub(started));
@@ -126,6 +162,14 @@ impl<'a> CurrentSampler<'a> {
     /// Captures all three channels of one domain over the same window
     /// (current, voltage, power), as the characterization experiment does.
     ///
+    /// The timestamp sequence is walked once for all three channels: at
+    /// each instant the current read clocks the sensor's conversion and
+    /// the voltage/power reads return values latched from that same
+    /// conversion — one conversion per boundary instead of three, which is
+    /// also how a real INA226 behaves (all result registers are latched
+    /// together). The current trace is bit-identical to a standalone
+    /// [`capture`](Self::capture) of [`Channel::Current`].
+    ///
     /// # Errors
     ///
     /// Same conditions as [`CurrentSampler::capture`].
@@ -136,11 +180,47 @@ impl<'a> CurrentSampler<'a> {
         rate_hz: f64,
         count: usize,
     ) -> Result<[Trace; 3]> {
-        Ok([
-            self.capture(domain, Channel::Current, start, rate_hz, count)?,
-            self.capture(domain, Channel::Voltage, start, rate_hz, count)?,
-            self.capture(domain, Channel::Power, start, rate_hz, count)?,
-        ])
+        let period = Self::capture_period(rate_hz, start, count)?;
+        let started = obs::clock::monotonic_ns();
+        let handles =
+            Channel::ALL.map(|c| self.platform.sensor_handle(domain, c.hwmon_attribute()));
+        let fs = self.platform.hwmon();
+        let mut samples = [
+            Vec::with_capacity(count),
+            Vec::with_capacity(count),
+            Vec::with_capacity(count),
+        ];
+        for k in 0..count {
+            let t = start + SimTime::from_nanos(period.as_nanos() * k as u64);
+            for (ci, &channel) in Channel::ALL.iter().enumerate() {
+                Self::count_read(channel);
+                match fs.read_value(handles[ci], t, self.privilege) {
+                    Ok(v) => samples[ci].push(v as f64),
+                    Err(e) => {
+                        obs::counter!("sampler.read_errors").inc();
+                        return Err(e.into());
+                    }
+                }
+            }
+        }
+        obs::histogram!("sampler.capture.ns")
+            .observe(obs::clock::monotonic_ns().saturating_sub(started));
+        obs::debug!(
+            "core.sampler",
+            sim = start.as_nanos(),
+            "capture complete";
+            "channel" => "all",
+            "rate_hz" => rate_hz,
+            "count" => count as u64
+        );
+        let mut it = samples.into_iter();
+        Ok(Channel::ALL.map(|channel| Trace {
+            domain,
+            channel,
+            start,
+            period,
+            samples: it.next().expect("three channels"),
+        }))
     }
 }
 
@@ -230,6 +310,30 @@ mod tests {
             s.capture(PowerDomain::Ddr, Channel::Current, SimTime::ZERO, 100.0, 0),
             Err(AttackError::InvalidParameter(_))
         ));
+    }
+
+    #[test]
+    fn overlong_capture_window_rejected() {
+        let p = platform_with_virus(0);
+        let s = CurrentSampler::unprivileged(&p);
+        // ~31.7 years per sample x 1000 samples overflows u64 nanoseconds:
+        // must fail up front, not wrap the clock mid-capture.
+        for start in [SimTime::ZERO, SimTime::from_nanos(u64::MAX - 1)] {
+            assert!(matches!(
+                s.capture(PowerDomain::Ddr, Channel::Current, start, 1e-9, 1_000),
+                Err(AttackError::InvalidParameter(_))
+            ));
+        }
+        // A huge start alone is fine when the window fits.
+        assert!(s
+            .capture(
+                PowerDomain::Ddr,
+                Channel::Current,
+                SimTime::from_nanos(u64::MAX - 1_000_000_000),
+                1_000.0,
+                10,
+            )
+            .is_ok());
     }
 
     #[test]

@@ -27,6 +27,16 @@ impl Channel {
         }
     }
 
+    /// The typed hwmon attribute of this channel, for the
+    /// allocation-free read path ([`hwmon_sim::HwmonFs::read_value`]).
+    pub fn hwmon_attribute(self) -> hwmon_sim::Attribute {
+        match self {
+            Channel::Current => hwmon_sim::Attribute::Curr1Input,
+            Channel::Voltage => hwmon_sim::Attribute::In1Input,
+            Channel::Power => hwmon_sim::Attribute::Power1Input,
+        }
+    }
+
     /// Measurement unit of the attribute's integer value.
     pub fn unit(self) -> &'static str {
         match self {
@@ -140,6 +150,9 @@ mod tests {
         assert_eq!(Channel::Power.attribute(), "power1_input");
         assert_eq!(Channel::Power.unit(), "uW");
         assert_eq!(Channel::Current.to_string(), "Current");
+        for c in Channel::ALL {
+            assert_eq!(c.hwmon_attribute().file_name(), c.attribute());
+        }
     }
 
     #[test]

@@ -15,7 +15,10 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use zynq_soc::{hash01, GaussianNoise, PowerDomain, PowerLoad, SimTime};
+use zynq_soc::{
+    hash01_bucket_term, hash01_finish, hash01_stream_key, GaussianNoise, PowerDomain, PowerLoad,
+    SimTime,
+};
 
 use crate::resources::{Bitstream, Region, Utilization};
 
@@ -71,10 +74,16 @@ pub struct PowerVirusArray {
     config: VirusConfig,
     /// Multiplicative process-variation gain per group.
     group_gain: Vec<f64>,
+    /// Hoisted `active_ma_per_group * gain` per group. The per-sample walk
+    /// is the hottest loop in a conversion; the product is associativity-
+    /// safe to precompute (`a * g * j` evaluates as `(a * g) * j`).
+    group_amp_ma: Vec<f64>,
+    /// Hoisted `hash01` stream keys (`seed` mixed with the group index),
+    /// so the jitter walk only pays the bucket mix and finisher.
+    group_stream_key: Vec<u64>,
     /// Placement of each group on the die (evenly distributed grid).
     group_region: Vec<Region>,
     active_groups: AtomicU32,
-    seed: u64,
 }
 
 /// Error returned when activating more groups than are deployed.
@@ -114,6 +123,13 @@ impl PowerVirusArray {
         let group_gain: Vec<f64> = (0..config.groups)
             .map(|_| (1.0 + noise.sample(0.0, config.process_variation)).max(0.5))
             .collect();
+        let group_amp_ma: Vec<f64> = group_gain
+            .iter()
+            .map(|gain| config.active_ma_per_group * gain)
+            .collect();
+        let group_stream_key: Vec<u64> = (0..config.groups as u64)
+            .map(|g| hash01_stream_key(seed, g))
+            .collect();
         // Distribute groups over a near-square grid so activation spreads
         // across the die, as in the paper's even distribution.
         let nx = (config.groups as f64).sqrt().ceil() as usize;
@@ -124,9 +140,10 @@ impl PowerVirusArray {
         PowerVirusArray {
             config,
             group_gain,
+            group_amp_ma,
+            group_stream_key,
             group_region,
             active_groups: AtomicU32::new(0),
-            seed,
         }
     }
 
@@ -160,6 +177,7 @@ impl PowerVirusArray {
             });
         }
         self.active_groups.store(n, Ordering::Release);
+        zynq_soc::invalidate_load_caches();
         obs::counter!("fabric.virus.activations").inc();
         obs::gauge!("fabric.virus.active_groups").set(n as f64);
         Ok(())
@@ -209,6 +227,25 @@ impl PowerVirusArray {
     }
 }
 
+impl PowerVirusArray {
+    /// Dynamic draw of the first `active` groups in jitter bucket
+    /// `bucket_term` (a [`hash01_bucket_term`]). Summation order matches
+    /// the original per-group walk exactly.
+    #[inline]
+    fn dynamic_ma(&self, active: usize, bucket_term: u64) -> f64 {
+        let jitter_scale = self.config.activity_jitter;
+        let mut dynamic = 0.0;
+        for (key, amp) in self.group_stream_key[..active]
+            .iter()
+            .zip(&self.group_amp_ma[..active])
+        {
+            let jitter = (hash01_finish(*key, bucket_term) - 0.5) * 2.0 * jitter_scale;
+            dynamic += amp * (1.0 + jitter);
+        }
+        dynamic
+    }
+}
+
 impl PowerLoad for PowerVirusArray {
     fn current_ma(&self, t: SimTime, domain: PowerDomain) -> f64 {
         if domain != PowerDomain::FpgaLogic {
@@ -219,13 +256,44 @@ impl PowerLoad for PowerVirusArray {
         // 100 us jitter buckets: fast relative to the sensor's averaging
         // window, slow relative to the fabric clock.
         let bucket = t.as_micros() / 100;
-        let mut dynamic = 0.0;
-        for (g, gain) in self.group_gain[..active].iter().enumerate() {
-            let jitter =
-                (hash01(self.seed, g as u64, bucket) - 0.5) * 2.0 * self.config.activity_jitter;
-            dynamic += self.config.active_ma_per_group * gain * (1.0 + jitter);
+        leakage + self.dynamic_ma(active, hash01_bucket_term(bucket))
+    }
+
+    /// Jitter is constant within a 100 µs bucket, so the two instants of a
+    /// transient-pair evaluation (1 µs apart) often share the whole
+    /// per-group walk — the dominant cost of a conversion under load. When
+    /// the buckets differ (averaging steps land exactly on 100 µs
+    /// boundaries, so a conversion's `t` and `t - 1 µs` always straddle
+    /// one), a single fused walk serves both instants: each group's stream
+    /// key and amplitude are loaded once and finished against both bucket
+    /// terms, with per-accumulator summation order unchanged.
+    fn current_ma_pair(&self, t_now: SimTime, t_prev: SimTime, domain: PowerDomain) -> (f64, f64) {
+        if domain != PowerDomain::FpgaLogic {
+            return (0.0, 0.0);
         }
-        leakage + dynamic
+        let active = self.active_groups().min(self.config.groups) as usize;
+        let leakage = self.config.groups as f64 * self.config.leakage_ma_per_group;
+        let bucket_now = t_now.as_micros() / 100;
+        let bucket_prev = t_prev.as_micros() / 100;
+        if bucket_now == bucket_prev {
+            let i = leakage + self.dynamic_ma(active, hash01_bucket_term(bucket_now));
+            return (i, i);
+        }
+        let term_now = hash01_bucket_term(bucket_now);
+        let term_prev = hash01_bucket_term(bucket_prev);
+        let jitter_scale = self.config.activity_jitter;
+        let mut dyn_now = 0.0;
+        let mut dyn_prev = 0.0;
+        for (key, amp) in self.group_stream_key[..active]
+            .iter()
+            .zip(&self.group_amp_ma[..active])
+        {
+            let jitter_now = (hash01_finish(*key, term_now) - 0.5) * 2.0 * jitter_scale;
+            dyn_now += amp * (1.0 + jitter_now);
+            let jitter_prev = (hash01_finish(*key, term_prev) - 0.5) * 2.0 * jitter_scale;
+            dyn_prev += amp * (1.0 + jitter_prev);
+        }
+        (leakage + dyn_now, leakage + dyn_prev)
     }
 
     fn label(&self) -> &str {

@@ -1,6 +1,6 @@
 use std::sync::{Arc, Mutex};
 
-use ina226::{Config, Ina226};
+use ina226::{Config, Ina226, Readouts};
 use zynq_soc::SimTime;
 
 /// Source of the true electrical operating point of a monitored rail.
@@ -12,6 +12,18 @@ use zynq_soc::SimTime;
 pub trait RailProbe: Send + Sync {
     /// True rail current (A) and bus voltage (V) at time `t`.
     fn operating_point(&self, t: SimTime) -> (f64, f64);
+
+    /// The operating points of every instant in `times` — the batched
+    /// form a conversion uses to evaluate all of its averaging steps in
+    /// one call, letting implementations hoist per-call work (locks,
+    /// table lookups) out of the step loop.
+    ///
+    /// Implementations must return exactly what mapping
+    /// [`operating_point`](Self::operating_point) over `times` would —
+    /// bit-for-bit, element for element.
+    fn operating_points(&self, times: &[SimTime]) -> Vec<(f64, f64)> {
+        times.iter().map(|&t| self.operating_point(t)).collect()
+    }
 }
 
 impl<F> RailProbe for F
@@ -48,8 +60,15 @@ impl std::fmt::Debug for HwmonDevice {
 #[derive(Debug, Clone, Copy)]
 struct ClockState {
     update_interval_ms: u64,
+    /// The update interval in nanoseconds, precomputed so the per-read
+    /// boundary schedule is two integer ops with no unit conversion.
+    interval_ns: u64,
     /// Update boundary of the most recent conversion.
     last_boundary: Option<SimTime>,
+    /// Integer hwmon readouts latched at `last_boundary`. Value-hold reads
+    /// are served from this copy under the (cheap, uncontended) clock lock
+    /// without ever touching the sensor mutex.
+    latched: Readouts,
 }
 
 /// Default hwmon update interval (Section III-C: "the default updating
@@ -83,7 +102,9 @@ impl HwmonDevice {
             rail,
             state: Mutex::new(ClockState {
                 update_interval_ms: DEFAULT_UPDATE_INTERVAL_MS,
+                interval_ns: SimTime::from_ms(DEFAULT_UPDATE_INTERVAL_MS).as_nanos(),
                 last_boundary: None,
+                latched: Readouts::default(),
             }),
         }
     }
@@ -108,6 +129,7 @@ impl HwmonDevice {
         let ms = ms.clamp(MIN_UPDATE_INTERVAL_MS, 1_000);
         let mut state = self.state.lock().expect("state lock poisoned");
         state.update_interval_ms = ms;
+        state.interval_ns = SimTime::from_ms(ms).as_nanos();
         state.last_boundary = None;
         self.sensor
             .lock()
@@ -115,18 +137,23 @@ impl HwmonDevice {
             .set_config(Config::for_update_interval_ms(ms));
     }
 
-    /// Ensures the latched registers reflect the conversion whose window
-    /// ends at the last update boundary before `now`.
-    fn refresh(&self, now: SimTime) {
+    /// Ensures the latched readouts reflect the conversion whose window
+    /// ends at the last update boundary before `now`, and returns them.
+    ///
+    /// The value-hold path (a read inside the window of the latest
+    /// conversion) is a single short clock-lock hold: boundary arithmetic
+    /// on the precomputed interval, one comparison, and a copy of the
+    /// latched integers — the sensor mutex is never taken. Only a read
+    /// that crosses into a new window pays for a conversion.
+    fn refresh(&self, now: SimTime) -> Readouts {
         let mut state = self.state.lock().expect("state lock poisoned");
-        let interval = SimTime::from_ms(state.update_interval_ms);
-        let boundary =
-            SimTime::from_nanos(now.as_nanos() / interval.as_nanos() * interval.as_nanos());
+        let boundary = SimTime::from_nanos(now.as_nanos() / state.interval_ns * state.interval_ns);
         if state.last_boundary == Some(boundary) {
             // The driver's cached-register path: the read waits on no new
             // conversion and returns the held value.
             obs::counter!("hwmon.reads.held").inc();
-            return;
+            obs::counter!("sampler.reads.held_fastpath").inc();
+            return state.latched;
         }
         obs::counter!("hwmon.reads.fresh").inc();
         let mut sensor = self.sensor.lock().expect("sensor lock poisoned");
@@ -134,64 +161,45 @@ impl HwmonDevice {
         let cycle = SimTime::from_us(sensor.config().cycle_micros());
         let start = boundary.saturating_sub(cycle);
         let step_ns = cycle.as_nanos().max(1) / n.max(1);
-        let rail = &self.rail;
-        let samples = (0..n).map(|k| {
-            let t = start + SimTime::from_nanos(k * step_ns);
-            rail.operating_point(t)
-        });
-        sensor.convert(samples);
+        let times: Vec<SimTime> = (0..n)
+            .map(|k| start + SimTime::from_nanos(k * step_ns))
+            .collect();
+        sensor.convert(self.rail.operating_points(&times));
+        state.latched = sensor.readouts();
         state.last_boundary = Some(boundary);
+        state.latched
     }
 
     /// `curr1_input`: latched current in mA (driver rounds to mA — the
     /// paper's "resolution of +/-1 mA").
     pub fn curr1_input(&self, now: SimTime) -> i64 {
-        self.refresh(now);
-        (self
-            .sensor
-            .lock()
-            .expect("sensor lock poisoned")
-            .current_amps()
-            * 1_000.0)
-            .round() as i64
+        self.refresh(now).curr1_ma
     }
 
     /// `in0_input`: latched shunt voltage in mV (2.5 µV register LSB, so
     /// typically a small single-digit value — the Linux driver rounds to
     /// mV here too).
     pub fn in0_input(&self, now: SimTime) -> i64 {
-        self.refresh(now);
-        (self
-            .sensor
-            .lock()
-            .expect("sensor lock poisoned")
-            .shunt_volts()
-            * 1_000.0)
-            .round() as i64
+        self.refresh(now).in0_mv
     }
 
     /// `in1_input`: latched bus voltage in mV (1.25 mV register LSB).
     pub fn in1_input(&self, now: SimTime) -> i64 {
-        self.refresh(now);
-        (self
-            .sensor
-            .lock()
-            .expect("sensor lock poisoned")
-            .bus_volts()
-            * 1_000.0)
-            .round() as i64
+        self.refresh(now).in1_mv
     }
 
     /// `power1_input`: latched power in µW (25 x current LSB register).
     pub fn power1_input(&self, now: SimTime) -> i64 {
-        self.refresh(now);
-        (self
-            .sensor
-            .lock()
-            .expect("sensor lock poisoned")
-            .power_watts()
-            * 1e6)
-            .round() as i64
+        self.refresh(now).power1_uw
+    }
+
+    /// All four measurement attributes of the window containing `now`, from
+    /// a single conversion — the batched read used by
+    /// three-channel captures. On real hardware all hwmon attributes expose
+    /// registers latched by the *same* conversion, so one conversion per
+    /// window is also the faithful behaviour.
+    pub fn readouts(&self, now: SimTime) -> Readouts {
+        self.refresh(now)
     }
 
     /// Direct access to the sensor model (tests and calibration).

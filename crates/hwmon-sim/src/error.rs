@@ -13,6 +13,9 @@ pub enum HwmonError {
     InvalidInput(String),
     /// The attribute exists but is read-only (write to e.g. `curr1_input`).
     ReadOnly(String),
+    /// The attribute exists but holds text, not a number (a typed read of
+    /// `name`).
+    NotNumeric(String),
 }
 
 impl fmt::Display for HwmonError {
@@ -22,6 +25,7 @@ impl fmt::Display for HwmonError {
             HwmonError::PermissionDenied(p) => write!(f, "permission denied: {p}"),
             HwmonError::InvalidInput(what) => write!(f, "invalid input: {what}"),
             HwmonError::ReadOnly(p) => write!(f, "attribute is read-only: {p}"),
+            HwmonError::NotNumeric(p) => write!(f, "attribute is not numeric: {p}"),
         }
     }
 }

@@ -1,5 +1,3 @@
-use std::collections::BTreeSet;
-
 use zynq_soc::SimTime;
 
 use crate::{HwmonDevice, HwmonError, Result};
@@ -11,6 +9,108 @@ pub enum Privilege {
     User,
     /// Root.
     Root,
+}
+
+/// A hwmon attribute file, the typed counterpart of the path tail
+/// (`curr1_input`, `in1_input`, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Attribute {
+    /// The device `name` attribute (the only non-numeric file).
+    Name,
+    /// Latched current in mA.
+    Curr1Input,
+    /// Latched shunt voltage in mV.
+    In0Input,
+    /// Latched bus voltage in mV.
+    In1Input,
+    /// Latched power in µW.
+    Power1Input,
+    /// The conversion update interval in ms.
+    UpdateInterval,
+}
+
+impl Attribute {
+    /// Every attribute a device exposes, in `ls` order.
+    pub const ALL: [Attribute; 6] = [
+        Attribute::Name,
+        Attribute::Curr1Input,
+        Attribute::In0Input,
+        Attribute::In1Input,
+        Attribute::Power1Input,
+        Attribute::UpdateInterval,
+    ];
+
+    /// The sysfs file name of this attribute.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            Attribute::Name => "name",
+            Attribute::Curr1Input => "curr1_input",
+            Attribute::In0Input => "in0_input",
+            Attribute::In1Input => "in1_input",
+            Attribute::Power1Input => "power1_input",
+            Attribute::UpdateInterval => "update_interval",
+        }
+    }
+
+    /// Parses a sysfs file name.
+    pub fn from_file_name(name: &str) -> Option<Attribute> {
+        Attribute::ALL.into_iter().find(|a| a.file_name() == name)
+    }
+
+    /// Whether this is a measurement attribute (the ones the Section V
+    /// mitigation locks down to root).
+    pub fn is_measurement(self) -> bool {
+        matches!(
+            self,
+            Attribute::Curr1Input
+                | Attribute::In0Input
+                | Attribute::In1Input
+                | Attribute::Power1Input
+        )
+    }
+}
+
+/// A pre-resolved `(device, attribute)` pair: the typed fast path's file
+/// descriptor.
+///
+/// Resolving a path with [`HwmonFs::resolve`] once and reading through the
+/// handle with [`HwmonFs::read_value`] skips the per-read path `format!`,
+/// prefix strip and integer parse of the string API — the AmpereBleed
+/// sampling loop on real hardware likewise opens the sysfs node once and
+/// re-reads the open descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SensorHandle {
+    index: usize,
+    attr: Attribute,
+}
+
+impl SensorHandle {
+    /// Builds a handle from a device index and attribute. The index is
+    /// validated at read time, like a stale file descriptor would be.
+    pub fn new(index: usize, attr: Attribute) -> Self {
+        SensorHandle { index, attr }
+    }
+
+    /// The `hwmon{index}` device index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The attribute file this handle reads.
+    pub fn attribute(&self) -> Attribute {
+        self.attr
+    }
+
+    /// The sysfs path this handle stands for (allocates; error paths and
+    /// diagnostics only).
+    pub fn path(&self) -> String {
+        format!(
+            "/sys/class/hwmon/hwmon{}/{}",
+            self.index,
+            self.attr.file_name()
+        )
+    }
 }
 
 /// The simulated `/sys/class/hwmon` tree.
@@ -25,9 +125,9 @@ pub enum Privilege {
 #[derive(Debug, Default)]
 pub struct HwmonFs {
     devices: Vec<HwmonDevice>,
-    /// Mitigation mode (Section V): designators whose attribute reads
-    /// require root.
-    root_only_reads: BTreeSet<String>,
+    /// Mitigation mode (Section V), indexed like `devices`: `true` means
+    /// the device's measurement attributes require root.
+    restricted: Vec<bool>,
 }
 
 impl HwmonFs {
@@ -39,6 +139,7 @@ impl HwmonFs {
     /// Registers a device; returns its index (`hwmon{index}`).
     pub fn register(&mut self, device: HwmonDevice) -> usize {
         self.devices.push(device);
+        self.restricted.push(false);
         self.devices.len() - 1
     }
 
@@ -66,15 +167,8 @@ impl HwmonFs {
     pub fn list(&self) -> Vec<String> {
         let mut out = Vec::new();
         for (i, _) in self.devices.iter().enumerate() {
-            for attr in [
-                "name",
-                "curr1_input",
-                "in0_input",
-                "in1_input",
-                "power1_input",
-                "update_interval",
-            ] {
-                out.push(format!("/sys/class/hwmon/hwmon{i}/{attr}"));
+            for attr in Attribute::ALL {
+                out.push(format!("/sys/class/hwmon/hwmon{i}/{}", attr.file_name()));
             }
         }
         out
@@ -87,16 +181,18 @@ impl HwmonFs {
     ///
     /// Returns [`HwmonError::NoSuchFile`] if no device has that name.
     pub fn restrict_reads_to_root(&mut self, name: &str) -> Result<()> {
-        if self.index_of(name).is_none() {
-            return Err(HwmonError::NoSuchFile(format!("device {name}")));
-        }
-        self.root_only_reads.insert(name.to_owned());
+        let index = self
+            .index_of(name)
+            .ok_or_else(|| HwmonError::NoSuchFile(format!("device {name}")))?;
+        self.restricted[index] = true;
         Ok(())
     }
 
     /// Lifts the read restriction from a device.
     pub fn unrestrict_reads(&mut self, name: &str) {
-        self.root_only_reads.remove(name);
+        if let Some(index) = self.index_of(name) {
+            self.restricted[index] = false;
+        }
     }
 
     fn parse(path: &str) -> Result<(usize, &str)> {
@@ -112,7 +208,102 @@ impl HwmonFs {
         Ok((index, &rest[slash + 1..]))
     }
 
-    /// Reads an attribute at simulation time `now`.
+    /// Resolves a sysfs path to a [`SensorHandle`], the typed path's
+    /// analogue of `open(2)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HwmonError::NoSuchFile`] for paths outside the tree,
+    /// unknown attribute names, or unregistered device indices.
+    pub fn resolve(&self, path: &str) -> Result<SensorHandle> {
+        let (index, attr) = Self::parse(path)?;
+        if index >= self.devices.len() {
+            return Err(HwmonError::NoSuchFile(path.to_owned()));
+        }
+        let attr = Attribute::from_file_name(attr)
+            .ok_or_else(|| HwmonError::NoSuchFile(path.to_owned()))?;
+        Ok(SensorHandle::new(index, attr))
+    }
+
+    /// The permission check and raw attribute fetch shared by the typed
+    /// and string read paths. Does not count or trace the read itself.
+    fn read_numeric(
+        &self,
+        handle: SensorHandle,
+        now: SimTime,
+        privilege: Privilege,
+    ) -> Result<i64> {
+        let dev = self
+            .devices
+            .get(handle.index)
+            .ok_or_else(|| HwmonError::NoSuchFile(handle.path()))?;
+        if self.restricted[handle.index]
+            && handle.attr.is_measurement()
+            && privilege != Privilege::Root
+        {
+            obs::counter!("hwmon.fs.reads_denied").inc();
+            obs::warn!(
+                "hwmon.fs",
+                sim = now.as_nanos(),
+                "unprivileged read denied by mitigation";
+                "hwmon" => handle.index as u64,
+                "attr" => handle.attr.file_name()
+            );
+            return Err(HwmonError::PermissionDenied(handle.path()));
+        }
+        match handle.attr {
+            Attribute::Name => Err(HwmonError::NotNumeric(handle.path())),
+            Attribute::Curr1Input => Ok(dev.curr1_input(now)),
+            Attribute::In0Input => Ok(dev.in0_input(now)),
+            Attribute::In1Input => Ok(dev.in1_input(now)),
+            Attribute::Power1Input => Ok(dev.power1_input(now)),
+            Attribute::UpdateInterval => Ok(dev.update_interval_ms() as i64),
+        }
+    }
+
+    /// Reads a numeric attribute through a pre-resolved handle — the
+    /// allocation-free sampling fast path. Returns the value in native
+    /// hwmon units (mA, mV, µW, ms) with no string round-trip.
+    ///
+    /// # Errors
+    ///
+    /// * [`HwmonError::NoSuchFile`] if the handle's device index is stale.
+    /// * [`HwmonError::PermissionDenied`] when the mitigation restricts
+    ///   the device and the caller is not root.
+    /// * [`HwmonError::NotNumeric`] for the `name` attribute.
+    pub fn read_value(
+        &self,
+        handle: SensorHandle,
+        now: SimTime,
+        privilege: Privilege,
+    ) -> Result<i64> {
+        obs::counter!("hwmon.fs.reads").inc();
+        obs::trace!(
+            "hwmon.fs",
+            sim = now.as_nanos(),
+            "sysfs read";
+            "hwmon" => handle.index as u64,
+            "attr" => handle.attr.file_name()
+        );
+        self.read_numeric(handle, now, privilege)
+    }
+
+    /// Resolves `path` and reads it as a number: `read_raw` is
+    /// `resolve` + [`read_value`](Self::read_value) for one-shot callers.
+    /// Loops should resolve once and hold the handle.
+    ///
+    /// # Errors
+    ///
+    /// Union of [`resolve`](Self::resolve) and
+    /// [`read_value`](Self::read_value).
+    pub fn read_raw(&self, path: &str, now: SimTime, privilege: Privilege) -> Result<i64> {
+        self.read_value(self.resolve(path)?, now, privilege)
+    }
+
+    /// Reads an attribute at simulation time `now`, returning the
+    /// newline-terminated string a real sysfs read yields. Thin wrapper
+    /// over the typed path; per-sample loops should prefer
+    /// [`read_value`](Self::read_value).
     ///
     /// # Errors
     ///
@@ -121,41 +312,19 @@ impl HwmonFs {
     ///   the device and the caller is not root.
     pub fn read(&self, path: &str, now: SimTime, privilege: Privilege) -> Result<String> {
         obs::counter!("hwmon.fs.reads").inc();
-        let (index, attr) = Self::parse(path)?;
-        let dev = self
-            .devices
-            .get(index)
-            .ok_or_else(|| HwmonError::NoSuchFile(path.to_owned()))?;
-        let restricted = self.root_only_reads.contains(dev.name());
-        let measurement = matches!(
-            attr,
-            "curr1_input" | "in0_input" | "in1_input" | "power1_input"
-        );
-        if restricted && measurement && privilege != Privilege::Root {
-            obs::counter!("hwmon.fs.reads_denied").inc();
-            obs::warn!(
-                "hwmon.fs",
-                sim = now.as_nanos(),
-                "unprivileged read denied by mitigation";
-                "path" => path
-            );
-            return Err(HwmonError::PermissionDenied(path.to_owned()));
-        }
+        let handle = self.resolve(path)?;
         obs::trace!(
             "hwmon.fs",
             sim = now.as_nanos(),
             "sysfs read";
             "path" => path
         );
-        match attr {
-            "name" => Ok(format!("{}\n", dev.name())),
-            "curr1_input" => Ok(format!("{}\n", dev.curr1_input(now))),
-            "in0_input" => Ok(format!("{}\n", dev.in0_input(now))),
-            "in1_input" => Ok(format!("{}\n", dev.in1_input(now))),
-            "power1_input" => Ok(format!("{}\n", dev.power1_input(now))),
-            "update_interval" => Ok(format!("{}\n", dev.update_interval_ms())),
-            _ => Err(HwmonError::NoSuchFile(path.to_owned())),
+        if handle.attr == Attribute::Name {
+            let dev = &self.devices[handle.index];
+            return Ok(format!("{}\n", dev.name()));
         }
+        let v = self.read_numeric(handle, now, privilege)?;
+        Ok(format!("{v}\n"))
     }
 
     /// Writes an attribute. Only `update_interval` is writable, and only
@@ -330,5 +499,95 @@ mod tests {
     fn restricting_unknown_device_fails() {
         let mut fs = fs_with_two();
         assert!(fs.restrict_reads_to_root("ina226_u99").is_err());
+    }
+
+    #[test]
+    fn attribute_round_trips_file_names() {
+        for attr in Attribute::ALL {
+            assert_eq!(Attribute::from_file_name(attr.file_name()), Some(attr));
+        }
+        assert_eq!(Attribute::from_file_name("temp1_input"), None);
+    }
+
+    #[test]
+    fn resolve_maps_paths_to_handles() {
+        let fs = fs_with_two();
+        let h = fs.resolve("/sys/class/hwmon/hwmon1/curr1_input").unwrap();
+        assert_eq!(h.index(), 1);
+        assert_eq!(h.attribute(), Attribute::Curr1Input);
+        assert_eq!(h.path(), "/sys/class/hwmon/hwmon1/curr1_input");
+        for bad in [
+            "/sys/class/hwmon/hwmon9/curr1_input",
+            "/sys/class/hwmon/hwmon0/bogus",
+            "/proc/cpuinfo",
+        ] {
+            assert!(matches!(fs.resolve(bad), Err(HwmonError::NoSuchFile(_))));
+        }
+    }
+
+    #[test]
+    fn typed_read_matches_string_read() {
+        // The typed path and the string path must agree byte-for-byte:
+        // use two identically seeded trees so both see fresh sensor RNG.
+        let a = fs_with_two();
+        let b = fs_with_two();
+        let t = SimTime::from_ms(40);
+        for path in [
+            "/sys/class/hwmon/hwmon0/curr1_input",
+            "/sys/class/hwmon/hwmon0/in0_input",
+            "/sys/class/hwmon/hwmon1/in1_input",
+            "/sys/class/hwmon/hwmon1/power1_input",
+            "/sys/class/hwmon/hwmon0/update_interval",
+        ] {
+            let s: i64 = a
+                .read(path, t, Privilege::User)
+                .unwrap()
+                .trim()
+                .parse()
+                .unwrap();
+            let v = b.read_raw(path, t, Privilege::User).unwrap();
+            assert_eq!(s, v, "{path}");
+        }
+    }
+
+    #[test]
+    fn typed_read_of_name_is_not_numeric() {
+        let fs = fs_with_two();
+        assert!(matches!(
+            fs.read_raw(
+                "/sys/class/hwmon/hwmon0/name",
+                SimTime::ZERO,
+                Privilege::User
+            ),
+            Err(HwmonError::NotNumeric(_))
+        ));
+    }
+
+    #[test]
+    fn typed_read_respects_mitigation() {
+        let mut fs = fs_with_two();
+        fs.restrict_reads_to_root("ina226_u79").unwrap();
+        let h = fs.resolve("/sys/class/hwmon/hwmon1/curr1_input").unwrap();
+        let t = SimTime::from_ms(40);
+        assert!(matches!(
+            fs.read_value(h, t, Privilege::User),
+            Err(HwmonError::PermissionDenied(_))
+        ));
+        assert!(fs.read_value(h, t, Privilege::Root).is_ok());
+        // update_interval stays world-readable under the mitigation.
+        let ui = fs
+            .resolve("/sys/class/hwmon/hwmon1/update_interval")
+            .unwrap();
+        assert!(fs.read_value(ui, t, Privilege::User).is_ok());
+    }
+
+    #[test]
+    fn stale_handle_index_is_no_such_file() {
+        let fs = fs_with_two();
+        let h = SensorHandle::new(9, Attribute::Curr1Input);
+        assert!(matches!(
+            fs.read_value(h, SimTime::ZERO, Privilege::User),
+            Err(HwmonError::NoSuchFile(_))
+        ));
     }
 }

@@ -59,7 +59,8 @@ mod fs;
 
 pub use device::{HwmonDevice, RailProbe};
 pub use error::HwmonError;
-pub use fs::{HwmonFs, Privilege};
+pub use fs::{Attribute, HwmonFs, Privilege, SensorHandle};
+pub use ina226::Readouts;
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T> = std::result::Result<T, HwmonError>;

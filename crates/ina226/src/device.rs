@@ -290,6 +290,23 @@ impl Ina226 {
         self.shunt_reg as f64 * SHUNT_LSB_V
     }
 
+    /// All four measurement registers converted to integer hwmon units in
+    /// one call — what the Linux driver reports for `curr1_input`,
+    /// `in0_input`, `in1_input` and `power1_input`.
+    ///
+    /// Reading them together lets the hwmon layer latch one conversion's
+    /// outputs once and serve every subsequent value-hold read without
+    /// touching the sensor again; the rounding here is bit-identical to
+    /// rounding each floating-point accessor individually.
+    pub fn readouts(&self) -> Readouts {
+        Readouts {
+            curr1_ma: (self.current_amps() * 1_000.0).round() as i64,
+            in0_mv: (self.shunt_volts() * 1_000.0).round() as i64,
+            in1_mv: (self.bus_volts() * 1_000.0).round() as i64,
+            power1_uw: (self.power_watts() * 1e6).round() as i64,
+        }
+    }
+
     fn gaussian(&mut self) -> f64 {
         if let Some(z) = self.gauss_cache.take() {
             return z;
@@ -301,6 +318,33 @@ impl Ina226 {
         self.gauss_cache = Some(r * theta.sin());
         r * theta.cos()
     }
+}
+
+/// One conversion's measurement registers in integer hwmon units (the exact
+/// values the driver prints into `curr1_input` and friends).
+///
+/// # Examples
+///
+/// ```
+/// use ina226::Ina226;
+///
+/// let mut sensor = Ina226::new(0.0005, 0.0005, 99);
+/// sensor.set_adc_noise(0.0, 0.0);
+/// sensor.convert_constant(2.0, 0.85);
+/// let r = sensor.readouts();
+/// assert!((r.curr1_ma - 2_000).abs() <= 2);
+/// assert!((r.in1_mv - 850).abs() <= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Readouts {
+    /// `curr1_input`: current in mA.
+    pub curr1_ma: i64,
+    /// `in0_input`: shunt voltage in mV.
+    pub in0_mv: i64,
+    /// `in1_input`: bus voltage in mV.
+    pub in1_mv: i64,
+    /// `power1_input`: power in µW.
+    pub power1_uw: i64,
 }
 
 #[cfg(test)]

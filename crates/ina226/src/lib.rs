@@ -46,7 +46,7 @@ mod error;
 pub mod i2c;
 mod registers;
 
-pub use device::Ina226;
+pub use device::{Ina226, Readouts};
 pub use error::Ina226Error;
 pub use registers::{AvgMode, Config, ConversionTime, OperatingMode, Register};
 

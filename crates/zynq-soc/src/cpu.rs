@@ -112,6 +112,22 @@ impl PowerLoad for CpuBackgroundLoad {
         }
     }
 
+    /// Activity is constant within a scheduler quantum (10 ms by default),
+    /// so two instants 1 µs apart almost always see the same busy set —
+    /// evaluate once and return the value for both.
+    fn current_ma_pair(&self, t_now: SimTime, t_prev: SimTime, domain: PowerDomain) -> (f64, f64) {
+        let q = self.config.quantum_us;
+        if t_now.as_micros() / q == t_prev.as_micros() / q {
+            let i = self.current_ma(t_now, domain);
+            (i, i)
+        } else {
+            (
+                self.current_ma(t_now, domain),
+                self.current_ma(t_prev, domain),
+            )
+        }
+    }
+
     fn label(&self) -> &str {
         "cpu-background"
     }

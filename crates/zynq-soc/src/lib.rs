@@ -42,13 +42,18 @@ pub mod cpu;
 mod domain;
 pub mod dvfs;
 mod noise;
+mod oppoint;
 mod pdn;
 mod power;
 pub mod thermal;
 mod time;
 
 pub use domain::PowerDomain;
-pub use noise::{hash01, GaussianNoise};
+pub use noise::{hash01, hash01_bucket_term, hash01_finish, hash01_stream_key, GaussianNoise};
+pub use oppoint::{OpPointCache, RailOperatingPoint};
 pub use pdn::{Pdn, VoltageBand};
-pub use power::{CompositeLoad, ConstantLoad, PowerLoad, StaticFabricLoad};
+pub use power::{
+    invalidate_load_caches, load_control_epoch, CompositeLoad, ConstantLoad, PowerLoad,
+    StaticFabricLoad,
+};
 pub use time::SimTime;

@@ -15,9 +15,31 @@ use sim_rt::rng::{Rng, SimRng};
 /// assert!((0.0..1.0).contains(&a));
 /// ```
 pub fn hash01(seed: u64, stream: u64, bucket: u64) -> f64 {
-    let mut z = seed
-        ^ stream.wrapping_mul(0xA24B_AED4_963E_E407)
-        ^ bucket.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    hash01_finish(hash01_stream_key(seed, stream), hash01_bucket_term(bucket))
+}
+
+/// The `(seed, stream)` half of [`hash01`]'s input mixing.
+///
+/// A load that hashes many streams against the same bucket (or the same
+/// stream against many buckets) can precompute its keys once and combine
+/// them with [`hash01_bucket_term`] via [`hash01_finish`]; the result is
+/// bit-for-bit identical to calling [`hash01`].
+#[inline]
+pub fn hash01_stream_key(seed: u64, stream: u64) -> u64 {
+    seed ^ stream.wrapping_mul(0xA24B_AED4_963E_E407)
+}
+
+/// The bucket half of [`hash01`]'s input mixing; see [`hash01_stream_key`].
+#[inline]
+pub fn hash01_bucket_term(bucket: u64) -> u64 {
+    bucket.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Finalizes a [`hash01_stream_key`] / [`hash01_bucket_term`] pair into the
+/// same uniform `[0, 1)` value [`hash01`] produces.
+#[inline]
+pub fn hash01_finish(stream_key: u64, bucket_term: u64) -> f64 {
+    let mut z = stream_key ^ bucket_term;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
@@ -100,6 +122,24 @@ impl GaussianNoise {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn split_hash_equals_composed_hash() {
+        // The staged form exists so hot loops can hoist the per-stream and
+        // per-bucket halves; it must be the same function bit for bit.
+        for (seed, stream, bucket) in [
+            (0, 0, 0),
+            (1, 2, 3),
+            (42, 159, u64::MAX),
+            (u64::MAX, 7, 100),
+        ] {
+            assert_eq!(
+                hash01(seed, stream, bucket).to_bits(),
+                hash01_finish(hash01_stream_key(seed, stream), hash01_bucket_term(bucket))
+                    .to_bits()
+            );
+        }
+    }
 
     #[test]
     fn deterministic_for_same_seed() {

@@ -1,0 +1,234 @@
+//! Per-rail operating points and the keyed operating-point cache.
+//!
+//! Every averaging step of an INA226 conversion needs the full electrical
+//! operating point of one rail: the instantaneous current, the current one
+//! microsecond earlier (for the PDN's `L * dI/dt` transient term), and the
+//! resulting bus voltage. Historically each of those was a separate walk of
+//! the load composite — three walks per step. [`RailOperatingPoint`] packages
+//! the triple so the whole solve happens in a single pass, and
+//! [`OpPointCache`] memoizes it: conversion timestamps are deterministic
+//! multiples of the hwmon update boundary, so repeated captures over the
+//! same window (calibration sweeps, ground-truth checks, multi-pass
+//! experiments) hit identical `(domain, t)` keys.
+//!
+//! Cache entries are tagged with the [`crate::load_control_epoch`] at
+//! evaluation time; any control-state change invalidates every entry at
+//! once, so a cached point can never leak across a virus activation or a
+//! DPU model swap.
+
+use std::sync::Mutex;
+
+use crate::{Pdn, PowerDomain, SimTime};
+
+/// The electrical operating point of one rail at one instant.
+///
+/// # Examples
+///
+/// ```
+/// use zynq_soc::{board::BoardSpec, Pdn, PowerDomain};
+///
+/// let pdn = Pdn::for_board(&BoardSpec::zcu102(), PowerDomain::FpgaLogic);
+/// let p = pdn.operating_point(2_000.0, 1_990.0);
+/// assert_eq!(p.i_now_ma, 2_000.0);
+/// assert_eq!(p.slew_ma_per_us(), 10.0);
+/// assert!(pdn.band.contains(p.volts));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RailOperatingPoint {
+    /// Rail current at the evaluation instant, in mA.
+    pub i_now_ma: f64,
+    /// Rail current one microsecond earlier, in mA (transient term input).
+    pub i_prev_ma: f64,
+    /// Bus voltage under that load, in volts.
+    pub volts: f64,
+}
+
+impl RailOperatingPoint {
+    /// Rail current in amps.
+    pub fn amps(&self) -> f64 {
+        self.i_now_ma / 1_000.0
+    }
+
+    /// Current slew in mA/µs, as fed to [`Pdn::rail_voltage`].
+    pub fn slew_ma_per_us(&self) -> f64 {
+        self.i_now_ma - self.i_prev_ma
+    }
+}
+
+impl Pdn {
+    /// Solves the rail for a current pair in one call: the voltage uses the
+    /// same 1 µs finite-difference slew as the historical two-walk path, so
+    /// the result is bit-identical to
+    /// `rail_voltage(i_now_ma, i_now_ma - i_prev_ma)`.
+    pub fn operating_point(&self, i_now_ma: f64, i_prev_ma: f64) -> RailOperatingPoint {
+        RailOperatingPoint {
+            i_now_ma,
+            i_prev_ma,
+            volts: self.rail_voltage(i_now_ma, i_now_ma - i_prev_ma),
+        }
+    }
+}
+
+/// One direct-mapped cache slot.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    domain: PowerDomain,
+    t_ns: u64,
+    epoch: u64,
+    point: RailOperatingPoint,
+}
+
+/// Number of direct-mapped slots. A 64-sample three-channel capture touches
+/// at most `16 steps x 64 boundaries = 1024` distinct instants per domain;
+/// 512 slots keep the working set of repeated-window experiments resident
+/// while the whole table stays a few pages.
+const SLOTS: usize = 512;
+
+/// A fixed-size, direct-mapped cache of [`RailOperatingPoint`]s keyed by
+/// `(domain, t)` and validated against the global load-control epoch.
+///
+/// Lookups and inserts take a single short mutex hold; the expensive load
+/// walk happens *outside* the lock, so concurrent samplers on different
+/// domains never serialize on each other's evaluations. Hits and misses are
+/// reported through the `soc.oppoint.cache_hit` / `soc.oppoint.cache_miss`
+/// counters.
+#[derive(Debug, Default)]
+pub struct OpPointCache {
+    slots: Mutex<Vec<Option<Slot>>>,
+}
+
+impl OpPointCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        OpPointCache {
+            slots: Mutex::new(vec![None; SLOTS]),
+        }
+    }
+
+    fn index(domain: PowerDomain, t_ns: u64) -> usize {
+        let d = domain as u64;
+        // Fibonacci mixing of the key; conversion timestamps share low-order
+        // structure (multiples of the averaging step), so mix before masking.
+        let h =
+            (t_ns ^ (d.wrapping_mul(0x9E37_79B9_7F4A_7C15))).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) as usize % SLOTS
+    }
+
+    /// Looks up the point for `(domain, t)` computed at `epoch`.
+    ///
+    /// Returns `None` (and counts a miss) when the slot is empty, holds a
+    /// different key, or was computed under an older epoch.
+    pub fn get(&self, domain: PowerDomain, t: SimTime, epoch: u64) -> Option<RailOperatingPoint> {
+        let t_ns = t.as_nanos();
+        let slots = self.slots.lock().expect("oppoint cache lock poisoned");
+        if slots.is_empty() {
+            // `Default` builds a zero-slot cache; treat it as always-miss.
+            obs::counter!("soc.oppoint.cache_miss").inc();
+            return None;
+        }
+        match slots[Self::index(domain, t_ns)] {
+            Some(s) if s.domain == domain && s.t_ns == t_ns && s.epoch == epoch => {
+                obs::counter!("soc.oppoint.cache_hit").inc();
+                Some(s.point)
+            }
+            _ => {
+                obs::counter!("soc.oppoint.cache_miss").inc();
+                None
+            }
+        }
+    }
+
+    /// Stores a point computed under `epoch`. The caller must have read the
+    /// epoch *before* evaluating the loads — an entry tagged with a stale
+    /// epoch is simply never returned again.
+    pub fn insert(&self, domain: PowerDomain, t: SimTime, epoch: u64, point: RailOperatingPoint) {
+        let t_ns = t.as_nanos();
+        let mut slots = self.slots.lock().expect("oppoint cache lock poisoned");
+        if slots.is_empty() {
+            return;
+        }
+        let idx = Self::index(domain, t_ns);
+        slots[idx] = Some(Slot {
+            domain,
+            t_ns,
+            epoch,
+            point,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::board::BoardSpec;
+    use crate::{invalidate_load_caches, load_control_epoch};
+
+    fn point(i: f64) -> RailOperatingPoint {
+        Pdn::for_board(&BoardSpec::zcu102(), PowerDomain::FpgaLogic).operating_point(i, i - 5.0)
+    }
+
+    #[test]
+    fn operating_point_matches_rail_voltage() {
+        let pdn = Pdn::for_board(&BoardSpec::zcu102(), PowerDomain::FpgaLogic);
+        let p = pdn.operating_point(3_000.0, 2_400.0);
+        assert_eq!(
+            p.volts.to_bits(),
+            pdn.rail_voltage(3_000.0, 600.0).to_bits()
+        );
+        assert_eq!(p.amps(), 3.0);
+        assert_eq!(p.slew_ma_per_us(), 600.0);
+    }
+
+    #[test]
+    fn hit_returns_inserted_point() {
+        let cache = OpPointCache::new();
+        let e = load_control_epoch();
+        let t = SimTime::from_us(1234);
+        assert!(cache.get(PowerDomain::FpgaLogic, t, e).is_none());
+        cache.insert(PowerDomain::FpgaLogic, t, e, point(1_000.0));
+        let got = cache.get(PowerDomain::FpgaLogic, t, e).expect("hit");
+        assert_eq!(got.i_now_ma, 1_000.0);
+        // Same instant on another domain is a distinct key.
+        assert!(cache.get(PowerDomain::Ddr, t, e).is_none());
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let cache = OpPointCache::new();
+        let e = load_control_epoch();
+        let t = SimTime::from_ms(35);
+        cache.insert(PowerDomain::Ddr, t, e, point(500.0));
+        assert!(cache.get(PowerDomain::Ddr, t, e).is_some());
+        invalidate_load_caches();
+        let e2 = load_control_epoch();
+        assert_ne!(e, e2);
+        assert!(cache.get(PowerDomain::Ddr, t, e2).is_none());
+    }
+
+    #[test]
+    fn default_cache_never_panics() {
+        let cache = OpPointCache::default();
+        let e = load_control_epoch();
+        cache.insert(PowerDomain::FpgaLogic, SimTime::ZERO, e, point(1.0));
+        assert!(cache
+            .get(PowerDomain::FpgaLogic, SimTime::ZERO, e)
+            .is_none());
+    }
+
+    sim_rt::prop_check! {
+        /// Distinct keys written through the same cache never read back the
+        /// wrong point: a colliding insert evicts, it does not alias.
+        fn collisions_evict_not_alias(a in 0u64..5_000_000, b in 0u64..5_000_000) {
+            let cache = OpPointCache::new();
+            let e = load_control_epoch();
+            let (ta, tb) = (SimTime::from_nanos(a), SimTime::from_nanos(b));
+            cache.insert(PowerDomain::FpgaLogic, ta, e, point(100.0));
+            cache.insert(PowerDomain::FpgaLogic, tb, e, point(200.0));
+            if let Some(p) = cache.get(PowerDomain::FpgaLogic, ta, e) {
+                assert_eq!(p.i_now_ma, if a == b { 200.0 } else { 100.0 });
+            }
+            let p = cache.get(PowerDomain::FpgaLogic, tb, e).expect("last insert resident");
+            assert_eq!(p.i_now_ma, 200.0);
+        }
+    }
+}

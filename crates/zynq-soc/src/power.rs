@@ -1,6 +1,32 @@
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::{PowerDomain, SimTime};
+
+/// Process-global generation counter for load-control state.
+///
+/// Operating-point caches key their entries by `(domain, t)` and a snapshot
+/// of this epoch; any control-state change (virus group activation, RSA
+/// start/stop, DPU model load, a new load attached to a rail) bumps it via
+/// [`invalidate_load_caches`], instantly invalidating every cached entry
+/// without the mutator having to know which caches exist.
+static LOAD_CONTROL_EPOCH: AtomicU64 = AtomicU64::new(0);
+
+/// Current load-control epoch. Snapshot it *before* evaluating loads, and
+/// tag cache entries with the snapshot so a concurrent control change can
+/// only ever invalidate, never resurrect, an entry.
+pub fn load_control_epoch() -> u64 {
+    LOAD_CONTROL_EPOCH.load(Ordering::Acquire)
+}
+
+/// Invalidates every operating-point cache in the process.
+///
+/// Every API that changes a load's *control state* (anything that alters
+/// the value a future `current_ma(t, d)` call returns for the same `(t, d)`)
+/// must call this after the change is visible.
+pub fn invalidate_load_caches() {
+    LOAD_CONTROL_EPOCH.fetch_add(1, Ordering::AcqRel);
+}
 
 /// A component that draws current from the SoC's monitored rails.
 ///
@@ -24,6 +50,22 @@ pub trait PowerLoad: Send + Sync {
     /// not touch `domain` return 0.
     fn current_ma(&self, t: SimTime, domain: PowerDomain) -> f64;
 
+    /// Current at two nearby instants in one call — the transient-aware
+    /// sampling fast path (`V = V_set - I*R - L*dI/dt` needs `I` at `t` and
+    /// `t - 1 µs` for every averaging step).
+    ///
+    /// The contract is strict bit-equality with two [`PowerLoad::current_ma`]
+    /// calls: implementations may share work between the two instants (most
+    /// loads quantize time into activity buckets far coarser than 1 µs, so
+    /// both instants usually map to the same internal state), but the
+    /// returned pair must be exactly `(current_ma(t_now), current_ma(t_prev))`.
+    fn current_ma_pair(&self, t_now: SimTime, t_prev: SimTime, domain: PowerDomain) -> (f64, f64) {
+        (
+            self.current_ma(t_now, domain),
+            self.current_ma(t_prev, domain),
+        )
+    }
+
     /// Short human-readable label for diagnostics.
     fn label(&self) -> &str {
         "load"
@@ -33,6 +75,10 @@ pub trait PowerLoad: Send + Sync {
 impl<T: PowerLoad + ?Sized> PowerLoad for Arc<T> {
     fn current_ma(&self, t: SimTime, domain: PowerDomain) -> f64 {
         (**self).current_ma(t, domain)
+    }
+
+    fn current_ma_pair(&self, t_now: SimTime, t_prev: SimTime, domain: PowerDomain) -> (f64, f64) {
+        (**self).current_ma_pair(t_now, t_prev, domain)
     }
 
     fn label(&self) -> &str {
@@ -225,6 +271,23 @@ impl PowerLoad for CompositeLoad {
         self.parts.iter().map(|p| p.current_ma(t, domain)).sum()
     }
 
+    /// Single traversal of the parts for both instants.
+    ///
+    /// The two sums accumulate separately, each in part order, so the result
+    /// is bit-identical to two independent [`CompositeLoad::current_ma`]
+    /// walks — while paying the vec traversal (and each part's shared
+    /// bucket lookup) only once.
+    fn current_ma_pair(&self, t_now: SimTime, t_prev: SimTime, domain: PowerDomain) -> (f64, f64) {
+        let mut i_now = 0.0;
+        let mut i_prev = 0.0;
+        for p in &self.parts {
+            let (a, b) = p.current_ma_pair(t_now, t_prev, domain);
+            i_now += a;
+            i_prev += b;
+        }
+        (i_now, i_prev)
+    }
+
     fn label(&self) -> &str {
         "composite"
     }
@@ -323,7 +386,36 @@ mod tests {
         assert_send_sync::<Arc<dyn PowerLoad>>();
     }
 
+    #[test]
+    fn epoch_moves_only_on_invalidation() {
+        let a = crate::load_control_epoch();
+        let b = crate::load_control_epoch();
+        assert_eq!(a, b);
+        crate::invalidate_load_caches();
+        assert!(crate::load_control_epoch() > a);
+    }
+
     sim_rt::prop_check! {
+        /// The transient-pair walk must be bit-identical to two independent
+        /// walks, at any instant — including bucket boundaries of the
+        /// sub-loads, where the shared-evaluation shortcut must not apply.
+        fn pair_walk_matches_two_walks(ns in 0u64..10_000_000_000u64) {
+            let mut c = CompositeLoad::new();
+            c.push(Arc::new(StaticFabricLoad::new(480.0, 3)));
+            c.push(Arc::new(crate::cpu::CpuBackgroundLoad::new(
+                crate::cpu::CpuActivityConfig::default(),
+                4,
+            )));
+            c.push(Arc::new(ConstantLoad::new(PowerDomain::Ddr, 140.0)));
+            let t_now = SimTime::from_nanos(ns);
+            let t_prev = t_now.saturating_sub(SimTime::from_us(1));
+            for d in PowerDomain::ALL {
+                let (a, b) = c.current_ma_pair(t_now, t_prev, d);
+                assert_eq!(a.to_bits(), c.current_ma(t_now, d).to_bits());
+                assert_eq!(b.to_bits(), c.current_ma(t_prev, d).to_bits());
+            }
+        }
+
         fn composite_sum_matches_manual(
             currents in sim_rt::check::vec_of(0.0f64..1e4, 0..10)
         ) {

@@ -94,7 +94,7 @@ fn name_attribute_stays_world_readable() {
     let name = p
         .hwmon()
         .read(
-            &p.sensor_path(PowerDomain::FpgaLogic, "name"),
+            p.sensor_path(PowerDomain::FpgaLogic, "name"),
             SimTime::ZERO,
             hwmon_sim::Privilege::User,
         )

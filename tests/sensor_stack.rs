@@ -7,7 +7,7 @@ use hwmon_sim::Privilege;
 use zynq_soc::{PowerDomain, SimTime};
 
 fn fpga_path(p: &Platform, attr: &str) -> String {
-    p.sensor_path(PowerDomain::FpgaLogic, attr)
+    p.sensor_path(PowerDomain::FpgaLogic, attr).to_owned()
 }
 
 #[test]
