@@ -12,6 +12,22 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> sim-lint (workspace invariants)"
+cargo run --offline -q -p sim-lint
+
+echo "==> sim-lint self-test (seeded violation must fail the gate)"
+if cargo run --offline -q -p sim-lint -- crates/sim-lint/tests/fixtures/seeded \
+    >/dev/null 2>&1; then
+    echo "ci.sh: sim-lint passed the seeded-violation fixture; the gate is broken" >&2
+    exit 1
+fi
+seeded_json="$(cargo run --offline -q -p sim-lint -- --json \
+    crates/sim-lint/tests/fixtures/seeded || true)"
+echo "$seeded_json" | grep -q '"rule"' || {
+    echo "ci.sh: sim-lint --json emitted no diagnostics for the seeded fixture" >&2
+    exit 1
+}
+
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

@@ -69,6 +69,20 @@ fn main() {
     let quick = sim_rt::bench::quick_requested();
     obs::init();
 
+    // The lock-order watchdog must be free in the bench profile: the
+    // timings below go through Platform/sensor TrackedMutexes, so any
+    // residual debug machinery would poison the recorded baselines.
+    #[cfg(not(debug_assertions))]
+    {
+        use std::sync::Mutex;
+        assert_eq!(
+            std::mem::size_of::<sim_rt::TrackedMutex<u64>>(),
+            std::mem::size_of::<Mutex<u64>>(),
+            "TrackedMutex is not a zero-cost passthrough in this profile"
+        );
+        assert_eq!(sim_rt::lockorder::acquisitions(), 0);
+    }
+
     let mut platform = Platform::zcu102(42);
     let virus = platform.deploy_virus(VirusConfig::default()).unwrap();
     virus.activate_groups(80).unwrap();

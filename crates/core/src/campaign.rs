@@ -306,7 +306,9 @@ pub fn run(config: &CampaignConfig) -> Result<CampaignReport> {
 struct TimedPhase {
     name: &'static str,
     span: obs::Span,
-    started: std::time::Instant,
+    /// Stopwatch origin from the observability clock — the one allowlisted
+    /// wall-clock source, so the `wall-clock` lint stays clean here.
+    started_ns: u64,
 }
 
 impl TimedPhase {
@@ -315,15 +317,16 @@ impl TimedPhase {
         TimedPhase {
             name,
             span: obs::span!("core.campaign", name),
-            started: std::time::Instant::now(),
+            started_ns: obs::clock::monotonic_ns(),
         }
     }
 
     fn close(self, timings: &mut Vec<PhaseTiming>) {
         self.span.close();
+        let elapsed_ns = obs::clock::monotonic_ns().saturating_sub(self.started_ns);
         timings.push(PhaseTiming {
             name: self.name,
-            elapsed: self.started.elapsed(),
+            elapsed: std::time::Duration::from_nanos(elapsed_ns),
         });
     }
 }

@@ -9,7 +9,8 @@ use fpga_fabric::rsa::{RsaCircuit, RsaConfig, RsaKey};
 use fpga_fabric::tdc::{TdcConfig, TdcSensor};
 use fpga_fabric::virus::{PowerVirusArray, VirusConfig};
 use hwmon_sim::{Attribute, HwmonDevice, HwmonFs, RailProbe, SensorHandle};
-use std::sync::{Mutex, RwLock};
+use sim_rt::lockorder::TrackedMutex;
+use std::sync::RwLock;
 use zynq_soc::board::BoardSpec;
 use zynq_soc::cpu::{CpuActivityConfig, CpuBackgroundLoad};
 use zynq_soc::{
@@ -129,8 +130,8 @@ pub struct Platform {
     virus: Option<Arc<PowerVirusArray>>,
     rsa: Option<Arc<RsaCircuit>>,
     dpu: Option<Arc<DpuAccelerator>>,
-    ro: Option<Mutex<RoBank>>,
-    tdc: Option<Mutex<TdcSensor>>,
+    ro: Option<TrackedMutex<RoBank>>,
+    tdc: Option<TrackedMutex<TdcSensor>>,
     covert: Option<Arc<CovertTransmitter>>,
     enclave: Option<Arc<EnclaveCircuit>>,
 }
@@ -370,7 +371,7 @@ impl Platform {
     pub fn deploy_ro_bank(&mut self, config: RoConfig) -> Result<()> {
         let bank = RoBank::new(config, self.seed ^ 0x400);
         self.fabric.deploy(&bank.bitstream())?;
-        self.ro = Some(Mutex::new(bank));
+        self.ro = Some(TrackedMutex::new("platform.ro", bank));
         Ok(())
     }
 
@@ -441,7 +442,7 @@ impl Platform {
     pub fn deploy_tdc(&mut self, config: TdcConfig) -> Result<()> {
         let sensor = TdcSensor::new(config, self.seed ^ 0x700);
         self.fabric.deploy(&sensor.bitstream())?;
-        self.tdc = Some(Mutex::new(sensor));
+        self.tdc = Some(TrackedMutex::new("platform.tdc", sensor));
         Ok(())
     }
 
@@ -458,10 +459,7 @@ impl Platform {
             .as_ref()
             .ok_or(AttackError::NotDeployed("ring-oscillator bank"))?;
         let v = self.soc.rail_voltage(t, PowerDomain::FpgaLogic);
-        Ok(bank
-            .lock()
-            .expect("ro bank lock poisoned")
-            .sample_mean_count(v))
+        Ok(bank.lock().sample_mean_count(v))
     }
 
     /// Samples the TDC's thermometer code at time `t`.
@@ -475,7 +473,7 @@ impl Platform {
             .as_ref()
             .ok_or(AttackError::NotDeployed("tdc sensor"))?;
         let v = self.soc.rail_voltage(t, PowerDomain::FpgaLogic);
-        Ok(sensor.lock().expect("tdc lock poisoned").sample(v))
+        Ok(sensor.lock().sample(v))
     }
 }
 

@@ -318,7 +318,10 @@ mod tests {
     fn accelerator_is_shareable_across_threads() {
         let dpu = Arc::new(dpu_with("resnet-50"));
         let d2 = Arc::clone(&dpu);
+        // A raw OS thread on purpose: this asserts `Send + Sync` sharing
+        // semantics, not pool-scheduled determinism.
         let handle =
+            // sim-lint: allow(stray-spawn)
             std::thread::spawn(move || d2.current_ma(SimTime::from_ms(5), PowerDomain::FpgaLogic));
         let a = dpu.current_ma(SimTime::from_ms(5), PowerDomain::FpgaLogic);
         let b = handle.join().unwrap();

@@ -1,4 +1,5 @@
-use std::sync::{Arc, Mutex};
+use sim_rt::lockorder::TrackedMutex;
+use std::sync::Arc;
 
 use ina226::{Config, Ina226, Readouts};
 use zynq_soc::SimTime;
@@ -43,16 +44,16 @@ where
 /// real driver's cached register reads.
 pub struct HwmonDevice {
     name: String,
-    sensor: Mutex<Ina226>,
+    sensor: TrackedMutex<Ina226>,
     rail: Arc<dyn RailProbe>,
-    state: Mutex<ClockState>,
+    state: TrackedMutex<ClockState>,
 }
 
 impl std::fmt::Debug for HwmonDevice {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("HwmonDevice")
             .field("name", &self.name)
-            .field("state", &*self.state.lock().expect("state lock poisoned"))
+            .field("state", &*self.state.lock())
             .finish_non_exhaustive()
     }
 }
@@ -98,14 +99,17 @@ impl HwmonDevice {
         sensor.set_config(Config::for_update_interval_ms(DEFAULT_UPDATE_INTERVAL_MS));
         HwmonDevice {
             name: name.into(),
-            sensor: Mutex::new(sensor),
+            sensor: TrackedMutex::new("hwmon.sensor", sensor),
             rail,
-            state: Mutex::new(ClockState {
-                update_interval_ms: DEFAULT_UPDATE_INTERVAL_MS,
-                interval_ns: SimTime::from_ms(DEFAULT_UPDATE_INTERVAL_MS).as_nanos(),
-                last_boundary: None,
-                latched: Readouts::default(),
-            }),
+            state: TrackedMutex::new(
+                "hwmon.clock",
+                ClockState {
+                    update_interval_ms: DEFAULT_UPDATE_INTERVAL_MS,
+                    interval_ns: SimTime::from_ms(DEFAULT_UPDATE_INTERVAL_MS).as_nanos(),
+                    last_boundary: None,
+                    latched: Readouts::default(),
+                },
+            ),
         }
     }
 
@@ -116,10 +120,7 @@ impl HwmonDevice {
 
     /// Current update interval in milliseconds.
     pub fn update_interval_ms(&self) -> u64 {
-        self.state
-            .lock()
-            .expect("state lock poisoned")
-            .update_interval_ms
+        self.state.lock().update_interval_ms
     }
 
     /// Sets the update interval (the root-only `update_interval` write).
@@ -127,13 +128,12 @@ impl HwmonDevice {
     /// configuration is re-derived like the Linux driver does.
     pub fn set_update_interval_ms(&self, ms: u64) {
         let ms = ms.clamp(MIN_UPDATE_INTERVAL_MS, 1_000);
-        let mut state = self.state.lock().expect("state lock poisoned");
+        let mut state = self.state.lock();
         state.update_interval_ms = ms;
         state.interval_ns = SimTime::from_ms(ms).as_nanos();
         state.last_boundary = None;
         self.sensor
             .lock()
-            .expect("sensor lock poisoned")
             .set_config(Config::for_update_interval_ms(ms));
     }
 
@@ -146,7 +146,7 @@ impl HwmonDevice {
     /// latched integers — the sensor mutex is never taken. Only a read
     /// that crosses into a new window pays for a conversion.
     fn refresh(&self, now: SimTime) -> Readouts {
-        let mut state = self.state.lock().expect("state lock poisoned");
+        let mut state = self.state.lock();
         let boundary = SimTime::from_nanos(now.as_nanos() / state.interval_ns * state.interval_ns);
         if state.last_boundary == Some(boundary) {
             // The driver's cached-register path: the read waits on no new
@@ -156,7 +156,7 @@ impl HwmonDevice {
             return state.latched;
         }
         obs::counter!("hwmon.reads.fresh").inc();
-        let mut sensor = self.sensor.lock().expect("sensor lock poisoned");
+        let mut sensor = self.sensor.lock();
         let n = sensor.config().avg.samples() as u64;
         let cycle = SimTime::from_us(sensor.config().cycle_micros());
         let start = boundary.saturating_sub(cycle);
@@ -204,7 +204,7 @@ impl HwmonDevice {
 
     /// Direct access to the sensor model (tests and calibration).
     pub fn with_sensor<R>(&self, f: impl FnOnce(&mut Ina226) -> R) -> R {
-        f(&mut self.sensor.lock().expect("sensor lock poisoned"))
+        f(&mut self.sensor.lock())
     }
 }
 

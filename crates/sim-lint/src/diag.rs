@@ -1,0 +1,110 @@
+//! Span-accurate diagnostics and their text/JSON renderings.
+
+use std::fmt;
+
+/// How bad a rule violation is. Every diagnostic — regardless of severity
+/// — fails the CI gate; the distinction is purely presentational today and
+/// leaves room for advisory rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: printed, counted, still gate-failing.
+    Warning,
+    /// A broken workspace invariant.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One rule violation anchored to an exact source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column (in characters) of the offending token.
+    pub col: u32,
+    /// Rule identifier, e.g. `wall-clock`.
+    pub rule: &'static str,
+    /// Rule severity.
+    pub severity: Severity,
+    /// What went wrong and what to do instead.
+    pub message: String,
+    /// The trimmed source line the diagnostic points at.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// Sort key: path, then position, then rule.
+    pub fn sort_key(&self) -> (String, u32, u32, &'static str) {
+        (self.path.clone(), self.line, self.col, self.rule)
+    }
+
+    /// Two-line human rendering (`rustc`-style header plus snippet).
+    pub fn render(&self) -> String {
+        format!(
+            "{}[{}]: {}\n  --> {}:{}:{}\n   | {}",
+            self.severity, self.rule, self.message, self.path, self.line, self.col, self.snippet
+        )
+    }
+
+    /// One-line JSON object for `--json` mode.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"snippet\":\"{}\"}}",
+            json_escape(&self.path),
+            self.line,
+            self.col,
+            self.rule,
+            self.severity,
+            json_escape(&self.message),
+            json_escape(&self.snippet)
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_escapes_specials() {
+        let d = Diagnostic {
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            rule: "raw-print",
+            severity: Severity::Error,
+            message: "say \"no\"".into(),
+            snippet: "a\tb".into(),
+        };
+        let j = d.to_json();
+        assert!(j.contains("\"line\":3"));
+        assert!(j.contains("say \\\"no\\\""));
+        assert!(j.contains("a\\tb"));
+    }
+}

@@ -1,0 +1,496 @@
+//! A string/char/comment-aware Rust tokenizer with exact spans.
+//!
+//! This is not a full Rust lexer — it is exactly as much of one as the
+//! rules need: identifiers and `::` path separators carry text and spans,
+//! string/char/byte/raw-string literals and comments are recognized so
+//! rule keywords inside them can never fire, and `// sim-lint:
+//! allow(<rule>)` directives are extracted from comment bodies wherever
+//! they appear.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// The `::` path separator.
+    PathSep,
+    /// Any other single punctuation character.
+    Punct,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One token with its (1-based) source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (identifier name, punct character, literal lexeme).
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based character column.
+    pub col: u32,
+}
+
+impl Tok {
+    /// Is this a punct token for character `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// A waiver directive (e.g. `sim-lint: allow(wall-clock)`) found in a
+/// comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// Line of the comment holding the directive.
+    pub line: u32,
+    /// Column where `sim-lint:` starts.
+    pub col: u32,
+    /// Rule names listed inside `allow(...)`, verbatim.
+    pub rules: Vec<String>,
+}
+
+/// Tokenizer output: the token stream plus every waiver directive.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    /// Tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Waiver directives in source order.
+    pub directives: Vec<Directive>,
+}
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+    src: std::marker::PhantomData<&'a str>,
+}
+
+impl Cursor<'_> {
+    fn new(src: &str) -> Cursor<'_> {
+        Cursor {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+            src: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src`.
+pub fn lex(src: &str) -> LexOut {
+    let mut cur = Cursor::new(src);
+    let mut out = LexOut::default();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+        } else if c == '/' && cur.peek_at(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(c) = cur.peek() {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                cur.bump();
+            }
+            scan_directives(&text, line, col, &mut out.directives);
+        } else if c == '/' && cur.peek_at(1) == Some('*') {
+            lex_block_comment(&mut cur, &mut out.directives);
+        } else if is_ident_start(c) {
+            lex_ident_or_prefixed_literal(&mut cur, line, col, &mut out.tokens);
+        } else if c == '"' {
+            lex_string(&mut cur, 0);
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+                col,
+            });
+        } else if c == '\'' {
+            lex_quote(&mut cur, line, col, &mut out.tokens);
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur);
+            out.tokens.push(Tok {
+                kind: TokKind::Num,
+                text: String::new(),
+                line,
+                col,
+            });
+        } else if c == ':' && cur.peek_at(1) == Some(':') {
+            cur.bump();
+            cur.bump();
+            out.tokens.push(Tok {
+                kind: TokKind::PathSep,
+                text: "::".into(),
+                line,
+                col,
+            });
+        } else {
+            cur.bump();
+            out.tokens.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+                col,
+            });
+        }
+    }
+    out
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>, directives: &mut Vec<Directive>) {
+    let (line, col) = (cur.line, cur.col);
+    cur.bump();
+    cur.bump();
+    let mut depth = 1usize;
+    let mut text = String::new();
+    while depth > 0 {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(c), _) => {
+                text.push(c);
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+    // A block-comment directive anchors to the comment's first line.
+    scan_directives(&text, line, col, directives);
+}
+
+/// Lexes an identifier; if it is a raw/byte string prefix (`r`, `b`,
+/// `br`) immediately followed by its literal, lexes the whole literal.
+fn lex_ident_or_prefixed_literal(cur: &mut Cursor<'_>, line: u32, col: u32, tokens: &mut Vec<Tok>) {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    let next = cur.peek();
+    let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb");
+    if is_str_prefix && (next == Some('"') || next == Some('#')) {
+        // Raw/byte string: count hashes, then consume the body.
+        let mut hashes = 0usize;
+        while cur.peek() == Some('#') {
+            hashes += 1;
+            cur.bump();
+        }
+        if cur.peek() == Some('"') {
+            lex_string(cur, hashes);
+            tokens.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+                col,
+            });
+            return;
+        }
+        // `r#ident` raw identifier: fall through, emit what we have plus
+        // the following identifier characters.
+        while let Some(c) = cur.peek() {
+            if is_ident_continue(c) {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+    } else if text == "b" && next == Some('\'') {
+        cur.bump();
+        lex_char_body(cur);
+        tokens.push(Tok {
+            kind: TokKind::Char,
+            text: String::new(),
+            line,
+            col,
+        });
+        return;
+    }
+    tokens.push(Tok {
+        kind: TokKind::Ident,
+        text,
+        line,
+        col,
+    });
+}
+
+/// Consumes a string literal starting at the opening quote, with `hashes`
+/// trailing `#`s required to close (0 for cooked strings, which also honor
+/// backslash escapes).
+fn lex_string(cur: &mut Cursor<'_>, hashes: usize) {
+    cur.bump();
+    while let Some(c) = cur.peek() {
+        if c == '\\' && hashes == 0 {
+            cur.bump();
+            cur.bump();
+        } else if c == '"' {
+            cur.bump();
+            if hashes == 0 {
+                return;
+            }
+            let mut seen = 0usize;
+            while seen < hashes && cur.peek() == Some('#') {
+                seen += 1;
+                cur.bump();
+            }
+            if seen == hashes {
+                return;
+            }
+        } else {
+            cur.bump();
+        }
+    }
+}
+
+/// Consumes a char-literal body after the opening `'` has been consumed.
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    if cur.peek() == Some('\\') {
+        cur.bump();
+        cur.bump();
+    } else {
+        cur.bump();
+    }
+    // `\u{…}` and similar leave extra chars before the closing quote.
+    while let Some(c) = cur.peek() {
+        cur.bump();
+        if c == '\'' {
+            break;
+        }
+    }
+}
+
+/// Disambiguates `'a'` (char) from `'a` / `'static` (lifetime) at a `'`.
+fn lex_quote(cur: &mut Cursor<'_>, line: u32, col: u32, tokens: &mut Vec<Tok>) {
+    cur.bump();
+    match cur.peek() {
+        Some('\\') => {
+            lex_char_body(cur);
+            tokens.push(Tok {
+                kind: TokKind::Char,
+                text: String::new(),
+                line,
+                col,
+            });
+        }
+        Some(c) if is_ident_start(c) => {
+            if cur.peek_at(1) == Some('\'') {
+                cur.bump();
+                cur.bump();
+                tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            } else {
+                let mut text = String::from("'");
+                while let Some(c) = cur.peek() {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            }
+        }
+        Some(_) => {
+            // Non-identifier char literal like '+' or '\u{1F980}' body.
+            lex_char_body(cur);
+            tokens.push(Tok {
+                kind: TokKind::Char,
+                text: String::new(),
+                line,
+                col,
+            });
+        }
+        None => {}
+    }
+}
+
+fn lex_number(cur: &mut Cursor<'_>) {
+    while let Some(c) = cur.peek() {
+        let fraction_dot = c == '.' && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit());
+        if is_ident_continue(c) || fraction_dot {
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+}
+
+/// Finds every `sim-lint: allow(wall-clock, raw-print)`-style directive
+/// inside a comment body.
+pub fn scan_directives(text: &str, line: u32, col: u32, out: &mut Vec<Directive>) {
+    let mut rest = text;
+    let mut offset = 0usize;
+    while let Some(pos) = rest.find("sim-lint:") {
+        let at = offset + pos;
+        let after = &rest[pos + "sim-lint:".len()..];
+        let trimmed = after.trim_start();
+        if let Some(args) = trimmed.strip_prefix("allow") {
+            let args = args.trim_start();
+            if let Some(body) = args.strip_prefix('(') {
+                if let Some(end) = body.find(')') {
+                    let rules = body[..end]
+                        .split(',')
+                        .map(|r| r.trim().to_string())
+                        .filter(|r| !r.is_empty())
+                        .collect();
+                    out.push(Directive {
+                        line,
+                        col: col + at as u32,
+                        rules,
+                    });
+                }
+            }
+        }
+        offset = at + "sim-lint:".len();
+        rest = &rest[pos + "sim-lint:".len()..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn keywords_inside_strings_and_comments_do_not_tokenize() {
+        let src = r####"
+            let a = "std::time::Instant::now()";
+            // println! is mentioned here only
+            /* thread::spawn in a block comment */
+            let b = r#"HashMap::new()"#;
+            let c = 'I';
+            let d: &'static str = "x";
+        "####;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"println".to_string()));
+        assert!(!ids.contains(&"spawn".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"static".to_string()) || !ids.contains(&"I".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_following_tokens() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }").tokens;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(lifetimes.iter().all(|t| t.text == "'a"));
+    }
+
+    #[test]
+    fn spans_are_exact() {
+        let toks = lex("ab  cd\n  ef").tokens;
+        let spans: Vec<_> = toks.iter().map(|t| (t.line, t.col)).collect();
+        assert_eq!(spans, vec![(1, 1), (1, 5), (2, 3)]);
+    }
+
+    #[test]
+    fn path_separator_is_one_token() {
+        let toks = lex("std::time::Instant").tokens;
+        let kinds: Vec<_> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Ident,
+                TokKind::PathSep,
+                TokKind::Ident,
+                TokKind::PathSep,
+                TokKind::Ident
+            ]
+        );
+    }
+
+    #[test]
+    fn directives_parse_with_columns() {
+        let out = lex("let x = 1; // sim-lint: allow(wall-clock, raw-print)\n");
+        assert_eq!(out.directives.len(), 1);
+        let d = &out.directives[0];
+        assert_eq!(d.line, 1);
+        assert_eq!(d.rules, vec!["wall-clock", "raw-print"]);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let out = lex("/* outer /* inner */ still comment */ ident");
+        let ids: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(ids, vec!["ident"]);
+    }
+}

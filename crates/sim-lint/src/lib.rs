@@ -1,0 +1,52 @@
+//! Workspace invariant checker for the AmpereBleed reproduction.
+//!
+//! The whole reproduction rests on invariants no compiler checks:
+//! bit-exact traces at any thread count, zero registry dependencies, no
+//! wall-clock or ambient randomness inside simulation paths, structured
+//! observability instead of ad-hoc printing. `sim-lint` turns those
+//! conventions into a CI-enforced contract with a hand-rolled,
+//! string/char/comment-aware scanner — zero dependencies, like everything
+//! else in the workspace.
+//!
+//! Six rules ship today (see [`rules::RULES`]): `wall-clock`,
+//! `ambient-rng`, `nondet-iter`, `raw-print`, `stray-spawn`, and
+//! `registry-dep`. Intentional exceptions are waived inline:
+//!
+//! ```text
+//! let started = Instant::now(); // sim-lint: allow(wall-clock)
+//! ```
+//!
+//! A waiver covers its own line and the next one; a waiver naming a rule
+//! that does not exist is itself a diagnostic (`bad-waiver`), so a typo
+//! can never silently disable a rule.
+//!
+//! Run it with `cargo run -p sim-lint -- [--json] [paths…]`; with no paths
+//! it scans every `crates/*/src/**.rs`, `crates/*/tests/**.rs` (skipping
+//! fixture corpora), the root `tests/` and `examples/` trees, and every
+//! workspace `Cargo.toml`.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_lint::{lint_source, Config};
+//!
+//! let bad = "use std::time::Instant;\n";
+//! let r = lint_source("crates/demo/src/lib.rs", bad, &Config::workspace_default());
+//! assert_eq!(r.diags.len(), 1);
+//! assert_eq!(r.diags[0].rule, "wall-clock");
+//! assert_eq!((r.diags[0].line, r.diags[0].col), (1, 5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod manifest;
+pub mod resolve;
+pub mod rules;
+pub mod walk;
+
+pub use diag::{Diagnostic, Severity};
+pub use manifest::{lint_manifest, workspace_edition};
+pub use rules::{classify, lint_source, Config, FileKind, LintResult, RULES};

@@ -1,0 +1,167 @@
+//! The `sim-lint` binary: `cargo run -p sim-lint -- [--json] [--rules]
+//! [paths…]`.
+//!
+//! Exit codes: 0 — clean; 1 — at least one non-waived diagnostic; 2 —
+//! usage or I/O error. Output goes through explicit writers (not the
+//! print macros), so the linter lints itself clean.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use sim_lint::walk::{expand_paths, rel_path, workspace_targets};
+use sim_lint::{lint_manifest, lint_source, workspace_edition, Config, Diagnostic, RULES};
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut json = false;
+    let mut list_rules = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--rules" => list_rules = true,
+            "--help" | "-h" => {
+                out(&usage());
+                return 0;
+            }
+            other if other.starts_with('-') => {
+                err(&format!("sim-lint: unknown flag `{other}`\n{}", usage()));
+                return 2;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if list_rules {
+        let mut text = String::from("rule            severity  summary\n");
+        for r in RULES {
+            text.push_str(&format!(
+                "{:<15} {:<9} {}\n",
+                r.id,
+                r.severity.to_string(),
+                r.summary
+            ));
+        }
+        out(&text);
+        return 0;
+    }
+
+    let root = match find_workspace_root() {
+        Some(root) => root,
+        None => {
+            err("sim-lint: no workspace root (Cargo.toml with [workspace]) above the current directory\n");
+            return 2;
+        }
+    };
+    let root_manifest = match std::fs::read_to_string(root.join("Cargo.toml")) {
+        Ok(s) => s,
+        Err(e) => {
+            err(&format!("sim-lint: reading root Cargo.toml: {e}\n"));
+            return 2;
+        }
+    };
+    let edition = workspace_edition(&root_manifest);
+
+    let targets = if paths.is_empty() {
+        workspace_targets(&root)
+    } else {
+        expand_paths(&paths)
+    };
+    let (rs_files, manifests) = match targets {
+        Ok(t) => t,
+        Err(e) => {
+            err(&format!("sim-lint: {e}\n"));
+            return 2;
+        }
+    };
+
+    let cfg = Config::workspace_default();
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut waived = 0usize;
+    let mut files = 0usize;
+    for path in manifests.iter().chain(rs_files.iter()) {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                err(&format!("sim-lint: reading {}: {e}\n", path.display()));
+                return 2;
+            }
+        };
+        let rel = rel_path(&root, path);
+        let result = if path.extension().is_some_and(|e| e == "toml") {
+            let is_root = path == &root.join("Cargo.toml");
+            lint_manifest(&rel, &src, edition.as_deref(), is_root)
+        } else {
+            lint_source(&rel, &src, &cfg)
+        };
+        files += 1;
+        waived += result.waived;
+        diags.extend(result.diags);
+    }
+    diags.sort_by_key(|d| d.sort_key());
+
+    if json {
+        let mut text = String::new();
+        for d in &diags {
+            text.push_str(&d.to_json());
+            text.push('\n');
+        }
+        out(&text);
+    } else {
+        let mut text = String::new();
+        for d in &diags {
+            text.push_str(&d.render());
+            text.push_str("\n\n");
+        }
+        text.push_str(&format!(
+            "sim-lint: {} diagnostic(s), {waived} waived, {files} file(s) scanned\n",
+            diags.len()
+        ));
+        out(&text);
+    }
+    if diags.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+fn usage() -> String {
+    "usage: sim-lint [--json] [--rules] [paths…]\n\
+     \n\
+     With no paths, scans the whole workspace (crates/*/src, crates/*/tests,\n\
+     tests/, examples/, and every Cargo.toml). Paths may be files or\n\
+     directories; fixture exclusions do not apply to explicit paths.\n"
+        .to_string()
+}
+
+/// Nearest ancestor of the current directory whose Cargo.toml declares
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(src) = std::fs::read_to_string(&manifest) {
+                if src.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn out(text: &str) {
+    let stdout = std::io::stdout();
+    let _ = stdout.lock().write_all(text.as_bytes());
+}
+
+fn err(text: &str) {
+    let stderr = std::io::stderr();
+    let _ = stderr.lock().write_all(text.as_bytes());
+}

@@ -1,0 +1,337 @@
+//! `registry-dep`: Cargo.toml auditing for the offline guarantee.
+//!
+//! The workspace builds with `--offline` and zero registry dependencies.
+//! This module parses every manifest with a purpose-built line scanner (no
+//! TOML crate — that would itself be a registry dependency) and fails on:
+//!
+//! * any dependency that is not `path`-only or `workspace = true`
+//!   (version strings, `git = …`, `registry = …`);
+//! * a crate whose `edition` diverges from the workspace edition, with a
+//!   readable `-`/`+` diff in the message;
+//! * a crate that declares no edition at all (Cargo would silently default
+//!   to 2015).
+
+use crate::diag::Diagnostic;
+use crate::lexer::{scan_directives, Directive};
+use crate::rules::{rule, LintResult};
+
+/// Extracts `edition = "…"` from the root manifest's `[workspace.package]`
+/// table.
+pub fn workspace_edition(root_src: &str) -> Option<String> {
+    let mut section = String::new();
+    for line in root_src.lines() {
+        let line = strip_comment(line).trim().to_string();
+        if let Some(name) = header(&line) {
+            section = name;
+        } else if section == "workspace.package" {
+            if let Some((key, value)) = key_value(&line) {
+                if key == "edition" {
+                    return Some(unquote(&value));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Lints one manifest. `is_root` selects workspace-root checks (the
+/// `[workspace.dependencies]` table) over crate checks (edition).
+pub fn lint_manifest(
+    rel_path: &str,
+    src: &str,
+    workspace_edition: Option<&str>,
+    is_root: bool,
+) -> LintResult {
+    let mut directives: Vec<Directive> = Vec::new();
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    let info = rule("registry-dep").expect("registry-dep is registered");
+    let mut emit = |line_no: u32, col: u32, message: String, snippet: &str| {
+        raw.push(Diagnostic {
+            path: rel_path.to_string(),
+            line: line_no,
+            col,
+            rule: info.id,
+            severity: info.severity,
+            message,
+            snippet: snippet.trim().to_string(),
+        });
+    };
+
+    let mut section = String::new();
+    // `[dependencies.foo]` table tracking: (header line, snippet, satisfied).
+    let mut dep_table: Option<(u32, String, bool)> = None;
+    let mut package_header: Option<u32> = None;
+    let mut edition_seen = false;
+
+    let lines: Vec<&str> = src.lines().collect();
+    for (idx, raw_line) in lines.iter().enumerate() {
+        let line_no = idx as u32 + 1;
+        let (code, comment) = split_comment(raw_line);
+        if let Some((text, col)) = comment {
+            scan_directives(text, line_no, col, &mut directives);
+        }
+        let line = code.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = header(line) {
+            if let Some((hl, hs, ok)) = dep_table.take() {
+                if !ok {
+                    emit(
+                        hl,
+                        1,
+                        "dependency table declares neither `path` nor `workspace = true`; registry and git dependencies are forbidden".to_string(),
+                        &hs,
+                    );
+                }
+            }
+            if name == "package" {
+                package_header = Some(line_no);
+            }
+            if is_dep_table(&name) {
+                dep_table = Some((line_no, line.to_string(), false));
+            }
+            section = name;
+            continue;
+        }
+        let Some((key, value)) = key_value(line) else {
+            continue;
+        };
+        if let Some((_, _, ok)) = dep_table.as_mut() {
+            if key == "path" || (key == "workspace" && value.trim() == "true") {
+                *ok = true;
+            }
+            continue;
+        }
+        if is_dep_section(&section) {
+            if !dep_value_is_offline(&key, &value) {
+                let col = raw_line.find(&key).map(|p| p as u32 + 1).unwrap_or(1);
+                emit(
+                    line_no,
+                    col,
+                    format!("dependency `{key}` must be `path`-only or `workspace = true` to keep the workspace offline"),
+                    raw_line,
+                );
+            }
+            continue;
+        }
+        if section == "package" && !is_root {
+            if key == "edition.workspace" && value.trim() == "true" {
+                edition_seen = true;
+            } else if key == "edition" {
+                edition_seen = true;
+                if inline_table_has(&value, "workspace", "true") {
+                    continue;
+                }
+                let found = unquote(&value);
+                if let Some(want) = workspace_edition {
+                    if found != want {
+                        let col = raw_line.find("edition").map(|p| p as u32 + 1).unwrap_or(1);
+                        emit(
+                            line_no,
+                            col,
+                            format!(
+                                "edition diverges from the workspace\n   - edition = \"{found}\" (this crate)\n   + edition = \"{want}\" (workspace)"
+                            ),
+                            raw_line,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if let Some((hl, hs, ok)) = dep_table.take() {
+        if !ok {
+            emit(
+                hl,
+                1,
+                "dependency table declares neither `path` nor `workspace = true`; registry and git dependencies are forbidden".to_string(),
+                &hs,
+            );
+        }
+    }
+    if !is_root && !edition_seen {
+        if let Some(hl) = package_header {
+            emit(
+                hl,
+                1,
+                "crate declares no edition (Cargo defaults to 2015); add `edition.workspace = true`".to_string(),
+                lines.get(hl as usize - 1).unwrap_or(&"[package]"),
+            );
+        }
+    }
+
+    // Waiver filtering, same semantics as source files.
+    let mut result = LintResult::default();
+    for diag in raw {
+        let waived = directives.iter().any(|d| {
+            (d.line == diag.line || d.line + 1 == diag.line)
+                && d.rules.iter().any(|r| r == diag.rule)
+        });
+        if waived {
+            result.waived += 1;
+        } else {
+            result.diags.push(diag);
+        }
+    }
+    result
+}
+
+/// `[section.name]` header → `section.name` (quotes stripped).
+fn header(line: &str) -> Option<String> {
+    let line = line.strip_prefix('[')?;
+    let line = line.strip_suffix(']')?;
+    Some(line.replace('"', ""))
+}
+
+/// Is `section` a table whose *entries* are dependencies?
+fn is_dep_section(section: &str) -> bool {
+    matches!(
+        section,
+        "dependencies" | "dev-dependencies" | "build-dependencies" | "workspace.dependencies"
+    ) || section.ends_with(".dependencies")
+        || section.ends_with(".dev-dependencies")
+        || section.ends_with(".build-dependencies")
+}
+
+/// Is `section` a single-dependency table like `[dependencies.foo]`?
+fn is_dep_table(section: &str) -> bool {
+    for parent in [
+        "dependencies.",
+        "dev-dependencies.",
+        "build-dependencies.",
+        "workspace.dependencies.",
+    ] {
+        if let Some(rest) = section.strip_prefix(parent) {
+            if !rest.contains('.') {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Does a `name = value` dependency line keep the workspace offline?
+fn dep_value_is_offline(key: &str, value: &str) -> bool {
+    if key.ends_with(".workspace") {
+        return value.trim() == "true";
+    }
+    let value = value.trim();
+    if value.starts_with('{') {
+        return inline_table_has(value, "workspace", "true")
+            || inline_table_key(value, "path").is_some();
+    }
+    // Bare string (`foo = "1.0"`) is a registry version requirement.
+    false
+}
+
+/// Looks up `key` in an inline table literal, returning its raw value.
+fn inline_table_key<'a>(table: &'a str, key: &str) -> Option<&'a str> {
+    let inner = table.trim().strip_prefix('{')?.strip_suffix('}')?;
+    for part in inner.split(',') {
+        if let Some((k, v)) = part.split_once('=') {
+            if k.trim() == key {
+                return Some(v.trim());
+            }
+        }
+    }
+    None
+}
+
+fn inline_table_has(table: &str, key: &str, want: &str) -> bool {
+    inline_table_key(table, key) == Some(want)
+}
+
+/// Splits a line into code and an optional `#` comment (respecting
+/// quotes); returns the comment body and its 1-based column.
+fn split_comment(line: &str) -> (&str, Option<(&str, u32)>) {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => {
+                let col = line[..i].chars().count() as u32 + 2;
+                return (&line[..i], Some((&line[i + 1..], col)));
+            }
+            _ => {}
+        }
+    }
+    (line, None)
+}
+
+fn strip_comment(line: &str) -> &str {
+    split_comment(line).0
+}
+
+fn key_value(line: &str) -> Option<(String, String)> {
+    let (key, value) = line.split_once('=')?;
+    let key = key.trim().replace('"', "");
+    if key.is_empty() || key.contains('[') {
+        return None;
+    }
+    Some((key, value.trim().to_string()))
+}
+
+fn unquote(v: &str) -> String {
+    v.trim().trim_matches('"').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_edition_parses() {
+        let src =
+            "[workspace]\nmembers = [\"crates/*\"]\n[workspace.package]\nedition = \"2021\"\n";
+        assert_eq!(workspace_edition(src).as_deref(), Some("2021"));
+    }
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let src = "[package]\nname = \"x\"\nedition.workspace = true\n[dependencies]\nsim-rt.workspace = true\nother = { path = \"../other\" }\n";
+        let r = lint_manifest("crates/x/Cargo.toml", src, Some("2021"), false);
+        assert!(r.diags.is_empty(), "{:?}", r.diags);
+    }
+
+    #[test]
+    fn version_and_git_deps_fail() {
+        let src = "[package]\nname = \"x\"\nedition = \"2021\"\n[dependencies]\nserde = \"1.0\"\nrand = { git = \"https://example.com/rand\" }\n";
+        let r = lint_manifest("crates/x/Cargo.toml", src, Some("2021"), false);
+        let keys: Vec<_> = r.diags.iter().map(|d| (d.line, d.rule)).collect();
+        assert_eq!(keys, vec![(5, "registry-dep"), (6, "registry-dep")]);
+    }
+
+    #[test]
+    fn edition_mismatch_renders_a_diff() {
+        let src = "[package]\nname = \"x\"\nedition = \"2018\"\n";
+        let r = lint_manifest("crates/x/Cargo.toml", src, Some("2021"), false);
+        assert_eq!(r.diags.len(), 1);
+        assert!(r.diags[0].message.contains("- edition = \"2018\""));
+        assert!(r.diags[0].message.contains("+ edition = \"2021\""));
+    }
+
+    #[test]
+    fn missing_edition_is_flagged_at_package_header() {
+        let src = "[package]\nname = \"x\"\n";
+        let r = lint_manifest("crates/x/Cargo.toml", src, Some("2021"), false);
+        assert_eq!(r.diags.len(), 1);
+        assert_eq!(r.diags[0].line, 1);
+    }
+
+    #[test]
+    fn dep_table_without_path_is_flagged_once() {
+        let src = "[package]\nname = \"x\"\nedition.workspace = true\n[dependencies.remote]\nversion = \"1\"\n[dependencies.local]\npath = \"../local\"\n";
+        let r = lint_manifest("crates/x/Cargo.toml", src, Some("2021"), false);
+        assert_eq!(r.diags.len(), 1, "{:?}", r.diags);
+        assert_eq!(r.diags[0].line, 4);
+    }
+
+    #[test]
+    fn waiver_comment_suppresses() {
+        let src = "[package]\nname = \"x\"\nedition.workspace = true\n[dependencies]\n# sim-lint: allow(registry-dep)\nserde = \"1.0\"\n";
+        let r = lint_manifest("crates/x/Cargo.toml", src, Some("2021"), false);
+        assert!(r.diags.is_empty(), "{:?}", r.diags);
+        assert_eq!(r.waived, 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! `use`-path resolution: maps the names a file brings into scope back to
+//! the full paths they came from, so a bare `Instant::now()` is traced to
+//! `std::time::Instant::now` no matter how it was imported or aliased.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Tok, TokKind};
+
+/// Names in scope, keyed by local alias.
+#[derive(Debug, Default)]
+pub struct UseMap {
+    aliases: BTreeMap<String, String>,
+    globs: Vec<String>,
+}
+
+impl UseMap {
+    /// Full path a local name resolves to, if a `use` introduced it.
+    pub fn resolve(&self, name: &str) -> Option<&str> {
+        self.aliases.get(name).map(String::as_str)
+    }
+
+    /// Prefixes imported via `use path::*`.
+    pub fn globs(&self) -> &[String] {
+        &self.globs
+    }
+
+    /// Every full path `segs` could denote: the alias-resolved spelling,
+    /// plus one candidate per glob import for single-segment lookups.
+    pub fn candidates(&self, segs: &[&str]) -> Vec<String> {
+        let mut out = Vec::new();
+        match self.resolve(segs[0]) {
+            Some(full) => {
+                let mut path = full.to_string();
+                for s in &segs[1..] {
+                    path.push_str("::");
+                    path.push_str(s);
+                }
+                out.push(path);
+            }
+            None => {
+                out.push(segs.join("::"));
+                for glob in &self.globs {
+                    out.push(format!("{glob}::{}", segs.join("::")));
+                }
+            }
+        }
+        out
+    }
+
+    fn record(&mut self, mut segs: Vec<String>) {
+        if segs.last().is_some_and(|s| s == "self") {
+            segs.pop();
+        }
+        if let Some(alias) = segs.last().cloned() {
+            self.aliases.insert(alias, segs.join("::"));
+        }
+    }
+
+    fn record_as(&mut self, segs: &[String], alias: String) {
+        self.aliases.insert(alias, segs.join("::"));
+    }
+}
+
+/// Collects every `use` declaration in the token stream.
+pub fn collect_uses(tokens: &[Tok]) -> UseMap {
+    let mut map = UseMap::default();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].kind == TokKind::Ident && tokens[i].text == "use" {
+            i = parse_tree(tokens, i + 1, Vec::new(), &mut map);
+            // Skip to the closing `;` in case the tree parse stopped early.
+            while i < tokens.len() && !tokens[i].is_punct(';') {
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    map
+}
+
+/// Parses one use-tree starting at `i` with the accumulated `prefix`;
+/// returns the index of the token that terminated the tree (`,`, `}`, or
+/// `;`), which the caller consumes.
+fn parse_tree(tokens: &[Tok], mut i: usize, prefix: Vec<String>, map: &mut UseMap) -> usize {
+    let mut segs = prefix;
+    while i < tokens.len() {
+        let tok = &tokens[i];
+        match tok.kind {
+            TokKind::Ident if tok.text == "as" => {
+                if let Some(alias) = tokens.get(i + 1).filter(|t| t.kind == TokKind::Ident) {
+                    map.record_as(&segs, alias.text.clone());
+                    return i + 2;
+                }
+                return i + 1;
+            }
+            TokKind::Ident => {
+                segs.push(tok.text.clone());
+                i += 1;
+            }
+            TokKind::PathSep => {
+                i += 1;
+                match tokens.get(i) {
+                    Some(t) if t.is_punct('{') => {
+                        i += 1;
+                        loop {
+                            i = parse_tree(tokens, i, segs.clone(), map);
+                            match tokens.get(i) {
+                                Some(t) if t.is_punct(',') => {
+                                    i += 1;
+                                    if tokens.get(i).is_some_and(|t| t.is_punct('}')) {
+                                        i += 1;
+                                        break;
+                                    }
+                                }
+                                Some(t) if t.is_punct('}') => {
+                                    i += 1;
+                                    break;
+                                }
+                                _ => return i,
+                            }
+                        }
+                        return i;
+                    }
+                    Some(t) if t.is_punct('*') => {
+                        map.globs.push(segs.join("::"));
+                        return i + 1;
+                    }
+                    _ => {}
+                }
+            }
+            _ => break,
+        }
+    }
+    map.record(segs);
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn uses(src: &str) -> UseMap {
+        collect_uses(&lex(src).tokens)
+    }
+
+    #[test]
+    fn plain_and_aliased_imports_resolve() {
+        let m = uses("use std::time::Instant;\nuse std::time::SystemTime as Wall;");
+        assert_eq!(m.resolve("Instant"), Some("std::time::Instant"));
+        assert_eq!(m.resolve("Wall"), Some("std::time::SystemTime"));
+        assert_eq!(m.resolve("SystemTime"), None);
+    }
+
+    #[test]
+    fn nested_groups_and_self_resolve() {
+        let m = uses("use std::{time::{self, Instant}, collections::HashMap};");
+        assert_eq!(m.resolve("time"), Some("std::time"));
+        assert_eq!(m.resolve("Instant"), Some("std::time::Instant"));
+        assert_eq!(m.resolve("HashMap"), Some("std::collections::HashMap"));
+    }
+
+    #[test]
+    fn globs_are_tracked_as_candidates() {
+        let m = uses("use std::time::*;");
+        assert_eq!(m.globs(), &["std::time".to_string()]);
+        let cands = m.candidates(&["Instant", "now"]);
+        assert!(cands.contains(&"std::time::Instant::now".to_string()));
+    }
+
+    #[test]
+    fn chains_through_aliases_expand() {
+        let m = uses("use std::time::Instant as Clock;");
+        let cands = m.candidates(&["Clock", "now"]);
+        assert_eq!(cands, vec!["std::time::Instant::now".to_string()]);
+    }
+}

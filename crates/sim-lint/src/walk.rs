@@ -1,0 +1,117 @@
+//! Deterministic discovery of the files a lint run covers.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into during the default workspace walk
+/// (fixture corpora contain deliberately-bad code).
+const SKIP_DIRS: &[&str] = &["fixtures", "target", ".git"];
+
+/// The default scan set: every `crates/*/src/**.rs` and
+/// `crates/*/tests/**.rs` (minus fixture corpora), the root `tests/` and
+/// `examples/` trees, and every workspace manifest.
+pub fn workspace_targets(root: &Path) -> io::Result<(Vec<PathBuf>, Vec<PathBuf>)> {
+    let mut rs = Vec::new();
+    let mut manifests = vec![root.join("Cargo.toml")];
+    for crate_dir in sorted_dirs(&root.join("crates"))? {
+        collect_rs(&crate_dir.join("src"), &mut rs)?;
+        collect_rs(&crate_dir.join("tests"), &mut rs)?;
+        let manifest = crate_dir.join("Cargo.toml");
+        if manifest.is_file() {
+            manifests.push(manifest);
+        }
+    }
+    collect_rs(&root.join("tests"), &mut rs)?;
+    collect_rs(&root.join("examples"), &mut rs)?;
+    Ok((rs, manifests))
+}
+
+/// Expands explicitly-passed paths: directories are walked recursively
+/// (without the fixture exclusion — pointing sim-lint at a fixture tree is
+/// how CI self-tests the gate), `.rs` files lint as source and any
+/// `*.toml` as a manifest.
+pub fn expand_paths(paths: &[PathBuf]) -> io::Result<(Vec<PathBuf>, Vec<PathBuf>)> {
+    let mut rs = Vec::new();
+    let mut manifests = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            collect_all(p, &mut rs, &mut manifests)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            rs.push(p.clone());
+        } else if p.extension().is_some_and(|e| e == "toml") {
+            manifests.push(p.clone());
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("{}: not a .rs file, .toml file, or directory", p.display()),
+            ));
+        }
+    }
+    Ok((rs, manifests))
+}
+
+fn sorted_dirs(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    if !dir.is_dir() {
+        return Ok(out);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if !SKIP_DIRS.contains(&name) {
+                collect_rs(&path, out)?;
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn collect_all(dir: &Path, rs: &mut Vec<PathBuf>, manifests: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_all(&path, rs, manifests)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            rs.push(path);
+        } else if path.extension().is_some_and(|e| e == "toml") {
+            manifests.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative rendering of a path with forward slashes.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,7 @@
+use std::collections::hash_map::RandomState;
+
+fn seed() -> u64 {
+    let _state = RandomState::new();
+    let v = rand::random::<u64>();
+    v
+}

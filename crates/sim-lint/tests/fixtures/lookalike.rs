@@ -1,0 +1,17 @@
+//! Mentions of println! and std::time::Instant in doc comments are text,
+//! not code, and must never fire.
+
+// Same for plain comments naming std::thread::spawn or HashMap::new().
+
+/* Block comments too: rand::random, SystemTime::now().
+   /* even nested ones: dbg!(RandomState) */ eprintln!("x") */
+
+fn lookalikes() -> String {
+    let s = "std::time::Instant::now() println!(\"hi\")";
+    let r = r#"rand::random and RandomState in a raw "string""#;
+    let b = b"std::thread::spawn";
+    let c = 'H'; // a char, not the start of a lifetime
+    let lt: &'static str = "HashSet::new()";
+    let _ = (s, r, &b[..], c);
+    lt.to_string()
+}

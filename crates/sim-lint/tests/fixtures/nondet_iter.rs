@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn build() -> usize {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let s: HashSet<u32> = HashSet::new();
+    m.len() + s.len()
+}

@@ -1,0 +1,5 @@
+fn report(v: u64) {
+    println!("value = {v}");
+    eprintln!("warn");
+    dbg!(v);
+}

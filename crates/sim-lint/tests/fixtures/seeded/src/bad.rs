@@ -1,0 +1,10 @@
+//! Deliberately-bad file: ci.sh points sim-lint here and asserts the
+//! gate exits non-zero. Never compiled.
+
+use std::time::Instant;
+
+fn noisy() -> u64 {
+    let t = Instant::now();
+    println!("elapsed so far: {:?}", t.elapsed());
+    0
+}

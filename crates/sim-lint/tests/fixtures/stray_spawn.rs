@@ -1,0 +1,5 @@
+fn fan_out() -> u32 {
+    let h = std::thread::spawn(|| 1u32);
+    let _b = std::thread::Builder::new();
+    h.join().unwrap()
+}

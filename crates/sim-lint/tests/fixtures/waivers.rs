@@ -1,0 +1,9 @@
+fn waived() {
+    // sim-lint: allow(raw-print)
+    println!("sanctioned");
+    let t = std::time::Instant::now(); // sim-lint: allow(wall-clock)
+    let _ = t;
+    // sim-lint: allow(raw-pront)
+    let x = 1;
+    let _ = x;
+}

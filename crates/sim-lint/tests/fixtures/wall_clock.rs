@@ -1,0 +1,7 @@
+use std::time::Instant;
+
+fn elapsed() -> u64 {
+    let start = Instant::now();
+    let _ = std::time::SystemTime::now();
+    start.elapsed().as_nanos() as u64
+}

@@ -424,8 +424,19 @@ pub struct MetricsSnapshot {
     pub histograms: Vec<HistogramSample>,
 }
 
+/// Mirrors the [`sim_rt::lockorder`] watchdog counters into the registry
+/// as gauges (`lockorder.acquisitions`, `lockorder.edges_tracked`,
+/// `lockorder.cycles_detected`). Called by every [`snapshot`], so exports
+/// always carry fresh values; in release builds all three read zero.
+pub fn sync_lockorder() {
+    gauge("lockorder.acquisitions").set(sim_rt::lockorder::acquisitions() as f64);
+    gauge("lockorder.edges_tracked").set(sim_rt::lockorder::edges_tracked() as f64);
+    gauge("lockorder.cycles_detected").set(sim_rt::lockorder::cycles_detected() as f64);
+}
+
 /// Freezes every registered metric.
 pub fn snapshot() -> MetricsSnapshot {
+    sync_lockorder();
     let map = registry()
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);

@@ -1,0 +1,44 @@
+//! The lock-order watchdog's counters must surface through the metrics
+//! registry: `snapshot()` refreshes the `lockorder.*` gauges from
+//! `sim_rt::lockorder` before freezing.
+
+use obs::metrics;
+use sim_rt::lockorder::TrackedMutex;
+
+#[test]
+fn snapshot_exports_lockorder_gauges() {
+    let a = TrackedMutex::new("obs.itest.a", ());
+    let b = TrackedMutex::new("obs.itest.b", ());
+    {
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+    {
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }
+
+    let snap = metrics::snapshot();
+    let acquisitions = snap
+        .gauge("lockorder.acquisitions")
+        .expect("lockorder.acquisitions gauge missing from snapshot");
+    let edges = snap
+        .gauge("lockorder.edges_tracked")
+        .expect("lockorder.edges_tracked gauge missing from snapshot");
+    let cycles = snap
+        .gauge("lockorder.cycles_detected")
+        .expect("lockorder.cycles_detected gauge missing from snapshot");
+
+    #[cfg(debug_assertions)]
+    {
+        assert!(acquisitions >= 4.0, "acquisitions = {acquisitions}");
+        assert!(edges >= 2.0, "edges = {edges}");
+        assert!(cycles >= 1.0, "the deliberate b→a inversion must count");
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        assert_eq!(acquisitions, 0.0);
+        assert_eq!(edges, 0.0);
+        assert_eq!(cycles, 0.0);
+    }
+}

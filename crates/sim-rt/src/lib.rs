@@ -20,6 +20,10 @@
 //!   [`prop_check!`], reproducible from the test name alone.
 //! * [`bench`] — a wall-clock micro-benchmark harness with a `--quick`
 //!   smoke mode that lets the bench suite run inside `cargo test`.
+//! * [`lockorder`] — a debug-build lock-order watchdog
+//!   ([`lockorder::TrackedMutex`]) that records held-before edges per lock
+//!   class and detects cycles; release builds compile it to a plain
+//!   `Mutex`.
 //!
 //! # Examples
 //!
@@ -46,10 +50,12 @@
 
 pub mod bench;
 pub mod check;
+pub mod lockorder;
 pub mod pool;
 pub mod rng;
 pub mod ser;
 
+pub use lockorder::TrackedMutex;
 pub use pool::Pool;
 pub use rng::{derive_seed, Rng, SimRng, SliceShuffle};
 pub use ser::{to_csv, to_jsonl, Record, ToRecord, Value};

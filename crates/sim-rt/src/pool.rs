@@ -18,7 +18,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+// Wall-clock here only feeds the `busy_nanos` throughput stat; it is never
+// visible to simulation results.
+use std::time::Instant; // sim-lint: allow(wall-clock)
 
 use crate::rng::derive_seed;
 
@@ -138,7 +140,7 @@ impl Pool {
         R: Send,
         F: Fn(usize, &T) -> R + Sync,
     {
-        let started = Instant::now();
+        let started = Instant::now(); // sim-lint: allow(wall-clock)
         self.maps_run.fetch_add(1, Ordering::Relaxed);
         let workers = self.threads.min(items.len()).max(1);
         let out = if workers == 1 {

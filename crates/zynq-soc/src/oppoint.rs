@@ -16,7 +16,7 @@
 //! once, so a cached point can never leak across a virus activation or a
 //! DPU model swap.
 
-use std::sync::Mutex;
+use sim_rt::lockorder::TrackedMutex;
 
 use crate::{Pdn, PowerDomain, SimTime};
 
@@ -94,14 +94,14 @@ const SLOTS: usize = 512;
 /// counters.
 #[derive(Debug, Default)]
 pub struct OpPointCache {
-    slots: Mutex<Vec<Option<Slot>>>,
+    slots: TrackedMutex<Vec<Option<Slot>>>,
 }
 
 impl OpPointCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         OpPointCache {
-            slots: Mutex::new(vec![None; SLOTS]),
+            slots: TrackedMutex::new("soc.oppoint.slots", vec![None; SLOTS]),
         }
     }
 
@@ -120,7 +120,7 @@ impl OpPointCache {
     /// different key, or was computed under an older epoch.
     pub fn get(&self, domain: PowerDomain, t: SimTime, epoch: u64) -> Option<RailOperatingPoint> {
         let t_ns = t.as_nanos();
-        let slots = self.slots.lock().expect("oppoint cache lock poisoned");
+        let slots = self.slots.lock();
         if slots.is_empty() {
             // `Default` builds a zero-slot cache; treat it as always-miss.
             obs::counter!("soc.oppoint.cache_miss").inc();
@@ -143,7 +143,7 @@ impl OpPointCache {
     /// epoch is simply never returned again.
     pub fn insert(&self, domain: PowerDomain, t: SimTime, epoch: u64, point: RailOperatingPoint) {
         let t_ns = t.as_nanos();
-        let mut slots = self.slots.lock().expect("oppoint cache lock poisoned");
+        let mut slots = self.slots.lock();
         if slots.is_empty() {
             return;
         }

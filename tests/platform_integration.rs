@@ -143,12 +143,16 @@ fn concurrent_attacker_and_victim_threads() {
     let p = std::sync::Arc::new(p);
 
     let victim_virus = std::sync::Arc::clone(&virus);
+    // Raw OS threads on purpose: this test exercises genuinely concurrent
+    // attacker/victim interleavings, not the deterministic pool.
+    // sim-lint: allow(stray-spawn)
     let victim = std::thread::spawn(move || {
         for level in [0u32, 40, 80, 120, 160] {
             victim_virus.activate_groups(level).unwrap();
         }
     });
     let attacker_p = std::sync::Arc::clone(&p);
+    // sim-lint: allow(stray-spawn)
     let attacker = std::thread::spawn(move || {
         let sampler = CurrentSampler::unprivileged(&attacker_p);
         let mut last = 0.0;
