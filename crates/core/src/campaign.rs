@@ -83,6 +83,20 @@ impl CampaignConfig {
             ..CampaignConfig::default()
         }
     }
+
+    /// Checks every stage's parameters before the campaign starts, so a
+    /// bad override fails in milliseconds instead of mid-run.
+    ///
+    /// # Errors
+    ///
+    /// The first [`crate::AttackError::InvalidParameter`] from any
+    /// stage config.
+    pub fn validate(&self) -> Result<()> {
+        self.characterize.validate()?;
+        self.fingerprint.validate()?;
+        self.rsa.validate()?;
+        Ok(())
+    }
 }
 
 /// Wall-clock timing of one campaign stage.
@@ -224,6 +238,7 @@ fn figure3_models(models: &[ModelArch]) -> Result<Vec<&ModelArch>> {
 ///
 /// Propagates the first failure from any stage.
 pub fn run(config: &CampaignConfig) -> Result<CampaignReport> {
+    config.validate()?;
     obs::init();
     obs::info!("core.campaign", "campaign started"; "seed" => config.seed);
     let mut phase_timings = Vec::with_capacity(6);

@@ -49,6 +49,38 @@ impl CharacterizeConfig {
             ..CharacterizeConfig::default()
         }
     }
+
+    /// Checks the sweep parameters before any capture starts.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::InvalidParameter`] for fewer than two levels, a zero
+    /// sample count, a non-positive/non-finite sample rate, or a
+    /// zero-duration settle phase.
+    pub fn validate(&self) -> Result<()> {
+        if self.levels.len() < 2 {
+            return Err(AttackError::InvalidParameter(
+                "characterization needs at least two levels".into(),
+            ));
+        }
+        if self.samples_per_level == 0 {
+            return Err(AttackError::InvalidParameter(
+                "samples_per_level must be non-zero".into(),
+            ));
+        }
+        if !self.sample_rate_hz.is_finite() || self.sample_rate_hz <= 0.0 {
+            return Err(AttackError::InvalidParameter(format!(
+                "sample rate {} Hz is out of range",
+                self.sample_rate_hz
+            )));
+        }
+        if self.settle.as_nanos() == 0 {
+            return Err(AttackError::InvalidParameter(
+                "settle phase must have a non-zero duration".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// Per-level measurement summary.
@@ -127,11 +159,7 @@ pub fn run(platform: &Platform, config: &CharacterizeConfig) -> Result<Character
     let virus = platform
         .virus()
         .ok_or(AttackError::NotDeployed("power-virus array"))?;
-    if config.levels.len() < 2 {
-        return Err(AttackError::InvalidParameter(
-            "characterization needs at least two levels".into(),
-        ));
-    }
+    config.validate()?;
     let sampler = CurrentSampler::unprivileged(platform);
     let period = SimTime::from_secs_f64(1.0 / config.sample_rate_hz);
     let level_span = SimTime::from_nanos(period.as_nanos() * config.samples_per_level as u64);
@@ -168,11 +196,7 @@ pub fn run_parallel(
     config: &CharacterizeConfig,
     pool: &Pool,
 ) -> Result<CharacterizationReport> {
-    if config.levels.len() < 2 {
-        return Err(AttackError::InvalidParameter(
-            "characterization needs at least two levels".into(),
-        ));
-    }
+    config.validate()?;
     let rows = pool
         .par_map(&config.levels, |_, &level| -> Result<LevelRow> {
             let platform = factory(level)?;
@@ -291,6 +315,25 @@ fn analyze(rows: Vec<LevelRow>) -> Result<CharacterizationReport> {
         variation_ratio_vs_tdc,
         rows,
     })
+}
+
+/// The quickstart sweep: six coarse activity levels measured on an
+/// already-deployed platform — a cheap "is this board leaking" probe with
+/// one injected knob. Used by the `quickstart` example flow and as the
+/// serving layer's lightest campaign verb.
+///
+/// # Errors
+///
+/// Same failure modes as [`run`]; `samples_per_level` must be non-zero.
+pub fn quicklook(platform: &Platform, samples_per_level: usize) -> Result<CharacterizationReport> {
+    run(
+        platform,
+        &CharacterizeConfig {
+            levels: vec![0, 20, 40, 80, 120, 160],
+            samples_per_level,
+            ..CharacterizeConfig::quick()
+        },
+    )
 }
 
 /// Sensitivity comparison across domains: which sensors see a victim that

@@ -132,6 +132,30 @@ pub fn receive(
     })
 }
 
+/// Full covert-channel round trip on a fresh platform derived from
+/// `seed`: deploys a transmitter carrying `payload`, receives it back
+/// through the hwmon current node, and reports the reception plus its bit
+/// error rate. A pure function of `(config, payload, seed)` — the entry
+/// point the serving layer routes `covert` requests to, with every
+/// parameter injected per request.
+///
+/// # Errors
+///
+/// [`AttackError::InvalidParameter`] for an empty payload; otherwise the
+/// deployment and [`receive`] failure modes.
+pub fn round_trip(config: &CovertConfig, payload: &[u8], seed: u64) -> Result<(Reception, f64)> {
+    if payload.is_empty() {
+        return Err(AttackError::InvalidParameter(
+            "payload must be non-empty".into(),
+        ));
+    }
+    let mut platform = Platform::zcu102(seed);
+    platform.deploy_covert_transmitter(*config, payload)?;
+    let rx = receive(&platform, config, payload.len(), SimTime::from_ms(40))?;
+    let ber = bit_error_rate(payload, &rx.payload);
+    Ok((rx, ber))
+}
+
 /// Bit error rate between a sent and received byte string (compared up to
 /// the shorter length; length mismatch counts the missing bytes as fully
 /// erroneous).

@@ -197,12 +197,12 @@ pub fn grid_to_jsonl(grid: &AccuracyGrid) -> String {
 /// with a uniform schema across counters, gauges, and histograms (the same
 /// rows `sim_rt::to_csv` accepts).
 pub fn metrics_to_jsonl(snapshot: &obs::MetricsSnapshot) -> String {
-    sim_rt::to_jsonl(&snapshot.to_records())
+    snapshot.to_jsonl()
 }
 
 /// Renders a frozen metrics snapshot as CSV, one row per metric.
 pub fn metrics_to_csv(snapshot: &obs::MetricsSnapshot) -> String {
-    sim_rt::to_csv(snapshot.to_records().iter())
+    snapshot.to_csv()
 }
 
 /// Renders the Figure 4 observations as JSON Lines, one object per key,

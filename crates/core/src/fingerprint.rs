@@ -111,6 +111,38 @@ impl FingerprintConfig {
             seed: 7,
         }
     }
+
+    /// Checks the experiment parameters before any capture starts.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::InvalidParameter`] for zero trace counts, a
+    /// non-positive/non-finite capture length, a zero resample length, or
+    /// fewer than two cross-validation folds.
+    pub fn validate(&self) -> Result<()> {
+        if self.traces_per_model == 0 {
+            return Err(AttackError::InvalidParameter(
+                "traces_per_model must be non-zero".into(),
+            ));
+        }
+        if !self.capture_seconds.is_finite() || self.capture_seconds <= 0.0 {
+            return Err(AttackError::InvalidParameter(format!(
+                "capture length {} s is out of range",
+                self.capture_seconds
+            )));
+        }
+        if self.resample_len == 0 {
+            return Err(AttackError::InvalidParameter(
+                "resample_len must be non-zero".into(),
+            ));
+        }
+        if self.folds < 2 {
+            return Err(AttackError::InvalidParameter(
+                "cross-validation needs at least two folds".into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 /// One labelled capture: all six Table III channels recorded while a known
@@ -157,6 +189,7 @@ pub fn collect_corpus_with(
     if models.is_empty() {
         return Err(AttackError::InvalidParameter("no victim models".into()));
     }
+    config.validate()?;
     let rate_hz = 1_000.0 / 35.0;
     let count = (config.capture_seconds * rate_hz).ceil() as usize;
     let jobs: Vec<(usize, usize)> = (0..models.len())
@@ -330,6 +363,7 @@ pub fn evaluate_grid_with(
     durations_s: &[f64],
     pool: &Pool,
 ) -> Result<AccuracyGrid> {
+    config.validate()?;
     let n_classes = corpus.iter().map(|c| c.label).max().unwrap_or(0) + 1;
     let cells_spec: Vec<(SensorChannel, f64)> = TABLE3_CHANNELS
         .iter()
@@ -363,6 +397,31 @@ pub fn evaluate_grid_with(
         rows.push((channel, row));
     }
     Ok(AccuracyGrid { rows, n_classes })
+}
+
+/// One-call fingerprinting with injected config: collects a corpus over
+/// the first `n_models` zoo architectures and evaluates the Table III
+/// grid at the configured capture length. This is the entry point the
+/// serving layer routes `fingerprint` requests to — everything the run
+/// does is a pure function of `(config, n_models)`, so identical requests
+/// batch onto one computation.
+///
+/// # Errors
+///
+/// [`AttackError::InvalidParameter`] when `n_models` is zero or exceeds
+/// the zoo; otherwise the [`collect_corpus_with`] /
+/// [`evaluate_grid_with`] failure modes.
+pub fn run_with(config: &FingerprintConfig, n_models: usize, pool: &Pool) -> Result<AccuracyGrid> {
+    let zoo = dnn_models::zoo();
+    if n_models == 0 || n_models > zoo.len() {
+        return Err(AttackError::InvalidParameter(format!(
+            "n_models must be in 1..={}, got {n_models}",
+            zoo.len()
+        )));
+    }
+    let victims: Vec<&ModelArch> = zoo.iter().take(n_models).collect();
+    let corpus = collect_corpus_with(&victims, config, pool)?;
+    evaluate_grid_with(&corpus, config, &[config.capture_seconds], pool)
 }
 
 /// The online attack object: a trained classifier for one channel.

@@ -56,6 +56,37 @@ impl RsaAttackConfig {
             ..RsaAttackConfig::default()
         }
     }
+
+    /// Checks the experiment parameters before any capture starts.
+    ///
+    /// # Errors
+    ///
+    /// [`AttackError::InvalidParameter`] for an empty weight list, a zero
+    /// sample count, a non-positive/non-finite sample rate, or a
+    /// non-positive z-score.
+    pub fn validate(&self) -> Result<()> {
+        if self.hamming_weights.is_empty() {
+            return Err(AttackError::InvalidParameter("no key weights".into()));
+        }
+        if self.samples_per_key == 0 {
+            return Err(AttackError::InvalidParameter(
+                "samples_per_key must be non-zero".into(),
+            ));
+        }
+        if !self.sample_rate_hz.is_finite() || self.sample_rate_hz <= 0.0 {
+            return Err(AttackError::InvalidParameter(format!(
+                "sample rate {} Hz is out of range",
+                self.sample_rate_hz
+            )));
+        }
+        if !self.z_score.is_finite() || self.z_score <= 0.0 {
+            return Err(AttackError::InvalidParameter(format!(
+                "z-score {} is out of range",
+                self.z_score
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// The paper's 17 key weights: 1, then 64..=1024 in steps of 64.
@@ -147,9 +178,7 @@ impl RsaAttackReport {
 ///
 /// Propagates key construction, deployment, capture and analysis errors.
 pub fn run(config: &RsaAttackConfig) -> Result<RsaAttackReport> {
-    if config.hamming_weights.is_empty() {
-        return Err(AttackError::InvalidParameter("no key weights".into()));
-    }
+    config.validate()?;
     let mut observations = Vec::with_capacity(config.hamming_weights.len());
     let mut current_groups: Vec<(String, Vec<f64>)> = Vec::new();
     let mut power_groups: Vec<(String, Vec<f64>)> = Vec::new();

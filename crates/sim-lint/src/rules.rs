@@ -45,6 +45,11 @@ pub const RULES: &[RuleInfo] = &[
         summary: "std::thread::spawn outside sim-rt/src/pool.rs bypasses the deterministic pool",
     },
     RuleInfo {
+        id: "net-use",
+        severity: Severity::Error,
+        summary: "std::net outside crates/sim-serve; the simulation itself must stay socket-free",
+    },
+    RuleInfo {
         id: "registry-dep",
         severity: Severity::Error,
         summary: "Cargo.toml dependency that is not path-only/workspace-inherited, or a diverging edition",
@@ -76,6 +81,7 @@ impl Config {
     /// * `raw-print`: the bench harness and the experiment-reporting crate
     ///   exist to print tables.
     /// * `stray-spawn`: the deterministic pool owns thread creation.
+    /// * `net-use`: the serving layer is the one networked component.
     pub fn workspace_default() -> Config {
         Config {
             allow: vec![
@@ -85,6 +91,7 @@ impl Config {
                 ("raw-print", "crates/sim-rt/src/bench.rs"),
                 ("raw-print", "crates/bench/src/"),
                 ("stray-spawn", "crates/sim-rt/src/pool.rs"),
+                ("net-use", "crates/sim-serve/"),
             ],
         }
     }
@@ -290,6 +297,17 @@ fn check_paths(
                 "stray-spawn",
                 tok,
                 format!("`{cand}` creates an untracked OS thread; use sim_rt::pool::Pool for deterministic fan-out"),
+            );
+            break;
+        }
+    }
+
+    for cand in &candidates {
+        if cand.starts_with("std::net::") {
+            emit(
+                "net-use",
+                tok,
+                format!("`{cand}` opens real sockets; networking is confined to crates/sim-serve"),
             );
             break;
         }

@@ -13,6 +13,7 @@ const AMBIENT_RNG: &str = include_str!("fixtures/ambient_rng.rs");
 const NONDET_ITER: &str = include_str!("fixtures/nondet_iter.rs");
 const RAW_PRINT: &str = include_str!("fixtures/raw_print.rs");
 const STRAY_SPAWN: &str = include_str!("fixtures/stray_spawn.rs");
+const NET_USE: &str = include_str!("fixtures/net_use.rs");
 const WAIVERS: &str = include_str!("fixtures/waivers.rs");
 const LOOKALIKE: &str = include_str!("fixtures/lookalike.rs");
 const REGISTRY_BAD: &str = include_str!("fixtures/registry_bad.toml");
@@ -147,6 +148,50 @@ fn stray_spawn_allowed_in_the_pool() {
         STRAY_SPAWN,
         &Config::workspace_default(),
     );
+    assert!(r.diags.is_empty(), "{:?}", r.diags);
+}
+
+#[test]
+fn net_use_fixture_spans() {
+    let r = lint_lib(NET_USE);
+    assert_eq!(
+        spans(&r.diags),
+        vec![(1, 5, "net-use"), (4, 13, "net-use"), (5, 14, "net-use")],
+        "{:?}",
+        r.diags
+    );
+    // The UdpSocket line carries an inline waiver.
+    assert_eq!(r.waived, 1);
+}
+
+#[test]
+fn net_use_fires_in_test_code_too() {
+    // Unlike raw-print, sockets are banned everywhere outside sim-serve:
+    // a test opening a port is as nondeterministic as a library doing it.
+    let r = lint_source("tests/demo.rs", NET_USE, &Config::workspace_default());
+    assert_eq!(r.diags.len(), 3, "{:?}", r.diags);
+    assert!(r.diags.iter().all(|d| d.rule == "net-use"));
+}
+
+#[test]
+fn net_use_allowed_throughout_sim_serve() {
+    for path in [
+        "crates/sim-serve/src/server.rs",
+        "crates/sim-serve/src/bin/serve.rs",
+        "crates/sim-serve/tests/serve.rs",
+    ] {
+        let r = lint_source(path, NET_USE, &Config::workspace_default());
+        assert!(r.diags.is_empty(), "{path}: {:?}", r.diags);
+    }
+}
+
+#[test]
+fn net_lookalikes_do_not_fire() {
+    // A local `net` module or a `std::net`-like suffix in another crate
+    // must not trip the rule.
+    let src = "mod net { pub struct TcpListener; }\n\
+               fn f() { let _l = net::TcpListener; my::std::net::thing(); }\n";
+    let r = lint_lib(src);
     assert!(r.diags.is_empty(), "{:?}", r.diags);
 }
 

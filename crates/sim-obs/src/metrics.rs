@@ -554,6 +554,18 @@ impl MetricsSnapshot {
         out
     }
 
+    /// Renders the snapshot as JSON Lines, one object per metric with a
+    /// uniform schema across counters, gauges, and histograms.
+    pub fn to_jsonl(&self) -> String {
+        sim_rt::to_jsonl(&self.to_records())
+    }
+
+    /// Renders the snapshot as CSV, one row per metric (same rows as
+    /// [`MetricsSnapshot::to_jsonl`]).
+    pub fn to_csv(&self) -> String {
+        sim_rt::to_csv(self.to_records().iter())
+    }
+
     /// Renders an aligned human-readable table (the `--profile` view).
     pub fn render_table(&self) -> String {
         let mut out = String::new();

@@ -1,0 +1,580 @@
+//! Recursive-descent JSON parsing into the [`ser::Value`](crate::ser::Value)
+//! model — the decode half of the runtime's serialization story.
+//!
+//! [`ser`](crate::ser) renders results *out* as compact JSON; this module
+//! reads JSON *in*, so wire protocols (the `sim-serve` newline-delimited
+//! request stream) can round-trip through the same value model without a
+//! registry dependency. The parser is strict RFC 8259: no comments, no
+//! trailing commas, no bare NaN/Infinity — exactly the subset the encoder
+//! emits.
+//!
+//! Numbers decode as [`Value::Int`] when they are integral and fit `i64`
+//! (no fraction, no exponent), and as [`Value::Float`] otherwise, matching
+//! the encoder's split. Object keys keep their input order, so
+//! `parse(v.to_json()) == v` for any encoder-produced value.
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_rt::json::parse;
+//! use sim_rt::Value;
+//!
+//! let v = parse(r#"{"verb":"characterize","levels":[0,80,160]}"#).unwrap();
+//! assert_eq!(v.get("verb").and_then(Value::as_str), Some("characterize"));
+//! assert_eq!(v.get("levels").and_then(Value::as_array).map(<[Value]>::len), Some(3));
+//! // Round trip through the encoder is the identity.
+//! assert_eq!(parse(&v.to_json()).unwrap(), v);
+//! ```
+
+use std::fmt;
+
+use crate::ser::Value;
+
+/// A parse failure with the 1-based line/column of the offending byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line of the error.
+    pub line: u32,
+    /// 1-based column (in bytes) of the error.
+    pub col: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "json parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one complete JSON document.
+///
+/// Trailing whitespace is allowed; any other trailing content is an
+/// error — for newline-delimited streams, parse each line separately.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after document"));
+    }
+    Ok(v)
+}
+
+/// Nesting ceiling: recursive descent means parser depth is stack depth,
+/// and hostile input must not be able to overflow it.
+const MAX_DEPTH: u32 = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let (mut line, mut col) = (1u32, 1u32);
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    /// Consumes `word` if it is next (used for `true`/`false`/`null`).
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("expected a JSON value")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting deeper than 128 levels"));
+        }
+        Ok(())
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.descend()?;
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+        self.depth -= 1;
+        Ok(Value::Object(fields))
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.descend()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+        self.depth -= 1;
+        Ok(Value::Array(items))
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => out.push(self.unicode_escape()?),
+                    _ => return Err(self.err("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(self.err("unescaped control character in string"))
+                }
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode the UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b).ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = match self.bump() {
+                Some(b @ b'0'..=b'9') => (b - b'0') as u32,
+                Some(b @ b'a'..=b'f') => (b - b'a') as u32 + 10,
+                Some(b @ b'A'..=b'F') => (b - b'A') as u32 + 10,
+                _ => return Err(self.err("invalid \\u escape")),
+            };
+            v = v << 4 | d;
+        }
+        Ok(v)
+    }
+
+    fn unicode_escape(&mut self) -> Result<char, ParseError> {
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: a \uXXXX low surrogate must follow.
+            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                return Err(self.err("high surrogate without low surrogate"));
+            }
+            let lo = self.hex4()?;
+            if !(0xDC00..0xE000).contains(&lo) {
+                return Err(self.err("invalid low surrogate"));
+            }
+            let c = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+            return char::from_u32(c).ok_or_else(|| self.err("invalid surrogate pair"));
+        }
+        char::from_u32(hi).ok_or_else(|| self.err("lone surrogate in \\u escape"))
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one zero, or a nonzero digit run.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        if integral {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("number out of range"))
+    }
+}
+
+fn utf8_len(lead: u8) -> Option<usize> {
+    match lead {
+        0xC0..=0xDF => Some(2),
+        0xE0..=0xEF => Some(3),
+        0xF0..=0xF7 => Some(4),
+        _ => None,
+    }
+}
+
+impl Value {
+    /// Looks up a field of an object by name (first match wins).
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(n, _)| n == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a [`Value::Int`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The integer payload as `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload widened to `f64` (ints convert losslessly up to
+    /// 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items, if this is a [`Value::Array`].
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is a [`Value::Object`].
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse("-42").unwrap(), Value::Int(-42));
+        assert_eq!(parse("0").unwrap(), Value::Int(0));
+        assert_eq!(parse("0.25").unwrap(), Value::Float(0.25));
+        assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse("\"hi\"").unwrap(), Value::from("hi"));
+    }
+
+    #[test]
+    fn int_float_split_matches_encoder() {
+        // Integral and in i64 range: Int. Everything else: Float.
+        assert_eq!(parse("9223372036854775807").unwrap(), Value::Int(i64::MAX));
+        assert!(matches!(
+            parse("9223372036854775808").unwrap(),
+            Value::Float(_)
+        ));
+        assert!(matches!(parse("1.0").unwrap(), Value::Float(_)));
+    }
+
+    #[test]
+    fn nested_structures_keep_order() {
+        let v = parse(r#"{"b":[1,{"x":null}],"a":"z"}"#).unwrap();
+        let fields = v.as_object().unwrap();
+        assert_eq!(fields[0].0, "b");
+        assert_eq!(fields[1].0, "a");
+        assert_eq!(v.get("a").and_then(Value::as_str), Some("z"));
+        let arr = v.get("b").and_then(Value::as_array).unwrap();
+        assert_eq!(arr[0], Value::Int(1));
+        assert_eq!(arr[1].get("x"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        assert_eq!(
+            parse(r#""a\"b\\c\nd\u0041\t""#).unwrap(),
+            Value::from("a\"b\\c\ndA\t")
+        );
+        // Surrogate pair for U+1F600.
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap(),
+            Value::from("\u{1f600}")
+        );
+        // Raw multi-byte UTF-8 passes through.
+        assert_eq!(parse("\"µs\"").unwrap(), Value::from("µs"));
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let original = Value::Object(vec![
+            ("name".into(), Value::from("trace,with\"stuff\n")),
+            ("xs".into(), Value::from(vec![1, 2, 3])),
+            ("score".into(), Value::Float(0.125)),
+            ("none".into(), Value::Null),
+            ("flag".into(), Value::Bool(false)),
+            ("big".into(), Value::Int(i64::MIN)),
+        ]);
+        assert_eq!(parse(&original.to_json()).unwrap(), original);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse("{\"a\": 1,\n \"b\": }").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 7), "{e}");
+        assert!(e.to_string().contains("2:7"));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "01",
+            "1.",
+            "1e",
+            "nul",
+            "\"abc",
+            "\"\\q\"",
+            "\"\\ud83d\"",
+            "{} {}",
+            "[1] trailing",
+            "+1",
+            "NaN",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn control_chars_must_be_escaped() {
+        assert!(parse("\"a\u{1}b\"").is_err());
+        assert_eq!(parse(r#""a\u0001b""#).unwrap(), Value::from("a\u{1}b"));
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep: String = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err());
+        let ok: String = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn accessors_on_wrong_types_return_none() {
+        let v = parse("{\"n\": 3}").unwrap();
+        assert_eq!(v.get("n").and_then(Value::as_i64), Some(3));
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(3.0));
+        assert!(v.get("n").and_then(Value::as_str).is_none());
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.get("x").is_none());
+        assert_eq!(Value::Int(-1).as_u64(), None);
+        assert!(Value::Bool(true).as_f64().is_none());
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+    }
+
+    /// An arbitrary encoder-producible value (finite floats only — the
+    /// encoder maps non-finite floats to null, which decode cannot undo).
+    fn random_value(rng: &mut crate::rng::SimRng, depth: u32) -> Value {
+        use crate::rng::Rng;
+        let top = if depth >= 3 { 4 } else { 6 };
+        match rng.next_u64() % (top + 1) {
+            0 => Value::Null,
+            1 => Value::Bool(rng.next_u64().is_multiple_of(2)),
+            2 => Value::Int(rng.next_u64() as i64),
+            3 => Value::Float((rng.next_u64() % 1_000_000) as f64 / 256.0),
+            4 => {
+                let len = rng.next_u64() % 8;
+                Value::Str(
+                    (0..len)
+                        .map(|_| char::from_u32(rng.next_u64() as u32 % 0xD7FF).unwrap_or('x'))
+                        .collect(),
+                )
+            }
+            5 => Value::Array(
+                (0..rng.next_u64() % 4)
+                    .map(|_| random_value(rng, depth + 1))
+                    .collect(),
+            ),
+            _ => Value::Object(
+                (0..rng.next_u64() % 4)
+                    .map(|i| (format!("k{i}"), random_value(rng, depth + 1)))
+                    .collect(),
+            ),
+        }
+    }
+
+    crate::prop_check! {
+        /// Any encoder-producible value survives a decode byte-exactly.
+        fn random_values_round_trip(seed in 0u64..1_000_000) {
+            use crate::rng::SimRng;
+            let mut rng = SimRng::seed_from_u64(seed);
+            let v = random_value(&mut rng, 0);
+            let json = v.to_json();
+            let back = parse(&json).expect("encoder output parses");
+            assert_eq!(back, v, "{json}");
+        }
+    }
+}

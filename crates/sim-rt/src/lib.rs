@@ -16,6 +16,9 @@
 //! * [`ser`] — a tiny value model ([`ser::Value`], [`ser::Record`],
 //!   [`ser::ToRecord`]) rendering results as compact JSON, JSON Lines, or
 //!   CSV with no derive machinery.
+//! * [`json`] — the decode half: a strict recursive-descent JSON parser
+//!   ([`json::parse`]) producing the same [`ser::Value`] model, so wire
+//!   protocols round-trip through one representation.
 //! * [`check`] — seeded randomized property tests via
 //!   [`prop_check!`], reproducible from the test name alone.
 //! * [`bench`] — a wall-clock micro-benchmark harness with a `--quick`
@@ -50,11 +53,13 @@
 
 pub mod bench;
 pub mod check;
+pub mod json;
 pub mod lockorder;
 pub mod pool;
 pub mod rng;
 pub mod ser;
 
+pub use json::parse as parse_json;
 pub use lockorder::TrackedMutex;
 pub use pool::Pool;
 pub use rng::{derive_seed, Rng, SimRng, SliceShuffle};

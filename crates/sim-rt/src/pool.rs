@@ -252,6 +252,72 @@ impl Pool {
     }
 }
 
+/// A structured scope for long-lived named service threads — accept
+/// loops, connection readers, executor workers.
+///
+/// The workspace invariant (enforced by sim-lint's `stray-spawn` rule) is
+/// that all thread creation lives in this module; `par_map` covers
+/// fork-join data parallelism, and this covers everything that must
+/// outlive a single map: a server's threads run until the scope closure
+/// returns, and [`service_scope`] joins them all before returning, so no
+/// service thread ever outlives the state it borrows.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicU32, Ordering};
+///
+/// let hits = AtomicU32::new(0);
+/// sim_rt::pool::service_scope(|scope| {
+///     for _ in 0..3 {
+///         scope.spawn("worker", || {
+///             hits.fetch_add(1, Ordering::SeqCst);
+///         });
+///     }
+/// });
+/// assert_eq!(hits.load(Ordering::SeqCst), 3);
+/// ```
+#[derive(Debug)]
+pub struct ServiceScope<'scope, 'env> {
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    spawned: AtomicU64,
+}
+
+impl<'scope, 'env> ServiceScope<'scope, 'env> {
+    /// Spawns a named service thread; the handle can be joined early, and
+    /// any thread still running when the scope closure returns is joined
+    /// by [`service_scope`] itself.
+    pub fn spawn<F, T>(&self, name: &str, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.spawned.fetch_add(1, Ordering::Relaxed);
+        std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn_scoped(self.scope, f)
+            .expect("service thread spawn failed")
+    }
+
+    /// Number of threads spawned through this scope so far.
+    pub fn spawned(&self) -> u64 {
+        self.spawned.load(Ordering::Relaxed)
+    }
+}
+
+/// Runs `f` with a [`ServiceScope`]; returns once `f` and every thread it
+/// spawned have finished. Panics from service threads surface here, like
+/// [`std::thread::scope`].
+pub fn service_scope<'env, T>(f: impl for<'scope> FnOnce(&ServiceScope<'scope, 'env>) -> T) -> T {
+    std::thread::scope(|scope| {
+        let svc = ServiceScope {
+            scope,
+            spawned: AtomicU64::new(0),
+        };
+        f(&svc)
+    })
+}
+
 /// Pops a job index: own queue front first, then steal from the back of
 /// the busiest sibling. The flag says whether the job was stolen.
 fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<(usize, bool)> {
@@ -380,5 +446,41 @@ mod tests {
         let pool = Pool::new(64);
         let out = pool.par_map(&[1u32, 2], |_, &x| x + 1);
         assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn service_scope_joins_and_counts() {
+        let total = AtomicUsize::new(0);
+        let spawned = service_scope(|scope| {
+            for i in 0..4 {
+                let total = &total;
+                scope.spawn("svc-test", move || {
+                    total.fetch_add(i + 1, Ordering::SeqCst);
+                });
+            }
+            scope.spawned()
+        });
+        assert_eq!(spawned, 4);
+        assert_eq!(total.load(Ordering::SeqCst), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn service_scope_threads_are_named() {
+        service_scope(|scope| {
+            let h = scope.spawn("svc-named", || {
+                std::thread::current().name().map(str::to_string)
+            });
+            assert_eq!(h.join().unwrap().as_deref(), Some("svc-named"));
+        });
+    }
+
+    #[test]
+    fn service_scope_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            service_scope(|scope| {
+                scope.spawn("svc-doomed", || panic!("boom"));
+            })
+        });
+        assert!(result.is_err());
     }
 }

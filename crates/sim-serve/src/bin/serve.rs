@@ -1,0 +1,85 @@
+//! The `serve` binary: stands up a board farm on a TCP port.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:0] [--boards 4] [--seed 1] [--threads 0]
+//!       [--queue-cap 256] [--rate 200] [--burst 50] [--max-inflight 64]
+//! ```
+//!
+//! Prints `listening on <addr> (<n> boards)` once bound (scrape the
+//! ephemeral port from there), serves until a `shutdown` verb arrives,
+//! then prints the drained metrics table and exits 0.
+
+use std::io::Write;
+
+use sim_serve::{Server, ServerConfig};
+
+fn usage(out: &mut impl Write) {
+    let _ = writeln!(
+        out,
+        "usage: serve [--addr HOST:PORT] [--boards N] [--seed N] [--threads N]\n\
+         \x20            [--queue-cap N] [--rate PER_SEC] [--burst N] [--max-inflight N]"
+    );
+}
+
+fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" {
+            return Err(String::new());
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .as_str();
+        let bad = |what: &str| format!("{flag}: invalid {what} `{value}`");
+        match flag.as_str() {
+            "--addr" => cfg.addr = value.to_string(),
+            "--boards" => cfg.boards = value.parse().map_err(|_| bad("count"))?,
+            "--seed" => cfg.farm_seed = value.parse().map_err(|_| bad("seed"))?,
+            "--threads" => cfg.threads = value.parse().map_err(|_| bad("count"))?,
+            "--queue-cap" => cfg.sched.queue_cap = value.parse().map_err(|_| bad("count"))?,
+            "--rate" => cfg.sched.rate_per_sec = value.parse().map_err(|_| bad("rate"))?,
+            "--burst" => cfg.sched.burst = value.parse().map_err(|_| bad("count"))?,
+            "--max-inflight" => {
+                cfg.sched.max_inflight = value.parse().map_err(|_| bad("count"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    let cfg = match parse_args(&args) {
+        Ok(cfg) => cfg,
+        Err(message) => {
+            let mut err = std::io::stderr();
+            if !message.is_empty() {
+                let _ = writeln!(err, "serve: {message}");
+            }
+            usage(&mut err);
+            std::process::exit(if message.is_empty() { 0 } else { 2 });
+        }
+    };
+
+    let server = match Server::bind(cfg.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            let _ = writeln!(std::io::stderr(), "serve: bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    let _ = writeln!(stdout, "listening on {addr} ({} boards)", cfg.boards);
+    let _ = stdout.flush();
+
+    server.run();
+
+    let snapshot = obs::metrics::snapshot();
+    let _ = writeln!(stdout, "drained; final metrics:");
+    let _ = write!(stdout, "{}", snapshot.render_table());
+    let _ = writeln!(stdout, "serve: clean shutdown");
+}

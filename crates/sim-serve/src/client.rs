@@ -1,0 +1,134 @@
+//! A small blocking client for the farm protocol.
+//!
+//! Supports both call-and-wait ([`Client::request`]) and pipelining
+//! ([`Client::send`] many ids, then [`Client::wait`] each): responses
+//! arriving out of order are parked until their id is asked for.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use sim_rt::ser::Value;
+
+use crate::protocol::{self, Request, Response, ANON_TENANT};
+
+/// A connected client.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    tenant: String,
+    next_id: i64,
+    parked: VecDeque<Response>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client {
+            writer,
+            reader,
+            tenant: ANON_TENANT.to_string(),
+            next_id: 1,
+            parked: VecDeque::new(),
+        })
+    }
+
+    /// Sets the tenant name stamped on subsequent requests.
+    pub fn set_tenant(&mut self, tenant: impl Into<String>) {
+        self.tenant = tenant.into();
+    }
+
+    /// Sends one request without waiting; returns its id for
+    /// [`Client::wait`]. Use for pipelining.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send(&mut self, verb: &str, seed: Option<u64>, config: Value) -> std::io::Result<i64> {
+        self.send_with_deadline(verb, seed, None, config)
+    }
+
+    /// [`Client::send`] with a relative deadline in milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn send_with_deadline(
+        &mut self,
+        verb: &str,
+        seed: Option<u64>,
+        deadline_ms: Option<u64>,
+        config: Value,
+    ) -> std::io::Result<i64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut req = Request::new(id, verb);
+        req.tenant = self.tenant.clone();
+        req.seed = seed;
+        req.deadline_ms = deadline_ms;
+        req.config = config;
+        self.writer.write_all(req.to_json_line().as_bytes())?;
+        Ok(id)
+    }
+
+    /// Waits for the response to a previously-sent request id.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` if the server closes first; `InvalidData` on
+    /// malformed response lines.
+    pub fn wait(&mut self, id: i64) -> std::io::Result<Response> {
+        if let Some(pos) = self.parked.iter().position(|r| r.id == id) {
+            return Ok(self.parked.remove(pos).expect("position just found"));
+        }
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            let resp = protocol::parse_response(line.trim())
+                .map_err(|message| std::io::Error::new(std::io::ErrorKind::InvalidData, message))?;
+            if resp.id == id {
+                return Ok(resp);
+            }
+            self.parked.push_back(resp);
+        }
+    }
+
+    /// Sends `verb` and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Client::send`] and [`Client::wait`] failures.
+    pub fn request(
+        &mut self,
+        verb: &str,
+        seed: Option<u64>,
+        config: Value,
+    ) -> std::io::Result<Response> {
+        let id = self.send(verb, seed, config)?;
+        self.wait(id)
+    }
+
+    /// Asks the server to drain and stop; returns the shutdown ack with
+    /// its drain statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send/wait failures.
+    pub fn shutdown_server(&mut self) -> std::io::Result<Response> {
+        let id = self.send("shutdown", None, Value::Null)?;
+        self.wait(id)
+    }
+}

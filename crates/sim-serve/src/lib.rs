@@ -1,0 +1,45 @@
+//! sim-serve: a multi-tenant board-farm campaign server.
+//!
+//! Turns the one-shot attack library into an online service: a TCP
+//! server speaking a newline-delimited JSON protocol fronts a farm of N
+//! lazily-constructed [`amperebleed::Platform`]s, multiplexing campaign
+//! requests (`characterize` / `fingerprint` / `covert` / `rsa` /
+//! `quickstart`, plus `ping` and `shutdown`) across boards.
+//!
+//! The layers, bottom-up:
+//!
+//! * [`exec`] — pure verb execution: `result = f(verb, seed, config)`,
+//!   the function every determinism claim reduces to.
+//! * [`farm`] — N boards, each seeded by
+//!   `derive_seed(farm_seed, board_index)`, behind a blocking
+//!   checkout/checkin free list.
+//! * [`scheduler`] — token-bucket rate limits and max-inflight quotas
+//!   per tenant, a bounded queue with 429-style sheds, per-request
+//!   deadlines, batching of identical jobs onto one board lock-hold,
+//!   and drain-then-stop shutdown.
+//! * [`server`] / [`client`] — the TCP front and its blocking client.
+//! * [`protocol`] — the wire types shared by both ends.
+//!
+//! **Determinism contract.** A response's `result` is byte-identical to
+//! `exec::execute(verb, seed, config)` run serially on a fresh platform,
+//! for the `seed` the response reports — regardless of farm size, pool
+//! width, batching, or scheduling order. Unpinned requests adopt the
+//! farm default seed at admission (never a placement-dependent one), so
+//! the contract covers them too.
+//!
+//! Everything is instrumented under `serve.*` in the sim-obs metrics
+//! registry: admission counters, shed/timeouts, queue depth, batch
+//! sizes, request/exec latency histograms, and farm utilisation.
+
+pub mod client;
+pub mod exec;
+pub mod farm;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use client::Client;
+pub use exec::execute;
+pub use protocol::{Request, Response};
+pub use scheduler::SchedConfig;
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,580 @@
+//! Admission control and the batching dispatcher.
+//!
+//! A request passes through three gates at admission (all on the
+//! connection thread, so a shed never occupies queue space):
+//!
+//! 1. **token bucket** per tenant (`rate_per_sec`/`burst`) → `rate_limited`
+//! 2. **max-inflight quota** per tenant → `quota_exceeded`
+//! 3. **bounded queue** (`queue_cap`) → `queue_full`
+//!
+//! Admitted jobs wait in the bounded queue until the single dispatcher
+//! thread drains a batch, drops expired deadlines (`timeout`), groups the
+//! rest by `(verb, seed, config)` — identical capture jobs share one
+//! board lock-hold and one execution — and fans the groups out across
+//! the farm on the [`sim_rt::pool::Pool`]. Results are duplicated to
+//! every request of a group, which is safe precisely because execution
+//! is a pure function of the group key (see `exec`).
+//!
+//! Shutdown (`shutdown` verb or [`Scheduler::begin_drain`]) flips the
+//! farm into draining: new work is shed as `shutting_down`, everything
+//! already admitted is served, then the shutdown requests themselves are
+//! acknowledged with drain statistics and the dispatcher parks.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use sim_rt::pool::Pool;
+use sim_rt::ser::Value;
+
+use crate::exec::{self, ExecError};
+use crate::farm::Farm;
+use crate::protocol::{Request, Response};
+
+/// Where a finished [`Response`] goes (the connection's write half, or a
+/// buffer in tests).
+pub type Sink = Arc<dyn Fn(Response) + Send + Sync>;
+
+/// Admission and batching knobs.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Bounded queue length; admissions beyond it shed `queue_full`.
+    pub queue_cap: usize,
+    /// Max jobs the dispatcher drains per batch.
+    pub batch_max: usize,
+    /// Token-bucket refill rate per tenant (requests/second).
+    pub rate_per_sec: f64,
+    /// Token-bucket capacity per tenant (burst size).
+    pub burst: f64,
+    /// Max admitted-but-unanswered requests per tenant.
+    pub max_inflight: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            queue_cap: 256,
+            batch_max: 32,
+            rate_per_sec: 200.0,
+            burst: 50.0,
+            max_inflight: 64,
+        }
+    }
+}
+
+struct Job {
+    req: Request,
+    /// Effective seed, resolved at admission (pinned or farm default) so
+    /// the result cannot depend on board placement.
+    seed: u64,
+    admitted_ns: u64,
+    deadline_ns: Option<u64>,
+    sink: Sink,
+}
+
+struct Tenant {
+    tokens: f64,
+    last_refill_ns: u64,
+    inflight: usize,
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    draining: bool,
+    stopped: bool,
+    shutdown_jobs: Vec<(i64, Sink)>,
+}
+
+/// The scheduler: shared between every connection thread (submissions)
+/// and the single dispatcher thread (execution).
+pub struct Scheduler {
+    cfg: SchedConfig,
+    farm: Farm,
+    pool: Pool,
+    state: Mutex<State>,
+    work: Condvar,
+    tenants: Mutex<std::collections::BTreeMap<String, Tenant>>,
+    served: AtomicU64,
+}
+
+impl Scheduler {
+    /// Builds a scheduler over `farm`, executing groups on `pool`.
+    pub fn new(cfg: SchedConfig, farm: Farm, pool: Pool) -> Scheduler {
+        Scheduler {
+            cfg,
+            farm,
+            pool,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                draining: false,
+                stopped: false,
+                shutdown_jobs: Vec::new(),
+            }),
+            work: Condvar::new(),
+            tenants: Mutex::new(std::collections::BTreeMap::new()),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// The farm this scheduler multiplexes.
+    pub fn farm(&self) -> &Farm {
+        &self.farm
+    }
+
+    /// Whether the dispatcher has finished draining and parked.
+    pub fn stopped(&self) -> bool {
+        self.lock_state().stopped
+    }
+
+    /// Starts a drain without a client request (the ctrl-channel half of
+    /// shutdown): stop admitting, serve the backlog, park.
+    pub fn begin_drain(&self) {
+        self.lock_state().draining = true;
+        obs::counter!("serve.drains").inc();
+        self.work.notify_all();
+    }
+
+    /// Admits or sheds one request. Every path eventually calls `sink`
+    /// exactly once with this request's response — the zero-lost-response
+    /// invariant shutdown relies on.
+    pub fn submit(&self, req: Request, sink: Sink) {
+        obs::counter!("serve.requests").inc();
+
+        if req.verb == "shutdown" {
+            let mut st = self.lock_state();
+            st.draining = true;
+            st.shutdown_jobs.push((req.id, sink));
+            drop(st);
+            obs::counter!("serve.drains").inc();
+            self.work.notify_all();
+            return;
+        }
+        if !exec::known_verb(&req.verb) {
+            self.respond_unserved(
+                sink,
+                Response::failure(
+                    req.id,
+                    &req.verb,
+                    "error",
+                    "unknown_verb",
+                    format!("unknown verb `{}`", req.verb),
+                ),
+            );
+            return;
+        }
+        if self.lock_state().draining {
+            self.shed(&req, sink, "shutting_down", "server is draining");
+            return;
+        }
+
+        let now = obs::clock::monotonic_ns();
+        {
+            let mut tenants = self
+                .tenants
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let tenant = tenants.entry(req.tenant.clone()).or_insert(Tenant {
+                tokens: self.cfg.burst,
+                last_refill_ns: now,
+                inflight: 0,
+            });
+            let dt_s = now.saturating_sub(tenant.last_refill_ns) as f64 / 1e9;
+            tenant.tokens = (tenant.tokens + dt_s * self.cfg.rate_per_sec).min(self.cfg.burst);
+            tenant.last_refill_ns = now;
+            if tenant.tokens < 1.0 {
+                drop(tenants);
+                self.shed(&req, sink, "rate_limited", "tenant rate limit exceeded");
+                return;
+            }
+            if tenant.inflight >= self.cfg.max_inflight {
+                drop(tenants);
+                self.shed(
+                    &req,
+                    sink,
+                    "quota_exceeded",
+                    "tenant max-inflight quota reached",
+                );
+                return;
+            }
+            tenant.tokens -= 1.0;
+            tenant.inflight += 1;
+        }
+
+        let job = Job {
+            seed: req.seed.unwrap_or_else(|| self.farm.default_seed()),
+            deadline_ns: req.deadline_ms.map(|ms| now + ms.saturating_mul(1_000_000)),
+            admitted_ns: now,
+            sink,
+            req,
+        };
+        {
+            let mut st = self.lock_state();
+            if st.draining {
+                let (req, sink) = (job.req, job.sink);
+                drop(st);
+                self.release_tenant(&req.tenant);
+                self.shed(&req, sink, "shutting_down", "server is draining");
+                return;
+            }
+            if st.queue.len() >= self.cfg.queue_cap {
+                let (req, sink) = (job.req, job.sink);
+                drop(st);
+                self.release_tenant(&req.tenant);
+                self.shed(&req, sink, "queue_full", "request queue is full");
+                return;
+            }
+            st.queue.push_back(job);
+            obs::gauge!("serve.queue.depth").set(st.queue.len() as f64);
+        }
+        obs::counter!("serve.admitted").inc();
+        self.work.notify_all();
+    }
+
+    /// Runs the dispatcher until a drain completes. Call from a dedicated
+    /// service thread (`sim_rt::pool::service_scope`).
+    pub fn dispatch_loop(&self) {
+        loop {
+            let batch: Vec<Job> = {
+                let mut st = self.lock_state();
+                loop {
+                    if !st.queue.is_empty() {
+                        break;
+                    }
+                    if st.draining {
+                        let waiters = std::mem::take(&mut st.shutdown_jobs);
+                        st.stopped = true;
+                        drop(st);
+                        self.ack_shutdown(waiters);
+                        self.work.notify_all();
+                        return;
+                    }
+                    st = self
+                        .work
+                        .wait(st)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                let n = st.queue.len().min(self.cfg.batch_max);
+                let batch = st.queue.drain(..n).collect();
+                obs::gauge!("serve.queue.depth").set(st.queue.len() as f64);
+                batch
+            };
+            self.process_batch(batch);
+        }
+    }
+
+    fn process_batch(&self, batch: Vec<Job>) {
+        obs::histogram!("serve.batch.size").observe(batch.len() as u64);
+        let now = obs::clock::monotonic_ns();
+
+        // Expired deadlines time out without ever touching a board.
+        let (live, expired): (Vec<Job>, Vec<Job>) = batch
+            .into_iter()
+            .partition(|job| job.deadline_ns.is_none_or(|d| d > now));
+        for job in expired {
+            obs::counter!("serve.timeouts").inc();
+            let resp = Response::failure(
+                job.req.id,
+                &job.req.verb,
+                "timeout",
+                "deadline_exceeded",
+                "deadline expired before a board was available".into(),
+            );
+            self.respond(&job, resp);
+        }
+        if live.is_empty() {
+            return;
+        }
+
+        // Batch compatible jobs: one execution per distinct
+        // (verb, seed, config) key, results fanned out to every taker.
+        let mut groups: Vec<(String, Vec<Job>)> = Vec::new();
+        for job in live {
+            let key = format!(
+                "{}\u{1f}{}\u{1f}{}",
+                job.req.verb,
+                job.seed,
+                job.req.config.to_json()
+            );
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, jobs)) => jobs.push(job),
+                None => groups.push((key, vec![job])),
+            }
+        }
+        let jobs_total: usize = groups.iter().map(|(_, jobs)| jobs.len()).sum();
+        obs::counter!("serve.batch.groups").add(groups.len() as u64);
+        obs::counter!("serve.batch.deduped").add((jobs_total - groups.len()) as u64);
+
+        let outcomes = self
+            .pool
+            .par_map(&groups, |_, (_, jobs)| self.run_group(&jobs[0]));
+
+        let done_ns = obs::clock::monotonic_ns();
+        for ((_, jobs), (board, outcome)) in groups.iter().zip(&outcomes) {
+            for job in jobs {
+                let elapsed_ms = done_ns.saturating_sub(job.admitted_ns) as f64 / 1e6;
+                obs::histogram!("serve.request.latency_ns")
+                    .observe(done_ns.saturating_sub(job.admitted_ns));
+                let resp = match outcome {
+                    Ok(value) => {
+                        obs::counter!("serve.responses.ok").inc();
+                        Response::ok(
+                            job.req.id,
+                            &job.req.verb,
+                            *board as u64,
+                            job.seed,
+                            elapsed_ms,
+                            value.clone(),
+                        )
+                    }
+                    Err(e) => {
+                        obs::counter!("serve.responses.error").inc();
+                        Response::failure(
+                            job.req.id,
+                            &job.req.verb,
+                            "error",
+                            e.kind,
+                            e.message.clone(),
+                        )
+                    }
+                };
+                self.respond(job, resp);
+            }
+        }
+        obs::record_pool_stats("serve.pool", &self.pool.stats());
+    }
+
+    /// Executes one group representative on a checked-out board.
+    fn run_group(&self, job: &Job) -> (usize, Result<Value, ExecError>) {
+        let board = self.farm.checkout(job.seed);
+        let t0 = obs::clock::monotonic_ns();
+        let verb = job.req.verb.as_str();
+        let result = if exec::uses_board_platform(verb) && board.seed == job.seed {
+            board
+                .image()
+                .and_then(|p| exec::execute_on(&p, verb, job.seed, &job.req.config))
+        } else {
+            exec::execute(verb, job.seed, &job.req.config)
+        };
+        obs::histogram!("serve.exec.latency_ns").observe(obs::clock::monotonic_ns() - t0);
+        let id = board.id;
+        self.farm.checkin(board);
+        (id, result)
+    }
+
+    /// Sends a response for an admitted job and releases its quota slot.
+    fn respond(&self, job: &Job, resp: Response) {
+        (job.sink)(resp);
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.release_tenant(&job.req.tenant);
+    }
+
+    /// Sends a response for a request that was never admitted.
+    fn respond_unserved(&self, sink: Sink, resp: Response) {
+        obs::metrics::counter(format!("serve.responses.{}", resp.status)).inc();
+        sink(resp);
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn shed(&self, req: &Request, sink: Sink, kind: &str, message: &str) {
+        obs::metrics::counter(format!("serve.shed.{kind}")).inc();
+        sink(Response::failure(
+            req.id,
+            &req.verb,
+            "shed",
+            kind,
+            message.into(),
+        ));
+        self.served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn ack_shutdown(&self, waiters: Vec<(i64, Sink)>) {
+        let served = self.served.load(Ordering::Relaxed);
+        for (id, sink) in waiters {
+            let result = Value::Object(vec![
+                ("drained".into(), Value::Bool(true)),
+                ("served".into(), Value::Int(served as i64)),
+                ("boards".into(), Value::Int(self.farm.boards() as i64)),
+            ]);
+            sink(Response {
+                id,
+                status: "ok".into(),
+                verb: "shutdown".into(),
+                board: None,
+                seed: None,
+                elapsed_ms: None,
+                result: Some(result),
+                error_kind: None,
+                error: None,
+            });
+        }
+    }
+
+    fn release_tenant(&self, tenant: &str) {
+        let mut tenants = self
+            .tenants
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(t) = tenants.get_mut(tenant) {
+            t.inflight = t.inflight.saturating_sub(1);
+        }
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect_sink() -> (Sink, Arc<Mutex<Vec<Response>>>) {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink_seen = Arc::clone(&seen);
+        let sink: Sink = Arc::new(move |resp| {
+            sink_seen
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(resp);
+        });
+        (sink, seen)
+    }
+
+    fn sched(cfg: SchedConfig) -> Scheduler {
+        Scheduler::new(cfg, Farm::new(5, 1), Pool::serial())
+    }
+
+    fn ping(id: i64) -> Request {
+        Request::new(id, "ping")
+    }
+
+    #[test]
+    fn token_bucket_sheds_after_burst() {
+        let s = sched(SchedConfig {
+            burst: 2.0,
+            rate_per_sec: 0.0,
+            ..SchedConfig::default()
+        });
+        let (sink, seen) = collect_sink();
+        for id in 0..4 {
+            s.submit(ping(id), Arc::clone(&sink));
+        }
+        let seen = seen.lock().unwrap();
+        // The first two were admitted (queued, no dispatcher running);
+        // the rest shed immediately with the typed error.
+        assert_eq!(seen.len(), 2);
+        for resp in seen.iter() {
+            assert_eq!(resp.status, "shed");
+            assert_eq!(resp.error_kind.as_deref(), Some("rate_limited"));
+        }
+    }
+
+    #[test]
+    fn bounded_queue_sheds_queue_full() {
+        let s = sched(SchedConfig {
+            queue_cap: 3,
+            burst: 100.0,
+            ..SchedConfig::default()
+        });
+        let (sink, seen) = collect_sink();
+        for id in 0..5 {
+            s.submit(ping(id), Arc::clone(&sink));
+        }
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2, "two requests beyond queue_cap");
+        for resp in seen.iter() {
+            assert_eq!(resp.status, "shed");
+            assert_eq!(resp.error_kind.as_deref(), Some("queue_full"));
+        }
+    }
+
+    #[test]
+    fn inflight_quota_sheds_quota_exceeded() {
+        let s = sched(SchedConfig {
+            max_inflight: 1,
+            burst: 100.0,
+            ..SchedConfig::default()
+        });
+        let (sink, seen) = collect_sink();
+        s.submit(ping(0), Arc::clone(&sink));
+        s.submit(ping(1), Arc::clone(&sink));
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].error_kind.as_deref(), Some("quota_exceeded"));
+    }
+
+    #[test]
+    fn unknown_verb_answers_immediately() {
+        let s = sched(SchedConfig::default());
+        let (sink, seen) = collect_sink();
+        s.submit(Request::new(9, "frobnicate"), sink);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen[0].status, "error");
+        assert_eq!(seen[0].error_kind.as_deref(), Some("unknown_verb"));
+    }
+
+    #[test]
+    fn drain_serves_backlog_then_acks_shutdown() {
+        let s = sched(SchedConfig::default());
+        let (sink, seen) = collect_sink();
+        s.submit(ping(1), Arc::clone(&sink));
+        s.submit(ping(2), Arc::clone(&sink));
+        s.submit(Request::new(3, "shutdown"), Arc::clone(&sink));
+        // Post-drain submissions shed.
+        s.submit(ping(4), Arc::clone(&sink));
+        s.dispatch_loop();
+        assert!(s.stopped());
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 4, "zero lost responses");
+        let by_id = |id: i64| seen.iter().find(|r| r.id == id).unwrap();
+        assert!(by_id(1).is_ok());
+        assert!(by_id(2).is_ok());
+        assert_eq!(by_id(4).error_kind.as_deref(), Some("shutting_down"));
+        let ack = by_id(3);
+        assert!(ack.is_ok());
+        let result = ack.result.as_ref().unwrap();
+        assert_eq!(result.get("drained").unwrap().as_bool(), Some(true));
+        assert_eq!(result.get("served").unwrap().as_i64(), Some(3));
+    }
+
+    #[test]
+    fn expired_deadline_times_out_and_frees_the_board() {
+        let s = sched(SchedConfig::default());
+        let (sink, seen) = collect_sink();
+        let mut doomed = ping(1);
+        doomed.deadline_ms = Some(0);
+        s.submit(doomed, Arc::clone(&sink));
+        s.submit(ping(2), Arc::clone(&sink));
+        s.submit(Request::new(3, "shutdown"), Arc::clone(&sink));
+        s.dispatch_loop();
+        let seen = seen.lock().unwrap();
+        let by_id = |id: i64| seen.iter().find(|r| r.id == id).unwrap();
+        assert_eq!(by_id(1).status, "timeout");
+        assert_eq!(by_id(1).error_kind.as_deref(), Some("deadline_exceeded"));
+        // The board kept serving afterwards: request 2 completed.
+        assert!(by_id(2).is_ok());
+    }
+
+    #[test]
+    fn identical_requests_batch_onto_one_execution() {
+        let s = sched(SchedConfig::default());
+        let before = obs::metrics::counter("serve.batch.deduped".to_string()).get();
+        let (sink, seen) = collect_sink();
+        for id in 0..3 {
+            let mut req = Request::new(id, "ping");
+            req.seed = Some(77);
+            s.submit(req, Arc::clone(&sink));
+        }
+        s.begin_drain();
+        s.dispatch_loop();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.iter().filter(|r| r.is_ok()).count(), 3);
+        let after = obs::metrics::counter("serve.batch.deduped".to_string()).get();
+        assert!(
+            after >= before + 2,
+            "three identical jobs dedup to one execution"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Satellite gate: the `serve.*` instrumentation and the runtime's
+//! lock-order / pool gauges all surface through the export layer
+//! (`metrics_to_csv` / `metrics_to_jsonl`), so a farm operator scraping
+//! either format sees the full serving picture.
+
+use sim_rt::pool::service_scope;
+use sim_rt::ser::Value;
+use sim_serve::{Client, Server, ServerConfig};
+
+#[test]
+fn serve_metrics_surface_in_csv_and_jsonl_exports() {
+    // Drive one real request (plus a drain) so every serve.* family has
+    // at least one sample in the process-global registry.
+    let server = Server::bind(ServerConfig {
+        boards: 2,
+        farm_seed: 21,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    service_scope(|svc| {
+        let join = svc.spawn("metrics-server", move || server.run());
+        let mut conn = Client::connect(addr).expect("connect");
+        let config = Value::Object(vec![("samples_per_level".into(), Value::Int(30))]);
+        // Unpinned: adopts board 0's seed, which exercises the
+        // board-image fast path (and its platform_inits counter).
+        let resp = conn.request("quickstart", None, config).expect("request");
+        assert!(resp.is_ok(), "{:?}", resp.error);
+        conn.shutdown_server().expect("drain ack");
+        join.join().expect("server thread");
+    });
+
+    let snapshot = obs::metrics::snapshot();
+    let csv = amperebleed::export::metrics_to_csv(&snapshot);
+    let jsonl = amperebleed::export::metrics_to_jsonl(&snapshot);
+    for name in [
+        // serve.* counters and gauges added by this subsystem
+        "serve.requests",
+        "serve.admitted",
+        "serve.responses.ok",
+        "serve.connections",
+        "serve.drains",
+        "serve.queue.depth",
+        "serve.farm.boards",
+        "serve.farm.checkouts",
+        "serve.farm.platform_inits",
+        "serve.farm.free",
+        // latency / batching histograms
+        "serve.batch.size",
+        "serve.request.latency_ns",
+        "serve.exec.latency_ns",
+        // pre-existing runtime gauges that must keep flowing through
+        "serve.pool.jobs_stolen",
+        "lockorder.acquisitions",
+        "lockorder.edges_tracked",
+        "lockorder.cycles_detected",
+    ] {
+        assert!(csv.contains(name), "{name} missing from metrics_to_csv");
+        assert!(jsonl.contains(name), "{name} missing from metrics_to_jsonl");
+    }
+}

@@ -81,143 +81,151 @@ pub struct BoardSpec {
     pub cpu_clock_mhz: u32,
 }
 
+/// Builds one catalog row in const context.
+const fn spec(
+    name: &'static str,
+    family: FpgaFamily,
+    band: VoltageBand,
+    cpu: CpuModel,
+    dram_gb: u32,
+    ina_sensor_count: u32,
+    price_usd: u32,
+) -> BoardSpec {
+    BoardSpec {
+        name,
+        family,
+        fpga_voltage_band: band,
+        cpu,
+        dram_gb,
+        ina_sensor_count,
+        price_usd,
+        fabric_clock_mhz: 300,
+        cpu_clock_mhz: match cpu {
+            CpuModel::CortexA53 => 1_200,
+            CpuModel::CortexA72 => 1_700,
+        },
+    }
+}
+
 impl BoardSpec {
-    /// The paper's experimental machine: Xilinx ZCU102 (4x Cortex-A53 @
-    /// 1200 MHz, fabric @ 300 MHz, 18 INA226 sensors).
+    /// The paper's experimental machine as a const: Xilinx ZCU102 (4x
+    /// Cortex-A53 @ 1200 MHz, fabric @ 300 MHz, 18 INA226 sensors).
+    pub const ZCU102: BoardSpec = spec(
+        "ZCU102",
+        FpgaFamily::ZynqUltraScalePlus,
+        VoltageBand::ZYNQ_ULTRASCALE_PLUS,
+        CpuModel::CortexA53,
+        4,
+        18,
+        3_234,
+    );
+
+    /// The full Table I survey (8 boards, both families) as a const table:
+    /// board-farm re-imaging constructs a platform per campaign run, so
+    /// spec lookup must cost nothing.
+    pub const CATALOG: [BoardSpec; 8] = [
+        BoardSpec::ZCU102,
+        spec(
+            "ZCU111",
+            FpgaFamily::ZynqUltraScalePlus,
+            VoltageBand::ZYNQ_ULTRASCALE_PLUS,
+            CpuModel::CortexA53,
+            4,
+            14,
+            14_995,
+        ),
+        spec(
+            "ZCU216",
+            FpgaFamily::ZynqUltraScalePlus,
+            VoltageBand::ZYNQ_ULTRASCALE_PLUS,
+            CpuModel::CortexA53,
+            4,
+            14,
+            16_995,
+        ),
+        spec(
+            "ZCU1285",
+            FpgaFamily::ZynqUltraScalePlus,
+            VoltageBand::ZYNQ_ULTRASCALE_PLUS,
+            CpuModel::CortexA53,
+            8,
+            21,
+            32_394,
+        ),
+        spec(
+            "VEK280",
+            FpgaFamily::Versal,
+            VoltageBand::VERSAL,
+            CpuModel::CortexA72,
+            12,
+            20,
+            6_995,
+        ),
+        spec(
+            "VCK190",
+            FpgaFamily::Versal,
+            VoltageBand::VERSAL,
+            CpuModel::CortexA72,
+            8,
+            17,
+            13_195,
+        ),
+        spec(
+            "VHK158",
+            FpgaFamily::Versal,
+            VoltageBand::VERSAL,
+            CpuModel::CortexA72,
+            32,
+            22,
+            14_995,
+        ),
+        spec(
+            "VPK180",
+            FpgaFamily::Versal,
+            VoltageBand::VERSAL,
+            CpuModel::CortexA72,
+            12,
+            19,
+            17_995,
+        ),
+    ];
+
+    /// The paper's experimental machine (a copy of [`BoardSpec::ZCU102`]).
     pub fn zcu102() -> Self {
-        BoardSpec {
-            name: "ZCU102",
-            family: FpgaFamily::ZynqUltraScalePlus,
-            fpga_voltage_band: VoltageBand::ZYNQ_ULTRASCALE_PLUS,
-            cpu: CpuModel::CortexA53,
-            dram_gb: 4,
-            ina_sensor_count: 18,
-            price_usd: 3_234,
-            fabric_clock_mhz: 300,
-            cpu_clock_mhz: 1_200,
-        }
+        BoardSpec::ZCU102
     }
 
     /// The full Table I survey (8 boards, both families).
-    pub fn catalog() -> Vec<BoardSpec> {
-        let zup = VoltageBand::ZYNQ_ULTRASCALE_PLUS;
-        let versal = VoltageBand::VERSAL;
-        let mk = |name, family, band, cpu, dram_gb, ina_sensor_count, price_usd| BoardSpec {
-            name,
-            family,
-            fpga_voltage_band: band,
-            cpu,
-            dram_gb,
-            ina_sensor_count,
-            price_usd,
-            fabric_clock_mhz: 300,
-            cpu_clock_mhz: match cpu {
-                CpuModel::CortexA53 => 1_200,
-                CpuModel::CortexA72 => 1_700,
-            },
-        };
-        vec![
-            mk(
-                "ZCU102",
-                FpgaFamily::ZynqUltraScalePlus,
-                zup,
-                CpuModel::CortexA53,
-                4,
-                18,
-                3_234,
-            ),
-            mk(
-                "ZCU111",
-                FpgaFamily::ZynqUltraScalePlus,
-                zup,
-                CpuModel::CortexA53,
-                4,
-                14,
-                14_995,
-            ),
-            mk(
-                "ZCU216",
-                FpgaFamily::ZynqUltraScalePlus,
-                zup,
-                CpuModel::CortexA53,
-                4,
-                14,
-                16_995,
-            ),
-            mk(
-                "ZCU1285",
-                FpgaFamily::ZynqUltraScalePlus,
-                zup,
-                CpuModel::CortexA53,
-                8,
-                21,
-                32_394,
-            ),
-            mk(
-                "VEK280",
-                FpgaFamily::Versal,
-                versal,
-                CpuModel::CortexA72,
-                12,
-                20,
-                6_995,
-            ),
-            mk(
-                "VCK190",
-                FpgaFamily::Versal,
-                versal,
-                CpuModel::CortexA72,
-                8,
-                17,
-                13_195,
-            ),
-            mk(
-                "VHK158",
-                FpgaFamily::Versal,
-                versal,
-                CpuModel::CortexA72,
-                32,
-                22,
-                14_995,
-            ),
-            mk(
-                "VPK180",
-                FpgaFamily::Versal,
-                versal,
-                CpuModel::CortexA72,
-                12,
-                19,
-                17_995,
-            ),
-        ]
+    pub fn catalog() -> &'static [BoardSpec] {
+        &Self::CATALOG
     }
 
     /// Looks a board up by name (case-insensitive).
     pub fn by_name(name: &str) -> Option<BoardSpec> {
-        Self::catalog()
-            .into_iter()
+        Self::CATALOG
+            .iter()
             .find(|b| b.name.eq_ignore_ascii_case(name))
+            .cloned()
     }
 
     /// The "sensitive sensors" of Table II: INA226 monitors whose hwmon
     /// nodes are readable without privileges and observe security-relevant
     /// domains. On the ZCU102 these are 4 of the 18 on-board sensors.
-    pub fn sensitive_sensors(&self) -> Vec<SensorSpec> {
-        PowerDomain::ALL
-            .iter()
-            .map(|&domain| SensorSpec {
-                designator: domain.ina226_designator(),
-                domain,
-                // Rail-appropriate shunt values; the FPGA rail carries the
-                // largest current and uses the smallest shunt.
-                shunt_milliohm: match domain {
-                    PowerDomain::FpgaLogic => 0.5,
-                    PowerDomain::Ddr => 1.0,
-                    PowerDomain::FullPowerCpu => 2.0,
-                    PowerDomain::LowPowerCpu => 5.0,
-                },
-            })
-            .collect()
+    /// Returns a fixed-size array — no allocation on the per-board
+    /// construction path.
+    pub fn sensitive_sensors(&self) -> [SensorSpec; 4] {
+        PowerDomain::ALL.map(|domain| SensorSpec {
+            designator: domain.ina226_designator(),
+            domain,
+            // Rail-appropriate shunt values; the FPGA rail carries the
+            // largest current and uses the smallest shunt.
+            shunt_milliohm: match domain {
+                PowerDomain::FpgaLogic => 0.5,
+                PowerDomain::Ddr => 1.0,
+                PowerDomain::FullPowerCpu => 2.0,
+                PowerDomain::LowPowerCpu => 5.0,
+            },
+        })
     }
 }
 
@@ -247,7 +255,7 @@ mod tests {
             .filter(|b| b.family == FpgaFamily::ZynqUltraScalePlus)
             .count();
         assert_eq!(zup, 4);
-        for b in &boards {
+        for b in boards {
             match b.family {
                 FpgaFamily::ZynqUltraScalePlus => {
                     assert_eq!(b.cpu, CpuModel::CortexA53);

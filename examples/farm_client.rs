@@ -1,0 +1,82 @@
+//! Minimal board-farm client: send one campaign request to a running
+//! `serve` instance and print the response.
+//!
+//! ```text
+//! cargo run --example farm_client -- 127.0.0.1:4650 \
+//!     [--verb quickstart] [--seed 42] [--tenant alice] [--shutdown]
+//! ```
+//!
+//! With `--shutdown` the client also asks the server to drain and exit
+//! after its request completes (this is what the CI smoke gate does).
+
+use sim_rt::ser::Value;
+use sim_serve::Client;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut verb = "quickstart".to_string();
+    let mut seed = None;
+    let mut tenant = None;
+    let mut shutdown = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--verb" => verb = it.next().expect("--verb needs a value").clone(),
+            "--seed" => {
+                seed = Some(
+                    it.next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("--seed must be an integer"),
+                );
+            }
+            "--tenant" => tenant = Some(it.next().expect("--tenant needs a value").clone()),
+            "--shutdown" => shutdown = true,
+            other if addr.is_none() && !other.starts_with("--") => {
+                addr = Some(other.to_string());
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let addr = addr.expect("usage: farm_client ADDR [--verb V] [--seed N] [--shutdown]");
+
+    let mut client = Client::connect(&addr).expect("connect to serve");
+    if let Some(tenant) = tenant {
+        client.set_tenant(tenant);
+    }
+
+    // Keep the default request cheap so the example doubles as a smoke
+    // test; a pinned seed makes the printed result reproducible.
+    let config = if verb == "quickstart" {
+        Value::Object(vec![("samples_per_level".into(), Value::Int(40))])
+    } else {
+        Value::Null
+    };
+    let resp = client.request(&verb, seed, config).expect("request");
+    println!(
+        "{} {} (board {:?}, seed {:?}, {:.1} ms)",
+        resp.status,
+        resp.verb,
+        resp.board,
+        resp.seed,
+        resp.elapsed_ms.unwrap_or(0.0)
+    );
+    match (&resp.result, &resp.error) {
+        (Some(result), _) => println!("result: {}", result.to_json()),
+        (None, Some(error)) => println!("error: {error}"),
+        _ => {}
+    }
+
+    if shutdown {
+        let ack = client.shutdown_server().expect("shutdown ack");
+        println!(
+            "drained: {}",
+            ack.result.map_or_else(|| "?".into(), |v| v.to_json())
+        );
+    }
+    if !resp.is_ok() {
+        std::process::exit(1);
+    }
+}
