@@ -70,7 +70,7 @@ head -n 1 "$trace_file" | grep -q '"level":' || {
 echo "    $(wc -l < "$trace_file") events traced"
 
 echo "==> sampler fast-path smoke (bench --quick)"
-fastpath_artifact="crates/bench/BENCH_sampler_fastpath.json"
+fastpath_artifact="crates/bench/BENCH_sampler_fastpath.quick.json"
 rm -f "$fastpath_artifact"
 cargo bench --offline --bench sampler_fastpath -- --quick
 if ! [ -s "$fastpath_artifact" ]; then
@@ -83,7 +83,7 @@ grep -q '"all_channels_fresh"' "$fastpath_artifact" || {
 }
 
 echo "==> serve throughput smoke (bench --quick)"
-serve_artifact="crates/bench/BENCH_serve_throughput.json"
+serve_artifact="crates/bench/BENCH_serve_throughput.quick.json"
 rm -f "$serve_artifact"
 cargo bench --offline --bench serve_throughput -- --quick
 if ! [ -s "$serve_artifact" ]; then
@@ -127,6 +127,44 @@ wait "$serve_pid" || {
 grep -q '^serve: clean shutdown$' "$serve_log" || {
     echo "ci.sh: serve did not report a clean drain:" >&2
     cat "$serve_log" >&2
+    exit 1
+}
+
+echo "==> defend smoke (ephemeral port, one-point sweep through serve)"
+defend_log="$(mktemp)"
+cleanup_files+=("$defend_log")
+cargo run --offline --release -p sim-serve --bin serve -- \
+    --addr 127.0.0.1:0 --boards 1 >"$defend_log" 2>&1 &
+defend_pid=$!
+cleanup_pids+=("$defend_pid")
+defend_addr=""
+for _ in $(seq 1 100); do
+    defend_addr="$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' "$defend_log")"
+    [ -n "$defend_addr" ] && break
+    if ! kill -0 "$defend_pid" 2>/dev/null; then
+        echo "ci.sh: defend-smoke serve exited before binding:" >&2
+        cat "$defend_log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$defend_addr" ]; then
+    echo "ci.sh: defend-smoke serve never reported its address:" >&2
+    cat "$defend_log" >&2
+    exit 1
+fi
+defend_out="$(cargo run --offline --release --example farm_client -- "$defend_addr" \
+    --verb defend --seed 11 \
+    --config '{"attack": "covert", "layers": ["noise", "throttle"], "strengths": [0.6], "payload": "ci"}' \
+    --shutdown)"
+echo "$defend_out" | grep -q '"auc"' || {
+    echo "ci.sh: defend smoke produced no sweep report:" >&2
+    echo "$defend_out" >&2
+    exit 1
+}
+wait "$defend_pid" || {
+    echo "ci.sh: defend-smoke serve exited non-zero after drain:" >&2
+    cat "$defend_log" >&2
     exit 1
 }
 

@@ -1,0 +1,141 @@
+//! Overhead gates for the defense-layer hooks on the sensing path.
+//!
+//! The `SensorDefense` hook was added to the hwmon refresh path with the
+//! promise that an *undefended* device pays only an `Option` match. This
+//! bench holds that promise to numbers and writes
+//! `BENCH_defend_overhead.json`:
+//!
+//! * **no_stack** — fresh-conversion captures on an undefended platform
+//!   (the reference cost).
+//! * **zero_strength** — the same captures after installing a
+//!   jitter+noise+throttle stack at strength 0. The stack installs
+//!   nothing, so the gate is tight: at most 15% over the reference
+//!   (machine-noise allowance — structurally it is the same code path).
+//! * **active_stack** — the same stack at full strength, reported with a
+//!   loose gate (the runtime adapter adds per-window hashes and a
+//!   throttle map lookup; 3x headroom keeps the gate honest without
+//!   tracking machine speed).
+//!
+//! Run with: `cargo bench --bench defend_overhead` (gates enforced) or
+//! `-- --quick` (smoke: measures and writes the artifact only).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use amperebleed::{Channel, CurrentSampler, Platform};
+use fpga_fabric::virus::VirusConfig;
+use sim_defend::{stack_from, LayerKind};
+use sim_rt::Record;
+use zynq_soc::{PowerDomain, SimTime};
+
+const SAMPLES: usize = 64;
+const STACK: [LayerKind; 3] = [LayerKind::Jitter, LayerKind::Noise, LayerKind::Throttle];
+
+/// Overhead ratio gates relative to the undefended reference.
+const ZERO_STRENGTH_MAX_RATIO: f64 = 1.15;
+const ACTIVE_STACK_MAX_RATIO: f64 = 3.0;
+
+fn time_ns(iters: u64, mut f: impl FnMut() -> f64) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn best_ns(rounds: u32, iters: u64, mut f: impl FnMut() -> f64) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        best = best.min(time_ns(iters, &mut f));
+    }
+    best
+}
+
+/// Builds a busy platform, optionally installs the stack at `strength`,
+/// and returns a fresh-conversion capture closure over advancing windows.
+fn capture_workload(strength: Option<f64>) -> impl FnMut() -> f64 {
+    let mut platform = Platform::zcu102(42);
+    let virus = platform.deploy_virus(VirusConfig::default()).unwrap();
+    virus.activate_groups(80).unwrap();
+    if let Some(s) = strength {
+        let stack = stack_from(&STACK, s, 7);
+        stack.install(platform.hwmon_mut()).unwrap();
+    }
+    let mut t = 40_000_000u64;
+    // The closure owns the platform; the sampler is a Copy wrapper around
+    // a borrow, so rebuilding it per call costs nothing measurable.
+    move || {
+        t += 10 * 35_000_000 * SAMPLES as u64;
+        let trace = CurrentSampler::unprivileged(&platform)
+            .capture(
+                PowerDomain::FpgaLogic,
+                Channel::Current,
+                SimTime::from_nanos(t),
+                1.0 / 0.035,
+                SAMPLES,
+            )
+            .unwrap();
+        trace.samples[SAMPLES - 1]
+    }
+}
+
+fn main() {
+    let quick = sim_rt::bench::quick_requested();
+    obs::init();
+
+    let (rounds, iters) = if quick { (2, 3) } else { (14, 40) };
+    let reference_ns = best_ns(rounds, iters, capture_workload(None));
+
+    let mut rows = Vec::new();
+    let mut all_pass = true;
+    let mut reference_row = Record::new();
+    reference_row
+        .push("bench", "no_stack")
+        .push("samples_per_capture", SAMPLES as u64)
+        .push("iters_per_round", iters)
+        .push("rounds", rounds as u64)
+        .push("quick", quick)
+        .push("ns_per_capture", reference_ns);
+    rows.push(reference_row);
+
+    for (name, strength, max_ratio) in [
+        ("zero_strength", 0.0, ZERO_STRENGTH_MAX_RATIO),
+        ("active_stack", 1.0, ACTIVE_STACK_MAX_RATIO),
+    ] {
+        let ns = best_ns(rounds, iters, capture_workload(Some(strength)));
+        let ratio = ns / reference_ns;
+        let pass = ratio <= max_ratio;
+        all_pass &= pass;
+        println!(
+            "defend_overhead/{name}: {ns:>12.1} ns/capture, reference {reference_ns:.0} ns, \
+             ratio {ratio:.3}x (gate <= {max_ratio}x) -> {}",
+            if pass { "pass" } else { "FAIL" }
+        );
+        let mut row = Record::new();
+        row.push("bench", name)
+            .push("samples_per_capture", SAMPLES as u64)
+            .push("iters_per_round", iters)
+            .push("rounds", rounds as u64)
+            .push("quick", quick)
+            .push("ns_per_capture", ns)
+            .push("reference_ns_per_capture", reference_ns)
+            .push("ratio", ratio)
+            .push("max_ratio", max_ratio)
+            .push("pass", pass);
+        rows.push(row);
+    }
+
+    // Quick smokes must not clobber the committed full-run artifact.
+    let path = if quick {
+        "BENCH_defend_overhead.quick.json"
+    } else {
+        "BENCH_defend_overhead.json"
+    };
+    std::fs::write(path, sim_rt::to_jsonl(&rows)).expect("write artifact");
+    println!("defend_overhead: wrote {path}");
+
+    // Quick (smoke) timings are 3-iteration noise; only a full run judges.
+    if !quick && !all_pass {
+        std::process::exit(1);
+    }
+}

@@ -99,7 +99,12 @@ fn main() {
         .push("overhead_pct", overhead_pct)
         .push("threshold_pct", THRESHOLD_PCT)
         .push("pass", pass);
-    let path = "BENCH_obs_overhead.json";
+    // Quick smokes must not clobber the committed full-run artifact.
+    let path = if quick {
+        "BENCH_obs_overhead.quick.json"
+    } else {
+        "BENCH_obs_overhead.json"
+    };
     std::fs::write(path, sim_rt::to_jsonl(&[row])).expect("write artifact");
     println!("obs_overhead: wrote {path}");
 

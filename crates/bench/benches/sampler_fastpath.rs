@@ -183,7 +183,13 @@ fn main() {
         rows.push(row);
     }
 
-    let path = "BENCH_sampler_fastpath.json";
+    // Quick (smoke) timings land in a separate, uncommitted artifact so a
+    // CI smoke can never clobber the committed full-run record.
+    let path = if quick {
+        "BENCH_sampler_fastpath.quick.json"
+    } else {
+        "BENCH_sampler_fastpath.json"
+    };
     std::fs::write(path, sim_rt::to_jsonl(&rows)).expect("write artifact");
     println!("sampler_fastpath: wrote {path}");
 

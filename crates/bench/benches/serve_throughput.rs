@@ -139,7 +139,12 @@ fn main() {
         .push("latency_p99_ns", latency.p99)
         .push("pass", pass);
 
-    let path = "BENCH_serve_throughput.json";
+    // Quick smokes must not clobber the committed full-run artifact.
+    let path = if quick {
+        "BENCH_serve_throughput.quick.json"
+    } else {
+        "BENCH_serve_throughput.json"
+    };
     std::fs::write(path, sim_rt::to_jsonl(&[row])).expect("write artifact");
     println!("serve_throughput: wrote {path}");
 

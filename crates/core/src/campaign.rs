@@ -13,6 +13,7 @@ use fpga_fabric::virus::VirusConfig;
 use zynq_soc::SimTime;
 
 use crate::characterize::{self, CharacterizationReport, CharacterizeConfig};
+use crate::defend::{self, DefendConfig, DefendReport};
 use crate::fingerprint::{collect_corpus, evaluate_grid, AccuracyGrid, FingerprintConfig};
 use crate::mitigation::restrict_all_sensors;
 use crate::rsa_attack::{self, RsaAttackConfig, RsaAttackReport};
@@ -35,6 +36,10 @@ pub struct CampaignConfig {
     pub tee: TeeAttackConfig,
     /// Workload-reconnaissance parameters.
     pub workload: WorkloadConfig,
+    /// Optional defend sweep appended after the mitigation stage (`None`
+    /// keeps the classic six-stage campaign). The sweep's own seed is
+    /// overridden by the campaign seed.
+    pub defend: Option<DefendConfig>,
 }
 
 impl Default for CampaignConfig {
@@ -46,6 +51,7 @@ impl Default for CampaignConfig {
             rsa: RsaAttackConfig::quick(),
             tee: TeeAttackConfig::default(),
             workload: WorkloadConfig::default(),
+            defend: None,
         }
     }
 }
@@ -95,6 +101,9 @@ impl CampaignConfig {
         self.characterize.validate()?;
         self.fingerprint.validate()?;
         self.rsa.validate()?;
+        if let Some(defend) = &self.defend {
+            defend.validate()?;
+        }
         Ok(())
     }
 }
@@ -125,6 +134,8 @@ pub struct CampaignReport {
     pub workload_accuracy: f64,
     /// Whether the Section V mitigation blocked an attack re-run.
     pub mitigation_effective: bool,
+    /// The optional defend sweep's report (`None` unless configured).
+    pub defend: Option<DefendReport>,
     /// Wall-clock elapsed per stage, in execution order.
     pub phase_timings: Vec<PhaseTiming>,
     /// Process-global metrics frozen at campaign end: sensor-read
@@ -179,6 +190,14 @@ impl CampaignReport {
                 "FAILED to block"
             }
         ));
+        if let Some(defend) = &self.defend {
+            out.push_str(&format!(
+                "defend sweep     : {} vs {} auc {:.3}\n",
+                defend.attack,
+                defend.stack,
+                defend.curve.auc()
+            ));
+        }
         let total: f64 = self
             .phase_timings
             .iter()
@@ -297,6 +316,19 @@ pub fn run(config: &CampaignConfig) -> Result<CampaignReport> {
     let mitigation_effective = characterize::run(&hardened, &config.characterize).is_err();
     phase.close(&mut phase_timings);
 
+    // Stage 7 (optional): attack-vs-defense sweep.
+    let defend_report = match &config.defend {
+        None => None,
+        Some(defend_config) => {
+            let phase = TimedPhase::enter("defend");
+            let mut cfg = defend_config.clone();
+            cfg.seed = config.seed;
+            let report = defend::run(&cfg)?;
+            phase.close(&mut phase_timings);
+            Some(report)
+        }
+    };
+
     // Freeze pool telemetry and the whole metrics registry into the report.
     obs::record_pool_stats("pool.global", &sim_rt::pool::Pool::global().stats());
     let metrics = obs::metrics::snapshot();
@@ -310,6 +342,7 @@ pub fn run(config: &CampaignConfig) -> Result<CampaignReport> {
         tee_accuracy,
         workload_accuracy,
         mitigation_effective,
+        defend: defend_report,
         phase_timings,
         metrics,
     })
@@ -349,6 +382,34 @@ impl TimedPhase {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::defend::AttackKind;
+
+    #[test]
+    fn defend_stage_is_optional_and_validated() {
+        // Default config carries no defend stage and the classic stage
+        // list (pinned below) stays intact.
+        assert!(CampaignConfig::default().defend.is_none());
+        // A bad defend config fails validation up front.
+        let mut config = CampaignConfig::minimal();
+        let mut defend = DefendConfig::quick(AttackKind::Covert);
+        defend.strengths = vec![0.7, 0.2];
+        config.defend = Some(defend);
+        assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn configured_defend_stage_appends_its_report() {
+        let mut config = CampaignConfig::minimal();
+        let mut defend = DefendConfig::quick(AttackKind::Covert);
+        defend.strengths = vec![0.8];
+        config.defend = Some(defend);
+        let report = run(&config).unwrap();
+        let names: Vec<&str> = report.phase_timings.iter().map(|p| p.name).collect();
+        assert_eq!(names.last(), Some(&"defend"));
+        let defend_report = report.defend.as_ref().unwrap();
+        assert_eq!(defend_report.points.len(), 1);
+        assert!(report.summary().contains("defend sweep     : covert vs"));
+    }
 
     #[test]
     fn minimal_campaign_covers_every_stage() {

@@ -144,6 +144,22 @@ pub fn receive(
 /// [`AttackError::InvalidParameter`] for an empty payload; otherwise the
 /// deployment and [`receive`] failure modes.
 pub fn round_trip(config: &CovertConfig, payload: &[u8], seed: u64) -> Result<(Reception, f64)> {
+    round_trip_hardened(config, payload, seed, crate::defend::UNDEFENDED)
+}
+
+/// [`round_trip`] against a defended platform: `harden` runs after the
+/// transmitter deploys and before reception, so the receiver reads the
+/// sensing path with the countermeasure in place.
+///
+/// # Errors
+///
+/// As [`round_trip`], plus whatever `harden` returns.
+pub fn round_trip_hardened(
+    config: &CovertConfig,
+    payload: &[u8],
+    seed: u64,
+    harden: crate::defend::Hardener<'_>,
+) -> Result<(Reception, f64)> {
     if payload.is_empty() {
         return Err(AttackError::InvalidParameter(
             "payload must be non-empty".into(),
@@ -151,6 +167,7 @@ pub fn round_trip(config: &CovertConfig, payload: &[u8], seed: u64) -> Result<(R
     }
     let mut platform = Platform::zcu102(seed);
     platform.deploy_covert_transmitter(*config, payload)?;
+    harden(&mut platform)?;
     let rx = receive(&platform, config, payload.len(), SimTime::from_ms(40))?;
     let ber = bit_error_rate(payload, &rx.payload);
     Ok((rx, ber))

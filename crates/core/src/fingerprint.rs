@@ -186,6 +186,22 @@ pub fn collect_corpus_with(
     config: &FingerprintConfig,
     pool: &Pool,
 ) -> Result<Vec<ModelCapture>> {
+    collect_corpus_hardened(models, config, pool, crate::defend::UNDEFENDED)
+}
+
+/// [`collect_corpus_with`] against defended platforms: `harden` runs on
+/// each fresh per-capture platform after the victim model loads and
+/// before the attacker samples.
+///
+/// # Errors
+///
+/// As [`collect_corpus_with`], plus whatever `harden` returns.
+pub fn collect_corpus_hardened(
+    models: &[&ModelArch],
+    config: &FingerprintConfig,
+    pool: &Pool,
+    harden: crate::defend::Hardener<'_>,
+) -> Result<Vec<ModelCapture>> {
     if models.is_empty() {
         return Err(AttackError::InvalidParameter("no victim models".into()));
     }
@@ -204,6 +220,7 @@ pub fn collect_corpus_with(
         let mut platform = Platform::zcu102(seed);
         let dpu = platform.deploy_dpu(DpuConfig::default())?;
         dpu.load_model(model);
+        harden(&mut platform)?;
         let sampler = CurrentSampler::unprivileged(&platform);
         // The attacker's capture starts at an arbitrary phase of the
         // victim's inference loop.
@@ -412,6 +429,23 @@ pub fn evaluate_grid_with(
 /// the zoo; otherwise the [`collect_corpus_with`] /
 /// [`evaluate_grid_with`] failure modes.
 pub fn run_with(config: &FingerprintConfig, n_models: usize, pool: &Pool) -> Result<AccuracyGrid> {
+    run_hardened(config, n_models, pool, crate::defend::UNDEFENDED)
+}
+
+/// [`run_with`] against defended platforms: every corpus capture runs
+/// with `harden` applied (see [`collect_corpus_hardened`]); the offline
+/// training/evaluation half is unchanged — the defense acts on the
+/// sensing path, not on the classifier.
+///
+/// # Errors
+///
+/// As [`run_with`], plus whatever `harden` returns.
+pub fn run_hardened(
+    config: &FingerprintConfig,
+    n_models: usize,
+    pool: &Pool,
+    harden: crate::defend::Hardener<'_>,
+) -> Result<AccuracyGrid> {
     let zoo = dnn_models::zoo();
     if n_models == 0 || n_models > zoo.len() {
         return Err(AttackError::InvalidParameter(format!(
@@ -420,7 +454,7 @@ pub fn run_with(config: &FingerprintConfig, n_models: usize, pool: &Pool) -> Res
         )));
     }
     let victims: Vec<&ModelArch> = zoo.iter().take(n_models).collect();
-    let corpus = collect_corpus_with(&victims, config, pool)?;
+    let corpus = collect_corpus_hardened(&victims, config, pool, harden)?;
     evaluate_grid_with(&corpus, config, &[config.capture_seconds], pool)
 }
 

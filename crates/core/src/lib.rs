@@ -24,6 +24,9 @@
 //! * [`rsa_attack`] — the Figure 4 RSA Hamming-weight attack.
 //! * [`mitigation`] — the Section V countermeasure (root-only sensors) and
 //!   its effect on each attack.
+//! * [`defend`] — the attack-vs-defense sweep: composable
+//!   [`sim_defend`] layers (update jitter, quantization, noise injection,
+//!   throttling, root-only) measured against each attack's success metric.
 //!
 //! # Quickstart
 //!
@@ -59,6 +62,7 @@
 pub mod campaign;
 pub mod characterize;
 pub mod covert;
+pub mod defend;
 mod error;
 pub mod export;
 pub mod fingerprint;

@@ -9,32 +9,32 @@
 //! tools relying on these nodes for performance monitoring, fault
 //! detection and system management break too, and legacy devices never
 //! receive the driver update.
+//!
+//! Since the defense-layer subsystem landed, this policy is also
+//! available as the zero-cost baseline layer
+//! [`sim_defend::RootOnly`] in any [`sim_defend::DefenseStack`]; the
+//! functions here are thin wrappers kept for the original Section V API.
 
-use zynq_soc::PowerDomain;
+use sim_defend::{DefenseLayer, RootOnly};
 
-use crate::{Platform, Result};
+use crate::{AttackError, Platform, Result};
 
 /// Applies the root-only read policy to every sensitive sensor on the
-/// platform.
+/// platform (the [`RootOnly`] defense layer at full strength).
 ///
 /// # Errors
 ///
 /// Propagates [`crate::AttackError::Hwmon`] if a sensor is missing (which
 /// would indicate a mis-assembled platform).
 pub fn restrict_all_sensors(platform: &mut Platform) -> Result<()> {
-    for domain in PowerDomain::ALL {
-        let name = domain.ina226_designator().to_owned();
-        platform.hwmon_mut().restrict_reads_to_root(&name)?;
-    }
-    Ok(())
+    RootOnly::enabled()
+        .install(platform.hwmon_mut())
+        .map_err(AttackError::from)
 }
 
 /// Lifts the policy again (e.g. to compare before/after in experiments).
 pub fn unrestrict_all_sensors(platform: &mut Platform) {
-    for domain in PowerDomain::ALL {
-        let name = domain.ina226_designator().to_owned();
-        platform.hwmon_mut().unrestrict_reads(&name);
-    }
+    RootOnly::lift(platform.hwmon_mut());
 }
 
 #[cfg(test)]
@@ -43,7 +43,7 @@ mod tests {
     use crate::{AttackError, Channel, CurrentSampler};
     use fpga_fabric::virus::VirusConfig;
     use hwmon_sim::HwmonError;
-    use zynq_soc::SimTime;
+    use zynq_soc::{PowerDomain, SimTime};
 
     #[test]
     fn mitigation_blocks_unprivileged_sampling_everywhere() {

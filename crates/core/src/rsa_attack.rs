@@ -178,6 +178,21 @@ impl RsaAttackReport {
 ///
 /// Propagates key construction, deployment, capture and analysis errors.
 pub fn run(config: &RsaAttackConfig) -> Result<RsaAttackReport> {
+    run_hardened(config, crate::defend::UNDEFENDED)
+}
+
+/// [`run`] against a defended platform: `harden` is applied to each fresh
+/// per-key platform after the victim circuit deploys and before any
+/// capture, modelling a countermeasure the victim (not the attacker)
+/// controls.
+///
+/// # Errors
+///
+/// As [`run`], plus whatever `harden` returns.
+pub fn run_hardened(
+    config: &RsaAttackConfig,
+    harden: crate::defend::Hardener<'_>,
+) -> Result<RsaAttackReport> {
     config.validate()?;
     let mut observations = Vec::with_capacity(config.hamming_weights.len());
     let mut current_groups: Vec<(String, Vec<f64>)> = Vec::new();
@@ -188,6 +203,7 @@ pub fn run(config: &RsaAttackConfig) -> Result<RsaAttackReport> {
             .map_err(|e| AttackError::InvalidParameter(e.to_string()))?;
         let mut platform = Platform::zcu102(config.seed.wrapping_add(i as u64 * 7_919));
         platform.deploy_rsa(RsaConfig::default(), key)?;
+        harden(&mut platform)?;
         let sampler = CurrentSampler::unprivileged(&platform);
         let start = SimTime::from_ms(40);
         let current = sampler.capture(

@@ -231,15 +231,19 @@ impl PowerVirusArray {
     /// Dynamic draw of the first `active` groups in jitter bucket
     /// `bucket_term` (a [`hash01_bucket_term`]). Summation order matches
     /// the original per-group walk exactly.
+    ///
+    /// `(h - 0.5) * jitter_span` is bit-identical to the defining
+    /// `((h - 0.5) * 2.0) * jitter` form: the doubling is exact (power of
+    /// two), so both orders round the same real product exactly once.
     #[inline]
     fn dynamic_ma(&self, active: usize, bucket_term: u64) -> f64 {
-        let jitter_scale = self.config.activity_jitter;
+        let jitter_span = 2.0 * self.config.activity_jitter;
         let mut dynamic = 0.0;
         for (key, amp) in self.group_stream_key[..active]
             .iter()
             .zip(&self.group_amp_ma[..active])
         {
-            let jitter = (hash01_finish(*key, bucket_term) - 0.5) * 2.0 * jitter_scale;
+            let jitter = (hash01_finish(*key, bucket_term) - 0.5) * jitter_span;
             dynamic += amp * (1.0 + jitter);
         }
         dynamic
@@ -281,16 +285,17 @@ impl PowerLoad for PowerVirusArray {
         }
         let term_now = hash01_bucket_term(bucket_now);
         let term_prev = hash01_bucket_term(bucket_prev);
-        let jitter_scale = self.config.activity_jitter;
+        // Exact-doubling rewrite, see `dynamic_ma`.
+        let jitter_span = 2.0 * self.config.activity_jitter;
         let mut dyn_now = 0.0;
         let mut dyn_prev = 0.0;
         for (key, amp) in self.group_stream_key[..active]
             .iter()
             .zip(&self.group_amp_ma[..active])
         {
-            let jitter_now = (hash01_finish(*key, term_now) - 0.5) * 2.0 * jitter_scale;
+            let jitter_now = (hash01_finish(*key, term_now) - 0.5) * jitter_span;
             dyn_now += amp * (1.0 + jitter_now);
-            let jitter_prev = (hash01_finish(*key, term_prev) - 0.5) * 2.0 * jitter_scale;
+            let jitter_prev = (hash01_finish(*key, term_prev) - 0.5) * jitter_span;
             dyn_prev += amp * (1.0 + jitter_prev);
         }
         (leakage + dyn_now, leakage + dyn_prev)

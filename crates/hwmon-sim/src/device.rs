@@ -36,6 +36,38 @@ where
     }
 }
 
+/// A countermeasure installed on a device's sensing path.
+///
+/// Defense layers (see the `sim-defend` crate) hook the three stages of a
+/// conversion: *when* the update boundary falls, the *analog* operating
+/// points the sensor averages, and the *digital* readouts it latches. Every
+/// hook has an identity default, must be deterministic (a pure function of
+/// its arguments plus any state the implementation seeds itself), and sees
+/// the conversion's window index so stateless implementations can derive
+/// per-window randomness.
+///
+/// A device without a defense installed pays only an `Option` check on the
+/// value-hold fast path.
+pub trait SensorDefense: Send + Sync {
+    /// Shifts the update boundary of window `window` forward by up to one
+    /// interval (returned nanoseconds are clamped to `interval_ns - 1`),
+    /// dithering the driver's otherwise perfectly periodic update clock.
+    fn boundary_offset_ns(&self, _device: &str, _window: u64, _interval_ns: u64) -> u64 {
+        0
+    }
+
+    /// Perturbs the `(current_amps, bus_volts)` averaging steps of a
+    /// conversion before the sensor sees them — analog-domain injection.
+    fn perturb_steps(&self, _device: &str, _window: u64, _steps: &mut [(f64, f64)]) {}
+
+    /// Rewrites the integer readouts latched by a conversion — digital
+    /// post-processing (quantization widening, throttling). Value-hold
+    /// reads serve the transformed copy.
+    fn transform(&self, _device: &str, _window: u64, readouts: Readouts) -> Readouts {
+        readouts
+    }
+}
+
 /// One `hwmonN` device: an INA226 plus the Linux driver's conversion
 /// clocking and unit formatting.
 ///
@@ -47,6 +79,10 @@ pub struct HwmonDevice {
     sensor: TrackedMutex<Ina226>,
     rail: Arc<dyn RailProbe>,
     state: TrackedMutex<ClockState>,
+    /// Installed countermeasure, if any. Plain data set through `&mut`
+    /// (no lock): defenses are installed while the platform is being
+    /// hardened, before any concurrent sampling.
+    defense: Option<Arc<dyn SensorDefense>>,
 }
 
 impl std::fmt::Debug for HwmonDevice {
@@ -110,7 +146,16 @@ impl HwmonDevice {
                     latched: Readouts::default(),
                 },
             ),
+            defense: None,
         }
+    }
+
+    /// Installs (or with `None` removes) a [`SensorDefense`] on this
+    /// device's sensing path and invalidates the latched conversion so the
+    /// next read goes through the new hooks.
+    pub fn set_defense(&mut self, defense: Option<Arc<dyn SensorDefense>>) {
+        self.defense = defense;
+        self.state.lock().last_boundary = None;
     }
 
     /// Device name (the `name` attribute, e.g. "ina226_u79").
@@ -147,7 +192,31 @@ impl HwmonDevice {
     /// that crosses into a new window pays for a conversion.
     fn refresh(&self, now: SimTime) -> Readouts {
         let mut state = self.state.lock();
-        let boundary = SimTime::from_nanos(now.as_nanos() / state.interval_ns * state.interval_ns);
+        let interval = state.interval_ns;
+        let boundary = match &self.defense {
+            None => SimTime::from_nanos(now.as_nanos() / interval * interval),
+            Some(d) => {
+                // Jittered update clock: the boundary of window `w` moves
+                // forward by the defense's per-window offset. A read that
+                // lands before its own window's (shifted) boundary still
+                // sees the previous window's conversion.
+                let shifted = |w: u64| {
+                    let off = d
+                        .boundary_offset_ns(&self.name, w, interval)
+                        .min(interval.saturating_sub(1));
+                    w * interval + off
+                };
+                let w = now.as_nanos() / interval;
+                let candidate = shifted(w);
+                if now.as_nanos() >= candidate {
+                    SimTime::from_nanos(candidate)
+                } else if w == 0 {
+                    SimTime::ZERO
+                } else {
+                    SimTime::from_nanos(shifted(w - 1))
+                }
+            }
+        };
         if state.last_boundary == Some(boundary) {
             // The driver's cached-register path: the read waits on no new
             // conversion and returns the held value.
@@ -164,8 +233,16 @@ impl HwmonDevice {
         let times: Vec<SimTime> = (0..n)
             .map(|k| start + SimTime::from_nanos(k * step_ns))
             .collect();
-        sensor.convert(self.rail.operating_points(&times));
-        state.latched = sensor.readouts();
+        let mut points = self.rail.operating_points(&times);
+        if let Some(d) = &self.defense {
+            let window = boundary.as_nanos() / interval;
+            d.perturb_steps(&self.name, window, &mut points);
+            sensor.convert(points);
+            state.latched = d.transform(&self.name, window, sensor.readouts());
+        } else {
+            sensor.convert(points);
+            state.latched = sensor.readouts();
+        }
         state.last_boundary = Some(boundary);
         state.latched
     }
@@ -304,6 +381,78 @@ mod tests {
     fn name_attribute() {
         let dev = quiet_device(Arc::new(Ramp));
         assert_eq!(dev.name(), "ina226_test");
+    }
+
+    /// A defense that applies all three hooks with fixed effects.
+    struct FixedDefense {
+        offset_ns: u64,
+        add_amps: f64,
+        add_ma: i64,
+    }
+    impl SensorDefense for FixedDefense {
+        fn boundary_offset_ns(&self, _d: &str, _w: u64, interval_ns: u64) -> u64 {
+            self.offset_ns.min(interval_ns)
+        }
+        fn perturb_steps(&self, _d: &str, _w: u64, steps: &mut [(f64, f64)]) {
+            for s in steps {
+                s.0 += self.add_amps;
+            }
+        }
+        fn transform(&self, _d: &str, _w: u64, mut r: Readouts) -> Readouts {
+            r.curr1_ma += self.add_ma;
+            r
+        }
+    }
+
+    #[test]
+    fn defense_hooks_apply_in_order() {
+        let make = || quiet_device(Arc::new(|_t: SimTime| (1.0, 0.85)));
+        let plain = make().curr1_input(SimTime::from_ms(40));
+        let mut dev = make();
+        dev.set_defense(Some(Arc::new(FixedDefense {
+            offset_ns: 0,
+            add_amps: 0.5,
+            add_ma: 7,
+        })));
+        let defended = dev.curr1_input(SimTime::from_ms(40));
+        // 0.5 A analog injection + 7 mA digital rewrite.
+        assert_eq!(defended, plain + 500 + 7);
+        // Removing the defense restores the undefended reading.
+        dev.set_defense(None);
+        assert_eq!(dev.curr1_input(SimTime::from_ms(40)), plain);
+    }
+
+    #[test]
+    fn jittered_boundary_delays_the_update() {
+        let mut dev = quiet_device(Arc::new(Ramp));
+        // Shift every boundary 10 ms into its window.
+        dev.set_defense(Some(Arc::new(FixedDefense {
+            offset_ns: SimTime::from_ms(10).as_nanos(),
+            add_amps: 0.0,
+            add_ma: 0,
+        })));
+        // A read at 36 ms precedes window 1's shifted boundary (45 ms), so
+        // it latches window 0's conversion; a read at 46 ms crosses it.
+        let early = dev.curr1_input(SimTime::from_ms(36));
+        let late = dev.curr1_input(SimTime::from_ms(46));
+        assert!(late > early, "{early} then {late}");
+        // Held-value reads inside the shifted window stay identical.
+        assert_eq!(dev.curr1_input(SimTime::from_ms(47)), late);
+        assert_eq!(dev.curr1_input(SimTime::from_ms(79)), late);
+    }
+
+    #[test]
+    fn identity_defense_matches_undefended_readouts() {
+        struct Identity;
+        impl SensorDefense for Identity {}
+        let make = || quiet_device(Arc::new(Ramp));
+        let plain = make();
+        let mut defended = make();
+        defended.set_defense(Some(Arc::new(Identity)));
+        for ms in [36u64, 50, 71, 200, 1_000] {
+            let t = SimTime::from_ms(ms);
+            assert_eq!(plain.readouts(t), defended.readouts(t));
+        }
     }
 
     mod properties {

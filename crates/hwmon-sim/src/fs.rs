@@ -195,6 +195,22 @@ impl HwmonFs {
         }
     }
 
+    /// Installs one [`crate::SensorDefense`] on every registered device
+    /// (devices registered later are unaffected). Each device's latched
+    /// conversion is invalidated so the next read goes through the hooks.
+    pub fn install_defense(&mut self, defense: std::sync::Arc<dyn crate::SensorDefense>) {
+        for dev in &mut self.devices {
+            dev.set_defense(Some(std::sync::Arc::clone(&defense)));
+        }
+    }
+
+    /// Removes any installed defense from every registered device.
+    pub fn clear_defense(&mut self) {
+        for dev in &mut self.devices {
+            dev.set_defense(None);
+        }
+    }
+
     fn parse(path: &str) -> Result<(usize, &str)> {
         let rest = path
             .strip_prefix("/sys/class/hwmon/hwmon")

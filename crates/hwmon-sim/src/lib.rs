@@ -57,7 +57,7 @@ mod device;
 mod error;
 mod fs;
 
-pub use device::{HwmonDevice, RailProbe};
+pub use device::{HwmonDevice, RailProbe, SensorDefense};
 pub use error::HwmonError;
 pub use fs::{Attribute, HwmonFs, Privilege, SensorHandle};
 pub use ina226::Readouts;

@@ -1,0 +1,390 @@
+//! The concrete defense layers.
+
+use hwmon_sim::{HwmonFs, Readouts};
+use sim_rt::lockorder::TrackedMutex;
+use std::collections::BTreeMap;
+use zynq_soc::{hash01, hash_gauss};
+
+use crate::DefenseLayer;
+
+/// The paper's Section V policy as a stackable layer: any non-zero
+/// strength restricts every registered device's measurement attributes to
+/// root at install time. The layer has **no runtime hooks** — privileged
+/// monitoring keeps reading bit-identical undefended values — which makes
+/// it the zero-cost baseline of the sweep matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct RootOnly {
+    strength: f64,
+}
+
+impl RootOnly {
+    /// A root-only policy layer; any `strength > 0` enables it.
+    pub fn new(strength: f64) -> Self {
+        RootOnly { strength }
+    }
+
+    /// The enabled policy (strength 1).
+    pub fn enabled() -> Self {
+        RootOnly::new(1.0)
+    }
+
+    /// Lifts the policy from every registered device — the inverse of
+    /// installing this layer.
+    pub fn lift(fs: &mut HwmonFs) {
+        let names: Vec<String> = (0..fs.len())
+            .filter_map(|i| fs.device(i).map(|d| d.name().to_owned()))
+            .collect();
+        for name in names {
+            fs.unrestrict_reads(&name);
+        }
+    }
+}
+
+impl DefenseLayer for RootOnly {
+    fn name(&self) -> &'static str {
+        "root-only"
+    }
+
+    fn strength(&self) -> f64 {
+        self.strength
+    }
+
+    fn runtime_hooks(&self) -> bool {
+        false
+    }
+
+    fn install(&self, fs: &mut HwmonFs) -> hwmon_sim::Result<()> {
+        let names: Vec<String> = (0..fs.len())
+            .filter_map(|i| fs.device(i).map(|d| d.name().to_owned()))
+            .collect();
+        for name in names {
+            fs.restrict_reads_to_root(&name)?;
+        }
+        Ok(())
+    }
+}
+
+/// Update-clock dithering: shifts each conversion window's update boundary
+/// forward by a deterministic per-window uniform offset of up to
+/// `strength` times the update interval (capped below one interval).
+/// Attackers that phase-lock onto the driver's periodic update clock (the
+/// covert receiver, phase-folding profilers) lose their timing reference.
+#[derive(Debug, Clone, Copy)]
+pub struct UpdateJitter {
+    strength: f64,
+    seed: u64,
+}
+
+impl UpdateJitter {
+    /// Jitter of up to `strength` (clamped to `[0, 1]`) intervals, drawing
+    /// offsets from `seed`.
+    pub fn new(strength: f64, seed: u64) -> Self {
+        UpdateJitter {
+            strength: strength.clamp(0.0, 1.0),
+            seed,
+        }
+    }
+}
+
+impl DefenseLayer for UpdateJitter {
+    fn name(&self) -> &'static str {
+        "jitter"
+    }
+
+    fn strength(&self) -> f64 {
+        self.strength
+    }
+
+    fn boundary_offset_ns(&self, device_stream: u64, window: u64, interval_ns: u64) -> u64 {
+        // At most 95% of the interval so a window always retains a
+        // readable span of its own.
+        let frac = self.strength.min(0.95) * hash01(self.seed, device_stream, window);
+        (frac * interval_ns as f64) as u64
+    }
+}
+
+/// Quantization widening: rounds the latched current to a
+/// strength-dependent LSB of up to [`Quantize::MAX_STEP_MA`] (and power to
+/// 25x that, mirroring the INA226's power-register scaling). Coarser
+/// output bins collapse nearby activity levels the way the paper's 25 mW
+/// power channel already collapses adjacent RSA Hamming weights.
+#[derive(Debug, Clone, Copy)]
+pub struct Quantize {
+    strength: f64,
+    step_ma: i64,
+}
+
+impl Quantize {
+    /// Output LSB at full strength, in mA.
+    pub const MAX_STEP_MA: i64 = 256;
+
+    /// Quantization to `1 + strength * (MAX_STEP_MA - 1)` mA.
+    pub fn new(strength: f64) -> Self {
+        let strength = strength.clamp(0.0, 1.0);
+        Quantize {
+            strength,
+            step_ma: 1 + (strength * (Self::MAX_STEP_MA - 1) as f64).round() as i64,
+        }
+    }
+
+    /// The current-channel output LSB this layer applies, in mA.
+    pub fn step_ma(&self) -> i64 {
+        self.step_ma
+    }
+}
+
+fn round_to(v: i64, q: i64) -> i64 {
+    if q <= 1 {
+        return v;
+    }
+    let half = q / 2;
+    if v >= 0 {
+        (v + half) / q * q
+    } else {
+        -((-v + half) / q * q)
+    }
+}
+
+impl DefenseLayer for Quantize {
+    fn name(&self) -> &'static str {
+        "quantize"
+    }
+
+    fn strength(&self) -> f64 {
+        self.strength
+    }
+
+    fn transform(&self, _device_stream: u64, _window: u64, mut r: Readouts) -> Readouts {
+        if self.step_ma <= 1 {
+            return r; // 1 mA is the native LSB: exact identity.
+        }
+        r.curr1_ma = round_to(r.curr1_ma, self.step_ma);
+        r.power1_uw = round_to(r.power1_uw, self.step_ma * 25_000);
+        r
+    }
+}
+
+/// Calibrated analog current-noise injection: adds one Gaussian draw per
+/// `(device, window)` — sigma up to [`NoiseInject::MAX_SIGMA_MA`] at full
+/// strength — to every averaging step of the conversion, modelling a
+/// deliberately noisy supply. Because the draw is constant within a
+/// window, sensor averaging cannot cancel it; attack statistics built on
+/// per-window means degrade directly with sigma.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseInject {
+    strength: f64,
+    seed: u64,
+}
+
+impl NoiseInject {
+    /// Noise sigma at full strength, in mA.
+    pub const MAX_SIGMA_MA: f64 = 400.0;
+
+    /// Noise of sigma `strength * MAX_SIGMA_MA`, drawing from `seed`.
+    pub fn new(strength: f64, seed: u64) -> Self {
+        NoiseInject {
+            strength: strength.clamp(0.0, 1.0),
+            seed,
+        }
+    }
+
+    /// The injected sigma in mA.
+    pub fn sigma_ma(&self) -> f64 {
+        self.strength * Self::MAX_SIGMA_MA
+    }
+}
+
+impl DefenseLayer for NoiseInject {
+    fn name(&self) -> &'static str {
+        "noise"
+    }
+
+    fn strength(&self) -> f64 {
+        self.strength
+    }
+
+    fn perturb_steps(&self, device_stream: u64, window: u64, steps: &mut [(f64, f64)]) {
+        let offset_a = self.sigma_ma() / 1_000.0 * hash_gauss(self.seed, device_stream, window);
+        for s in steps {
+            s.0 += offset_a;
+        }
+    }
+}
+
+/// SHIELD-style activity-triggered throttling: when the latched current
+/// jumps by more than [`Throttle::THRESHOLD_MA`] between consecutive
+/// conversions of a device, the *served* value follows only
+/// `1 - strength` of the jump (power is scaled proportionally). Internal
+/// tracking keeps the true value, so throttling attenuates exactly the
+/// large activity swings attacks modulate — while leaving slow benign
+/// monitoring untouched.
+#[derive(Debug)]
+pub struct Throttle {
+    strength: f64,
+    /// Last *raw* current per device stream, so attenuation is relative to
+    /// the true trajectory and cannot wind up unbounded error.
+    last_raw_ma: TrackedMutex<BTreeMap<u64, i64>>,
+}
+
+impl Throttle {
+    /// Current jump (mA, between consecutive conversions) above which the
+    /// throttle engages.
+    pub const THRESHOLD_MA: i64 = 100;
+
+    /// Throttling that passes `1 - strength` of each large jump.
+    pub fn new(strength: f64) -> Self {
+        Throttle {
+            strength: strength.clamp(0.0, 1.0),
+            last_raw_ma: TrackedMutex::new("defend.throttle", BTreeMap::new()),
+        }
+    }
+}
+
+impl DefenseLayer for Throttle {
+    fn name(&self) -> &'static str {
+        "throttle"
+    }
+
+    fn strength(&self) -> f64 {
+        self.strength
+    }
+
+    fn transform(&self, device_stream: u64, _window: u64, mut r: Readouts) -> Readouts {
+        let mut state = self.last_raw_ma.lock();
+        let raw_ma = r.curr1_ma;
+        if let Some(&last) = state.get(&device_stream) {
+            let delta = raw_ma - last;
+            if delta.abs() > Self::THRESHOLD_MA {
+                obs::counter!("defend.throttle.trips").inc();
+                let served = last as f64 + delta as f64 * (1.0 - self.strength);
+                let served_ma = served.round() as i64;
+                if raw_ma != 0 {
+                    let ratio = served_ma as f64 / raw_ma as f64;
+                    r.power1_uw = (r.power1_uw as f64 * ratio).round() as i64;
+                }
+                r.curr1_ma = served_ma;
+            }
+        }
+        state.insert(device_stream, raw_ma);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_to_behaves() {
+        assert_eq!(round_to(1234, 1), 1234);
+        assert_eq!(round_to(1234, 100), 1200);
+        assert_eq!(round_to(1250, 100), 1300);
+        assert_eq!(round_to(-1234, 100), -1200);
+        assert_eq!(round_to(0, 256), 0);
+    }
+
+    #[test]
+    fn quantize_strength_maps_to_step() {
+        assert_eq!(Quantize::new(0.0).step_ma(), 1);
+        assert_eq!(Quantize::new(1.0).step_ma(), Quantize::MAX_STEP_MA);
+        let mid = Quantize::new(0.5).step_ma();
+        assert!(mid > 1 && mid < Quantize::MAX_STEP_MA, "{mid}");
+        // Step 1 is the identity transform.
+        let r = Readouts {
+            curr1_ma: 1_234,
+            in0_mv: 2,
+            in1_mv: 850,
+            power1_uw: 1_047_000,
+        };
+        assert_eq!(Quantize::new(0.0).transform(0, 0, r), r);
+        let q = Quantize::new(1.0).transform(0, 0, r);
+        assert_eq!(q.curr1_ma % 256, 0);
+        assert_eq!(q.power1_uw % (256 * 25_000), 0);
+    }
+
+    #[test]
+    fn jitter_offsets_stay_inside_the_interval() {
+        let j = UpdateJitter::new(1.0, 42);
+        let interval = 35_000_000u64;
+        for w in 0..500 {
+            let off = j.boundary_offset_ns(7, w, interval);
+            assert!(off < interval, "window {w}: {off}");
+        }
+        // Zero strength is exactly zero offset.
+        let z = UpdateJitter::new(0.0, 42);
+        assert_eq!(z.boundary_offset_ns(7, 3, interval), 0);
+    }
+
+    #[test]
+    fn noise_is_constant_within_a_window_and_varies_across() {
+        let n = NoiseInject::new(1.0, 9);
+        let mut steps = vec![(1.0, 0.85); 8];
+        n.perturb_steps(3, 10, &mut steps);
+        let first = steps[0].0;
+        assert!(steps.iter().all(|s| s.0 == first));
+        assert!(steps.iter().all(|s| s.1 == 0.85), "voltage untouched");
+        let mut other = vec![(1.0, 0.85); 8];
+        n.perturb_steps(3, 11, &mut other);
+        assert_ne!(first, other[0].0, "windows draw independently");
+    }
+
+    #[test]
+    fn throttle_attenuates_large_jumps_only() {
+        let t = Throttle::new(1.0);
+        let read = |ma: i64| Readouts {
+            curr1_ma: ma,
+            in0_mv: 1,
+            in1_mv: 850,
+            power1_uw: ma * 850,
+        };
+        // First conversion passes through (nothing to compare against).
+        assert_eq!(t.transform(5, 0, read(1_000)).curr1_ma, 1_000);
+        // Small drift passes through.
+        assert_eq!(t.transform(5, 1, read(1_050)).curr1_ma, 1_050);
+        // A big jump is fully suppressed at strength 1 (served value holds
+        // at the previous raw current)...
+        let throttled = t.transform(5, 2, read(4_000));
+        assert_eq!(throttled.curr1_ma, 1_050);
+        assert_eq!(throttled.power1_uw, (4_000 * 850) * 1_050 / 4_000);
+        // ...but tracking follows the raw value, so settling back is a
+        // big (throttled) jump down, not a no-op.
+        assert_eq!(t.transform(5, 3, read(4_000)).curr1_ma, 4_000);
+    }
+
+    #[test]
+    fn half_strength_throttle_passes_half_the_jump() {
+        let t = Throttle::new(0.5);
+        let read = |ma: i64| Readouts {
+            curr1_ma: ma,
+            in0_mv: 1,
+            in1_mv: 850,
+            power1_uw: ma * 850,
+        };
+        assert_eq!(t.transform(1, 0, read(1_000)).curr1_ma, 1_000);
+        assert_eq!(t.transform(1, 1, read(2_000)).curr1_ma, 1_500);
+    }
+
+    #[test]
+    fn root_only_lift_restores_access() {
+        use hwmon_sim::{HwmonDevice, Privilege};
+        use std::sync::Arc;
+        use zynq_soc::SimTime;
+        let mut fs = HwmonFs::new();
+        fs.register(HwmonDevice::new(
+            "ina226_u76",
+            0.0005,
+            0.0005,
+            Arc::new(|_t: SimTime| (1.0, 0.85)),
+            1,
+        ));
+        RootOnly::enabled().install(&mut fs).unwrap();
+        let path = "/sys/class/hwmon/hwmon0/curr1_input";
+        assert!(fs
+            .read_raw(path, SimTime::from_ms(40), Privilege::User)
+            .is_err());
+        RootOnly::lift(&mut fs);
+        assert!(fs
+            .read_raw(path, SimTime::from_ms(40), Privilege::User)
+            .is_ok());
+    }
+}

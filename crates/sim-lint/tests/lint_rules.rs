@@ -262,3 +262,33 @@ fn seeded_fixture_fails_as_library_code() {
     assert!(rules.contains(&"wall-clock"), "{:?}", r.diags);
     assert!(rules.contains(&"raw-print"), "{:?}", r.diags);
 }
+
+#[test]
+fn sim_defend_sources_pass_every_rule() {
+    // The defense-layer crate sits on the hot sensing path and must obey
+    // the full workspace discipline: seeded randomness only, BTreeMap
+    // iteration, no raw printing, no stray threads, no wall clock. Lint
+    // the real sources under their real paths, and the manifest too.
+    let cfg = Config::workspace_default();
+    for (path, src) in [
+        (
+            "crates/sim-defend/src/lib.rs",
+            include_str!("../../sim-defend/src/lib.rs"),
+        ),
+        (
+            "crates/sim-defend/src/layers.rs",
+            include_str!("../../sim-defend/src/layers.rs"),
+        ),
+    ] {
+        let r = lint_source(path, src, &cfg);
+        assert!(r.diags.is_empty(), "{path}: {:?}", r.diags);
+        assert_eq!(r.waived, 0, "{path} needs no waivers");
+    }
+    let r = lint_manifest(
+        "crates/sim-defend/Cargo.toml",
+        include_str!("../../sim-defend/Cargo.toml"),
+        Some("2021"),
+        false,
+    );
+    assert!(r.diags.is_empty(), "{:?}", r.diags);
+}

@@ -4,12 +4,14 @@
 //! call it directly to build the serial reference results.
 
 use amperebleed::characterize::{self, CharacterizeConfig};
+use amperebleed::defend::{self, AttackKind, DefendConfig};
 use amperebleed::fingerprint::{self, FingerprintConfig};
 use amperebleed::rsa_attack::{self, RsaAttackConfig};
 use amperebleed::{covert, AttackError, Platform};
 use fpga_fabric::covert::CovertConfig;
 use fpga_fabric::ring_oscillator::RoConfig;
 use fpga_fabric::virus::VirusConfig;
+use sim_defend::LayerKind;
 use sim_rt::pool::Pool;
 use sim_rt::ser::Value;
 use zynq_soc::SimTime;
@@ -23,6 +25,7 @@ pub const VERBS: &[&str] = &[
     "fingerprint",
     "rsa",
     "covert",
+    "defend",
 ];
 
 /// Typed execution failure, mapped onto the wire as
@@ -161,6 +164,11 @@ fn execute_pure(verb: &str, seed: u64, config: &Value) -> Result<Value, ExecErro
                 ("sync_quality", Value::Float(rx.sync_quality)),
                 ("bandwidth_bps", Value::Float(rx.payload_bandwidth_bps)),
             ]))
+        }
+        "defend" => {
+            let cfg = defend_config(config, seed)?;
+            let report = defend::run_with(&cfg, &Pool::serial())?;
+            Ok(defend_result(&report))
         }
         other => Err(ExecError {
             kind: "unknown_verb",
@@ -301,6 +309,61 @@ fn covert_config(config: &Value) -> Result<(CovertConfig, Vec<u8>), ExecError> {
     Ok((cfg, payload))
 }
 
+fn need_f64_array(key: &str, v: &Value) -> Result<Vec<f64>, ExecError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| ExecError::bad_config(format!("`{key}` must be an array of numbers")))?;
+    items.iter().map(|item| need_f64(key, item)).collect()
+}
+
+fn defend_config(config: &Value, seed: u64) -> Result<DefendConfig, ExecError> {
+    let mut cfg = DefendConfig::quick(AttackKind::Covert);
+    cfg.seed = seed;
+    for (key, v) in overrides(config, "defend")? {
+        match key.as_str() {
+            "attack" => {
+                let tag = v
+                    .as_str()
+                    .ok_or_else(|| ExecError::bad_config("`attack` must be a string"))?;
+                cfg.attack = AttackKind::from_tag(tag).ok_or_else(|| {
+                    ExecError::bad_config(format!(
+                        "unknown attack `{tag}` (rsa|fingerprint|covert)"
+                    ))
+                })?;
+            }
+            "layers" => {
+                let tags = v.as_array().ok_or_else(|| {
+                    ExecError::bad_config("`layers` must be an array of layer tags")
+                })?;
+                cfg.layers = tags
+                    .iter()
+                    .map(|t| {
+                        t.as_str().and_then(LayerKind::from_tag).ok_or_else(|| {
+                            ExecError::bad_config(format!(
+                                "unknown defense layer `{}`",
+                                t.as_str().unwrap_or("<non-string>")
+                            ))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "strengths" => cfg.strengths = need_f64_array(key, v)?,
+            "payload" => {
+                cfg.payload = v
+                    .as_str()
+                    .ok_or_else(|| ExecError::bad_config("`payload` must be a string"))?
+                    .as_bytes()
+                    .to_vec();
+            }
+            "samples_per_key" => cfg.rsa.samples_per_key = need_usize(key, v)?,
+            "n_models" => cfg.n_models = need_usize(key, v)?,
+            "traces_per_model" => cfg.fingerprint.traces_per_model = need_usize(key, v)?,
+            _ => return Err(unknown_key("defend", key)),
+        }
+    }
+    Ok(cfg)
+}
+
 // --- result encoding ---------------------------------------------------
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -381,6 +444,28 @@ fn rsa_result(report: &rsa_attack::RsaAttackReport) -> Value {
     ])
 }
 
+fn defend_result(report: &defend::DefendReport) -> Value {
+    let points: Vec<Value> = report
+        .points
+        .iter()
+        .map(|p| {
+            obj(vec![
+                ("strength", Value::Float(p.strength)),
+                ("success", Value::Float(p.success)),
+                ("blocked", Value::Bool(p.blocked)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("attack", Value::Str(report.attack.tag().into())),
+        ("stack", Value::Str(report.stack.clone())),
+        ("baseline_success", Value::Float(report.baseline.success)),
+        ("points", Value::Array(points)),
+        ("auc", Value::Float(report.curve.auc())),
+        ("table", Value::Str(report.render())),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -424,6 +509,52 @@ mod tests {
         // platforms — if it ever becomes an equality, caching is safe.
         let second = execute_on(&platform, "quickstart", seed, &Value::Null).unwrap();
         assert_ne!(fresh.to_json(), second.to_json());
+    }
+
+    #[test]
+    fn defend_runs_a_one_point_sweep_through_the_verb() {
+        let cfg = Value::Object(vec![
+            ("attack".into(), Value::Str("covert".into())),
+            (
+                "layers".into(),
+                Value::Array(vec![Value::Str("noise".into())]),
+            ),
+            ("strengths".into(), Value::Array(vec![Value::Float(0.8)])),
+            ("payload".into(), Value::Str("hi".into())),
+        ]);
+        let result = execute("defend", 11, &cfg).unwrap();
+        assert_eq!(result.get("attack").unwrap().as_str(), Some("covert"));
+        assert_eq!(result.get("stack").unwrap().as_str(), Some("noise"));
+        let points = result.get("points").unwrap().as_array().unwrap();
+        assert_eq!(points.len(), 1);
+        assert!(result
+            .get("table")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("defend sweep"));
+        // Pure: identical request, identical bytes.
+        let again = execute("defend", 11, &cfg).unwrap();
+        assert_eq!(result.to_json(), again.to_json());
+    }
+
+    #[test]
+    fn defend_rejects_unknown_attacks_and_layers() {
+        let cfg = Value::Object(vec![("attack".into(), Value::Str("dma".into()))]);
+        assert_eq!(execute("defend", 1, &cfg).unwrap_err().kind, "bad_config");
+        let cfg = Value::Object(vec![(
+            "layers".into(),
+            Value::Array(vec![Value::Str("tinfoil".into())]),
+        )]);
+        assert_eq!(execute("defend", 1, &cfg).unwrap_err().kind, "bad_config");
+        let cfg = Value::Object(vec![(
+            "strengths".into(),
+            Value::Array(vec![Value::Float(2.0)]),
+        )]);
+        assert_eq!(
+            execute("defend", 1, &cfg).unwrap_err().kind,
+            "invalid_parameter"
+        );
     }
 
     #[test]

@@ -59,3 +59,52 @@ fn serve_metrics_surface_in_csv_and_jsonl_exports() {
         assert!(jsonl.contains(name), "{name} missing from metrics_to_jsonl");
     }
 }
+
+#[test]
+fn defend_metrics_surface_in_exports() {
+    // One served defend sweep (noise + throttle on the covert channel)
+    // touches every defend.* metric family: the sweep/point counters in
+    // core, and the stack install/transform/trip counters in sim-defend.
+    let server = Server::bind(ServerConfig {
+        boards: 1,
+        farm_seed: 23,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    service_scope(|svc| {
+        let join = svc.spawn("defend-metrics-server", move || server.run());
+        let mut conn = Client::connect(addr).expect("connect");
+        let config = Value::Object(vec![
+            ("attack".into(), Value::Str("covert".into())),
+            (
+                "layers".into(),
+                Value::Array(vec![
+                    Value::Str("noise".into()),
+                    Value::Str("throttle".into()),
+                ]),
+            ),
+            ("strengths".into(), Value::Array(vec![Value::Float(0.9)])),
+            ("payload".into(), Value::Str("m".into())),
+        ]);
+        let resp = conn.request("defend", Some(31), config).expect("request");
+        assert!(resp.is_ok(), "{:?}", resp.error);
+        conn.shutdown_server().expect("drain ack");
+        join.join().expect("server thread");
+    });
+
+    let snapshot = obs::metrics::snapshot();
+    let csv = amperebleed::export::metrics_to_csv(&snapshot);
+    let jsonl = amperebleed::export::metrics_to_jsonl(&snapshot);
+    for name in [
+        "defend.sweeps",
+        "defend.points",
+        "defend.point.ns",
+        "defend.stack.installs",
+        "defend.stack.transforms",
+        "defend.throttle.trips",
+    ] {
+        assert!(csv.contains(name), "{name} missing from metrics_to_csv");
+        assert!(jsonl.contains(name), "{name} missing from metrics_to_jsonl");
+    }
+}

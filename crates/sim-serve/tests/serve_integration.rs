@@ -167,6 +167,40 @@ fn fingerprint_over_the_wire_matches_serial() {
     });
 }
 
+/// The defend sweep over the wire matches its serial replay byte for
+/// byte — the served path adds no nondeterminism to the attack-vs-defense
+/// report (acceptance criterion of the defend verb).
+#[test]
+fn defend_over_the_wire_matches_serial() {
+    let config = obj(&[
+        ("attack", Value::Str("covert".into())),
+        (
+            "layers",
+            Value::Array(vec![
+                Value::Str("jitter".into()),
+                Value::Str("noise".into()),
+                Value::Str("throttle".into()),
+            ]),
+        ),
+        (
+            "strengths",
+            Value::Array(vec![Value::Float(0.0), Value::Float(1.0)]),
+        ),
+        ("payload", Value::Str("det".into())),
+    ]);
+    let want = exec::execute("defend", 47, &config).unwrap().to_json();
+    let cfg = ServerConfig {
+        boards: 1,
+        ..ServerConfig::default()
+    };
+    with_server(cfg, |addr, _| {
+        let mut conn = Client::connect(addr).unwrap();
+        let resp = conn.request("defend", Some(47), config.clone()).unwrap();
+        assert_eq!(resp.status, "ok", "{:?}", resp.error);
+        assert_eq!(resp.result.unwrap().to_json(), want);
+    });
+}
+
 /// A tenant blowing through its token bucket gets typed `shed` responses
 /// while the admitted request still completes.
 #[test]

@@ -41,6 +41,7 @@ mod histogram;
 pub mod hypothesis;
 pub mod periodicity;
 mod regression;
+pub mod roc;
 pub mod separability;
 pub mod spectrum;
 mod summary;

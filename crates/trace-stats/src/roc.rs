@@ -1,0 +1,195 @@
+//! ROC-style success-vs-strength curves for attack-vs-defense sweeps.
+//!
+//! A `defend` sweep measures one attack's success metric (key-recovery
+//! rate, fingerprint accuracy, covert capacity) at increasing defense
+//! strengths. This module turns those points into the report artifact: a
+//! validated curve with the area under it (mean residual attack success —
+//! 1.0 means the defense never helped, 0.0 means it always killed the
+//! attack) and the interpolated strength at which success first drops
+//! below a target — the "how hard must I defend" number an operator reads
+//! off the ROC.
+
+use crate::{Result, StatsError};
+
+/// One measured sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Defense strength in `[0, 1]`.
+    pub strength: f64,
+    /// Attack success metric in `[0, 1]` at that strength.
+    pub success: f64,
+}
+
+/// A validated success-vs-strength curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocCurve {
+    points: Vec<RocPoint>,
+}
+
+impl RocCurve {
+    /// Builds a curve from `(strength, success)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::Empty`] for no points.
+    /// * [`StatsError::InvalidParameter`] for non-finite values, values
+    ///   outside `[0, 1]`, or strengths that are not strictly increasing.
+    pub fn new(points: Vec<RocPoint>) -> Result<RocCurve> {
+        if points.is_empty() {
+            return Err(StatsError::Empty);
+        }
+        for p in &points {
+            if !p.strength.is_finite() || !(0.0..=1.0).contains(&p.strength) {
+                return Err(StatsError::InvalidParameter("strength outside [0, 1]"));
+            }
+            if !p.success.is_finite() || !(0.0..=1.0).contains(&p.success) {
+                return Err(StatsError::InvalidParameter("success outside [0, 1]"));
+            }
+        }
+        if points.windows(2).any(|w| w[1].strength <= w[0].strength) {
+            return Err(StatsError::InvalidParameter(
+                "strengths must be strictly increasing",
+            ));
+        }
+        Ok(RocCurve { points })
+    }
+
+    /// The sweep points, in increasing strength order.
+    pub fn points(&self) -> &[RocPoint] {
+        &self.points
+    }
+
+    /// Area under the curve, normalized by the swept strength span
+    /// (trapezoid rule) — the mean residual attack success across the
+    /// sweep. A single-point curve returns that point's success.
+    pub fn auc(&self) -> f64 {
+        let span = self.points.last().unwrap().strength - self.points[0].strength;
+        if span <= 0.0 {
+            return self.points[0].success;
+        }
+        let area: f64 = self
+            .points
+            .windows(2)
+            .map(|w| (w[1].strength - w[0].strength) * (w[0].success + w[1].success) / 2.0)
+            .sum();
+        area / span
+    }
+
+    /// The smallest strength (linearly interpolated between sweep points)
+    /// at which success drops to `target` or below; `None` if the sweep
+    /// never gets there.
+    pub fn strength_to_suppress(&self, target: f64) -> Option<f64> {
+        let first = self.points[0];
+        if first.success <= target {
+            return Some(first.strength);
+        }
+        for w in self.points.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if b.success <= target {
+                // success is above target at `a`, at-or-below at `b`:
+                // interpolate the crossing.
+                let run = b.success - a.success;
+                if run.abs() < f64::EPSILON {
+                    return Some(b.strength);
+                }
+                let t = (target - a.success) / run;
+                return Some(a.strength + t.clamp(0.0, 1.0) * (b.strength - a.strength));
+            }
+        }
+        None
+    }
+
+    /// Renders the deterministic fixed-width report table the `defend`
+    /// verb emits — the artifact determinism tests pin byte-for-byte.
+    pub fn render_table(&self, attack: &str, stack: &str, baseline_success: f64) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("defend sweep        : {attack} vs {stack}\n"));
+        out.push_str(&format!("baseline success    : {baseline_success:.4}\n"));
+        for p in &self.points {
+            out.push_str(&format!(
+                "  strength {:.2}      : success {:.4}\n",
+                p.strength, p.success
+            ));
+        }
+        out.push_str(&format!("auc                 : {:.4}\n", self.auc()));
+        match self.strength_to_suppress(baseline_success / 2.0) {
+            Some(s) => out.push_str(&format!("strength to halve   : {s:.2}\n")),
+            None => out.push_str("strength to halve   : not reached\n"),
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(pairs: &[(f64, f64)]) -> RocCurve {
+        RocCurve::new(
+            pairs
+                .iter()
+                .map(|&(strength, success)| RocPoint { strength, success })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_input() {
+        assert!(matches!(RocCurve::new(vec![]), Err(StatsError::Empty)));
+        let bad = vec![
+            RocPoint {
+                strength: 0.5,
+                success: 1.0,
+            },
+            RocPoint {
+                strength: 0.5,
+                success: 0.5,
+            },
+        ];
+        assert!(RocCurve::new(bad).is_err());
+        assert!(RocCurve::new(vec![RocPoint {
+            strength: 1.5,
+            success: 0.0
+        }])
+        .is_err());
+        assert!(RocCurve::new(vec![RocPoint {
+            strength: 0.5,
+            success: f64::NAN
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn auc_of_linear_decay_is_half() {
+        let c = curve(&[(0.0, 1.0), (1.0, 0.0)]);
+        assert!((c.auc() - 0.5).abs() < 1e-12);
+        let flat = curve(&[(0.0, 0.8), (0.5, 0.8), (1.0, 0.8)]);
+        assert!((flat.auc() - 0.8).abs() < 1e-12);
+        let single = curve(&[(0.3, 0.7)]);
+        assert_eq!(single.auc(), 0.7);
+    }
+
+    #[test]
+    fn suppression_strength_interpolates() {
+        let c = curve(&[(0.0, 1.0), (1.0, 0.0)]);
+        let s = c.strength_to_suppress(0.5).unwrap();
+        assert!((s - 0.5).abs() < 1e-12);
+        // Already at or below target at the first point.
+        let low = curve(&[(0.0, 0.2), (1.0, 0.1)]);
+        assert_eq!(low.strength_to_suppress(0.5), Some(0.0));
+        // Never reached.
+        let high = curve(&[(0.0, 1.0), (1.0, 0.9)]);
+        assert_eq!(high.strength_to_suppress(0.5), None);
+    }
+
+    #[test]
+    fn table_is_stable() {
+        let c = curve(&[(0.0, 1.0), (0.5, 0.6), (1.0, 0.1)]);
+        let t = c.render_table("rsa", "jitter:1.00", 1.0);
+        assert!(t.contains("defend sweep        : rsa vs jitter:1.00"));
+        assert!(t.contains("strength 0.50      : success 0.6000"));
+        assert!(t.contains("auc"));
+        assert_eq!(t, c.render_table("rsa", "jitter:1.00", 1.0));
+    }
+}

@@ -49,7 +49,9 @@ pub mod thermal;
 mod time;
 
 pub use domain::PowerDomain;
-pub use noise::{hash01, hash01_bucket_term, hash01_finish, hash01_stream_key, GaussianNoise};
+pub use noise::{
+    hash01, hash01_bucket_term, hash01_finish, hash01_stream_key, hash_gauss, GaussianNoise,
+};
 pub use oppoint::{OpPointCache, RailOperatingPoint};
 pub use pdn::{Pdn, VoltageBand};
 pub use power::{

@@ -43,7 +43,33 @@ pub fn hash01_finish(stream_key: u64, bucket_term: u64) -> f64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
-    (z >> 11) as f64 / (1u64 << 53) as f64
+    // `z >> 11` fits in 53 bits, so the signed cast converts the same
+    // value — and i64 -> f64 is a single instruction on x86-64, where the
+    // unsigned conversion lowers to a multi-op sequence. This finisher
+    // runs once per (group, bucket) in every conversion's jitter walk.
+    ((z >> 11) as i64) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic stateless standard-normal hash of a `(seed, stream,
+/// bucket)` triple — the Gaussian counterpart of [`hash01`].
+///
+/// Box-Muller over two adjacent [`hash01`] buckets (`2*bucket` and
+/// `2*bucket + 1`), so distinct buckets draw from disjoint uniforms and
+/// the same query always returns the same answer regardless of query
+/// order. Defense layers use this to inject per-window noise that is a
+/// pure function of the window index.
+///
+/// # Examples
+///
+/// ```
+/// let z = zynq_soc::hash_gauss(1, 2, 3);
+/// assert_eq!(z, zynq_soc::hash_gauss(1, 2, 3));
+/// assert!(z.is_finite());
+/// ```
+pub fn hash_gauss(seed: u64, stream: u64, bucket: u64) -> f64 {
+    let u1 = hash01(seed, stream, bucket.wrapping_mul(2)).max(f64::MIN_POSITIVE);
+    let u2 = hash01(seed, stream, bucket.wrapping_mul(2).wrapping_add(1));
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 /// Deterministic Gaussian noise source (Box-Muller over a seeded PRNG).
@@ -139,6 +165,22 @@ mod tests {
                     .to_bits()
             );
         }
+    }
+
+    #[test]
+    fn hash_gauss_is_stateless_and_plausibly_normal() {
+        assert_eq!(
+            hash_gauss(9, 4, 100).to_bits(),
+            hash_gauss(9, 4, 100).to_bits()
+        );
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|b| hash_gauss(123, 7, b)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+        // Adjacent buckets must not share uniforms.
+        assert_ne!(hash_gauss(1, 1, 10), hash_gauss(1, 1, 11));
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --example farm_client -- 127.0.0.1:4650 \
-//!     [--verb quickstart] [--seed 42] [--tenant alice] [--shutdown]
+//!     [--verb quickstart] [--seed 42] [--tenant alice] \
+//!     [--config '{"key": "value"}'] [--shutdown]
 //! ```
 //!
 //! With `--shutdown` the client also asks the server to drain and exit
@@ -18,6 +19,7 @@ fn main() {
     let mut verb = "quickstart".to_string();
     let mut seed = None;
     let mut tenant = None;
+    let mut config_json: Option<String> = None;
     let mut shutdown = false;
 
     let mut it = args.iter();
@@ -33,6 +35,7 @@ fn main() {
                 );
             }
             "--tenant" => tenant = Some(it.next().expect("--tenant needs a value").clone()),
+            "--config" => config_json = Some(it.next().expect("--config needs a value").clone()),
             "--shutdown" => shutdown = true,
             other if addr.is_none() && !other.starts_with("--") => {
                 addr = Some(other.to_string());
@@ -49,10 +52,13 @@ fn main() {
 
     // Keep the default request cheap so the example doubles as a smoke
     // test; a pinned seed makes the printed result reproducible.
-    let config = if verb == "quickstart" {
-        Value::Object(vec![("samples_per_level".into(), Value::Int(40))])
-    } else {
-        Value::Null
+    // `--config` passes verb overrides as inline JSON.
+    let config = match config_json {
+        Some(json) => sim_rt::json::parse(&json).expect("--config must be valid JSON"),
+        None if verb == "quickstart" => {
+            Value::Object(vec![("samples_per_level".into(), Value::Int(40))])
+        }
+        None => Value::Null,
     };
     let resp = client.request(&verb, seed, config).expect("request");
     println!(
