@@ -168,4 +168,68 @@ wait "$defend_pid" || {
     exit 1
 }
 
+echo "==> stats/flight smoke (live telemetry verb, forced deadline dump)"
+stats_log="$(mktemp)"
+flight_file="$(mktemp)"
+cleanup_files+=("$stats_log" "$flight_file")
+AMPEREBLEED_FLIGHT_FILE="$flight_file" \
+    cargo run --offline --release -p sim-serve --bin serve -- \
+    --addr 127.0.0.1:0 --boards 1 >"$stats_log" 2>&1 &
+stats_pid=$!
+cleanup_pids+=("$stats_pid")
+stats_addr=""
+for _ in $(seq 1 100); do
+    stats_addr="$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' "$stats_log")"
+    [ -n "$stats_addr" ] && break
+    if ! kill -0 "$stats_pid" 2>/dev/null; then
+        echo "ci.sh: stats-smoke serve exited before binding:" >&2
+        cat "$stats_log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$stats_addr" ]; then
+    echo "ci.sh: stats-smoke serve never reported its address:" >&2
+    cat "$stats_log" >&2
+    exit 1
+fi
+stats_out="$(cargo run --offline --release --example farm_client -- "$stats_addr" \
+    --stats --pretty)"
+echo "$stats_out" | grep -q '"queue_depth"' || {
+    echo "ci.sh: stats verb returned no queue state:" >&2
+    echo "$stats_out" >&2
+    exit 1
+}
+echo "$stats_out" | grep -q '"p99"' || {
+    echo "ci.sh: stats verb returned no percentile records:" >&2
+    echo "$stats_out" >&2
+    exit 1
+}
+# An impossible deadline forces a deadline_exceeded, which must auto-dump
+# the flight rings to AMPEREBLEED_FLIGHT_FILE (the request itself fails
+# by design, hence the || true).
+cargo run --offline --release --example farm_client -- "$stats_addr" \
+    --verb quickstart --seed 3 --deadline-ms 0 >/dev/null || true
+cargo run --offline --release --example farm_client -- "$stats_addr" \
+    --verb ping --shutdown >/dev/null
+wait "$stats_pid" || {
+    echo "ci.sh: stats-smoke serve exited non-zero after drain:" >&2
+    cat "$stats_log" >&2
+    exit 1
+}
+if ! [ -s "$flight_file" ]; then
+    echo "ci.sh: deadline_exceeded left no flight dump in $flight_file" >&2
+    exit 1
+fi
+grep -q '"deadline_exceeded"' "$flight_file" || {
+    echo "ci.sh: flight dump carries no deadline_exceeded rows:" >&2
+    head "$flight_file" >&2
+    exit 1
+}
+grep -q '"kind"' "$flight_file" || {
+    echo "ci.sh: flight dump rows are not event records:" >&2
+    head "$flight_file" >&2
+    exit 1
+}
+
 echo "==> ci.sh: all gates passed"

@@ -1,10 +1,15 @@
 //! Overhead of the observability layer on the sampler hot path.
 //!
 //! Measures [`CurrentSampler::capture`] twice in alternating rounds —
-//! metrics recording enabled (the default) versus runtime-disabled via
-//! [`obs::metrics::set_enabled`] — and writes the comparison to
+//! metrics, span recording, and the flight recorder all enabled versus
+//! all runtime-disabled — and writes the comparison to
 //! `BENCH_obs_overhead.json`. The budget is < 5% mean overhead on the
 //! capture path; the process exits non-zero when a full run blows it.
+//!
+//! The "on" arm is the served configuration: every capture runs under an
+//! ambient trace context with a span around it, metrics recording on,
+//! and flight events flowing into the per-thread rings — so the number
+//! bounds what a farm operator actually pays.
 //!
 //! Run with: `cargo bench --bench obs_overhead` (full schedule) or
 //! `cargo bench --bench obs_overhead -- --quick` (smoke: measures and
@@ -37,6 +42,14 @@ fn time_ns(iters: u64, mut f: impl FnMut() -> f64) -> f64 {
     start.elapsed().as_nanos() as f64 / iters as f64
 }
 
+/// Flips every observability layer at once: metrics, span recording,
+/// and the flight recorder.
+fn set_observability(on: bool) {
+    obs::metrics::set_enabled(on);
+    obs::trace::set_recording(on);
+    obs::flight::set_enabled(on);
+}
+
 fn main() {
     let quick = sim_rt::bench::quick_requested();
     obs::init();
@@ -47,20 +60,27 @@ fn main() {
     let sampler = CurrentSampler::unprivileged(&platform);
 
     // Each capture starts at a fresh sim time so every sample converts
-    // instead of hitting the held-value cache.
+    // instead of hitting the held-value cache. Each runs under its own
+    // trace root — the same shape a served request gives it.
     let mut t = 40_000_000u64;
+    let mut trace_counter = 0u64;
     let mut capture = move || {
         t += 10 * 35_000_000 * SAMPLES as u64;
-        let trace = sampler
-            .capture(
-                PowerDomain::FpgaLogic,
-                Channel::Current,
-                SimTime::from_nanos(t),
-                1.0 / 0.035,
-                SAMPLES,
-            )
-            .unwrap();
-        trace.samples[SAMPLES - 1]
+        let ctx = obs::trace::TraceContext::root("bench", 42, trace_counter);
+        trace_counter += 1;
+        obs::trace::scoped(ctx, || {
+            let _span = obs::trace::span("bench.obs", "capture");
+            let trace = sampler
+                .capture(
+                    PowerDomain::FpgaLogic,
+                    Channel::Current,
+                    SimTime::from_nanos(t),
+                    1.0 / 0.035,
+                    SAMPLES,
+                )
+                .unwrap();
+            trace.samples[SAMPLES - 1]
+        })
     };
 
     let (rounds, iters) = if quick { (2, 3) } else { (7, 200) };
@@ -69,14 +89,18 @@ fn main() {
     let mut best_off = f64::INFINITY;
     let mut best_on = f64::INFINITY;
     for round in 0..rounds {
-        obs::metrics::set_enabled(false);
+        set_observability(false);
         let off = time_ns(iters, &mut capture);
-        obs::metrics::set_enabled(true);
+        set_observability(true);
         let on = time_ns(iters, &mut capture);
         best_off = best_off.min(off);
         best_on = best_on.min(on);
+        // Drain the span log between rounds so the recording arm pays
+        // steady-state push costs, never a growth-then-overflow cliff.
+        let spans = obs::trace::take().len();
         println!(
-            "obs_overhead/round {round}: off {off:>12.1} ns/capture, on {on:>12.1} ns/capture"
+            "obs_overhead/round {round}: off {off:>12.1} ns/capture, on {on:>12.1} ns/capture \
+             ({spans} spans recorded)"
         );
     }
 
@@ -94,6 +118,7 @@ fn main() {
         .push("iters_per_round", iters)
         .push("rounds", rounds as u64)
         .push("quick", quick)
+        .push("traced", true)
         .push("off_ns_per_capture", best_off)
         .push("on_ns_per_capture", best_on)
         .push("overhead_pct", overhead_pct)

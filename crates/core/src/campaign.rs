@@ -354,6 +354,9 @@ pub fn run(config: &CampaignConfig) -> Result<CampaignReport> {
 struct TimedPhase {
     name: &'static str,
     span: obs::Span,
+    /// Distributed-trace span: under a served request this nests the
+    /// phase below the request's board span; standalone it is a no-op.
+    trace: obs::trace::TraceSpan,
     /// Stopwatch origin from the observability clock — the one allowlisted
     /// wall-clock source, so the `wall-clock` lint stays clean here.
     started_ns: u64,
@@ -365,12 +368,14 @@ impl TimedPhase {
         TimedPhase {
             name,
             span: obs::span!("core.campaign", name),
+            trace: obs::trace::span("core.campaign", name),
             started_ns: obs::clock::monotonic_ns(),
         }
     }
 
     fn close(self, timings: &mut Vec<PhaseTiming>) {
         self.span.close();
+        self.trace.close();
         let elapsed_ns = obs::clock::monotonic_ns().saturating_sub(self.started_ns);
         timings.push(PhaseTiming {
             name: self.name,

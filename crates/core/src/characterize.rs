@@ -156,6 +156,7 @@ impl CharacterizationReport {
 /// * [`AttackError::Hwmon`] / [`AttackError::Stats`] on capture or
 ///   analysis failures.
 pub fn run(platform: &Platform, config: &CharacterizeConfig) -> Result<CharacterizationReport> {
+    let _trace = obs::trace::span("core.characterize", "sweep");
     let virus = platform
         .virus()
         .ok_or(AttackError::NotDeployed("power-virus array"))?;
@@ -196,6 +197,7 @@ pub fn run_parallel(
     config: &CharacterizeConfig,
     pool: &Pool,
 ) -> Result<CharacterizationReport> {
+    let _trace = obs::trace::span("core.characterize", "sweep");
     config.validate()?;
     let rows = pool
         .par_map(&config.levels, |_, &level| -> Result<LevelRow> {
@@ -326,6 +328,7 @@ fn analyze(rows: Vec<LevelRow>) -> Result<CharacterizationReport> {
 ///
 /// Same failure modes as [`run`]; `samples_per_level` must be non-zero.
 pub fn quicklook(platform: &Platform, samples_per_level: usize) -> Result<CharacterizationReport> {
+    let _trace = obs::trace::span("core.characterize", "quicklook");
     run(
         platform,
         &CharacterizeConfig {

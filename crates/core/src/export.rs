@@ -302,6 +302,37 @@ mod tests {
     }
 
     #[test]
+    fn metrics_csv_renders_empty_histograms_and_weird_names() {
+        // A histogram with zero samples has NaN percentiles, and this
+        // name needs both comma- and quote-escaping in CSV.
+        let name = "test.csv.empty,hist\"q";
+        let _ = obs::metrics::histogram(name.to_string());
+        obs::metrics::counter("test.csv.plain".to_string()).inc();
+
+        let snapshot = obs::metrics::snapshot();
+        let csv = metrics_to_csv(&snapshot);
+        let row = csv
+            .lines()
+            .find(|l| l.starts_with("\"test.csv.empty,hist\"\"q\""))
+            .expect("escaped histogram row present");
+        assert!(
+            !row.contains("null"),
+            "non-finite stats must be empty cells, not the word null: {row}"
+        );
+        assert!(
+            row.ends_with(",,,,"),
+            "mean/p50/p95/p99 of an empty histogram are empty cells: {row}"
+        );
+
+        let jsonl = metrics_to_jsonl(&snapshot);
+        let line = jsonl
+            .lines()
+            .find(|l| l.contains("empty,hist\\\"q"))
+            .expect("histogram line present in jsonl");
+        assert!(line.contains("\"p99\":null"), "{line}");
+    }
+
+    #[test]
     fn rsa_jsonl_matches_csv_rows() {
         let cfg = RsaAttackConfig {
             hamming_weights: vec![1, 1024],

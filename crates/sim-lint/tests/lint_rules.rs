@@ -292,3 +292,26 @@ fn sim_defend_sources_pass_every_rule() {
     );
     assert!(r.diags.is_empty(), "{:?}", r.diags);
 }
+
+#[test]
+fn trace_and_flight_sources_pass_every_rule() {
+    // The tracing and flight-recorder modules run inside every service
+    // and worker thread: wall-clock reads must go through obs::clock,
+    // iteration must be ordered, and nothing may print or spawn. Lint
+    // the real sources under their real paths, waiver-free.
+    let cfg = Config::workspace_default();
+    for (path, src) in [
+        (
+            "crates/sim-obs/src/trace.rs",
+            include_str!("../../sim-obs/src/trace.rs"),
+        ),
+        (
+            "crates/sim-obs/src/flight.rs",
+            include_str!("../../sim-obs/src/flight.rs"),
+        ),
+    ] {
+        let r = lint_source(path, src, &cfg);
+        assert!(r.diags.is_empty(), "{path}: {:?}", r.diags);
+        assert_eq!(r.waived, 0, "{path} needs no waivers");
+    }
+}

@@ -33,6 +33,16 @@
 //! [`counter!`], [`gauge!`], and [`histogram!`] macros cache the registry
 //! lookup in a per-call-site static, so hot paths pay one atomic add.
 //!
+//! # Tracing and the flight recorder
+//!
+//! [`trace`] adds deterministic request tracing on top of events: a
+//! [`TraceContext`] minted from `(tenant, seed, request counter)`
+//! propagates by value across pool workers, spans reconstruct into trees,
+//! and the structural JSONL export is byte-identical at any pool width.
+//! [`flight`] keeps a fixed-capacity ring of recent events per service
+//! thread and dumps it to the file named by [`FLIGHT_FILE_ENV`] on
+//! deadline misses, queue shedding, or panic.
+//!
 //! # Examples
 //!
 //! ```
@@ -52,16 +62,20 @@
 
 pub mod clock;
 pub mod event;
+pub mod flight;
 pub mod level;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 mod macros;
 
 pub use event::{Event, JsonlSink, MemorySink, Sink, StderrSink};
+pub use flight::FlightEvent;
 pub use level::Level;
 pub use metrics::{Counter, Gauge, Histogram, MetricsSnapshot};
 pub use span::Span;
+pub use trace::{SpanNode, SpanRecord, TraceContext, TraceSpan};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -78,6 +92,10 @@ pub const LOG_ENV: &str = "AMPEREBLEED_LOG";
 
 /// Environment variable naming a JSONL trace file to append events to.
 pub const TRACE_FILE_ENV: &str = "AMPEREBLEED_TRACE_FILE";
+
+/// Environment variable naming the JSONL file [`flight::auto_dump`]
+/// appends to when the serve layer hits a deadline, sheds, or panics.
+pub const FLIGHT_FILE_ENV: &str = "AMPEREBLEED_FLIGHT_FILE";
 
 /// The process-global observability runtime: filter plus sink list.
 struct Runtime {

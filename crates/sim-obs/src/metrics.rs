@@ -434,9 +434,23 @@ pub fn sync_lockorder() {
     gauge("lockorder.cycles_detected").set(sim_rt::lockorder::cycles_detected() as f64);
 }
 
+/// Mirrors the [`sim_rt::pool::profile`] aggregate totals into the
+/// registry as gauges (`pool.profile.enabled`, `.samples`, `.run_ns`,
+/// `.steal_ns`). Called by every [`snapshot`]; with profiling disabled
+/// the totals read zero but the names still export, so dashboards can
+/// pin them unconditionally.
+pub fn sync_pool_profile() {
+    let stats = sim_rt::pool::profile::stats();
+    gauge("pool.profile.enabled").set(if stats.enabled { 1.0 } else { 0.0 });
+    gauge("pool.profile.samples").set(stats.samples as f64);
+    gauge("pool.profile.run_ns").set(stats.run_ns as f64);
+    gauge("pool.profile.steal_ns").set(stats.steal_ns as f64);
+}
+
 /// Freezes every registered metric.
 pub fn snapshot() -> MetricsSnapshot {
     sync_lockorder();
+    sync_pool_profile();
     let map = registry()
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);

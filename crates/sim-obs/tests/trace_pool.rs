@@ -1,0 +1,51 @@
+//! Span nesting across pool workers: the structural span forest of a
+//! fixed job mix must be byte-identical at any pool width, because span
+//! identity derives from each job's own trace context — never from
+//! which worker ran it or in what order.
+
+use sim_rt::pool::Pool;
+
+/// Runs 32 traced jobs across `threads` workers and returns the
+/// structural JSONL export of the resulting span forest.
+fn forest_at(threads: usize) -> String {
+    let ctxs: Vec<obs::TraceContext> = (0..32)
+        .map(|i| obs::trace::TraceContext::root("worker-test", 7, i))
+        .collect();
+    let _ = obs::trace::take();
+    let pool = Pool::new(threads);
+    pool.par_map(&ctxs, |_, ctx| {
+        obs::trace::scoped(*ctx, || {
+            let mut outer = obs::trace::span("test.pool", "outer");
+            outer.note("jobs", 1);
+            let inner_a = obs::trace::span("test.pool", "inner-a");
+            inner_a.close();
+            let inner_b = obs::trace::span("test.pool", "inner-b");
+            inner_b.close();
+            outer.close();
+        });
+        obs::trace::record_root(*ctx, "test.pool", "job", 0, 0);
+    });
+    let records = obs::trace::take();
+    obs::trace::forest_to_jsonl(&obs::trace::build_forest(&records))
+}
+
+#[test]
+fn span_forest_is_identical_across_pool_widths() {
+    obs::trace::set_recording(true);
+    let serial = forest_at(1);
+    assert_eq!(
+        serial.lines().filter(|l| l.contains("\"depth\":0")).count(),
+        32,
+        "every job surfaces as its own root"
+    );
+    for name in ["\"job\"", "\"outer\"", "\"inner-a\"", "\"inner-b\""] {
+        assert!(serial.contains(name), "forest misses {name}");
+    }
+    for threads in [2, 8] {
+        assert_eq!(
+            serial,
+            forest_at(threads),
+            "span forest must not depend on pool width ({threads} threads)"
+        );
+    }
+}

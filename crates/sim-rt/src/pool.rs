@@ -171,15 +171,24 @@ impl Pool {
     where
         F: Fn(usize, &T) -> R,
     {
-        items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| {
-                let r = self.run_job(i, item, f);
-                self.jobs_completed.fetch_add(1, Ordering::Relaxed);
-                r
-            })
-            .collect()
+        let profiling = profile::enabled();
+        let mut prof_run = 0u64;
+        let mut prof_jobs = 0u64;
+        let mut out = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let started = profiling.then(Instant::now); // sim-lint: allow(wall-clock)
+            let r = self.run_job(i, item, f);
+            if let Some(t) = started {
+                prof_run += t.elapsed().as_nanos() as u64;
+                prof_jobs += 1;
+            }
+            self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            out.push(r);
+        }
+        if prof_jobs > 0 {
+            profile::record_lane("serial", prof_run, 0, prof_jobs);
+        }
+        out
     }
 
     fn stealing_map<T, R, F>(&self, items: &[T], f: &F, workers: usize) -> Vec<R>
@@ -199,19 +208,36 @@ impl Pool {
                 let tx = tx.clone();
                 let queues = &queues;
                 scope.spawn(move || {
+                    let profiling = profile::enabled();
+                    let mut prof_run = 0u64;
+                    let mut prof_steal = 0u64;
+                    let mut prof_jobs = 0u64;
                     while let Some((i, stolen)) = next_job(queues, w) {
                         if stolen {
                             self.jobs_stolen.fetch_add(1, Ordering::Relaxed);
                         }
+                        let started = profiling.then(Instant::now); // sim-lint: allow(wall-clock)
                         let result =
                             catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))).or_else(|_| {
                                 // One retry per job before giving up.
                                 self.jobs_retried.fetch_add(1, Ordering::Relaxed);
                                 catch_unwind(AssertUnwindSafe(|| f(i, &items[i])))
                             });
+                        if let Some(t) = started {
+                            let ns = t.elapsed().as_nanos() as u64;
+                            if stolen {
+                                prof_steal += ns;
+                            } else {
+                                prof_run += ns;
+                            }
+                            prof_jobs += 1;
+                        }
                         if tx.send((i, result)).is_err() {
                             return; // collector gone: a sibling job failed
                         }
+                    }
+                    if prof_jobs > 0 {
+                        profile::record_worker(w, prof_run, prof_steal, prof_jobs);
                     }
                 });
             }
@@ -335,6 +361,152 @@ fn next_job(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<(usize, bool
         }
     }
     None
+}
+
+/// Opt-in pool self-profiling: per-worker run/steal phase timers folded
+/// into a flamegraph-compatible stack table.
+///
+/// Enabled by setting `AMPEREBLEED_PROFILE` (any non-empty value other
+/// than `0`); when enabled, every job executed by [`Pool::par_map`] is
+/// timed and attributed to its worker lane, split by whether the job ran
+/// on its dealt worker (`run`) or was stolen (`steal`). The job bodies
+/// this pool runs (board captures, campaign phases) dwarf one `Instant`
+/// read, so the sample rate is 1 — every job is a sample.
+///
+/// [`folded`] renders the table in folded-stack format
+/// (`pool;worker3;steal 120400` per line), directly consumable by
+/// standard flamegraph tooling. The aggregate totals surface as
+/// `pool.profile.*` gauges in every metrics snapshot.
+pub mod profile {
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    /// Environment variable enabling the profiler. A value that is not
+    /// `1`, `true`, or `stdout` names the folded-stack output file.
+    pub const PROFILE_ENV: &str = "AMPEREBLEED_PROFILE";
+
+    /// Runtime override of the env-var gate: 0 = follow env, 1 = on,
+    /// 2 = off.
+    static FORCE: AtomicU8 = AtomicU8::new(0);
+
+    fn env_value() -> &'static Option<String> {
+        static VALUE: OnceLock<Option<String>> = OnceLock::new();
+        VALUE.get_or_init(|| std::env::var(PROFILE_ENV).ok().filter(|v| !v.is_empty()))
+    }
+
+    /// Whether job timing is currently live.
+    pub fn enabled() -> bool {
+        match FORCE.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => env_value().as_deref().is_some_and(|v| v != "0"),
+        }
+    }
+
+    /// Overrides the `AMPEREBLEED_PROFILE` gate at runtime: `Some(true)`
+    /// forces profiling on, `Some(false)` off, `None` defers to the env.
+    pub fn force(on: Option<bool>) {
+        let v = match on {
+            Some(true) => 1,
+            Some(false) => 2,
+            None => 0,
+        };
+        FORCE.store(v, Ordering::Relaxed);
+    }
+
+    /// Where the serve binary writes the folded table on exit: a file
+    /// path when `AMPEREBLEED_PROFILE` names one, `None` (stdout) when
+    /// the variable just toggles (`1`, `true`, `stdout`).
+    pub fn output_path() -> Option<String> {
+        env_value()
+            .as_deref()
+            .filter(|v| !matches!(*v, "0" | "1" | "true" | "stdout"))
+            .map(str::to_string)
+    }
+
+    static SAMPLES: AtomicU64 = AtomicU64::new(0);
+    static RUN_NS: AtomicU64 = AtomicU64::new(0);
+    static STEAL_NS: AtomicU64 = AtomicU64::new(0);
+
+    fn table() -> &'static Mutex<BTreeMap<String, u64>> {
+        static TABLE: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+        TABLE.get_or_init(|| Mutex::new(BTreeMap::new()))
+    }
+
+    /// Aggregate profiler totals, mirrored as `pool.profile.*` gauges.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct ProfileStats {
+        /// Whether timing is currently live.
+        pub enabled: bool,
+        /// Jobs timed (sample rate is 1: every job is a sample).
+        pub samples: u64,
+        /// Nanoseconds spent in jobs run on their dealt worker.
+        pub run_ns: u64,
+        /// Nanoseconds spent in stolen jobs.
+        pub steal_ns: u64,
+    }
+
+    /// Current aggregate totals.
+    pub fn stats() -> ProfileStats {
+        ProfileStats {
+            enabled: enabled(),
+            samples: SAMPLES.load(Ordering::Relaxed),
+            run_ns: RUN_NS.load(Ordering::Relaxed),
+            steal_ns: STEAL_NS.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Folds one lane's accumulated phase times into the table. Called
+    /// once per worker per map, so the table mutex is far off the
+    /// per-job hot path.
+    pub(super) fn record_lane(lane: &str, run_ns: u64, steal_ns: u64, samples: u64) {
+        SAMPLES.fetch_add(samples, Ordering::Relaxed);
+        RUN_NS.fetch_add(run_ns, Ordering::Relaxed);
+        STEAL_NS.fetch_add(steal_ns, Ordering::Relaxed);
+        let mut table = table()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if run_ns > 0 {
+            *table.entry(format!("pool;{lane};run")).or_insert(0) += run_ns;
+        }
+        if steal_ns > 0 {
+            *table.entry(format!("pool;{lane};steal")).or_insert(0) += steal_ns;
+        }
+    }
+
+    /// [`record_lane`] keyed by a stealing worker's index.
+    pub(super) fn record_worker(worker: usize, run_ns: u64, steal_ns: u64, samples: u64) {
+        record_lane(&format!("worker{worker}"), run_ns, steal_ns, samples);
+    }
+
+    /// Renders the accumulated table in folded-stack format, one
+    /// `stack;frames value` line per entry, sorted by stack name —
+    /// ready for flamegraph tooling.
+    pub fn folded() -> String {
+        let table = table()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = String::new();
+        for (stack, ns) in table.iter() {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&ns.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Clears the table and totals (tests, between-campaign baselines).
+    pub fn reset() {
+        SAMPLES.store(0, Ordering::Relaxed);
+        RUN_NS.store(0, Ordering::Relaxed);
+        STEAL_NS.store(0, Ordering::Relaxed);
+        table()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
+    }
 }
 
 fn default_threads() -> usize {
@@ -472,6 +644,49 @@ mod tests {
             });
             assert_eq!(h.join().unwrap().as_deref(), Some("svc-named"));
         });
+    }
+
+    /// The profiler's force switch and totals are process-global;
+    /// serialize the tests that toggle them.
+    fn profile_guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn profiler_folds_run_and_steal_lanes() {
+        let _guard = profile_guard();
+        profile::force(Some(true));
+        let work = |i: usize, _: &u8| (0..200usize).fold(i, |a, b| a ^ b.wrapping_mul(31));
+        Pool::new(2).par_map(&[0u8; 64], work);
+        Pool::serial().par_map(&[0u8; 8], work);
+        profile::force(Some(false));
+        let stats = profile::stats();
+        assert!(!stats.enabled, "force(Some(false)) wins over the env");
+        assert!(stats.samples >= 72, "every job is a sample");
+        assert!(stats.run_ns + stats.steal_ns > 0);
+        let folded = profile::folded();
+        assert!(folded.contains("pool;serial;run "));
+        assert!(
+            folded.contains("pool;worker0;") || folded.contains("pool;worker1;"),
+            "stealing lanes present: {folded}"
+        );
+        for line in folded.lines() {
+            let (stack, value) = line.rsplit_once(' ').expect("folded line shape");
+            assert!(stack.starts_with("pool;"), "{line}");
+            value.parse::<u64>().expect("folded value is integer ns");
+        }
+    }
+
+    #[test]
+    fn profiler_off_by_default_records_nothing_new() {
+        let _guard = profile_guard();
+        profile::force(Some(false));
+        let before = profile::stats().samples;
+        Pool::new(2).par_map(&[0u8; 32], |i, _| i);
+        assert_eq!(profile::stats().samples, before);
+        profile::force(None);
     }
 
     #[test]

@@ -94,6 +94,9 @@ impl Value {
     fn write_csv(&self, out: &mut String) {
         match self {
             Value::Null => {}
+            // NaN/Infinity have no numeric text; an empty cell (the CSV
+            // null) beats the literal word "null" in a numeric column.
+            Value::Float(x) if !x.is_finite() => {}
             Value::Bool(_) | Value::Int(_) | Value::Float(_) => {
                 let json = self.to_json();
                 out.push_str(&json);
@@ -101,6 +104,56 @@ impl Value {
             Value::Str(s) => write_csv_escaped(s, out),
             Value::Array(_) | Value::Object(_) => write_csv_escaped(&self.to_json(), out),
         }
+    }
+
+    /// Renders the value as indented multi-line JSON (two-space indent),
+    /// for human consumption — `farm_client --pretty` and friends. The
+    /// compact form ([`Value::to_json`]) remains the wire format.
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_json_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_json_pretty(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    item.write_json_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (k, (name, value)) in fields.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(out, indent + 1);
+                    write_json_string(name, out);
+                    out.push_str(": ");
+                    value.write_json_pretty(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            // Scalars and empty containers render in compact form.
+            other => other.write_json(out),
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
     }
 }
 
@@ -414,6 +467,41 @@ mod tests {
         assert_eq!(lines[0], "id,score,tag");
         assert_eq!(lines[1], "0,0.5,plain");
         assert_eq!(lines[2], "1,1.5,\"with,comma\"");
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_empty_csv_cells() {
+        let mut r = Record::new();
+        r.push("name", "empty,hist\"q")
+            .push("p50", f64::NAN)
+            .push("p99", f64::NEG_INFINITY)
+            .push("count", 0u64);
+        let csv = to_csv([r].iter());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "name,p50,p99,count");
+        // NaN/Inf become empty cells, never the literal word "null"; the
+        // comma+quote name round-trips through doubled-quote escaping.
+        assert_eq!(lines[1], "\"empty,hist\"\"q\",,,0");
+    }
+
+    #[test]
+    fn pretty_json_indents_and_keeps_scalars_compact() {
+        let v = Value::Object(vec![
+            ("name".into(), Value::from("x")),
+            ("xs".into(), Value::from(vec![1, 2])),
+            ("empty".into(), Value::Array(vec![])),
+            (
+                "nested".into(),
+                Value::Object(vec![("k".into(), Value::Null)]),
+            ),
+        ]);
+        assert_eq!(
+            v.to_json_pretty(),
+            "{\n  \"name\": \"x\",\n  \"xs\": [\n    1,\n    2\n  ],\n  \
+             \"empty\": [],\n  \"nested\": {\n    \"k\": null\n  }\n}"
+        );
+        assert_eq!(Value::Int(5).to_json_pretty(), "5");
+        assert_eq!(Value::Object(vec![]).to_json_pretty(), "{}");
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! Prints `listening on <addr> (<n> boards)` once bound (scrape the
 //! ephemeral port from there), serves until a `shutdown` verb arrives,
 //! then prints the drained metrics table and exits 0.
+//!
+//! Observability hooks: the `stats` verb answers live telemetry, panics
+//! and deadline expiries dump the flight recorder to
+//! `AMPEREBLEED_FLIGHT_FILE`, and `AMPEREBLEED_PROFILE` enables pool
+//! self-profiling (folded stacks written at shutdown — to the env var's
+//! value when it names a path, to stdout otherwise).
 
 use std::io::Write;
 
@@ -72,6 +78,14 @@ fn main() {
             std::process::exit(1);
         }
     };
+    // A panic anywhere in the process dumps the flight rings first: the
+    // last few hundred events per thread are exactly the post-mortem a
+    // crashed farm needs.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        obs::flight::auto_dump("panic");
+        default_hook(info);
+    }));
     let addr = server.local_addr().expect("bound listener has an address");
     let _ = writeln!(stdout, "listening on {addr} ({} boards)", cfg.boards);
     let _ = stdout.flush();
@@ -81,5 +95,18 @@ fn main() {
     let snapshot = obs::metrics::snapshot();
     let _ = writeln!(stdout, "drained; final metrics:");
     let _ = write!(stdout, "{}", snapshot.render_table());
+    if sim_rt::pool::profile::enabled() {
+        let folded = sim_rt::pool::profile::folded();
+        match sim_rt::pool::profile::output_path() {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, &folded) {
+                    let _ = writeln!(std::io::stderr(), "serve: profile write {path}: {e}");
+                }
+            }
+            None => {
+                let _ = write!(stdout, "{folded}");
+            }
+        }
+    }
     let _ = writeln!(stdout, "serve: clean shutdown");
 }

@@ -121,6 +121,19 @@ impl Client {
         self.wait(id)
     }
 
+    /// Queries the live telemetry plane: metrics registry, pool and
+    /// tenant counters, queue depth. Pass
+    /// `{"flight": true}` as `config` to inline the flight-recorder
+    /// rings, or [`Value::Null`] for the plain dump.
+    ///
+    /// # Errors
+    ///
+    /// Propagates send/wait failures.
+    pub fn stats(&mut self, config: Value) -> std::io::Result<Response> {
+        let id = self.send("stats", None, config)?;
+        self.wait(id)
+    }
+
     /// Asks the server to drain and stop; returns the shutdown ack with
     /// its drain statistics.
     ///

@@ -72,6 +72,16 @@ pub fn known_verb(verb: &str) -> bool {
     VERBS.contains(&verb)
 }
 
+/// Maps a request verb onto its `'static` name from [`VERBS`] (or
+/// `"other"`), so trace spans can label themselves without allocating.
+fn static_verb(verb: &str) -> &'static str {
+    VERBS
+        .iter()
+        .copied()
+        .find(|v| *v == verb)
+        .unwrap_or("other")
+}
+
 /// Builds the platform a farm board would hold for `seed`: ZCU102 with
 /// the power-virus array and RO bank deployed.
 ///
@@ -93,9 +103,10 @@ pub fn ready_platform(seed: u64) -> Result<Platform, ExecError> {
 ///
 /// [`ExecError`] for unknown verbs, bad configs, and campaign failures.
 pub fn execute(verb: &str, seed: u64, config: &Value) -> Result<Value, ExecError> {
+    let _span = obs::trace::span("serve.exec", static_verb(verb));
     if uses_board_platform(verb) {
         let platform = ready_platform(seed)?;
-        execute_on(&platform, verb, seed, config)
+        execute_on_inner(&platform, verb, seed, config)
     } else {
         execute_pure(verb, seed, config)
     }
@@ -112,6 +123,16 @@ pub fn execute(verb: &str, seed: u64, config: &Value) -> Result<Value, ExecError
 ///
 /// [`ExecError`] for unknown verbs, bad configs, and campaign failures.
 pub fn execute_on(
+    platform: &Platform,
+    verb: &str,
+    seed: u64,
+    config: &Value,
+) -> Result<Value, ExecError> {
+    let _span = obs::trace::span("serve.exec", static_verb(verb));
+    execute_on_inner(platform, verb, seed, config)
+}
+
+fn execute_on_inner(
     platform: &Platform,
     verb: &str,
     seed: u64,

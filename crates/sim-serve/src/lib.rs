@@ -30,6 +30,17 @@
 //! Everything is instrumented under `serve.*` in the sim-obs metrics
 //! registry: admission counters, shed/timeouts, queue depth, batch
 //! sizes, request/exec latency histograms, and farm utilisation.
+//!
+//! **Telemetry plane.** The `stats` control verb answers live over the
+//! same TCP connection with the full metrics registry (identical records
+//! to `metrics_to_jsonl`, percentiles included), pool and per-tenant
+//! counters, and queue state; `{"flight": true}` inlines the
+//! flight-recorder rings. Every admitted request is traced: a
+//! deterministic trace id minted from `(tenant, seed, request counter)`
+//! rides the response's `trace` field, and the span tree (request →
+//! batch → board → campaign phases) is reconstructable via
+//! [`obs::trace::build_forest`]. Deadline expiries, queue sheds, and
+//! panics auto-dump the flight rings to `AMPEREBLEED_FLIGHT_FILE`.
 
 pub mod client;
 pub mod exec;

@@ -21,7 +21,15 @@
 //!   up (`error_kind` = `deadline_exceeded`).
 //!
 //! Only the `result` field participates in the determinism contract:
-//! `board` and `elapsed_ms` depend on scheduling, `result` never does.
+//! `board`, `elapsed_ms`, and `trace` depend on scheduling, `result`
+//! never does. `trace` carries the hex trace id of the request's span
+//! tree (see `obs::trace`), answering "which board/batch/phase served
+//! this request" without touching the response payload.
+//!
+//! Besides the campaign verbs, the server answers two control verbs
+//! inline: `shutdown` (graceful drain) and `stats` (live telemetry
+//! snapshot — metrics registry, percentiles, per-tenant breakdowns, and
+//! optionally a flight-recorder dump).
 
 use sim_rt::json;
 use sim_rt::ser::Value;
@@ -164,6 +172,10 @@ pub struct Response {
     pub error_kind: Option<String>,
     /// Human-readable error message (non-`ok` only).
     pub error: Option<String>,
+    /// Hex trace id of the request's span tree (admitted requests only).
+    /// Scheduling metadata like `board` and `elapsed_ms` — excluded from
+    /// the determinism contract.
+    pub trace: Option<String>,
 }
 
 impl Response {
@@ -179,6 +191,7 @@ impl Response {
             result: Some(result),
             error_kind: None,
             error: None,
+            trace: None,
         }
     }
 
@@ -194,6 +207,7 @@ impl Response {
             result: None,
             error_kind: Some(kind.to_string()),
             error: Some(message),
+            trace: None,
         }
     }
 
@@ -217,6 +231,9 @@ impl Response {
         }
         if let Some(ms) = self.elapsed_ms {
             fields.push(("elapsed_ms".into(), Value::Float(ms)));
+        }
+        if let Some(trace) = &self.trace {
+            fields.push(("trace".into(), Value::Str(trace.clone())));
         }
         if let Some(result) = &self.result {
             fields.push(("result".into(), result.clone()));
@@ -252,6 +269,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         result: None,
         error_kind: None,
         error: None,
+        trace: None,
     };
     for (key, v) in fields {
         match key.as_str() {
@@ -264,6 +282,9 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             "seed" => resp.seed = Some(seed_from(v).ok_or("`seed` must be an integer")?),
             "elapsed_ms" => {
                 resp.elapsed_ms = Some(v.as_f64().ok_or("`elapsed_ms` must be a number")?);
+            }
+            "trace" => {
+                resp.trace = Some(v.as_str().ok_or("`trace` must be a string")?.to_string());
             }
             "result" => resp.result = Some(v.clone()),
             "error_kind" => {
@@ -345,7 +366,7 @@ mod tests {
 
     #[test]
     fn response_round_trips() {
-        let ok = Response::ok(
+        let mut ok = Response::ok(
             3,
             "rsa",
             1,
@@ -353,6 +374,7 @@ mod tests {
             12.5,
             Value::Object(vec![("keys".into(), Value::Int(5))]),
         );
+        ok.trace = Some("00000000deadbeef".into());
         assert_eq!(parse_response(ok.to_json_line().trim()).unwrap(), ok);
 
         let shed = Response::failure(4, "rsa", "shed", "queue_full", "queue is full".into());

@@ -67,6 +67,10 @@ struct Job {
     /// Effective seed, resolved at admission (pinned or farm default) so
     /// the result cannot depend on board placement.
     seed: u64,
+    /// Root trace context, minted at admission from
+    /// `(tenant, seed, per-tenant request counter)` — deterministic, so
+    /// replaying a request stream reproduces every trace id.
+    ctx: obs::trace::TraceContext,
     admitted_ns: u64,
     deadline_ns: Option<u64>,
     sink: Sink,
@@ -76,6 +80,31 @@ struct Tenant {
     tokens: f64,
     last_refill_ns: u64,
     inflight: usize,
+    /// Requests that reached this tenant's admission gates.
+    requests: u64,
+    /// Requests that passed the token/quota gates.
+    admitted: u64,
+    /// Requests refused by admission control or the drain.
+    shed: u64,
+    /// Admitted requests whose deadline expired before execution.
+    timeouts: u64,
+    /// Trace counter feeding [`obs::trace::TraceContext::root`].
+    next_trace: u64,
+}
+
+impl Tenant {
+    fn new(now: u64, burst: f64) -> Tenant {
+        Tenant {
+            tokens: burst,
+            last_refill_ns: now,
+            inflight: 0,
+            requests: 0,
+            admitted: 0,
+            shed: 0,
+            timeouts: 0,
+            next_trace: 0,
+        }
+    }
 }
 
 struct State {
@@ -149,6 +178,12 @@ impl Scheduler {
             self.work.notify_all();
             return;
         }
+        if req.verb == "stats" {
+            obs::counter!("serve.stats.requests").inc();
+            let resp = self.stats_response(&req);
+            self.respond_unserved(sink, resp);
+            return;
+        }
         if !exec::known_verb(&req.verb) {
             self.respond_unserved(
                 sink,
@@ -168,16 +203,16 @@ impl Scheduler {
         }
 
         let now = obs::clock::monotonic_ns();
-        {
+        let seed = req.seed.unwrap_or_else(|| self.farm.default_seed());
+        let ctx = {
             let mut tenants = self
                 .tenants
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            let tenant = tenants.entry(req.tenant.clone()).or_insert(Tenant {
-                tokens: self.cfg.burst,
-                last_refill_ns: now,
-                inflight: 0,
-            });
+            let tenant = tenants
+                .entry(req.tenant.clone())
+                .or_insert_with(|| Tenant::new(now, self.cfg.burst));
+            tenant.requests += 1;
             let dt_s = now.saturating_sub(tenant.last_refill_ns) as f64 / 1e9;
             tenant.tokens = (tenant.tokens + dt_s * self.cfg.rate_per_sec).min(self.cfg.burst);
             tenant.last_refill_ns = now;
@@ -198,10 +233,15 @@ impl Scheduler {
             }
             tenant.tokens -= 1.0;
             tenant.inflight += 1;
-        }
+            tenant.admitted += 1;
+            let ctx = obs::trace::TraceContext::root(&req.tenant, seed, tenant.next_trace);
+            tenant.next_trace += 1;
+            ctx
+        };
 
         let job = Job {
-            seed: req.seed.unwrap_or_else(|| self.farm.default_seed()),
+            seed,
+            ctx,
             deadline_ns: req.deadline_ms.map(|ms| now + ms.saturating_mul(1_000_000)),
             admitted_ns: now,
             sink,
@@ -270,15 +310,41 @@ impl Scheduler {
         let (live, expired): (Vec<Job>, Vec<Job>) = batch
             .into_iter()
             .partition(|job| job.deadline_ns.is_none_or(|d| d > now));
+        let mut dumped = false;
         for job in expired {
             obs::counter!("serve.timeouts").inc();
-            let resp = Response::failure(
+            {
+                let mut tenants = self
+                    .tenants
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                if let Some(t) = tenants.get_mut(&job.req.tenant) {
+                    t.timeouts += 1;
+                }
+            }
+            obs::flight::record(
+                "timeout",
+                job.ctx.trace_id,
+                job.ctx.span_id,
+                job.req.id,
+                0,
+                "deadline_exceeded",
+            );
+            // One dump per batch is enough context; a mass-expiry must
+            // not write the same rings dozens of times.
+            if !dumped {
+                obs::flight::auto_dump("deadline_exceeded");
+                dumped = true;
+            }
+            let mut resp = Response::failure(
                 job.req.id,
                 &job.req.verb,
                 "timeout",
                 "deadline_exceeded",
                 "deadline expired before a board was available".into(),
             );
+            resp.trace = Some(obs::trace::hex(job.ctx.trace_id));
+            obs::trace::record_root(job.ctx, "serve", "request", job.admitted_ns, now);
             self.respond(&job, resp);
         }
         if live.is_empty() {
@@ -306,7 +372,7 @@ impl Scheduler {
 
         let outcomes = self
             .pool
-            .par_map(&groups, |_, (_, jobs)| self.run_group(&jobs[0]));
+            .par_map(&groups, |_, (_, jobs)| self.run_group(jobs));
 
         let done_ns = obs::clock::monotonic_ns();
         for ((_, jobs), (board, outcome)) in groups.iter().zip(&outcomes) {
@@ -314,7 +380,7 @@ impl Scheduler {
                 let elapsed_ms = done_ns.saturating_sub(job.admitted_ns) as f64 / 1e6;
                 obs::histogram!("serve.request.latency_ns")
                     .observe(done_ns.saturating_sub(job.admitted_ns));
-                let resp = match outcome {
+                let mut resp = match outcome {
                     Ok(value) => {
                         obs::counter!("serve.responses.ok").inc();
                         Response::ok(
@@ -337,28 +403,46 @@ impl Scheduler {
                         )
                     }
                 };
+                resp.trace = Some(obs::trace::hex(job.ctx.trace_id));
+                // The request root spans admission through response, so
+                // it is recorded here rather than as a lexical scope.
+                obs::trace::record_root(job.ctx, "serve", "request", job.admitted_ns, done_ns);
                 self.respond(job, resp);
             }
         }
         obs::record_pool_stats("serve.pool", &self.pool.stats());
     }
 
-    /// Executes one group representative on a checked-out board.
-    fn run_group(&self, job: &Job) -> (usize, Result<Value, ExecError>) {
-        let board = self.farm.checkout(job.seed);
-        let t0 = obs::clock::monotonic_ns();
-        let verb = job.req.verb.as_str();
-        let result = if exec::uses_board_platform(verb) && board.seed == job.seed {
-            board
-                .image()
-                .and_then(|p| exec::execute_on(&p, verb, job.seed, &job.req.config))
-        } else {
-            exec::execute(verb, job.seed, &job.req.config)
-        };
-        obs::histogram!("serve.exec.latency_ns").observe(obs::clock::monotonic_ns() - t0);
-        let id = board.id;
-        self.farm.checkin(board);
-        (id, result)
+    /// Executes one group representative on a checked-out board, under
+    /// the representative's trace: a `batch` span linking every member
+    /// trace, a `board` span noting the board id, and the `exec` span
+    /// tree grown by the verb itself.
+    fn run_group(&self, jobs: &[Job]) -> (usize, Result<Value, ExecError>) {
+        let job = &jobs[0];
+        obs::trace::scoped(job.ctx, || {
+            let mut batch_span = obs::trace::span("serve.sched", "batch");
+            for member in jobs {
+                batch_span.link(member.ctx.trace_id);
+            }
+            let board = self.farm.checkout(job.seed);
+            let mut board_span = obs::trace::span("serve.farm", "board");
+            board_span.note("board", board.id as i64);
+            let t0 = obs::clock::monotonic_ns();
+            let verb = job.req.verb.as_str();
+            let result = if exec::uses_board_platform(verb) && board.seed == job.seed {
+                board
+                    .image()
+                    .and_then(|p| exec::execute_on(&p, verb, job.seed, &job.req.config))
+            } else {
+                exec::execute(verb, job.seed, &job.req.config)
+            };
+            obs::histogram!("serve.exec.latency_ns").observe(obs::clock::monotonic_ns() - t0);
+            let id = board.id;
+            board_span.close();
+            batch_span.close();
+            self.farm.checkin(board);
+            (id, result)
+        })
     }
 
     /// Sends a response for an admitted job and releases its quota slot.
@@ -375,8 +459,24 @@ impl Scheduler {
         self.served.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn shed(&self, req: &Request, sink: Sink, kind: &str, message: &str) {
+    fn shed(&self, req: &Request, sink: Sink, kind: &'static str, message: &str) {
         obs::metrics::counter(format!("serve.shed.{kind}")).inc();
+        {
+            let mut tenants = self
+                .tenants
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            tenants
+                .entry(req.tenant.clone())
+                .or_insert_with(|| Tenant::new(obs::clock::monotonic_ns(), self.cfg.burst))
+                .shed += 1;
+        }
+        obs::flight::record("shed", 0, 0, req.id, 0, kind);
+        // Queue exhaustion is the one shed that signals the *server* is
+        // behind rather than the tenant misbehaving; snapshot the rings.
+        if kind == "queue_full" {
+            obs::flight::auto_dump("queue_full");
+        }
         sink(Response::failure(
             req.id,
             &req.verb,
@@ -405,7 +505,138 @@ impl Scheduler {
                 result: Some(result),
                 error_kind: None,
                 error: None,
+                trace: None,
             });
+        }
+    }
+
+    /// Answers the `stats` control verb: a live dump of the metrics
+    /// registry (same records as `metrics_to_jsonl`, so percentiles match
+    /// the export byte-for-byte), pool counters, per-tenant admission
+    /// breakdowns, and queue state. `{"flight": true}` in the request
+    /// config additionally inlines the flight-recorder rings as JSONL.
+    fn stats_response(&self, req: &Request) -> Response {
+        let mut want_flight = false;
+        match &req.config {
+            Value::Null => {}
+            Value::Object(fields) => {
+                for (key, value) in fields {
+                    match (key.as_str(), value) {
+                        ("flight", Value::Bool(b)) => want_flight = *b,
+                        ("flight", _) => {
+                            return Response::failure(
+                                req.id,
+                                "stats",
+                                "error",
+                                "bad_config",
+                                "`flight` must be a bool".into(),
+                            );
+                        }
+                        _ => {
+                            return Response::failure(
+                                req.id,
+                                "stats",
+                                "error",
+                                "bad_config",
+                                format!("unknown stats option `{key}`"),
+                            );
+                        }
+                    }
+                }
+            }
+            _ => {
+                return Response::failure(
+                    req.id,
+                    "stats",
+                    "error",
+                    "bad_config",
+                    "stats config must be an object".into(),
+                );
+            }
+        }
+
+        obs::record_pool_stats("serve.pool", &self.pool.stats());
+        let snap = obs::metrics::snapshot();
+        let metrics: Vec<Value> = snap
+            .to_records()
+            .into_iter()
+            .map(|r| Value::Object(r.into_fields()))
+            .collect();
+
+        let pool_stats = self.pool.stats();
+        let pool = Value::Object(vec![
+            ("threads".into(), Value::Int(self.pool.threads() as i64)),
+            (
+                "jobs_completed".into(),
+                Value::Int(pool_stats.jobs_completed as i64),
+            ),
+            (
+                "jobs_stolen".into(),
+                Value::Int(pool_stats.jobs_stolen as i64),
+            ),
+            (
+                "jobs_retried".into(),
+                Value::Int(pool_stats.jobs_retried as i64),
+            ),
+            ("maps_run".into(), Value::Int(pool_stats.maps_run as i64)),
+            (
+                "busy_nanos".into(),
+                Value::Int(pool_stats.busy_nanos as i64),
+            ),
+        ]);
+
+        let tenants: Vec<Value> = {
+            let tenants = self
+                .tenants
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            tenants
+                .iter()
+                .map(|(name, t)| {
+                    Value::Object(vec![
+                        ("tenant".into(), Value::Str(name.clone())),
+                        ("requests".into(), Value::Int(t.requests as i64)),
+                        ("admitted".into(), Value::Int(t.admitted as i64)),
+                        ("inflight".into(), Value::Int(t.inflight as i64)),
+                        ("shed".into(), Value::Int(t.shed as i64)),
+                        ("timeouts".into(), Value::Int(t.timeouts as i64)),
+                    ])
+                })
+                .collect()
+        };
+
+        let (queue_depth, draining) = {
+            let st = self.lock_state();
+            (st.queue.len(), st.draining)
+        };
+
+        let mut fields = vec![
+            (
+                "served".into(),
+                Value::Int(self.served.load(Ordering::Relaxed) as i64),
+            ),
+            ("boards".into(), Value::Int(self.farm.boards() as i64)),
+            ("queue_depth".into(), Value::Int(queue_depth as i64)),
+            ("draining".into(), Value::Bool(draining)),
+            ("pool".into(), pool),
+            ("tenants".into(), Value::Array(tenants)),
+            ("metrics".into(), Value::Array(metrics)),
+        ];
+        if want_flight {
+            fields.push(("flight".into(), Value::Str(obs::flight::dump_jsonl())));
+        }
+
+        Response {
+            id: req.id,
+            status: "ok".into(),
+            verb: "stats".into(),
+            board: None,
+            seed: None,
+            elapsed_ms: None,
+            result: Some(Value::Object(fields)),
+            error_kind: None,
+            error: None,
+            trace: None,
         }
     }
 
@@ -555,6 +786,61 @@ mod tests {
         assert_eq!(by_id(1).error_kind.as_deref(), Some("deadline_exceeded"));
         // The board kept serving afterwards: request 2 completed.
         assert!(by_id(2).is_ok());
+    }
+
+    #[test]
+    fn stats_verb_percentiles_match_jsonl_export() {
+        let s = sched(SchedConfig::default());
+        let hist = obs::metrics::histogram("test.stats.frozen_hist".to_string());
+        hist.observe(100);
+        hist.observe(250);
+        hist.observe(10_000);
+        let (sink, seen) = collect_sink();
+        let mut req = Request::new(50, "stats");
+        req.config = Value::Object(vec![("flight".into(), Value::Bool(true))]);
+        s.submit(req, sink);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 1);
+        let resp = &seen[0];
+        assert!(resp.is_ok(), "stats answers ok: {:?}", resp.error);
+        let result = resp.result.as_ref().unwrap();
+        assert!(result.get("flight").is_some(), "flight dump inlined");
+        let metrics = match result.get("metrics").unwrap() {
+            Value::Array(rows) => rows,
+            other => panic!("metrics must be an array, got {other:?}"),
+        };
+        let row = metrics
+            .iter()
+            .find(|m| m.get("name").and_then(Value::as_str) == Some("test.stats.frozen_hist"))
+            .expect("histogram present in stats dump");
+        // The stats row must be byte-identical to the JSONL export line:
+        // same schema, same percentile math, same float formatting.
+        let jsonl = obs::metrics::snapshot().to_jsonl();
+        let line = jsonl
+            .lines()
+            .find(|l| l.contains("\"test.stats.frozen_hist\""))
+            .expect("histogram present in jsonl export");
+        assert_eq!(row.to_json(), line);
+    }
+
+    #[test]
+    fn served_responses_carry_a_trace_id() {
+        let run = || {
+            let s = sched(SchedConfig::default());
+            let (sink, seen) = collect_sink();
+            s.submit(ping(1), sink);
+            s.begin_drain();
+            s.dispatch_loop();
+            let seen = seen.lock().unwrap();
+            let resp = seen.iter().find(|r| r.id == 1).unwrap().clone();
+            resp.trace.clone().expect("served response carries a trace")
+        };
+        let first = run();
+        assert_eq!(first.len(), 16, "trace id is 16 hex chars: {first:?}");
+        assert!(first.chars().all(|c| c.is_ascii_hexdigit()));
+        // Deterministic minting: a fresh scheduler replaying the same
+        // request stream reproduces the same trace id.
+        assert_eq!(first, run());
     }
 
     #[test]

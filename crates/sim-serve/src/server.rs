@@ -82,6 +82,10 @@ impl Server {
     /// Propagates the bind failure.
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         obs::init();
+        // Spans feed both the `stats` verb and flight dumps; a server
+        // without them is blind, so recording is on for the lifetime of
+        // the process.
+        obs::trace::set_recording(true);
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let farm = Farm::new(config.farm_seed, config.boards);

@@ -61,6 +61,54 @@ fn serve_metrics_surface_in_csv_and_jsonl_exports() {
 }
 
 #[test]
+fn trace_flight_and_profile_metrics_surface_in_exports() {
+    // One traced request plus a `stats` query touches every trace.* /
+    // flight.* counter (they register eagerly, so even families with no
+    // increments yet must surface), and snapshot() syncs the
+    // pool.profile.* gauges unconditionally.
+    let server = Server::bind(ServerConfig {
+        boards: 1,
+        farm_seed: 29,
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    service_scope(|svc| {
+        let join = svc.spawn("trace-metrics-server", move || server.run());
+        let mut conn = Client::connect(addr).expect("connect");
+        let resp = conn.request("ping", None, Value::Null).expect("request");
+        assert!(resp.is_ok(), "{:?}", resp.error);
+        let trace = resp.trace.as_deref().expect("served response has a trace");
+        assert_eq!(trace.len(), 16, "trace id is 16 hex chars: {trace:?}");
+        assert!(trace.chars().all(|c| c.is_ascii_hexdigit()), "{trace:?}");
+        let stats = conn.stats(Value::Null).expect("stats response");
+        assert!(stats.is_ok(), "{:?}", stats.error);
+        conn.shutdown_server().expect("drain ack");
+        join.join().expect("server thread");
+    });
+
+    let snapshot = obs::metrics::snapshot();
+    let csv = amperebleed::export::metrics_to_csv(&snapshot);
+    let jsonl = amperebleed::export::metrics_to_jsonl(&snapshot);
+    for name in [
+        "trace.spans",
+        "trace.roots",
+        "trace.log.dropped",
+        "flight.events",
+        "flight.dumps",
+        "flight.dropped",
+        "pool.profile.enabled",
+        "pool.profile.samples",
+        "pool.profile.run_ns",
+        "pool.profile.steal_ns",
+        "serve.stats.requests",
+    ] {
+        assert!(csv.contains(name), "{name} missing from metrics_to_csv");
+        assert!(jsonl.contains(name), "{name} missing from metrics_to_jsonl");
+    }
+}
+
+#[test]
 fn defend_metrics_surface_in_exports() {
     // One served defend sweep (noise + throttle on the covert channel)
     // touches every defend.* metric family: the sweep/point counters in

@@ -4,11 +4,15 @@
 //! ```text
 //! cargo run --example farm_client -- 127.0.0.1:4650 \
 //!     [--verb quickstart] [--seed 42] [--tenant alice] \
-//!     [--config '{"key": "value"}'] [--shutdown]
+//!     [--config '{"key": "value"}'] [--deadline-ms 500] \
+//!     [--stats] [--pretty] [--shutdown]
 //! ```
 //!
-//! With `--shutdown` the client also asks the server to drain and exit
-//! after its request completes (this is what the CI smoke gate does).
+//! `--stats` queries the live telemetry plane instead of running a verb
+//! (pass `--config '{"flight": true}'` to inline the flight-recorder
+//! rings); `--pretty` pretty-prints the result JSON. With `--shutdown`
+//! the client also asks the server to drain and exit after its request
+//! completes (this is what the CI smoke gate does).
 
 use sim_rt::ser::Value;
 use sim_serve::Client;
@@ -20,6 +24,9 @@ fn main() {
     let mut seed = None;
     let mut tenant = None;
     let mut config_json: Option<String> = None;
+    let mut deadline_ms = None;
+    let mut stats = false;
+    let mut pretty = false;
     let mut shutdown = false;
 
     let mut it = args.iter();
@@ -36,6 +43,16 @@ fn main() {
             }
             "--tenant" => tenant = Some(it.next().expect("--tenant needs a value").clone()),
             "--config" => config_json = Some(it.next().expect("--config needs a value").clone()),
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    it.next()
+                        .expect("--deadline-ms needs a value")
+                        .parse()
+                        .expect("--deadline-ms must be an integer"),
+                );
+            }
+            "--stats" => stats = true,
+            "--pretty" => pretty = true,
             "--shutdown" => shutdown = true,
             other if addr.is_none() && !other.starts_with("--") => {
                 addr = Some(other.to_string());
@@ -43,7 +60,7 @@ fn main() {
             other => panic!("unknown argument `{other}`"),
         }
     }
-    let addr = addr.expect("usage: farm_client ADDR [--verb V] [--seed N] [--shutdown]");
+    let addr = addr.expect("usage: farm_client ADDR [--verb V] [--seed N] [--stats] [--shutdown]");
 
     let mut client = Client::connect(&addr).expect("connect to serve");
     if let Some(tenant) = tenant {
@@ -55,22 +72,37 @@ fn main() {
     // `--config` passes verb overrides as inline JSON.
     let config = match config_json {
         Some(json) => sim_rt::json::parse(&json).expect("--config must be valid JSON"),
-        None if verb == "quickstart" => {
+        None if !stats && verb == "quickstart" => {
             Value::Object(vec![("samples_per_level".into(), Value::Int(40))])
         }
         None => Value::Null,
     };
-    let resp = client.request(&verb, seed, config).expect("request");
+    let resp = if stats {
+        client.stats(config).expect("stats request")
+    } else {
+        let id = client
+            .send_with_deadline(&verb, seed, deadline_ms, config)
+            .expect("send request");
+        client.wait(id).expect("request response")
+    };
     println!(
-        "{} {} (board {:?}, seed {:?}, {:.1} ms)",
+        "{} {} (board {:?}, seed {:?}, {:.1} ms, trace {})",
         resp.status,
         resp.verb,
         resp.board,
         resp.seed,
-        resp.elapsed_ms.unwrap_or(0.0)
+        resp.elapsed_ms.unwrap_or(0.0),
+        resp.trace.as_deref().unwrap_or("-"),
     );
+    let render = |v: &Value| {
+        if pretty {
+            v.to_json_pretty()
+        } else {
+            v.to_json()
+        }
+    };
     match (&resp.result, &resp.error) {
-        (Some(result), _) => println!("result: {}", result.to_json()),
+        (Some(result), _) => println!("result: {}", render(result)),
         (None, Some(error)) => println!("error: {error}"),
         _ => {}
     }
@@ -79,7 +111,7 @@ fn main() {
         let ack = client.shutdown_server().expect("shutdown ack");
         println!(
             "drained: {}",
-            ack.result.map_or_else(|| "?".into(), |v| v.to_json())
+            ack.result.map_or_else(|| "?".into(), |v| render(&v))
         );
     }
     if !resp.is_ok() {
