@@ -29,24 +29,54 @@ cargo fmt --all -- --check
 echo "==> sim-lint (workspace invariants)"
 cargo run --offline -q -p sim-lint
 
-echo "==> sim-lint self-test (seeded violation must fail the gate)"
-if cargo run --offline -q -p sim-lint -- crates/sim-lint/tests/fixtures/seeded \
-    >/dev/null 2>&1; then
-    echo "ci.sh: sim-lint passed the seeded-violation fixture; the gate is broken" >&2
-    exit 1
-fi
-seeded_json="$(cargo run --offline -q -p sim-lint -- --json \
-    crates/sim-lint/tests/fixtures/seeded || true)"
-echo "$seeded_json" | grep -q '"rule"' || {
-    echo "ci.sh: sim-lint --json emitted no diagnostics for the seeded fixture" >&2
-    exit 1
+echo "==> sim-lint self-test (each seeded violation must fail the gate)"
+# One seeded fixture per rule family: the original per-file corpus plus
+# one per cross-file rule. A gate that cannot fail is not a gate.
+lint_selftest() {
+    local rule="$1"
+    shift
+    if cargo run --offline -q -p sim-lint -- "$@" >/dev/null 2>&1; then
+        echo "ci.sh: sim-lint passed the seeded $rule fixture; the gate is broken" >&2
+        exit 1
+    fi
+    local json
+    json="$(cargo run --offline -q -p sim-lint -- --json "$@" || true)"
+    echo "$json" | grep -q "\"rule\":\"$rule\"" || {
+        echo "ci.sh: sim-lint --json emitted no $rule rows for its seeded fixture" >&2
+        exit 1
+    }
 }
+lint_selftest wall-clock crates/sim-lint/tests/fixtures/seeded
+lint_selftest lock-order \
+    crates/sim-lint/tests/fixtures/lock_cycle/a \
+    crates/sim-lint/tests/fixtures/lock_cycle/b
+lint_selftest panic-path crates/sim-lint/tests/fixtures/panic_path
+lint_selftest metric-name-drift crates/sim-lint/tests/fixtures/metric_drift
+lint_selftest stale-waiver crates/sim-lint/tests/fixtures/stale_waiver
 
 echo "==> cargo clippy (warnings are errors)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --offline --release --workspace
+
+echo "==> sim-lint release run (lint-report artifact, < 2 s wall time)"
+# The release binary relints the whole workspace: its --json output is
+# published as the lint-report artifact, and the run doubles as the
+# perf gate — a full two-pass workspace analysis must stay under 2 s.
+lint_report="lint-report.jsonl"
+lint_t0="$(date +%s%N)"
+./target/release/sim-lint --json >"$lint_report" || {
+    echo "ci.sh: release sim-lint found diagnostics:" >&2
+    cat "$lint_report" >&2
+    exit 1
+}
+lint_elapsed_ms=$(( ($(date +%s%N) - lint_t0) / 1000000 ))
+echo "    workspace lint in ${lint_elapsed_ms} ms -> $lint_report"
+if [ "$lint_elapsed_ms" -ge 2000 ]; then
+    echo "ci.sh: workspace lint took ${lint_elapsed_ms} ms (gate: < 2000 ms)" >&2
+    exit 1
+fi
 
 echo "==> cargo test"
 cargo test --offline --workspace -q

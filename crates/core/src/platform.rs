@@ -39,7 +39,7 @@ impl SocModel {
     fn total_current_ma(&self, t: SimTime, domain: PowerDomain) -> f64 {
         self.loads
             .read()
-            .expect("loads lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .current_ma(t, domain)
     }
 
@@ -57,8 +57,9 @@ impl SocModel {
         let (i_now, i_prev) = self
             .loads
             .read()
-            .expect("loads lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .current_ma_pair(t, t_prev, domain);
+        // Every PowerDomain key is inserted at construction. sim-lint: allow(panic-path)
         let point = self.pdn[&domain].operating_point(i_now, i_prev);
         self.op_cache.insert(domain, t, epoch, point);
         point
@@ -74,8 +75,12 @@ impl SocModel {
     /// instants are effectively never revisited — but each element is
     /// bit-identical to the per-instant path.
     fn operating_points(&self, times: &[SimTime], domain: PowerDomain) -> Vec<(f64, f64)> {
+        // Every PowerDomain key is inserted at construction. sim-lint: allow(panic-path)
         let pdn = &self.pdn[&domain];
-        let loads = self.loads.read().expect("loads lock poisoned");
+        let loads = self
+            .loads
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         times
             .iter()
             .map(|&t| {
@@ -276,11 +281,15 @@ impl Platform {
     /// Panics if `attribute` is not a hwmon attribute file name.
     pub fn sensor_path(&self, domain: PowerDomain, attribute: &str) -> &str {
         let attr = Attribute::from_file_name(attribute)
+            // Contract documented under `# Panics`. sim-lint: allow(panic-path)
             .unwrap_or_else(|| panic!("unknown hwmon attribute {attribute:?}"));
         let slot = Attribute::ALL
             .iter()
             .position(|a| *a == attr)
+            // Just matched against ALL above. sim-lint: allow(panic-path)
             .expect("Attribute::ALL is exhaustive");
+        // Paths for every domain and slot are pre-rendered at
+        // construction. sim-lint: allow(panic-path)
         &self.sensor_paths[&domain][slot]
     }
 
@@ -288,6 +297,7 @@ impl Platform {
     /// equivalent of [`sensor_path`](Self::sensor_path) for use with
     /// [`HwmonFs::read_value`].
     pub fn sensor_handle(&self, domain: PowerDomain, attr: Attribute) -> SensorHandle {
+        // Every PowerDomain key is inserted at construction. sim-lint: allow(panic-path)
         SensorHandle::new(self.sensor_index[&domain], attr)
     }
 
@@ -306,7 +316,7 @@ impl Platform {
         self.soc
             .loads
             .write()
-            .expect("loads lock poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(load);
         zynq_soc::invalidate_load_caches();
     }

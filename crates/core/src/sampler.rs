@@ -192,10 +192,11 @@ impl<'a> CurrentSampler<'a> {
         ];
         for k in 0..count {
             let t = start + SimTime::from_nanos(period.as_nanos() * k as u64);
-            for (ci, &channel) in Channel::ALL.iter().enumerate() {
+            let chans = Channel::ALL.iter().zip(&handles).zip(&mut samples);
+            for ((&channel, &handle), series) in chans {
                 Self::count_read(channel);
-                match fs.read_value(handles[ci], t, self.privilege) {
-                    Ok(v) => samples[ci].push(v as f64),
+                match fs.read_value(handle, t, self.privilege) {
+                    Ok(v) => series.push(v as f64),
                     Err(e) => {
                         obs::counter!("sampler.read_errors").inc();
                         return Err(e.into());
@@ -213,14 +214,16 @@ impl<'a> CurrentSampler<'a> {
             "rate_hz" => rate_hz,
             "count" => count as u64
         );
-        let mut it = samples.into_iter();
-        Ok(Channel::ALL.map(|channel| Trace {
+        let [s0, s1, s2] = samples;
+        let [c0, c1, c2] = Channel::ALL;
+        let trace = |channel, samples| Trace {
             domain,
             channel,
             start,
             period,
-            samples: it.next().expect("three channels"),
-        }))
+            samples,
+        };
+        Ok([trace(c0, s0), trace(c1, s1), trace(c2, s2)])
     }
 }
 

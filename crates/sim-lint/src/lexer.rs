@@ -16,7 +16,10 @@ pub enum TokKind {
     PathSep,
     /// Any other single punctuation character.
     Punct,
-    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`). The
+    /// token text is the literal's body (quotes and hash fences
+    /// stripped, escape sequences kept verbatim) so rules can match
+    /// lock-class and metric-name literals.
     Str,
     /// Character or byte literal (`'a'`, `b'\n'`).
     Char,
@@ -132,16 +135,21 @@ pub fn lex(src: &str) -> LexOut {
                 text.push(c);
                 cur.bump();
             }
-            scan_directives(&text, line, col, &mut out.directives);
+            // Doc comments (`///`, `//!`) are prose *about* the linter, not
+            // directives to it — documenting the waiver syntax must not
+            // create a waiver (or a stale one).
+            if !text.starts_with("///") && !text.starts_with("//!") {
+                scan_directives(&text, line, col, &mut out.directives);
+            }
         } else if c == '/' && cur.peek_at(1) == Some('*') {
             lex_block_comment(&mut cur, &mut out.directives);
         } else if is_ident_start(c) {
             lex_ident_or_prefixed_literal(&mut cur, line, col, &mut out.tokens);
         } else if c == '"' {
-            lex_string(&mut cur, 0);
+            let text = lex_string(&mut cur, 0);
             out.tokens.push(Tok {
                 kind: TokKind::Str,
-                text: String::new(),
+                text,
                 line,
                 col,
             });
@@ -181,6 +189,10 @@ fn lex_block_comment(cur: &mut Cursor<'_>, directives: &mut Vec<Directive>) {
     let (line, col) = (cur.line, cur.col);
     cur.bump();
     cur.bump();
+    // `/**` (not the empty `/**/`) and `/*!` open doc comments; like line
+    // doc comments they never carry directives.
+    let doc =
+        matches!(cur.peek(), Some('!')) || (cur.peek() == Some('*') && cur.peek_at(1) != Some('/'));
     let mut depth = 1usize;
     let mut text = String::new();
     while depth > 0 {
@@ -203,7 +215,9 @@ fn lex_block_comment(cur: &mut Cursor<'_>, directives: &mut Vec<Directive>) {
         }
     }
     // A block-comment directive anchors to the comment's first line.
-    scan_directives(&text, line, col, directives);
+    if !doc {
+        scan_directives(&text, line, col, directives);
+    }
 }
 
 /// Lexes an identifier; if it is a raw/byte string prefix (`r`, `b`,
@@ -228,10 +242,10 @@ fn lex_ident_or_prefixed_literal(cur: &mut Cursor<'_>, line: u32, col: u32, toke
             cur.bump();
         }
         if cur.peek() == Some('"') {
-            lex_string(cur, hashes);
+            let body = lex_string(cur, hashes);
             tokens.push(Tok {
                 kind: TokKind::Str,
-                text: String::new(),
+                text: body,
                 line,
                 col,
             });
@@ -268,17 +282,21 @@ fn lex_ident_or_prefixed_literal(cur: &mut Cursor<'_>, line: u32, col: u32, toke
 
 /// Consumes a string literal starting at the opening quote, with `hashes`
 /// trailing `#`s required to close (0 for cooked strings, which also honor
-/// backslash escapes).
-fn lex_string(cur: &mut Cursor<'_>, hashes: usize) {
+/// backslash escapes). Returns the literal body (escapes verbatim).
+fn lex_string(cur: &mut Cursor<'_>, hashes: usize) -> String {
+    let mut body = String::new();
     cur.bump();
     while let Some(c) = cur.peek() {
         if c == '\\' && hashes == 0 {
+            body.push(c);
             cur.bump();
-            cur.bump();
+            if let Some(esc) = cur.bump() {
+                body.push(esc);
+            }
         } else if c == '"' {
             cur.bump();
             if hashes == 0 {
-                return;
+                return body;
             }
             let mut seen = 0usize;
             while seen < hashes && cur.peek() == Some('#') {
@@ -286,12 +304,18 @@ fn lex_string(cur: &mut Cursor<'_>, hashes: usize) {
                 cur.bump();
             }
             if seen == hashes {
-                return;
+                return body;
+            }
+            body.push('"');
+            for _ in 0..seen {
+                body.push('#');
             }
         } else {
+            body.push(c);
             cur.bump();
         }
     }
+    body
 }
 
 /// Consumes a char-literal body after the opening `'` has been consumed.

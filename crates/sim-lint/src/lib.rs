@@ -8,17 +8,27 @@
 //! string/char/comment-aware scanner — zero dependencies, like everything
 //! else in the workspace.
 //!
-//! Six rules ship today (see [`rules::RULES`]): `wall-clock`,
-//! `ambient-rng`, `nondet-iter`, `raw-print`, `stray-spawn`, and
-//! `registry-dep`. Intentional exceptions are waived inline:
+//! Analysis runs in two passes. Pass 1 lexes each file and lifts it into
+//! an item-level model ([`model`]): fn bodies, `TrackedMutex::new("…")`
+//! lock-class literals, metric-name literals, call edges, panic sites.
+//! Pass 2 ([`workspace::lint_files`]) merges the models and runs the
+//! cross-file rules over the whole workspace at once.
+//!
+//! Ten rules ship today (see [`rules::RULES`]): the per-file
+//! `wall-clock`, `ambient-rng`, `nondet-iter`, `raw-print`,
+//! `stray-spawn`, `registry-dep`, and `panic-path`, plus the cross-file
+//! `lock-order`, `metric-name-drift`, and `stale-waiver`. Intentional
+//! exceptions are waived inline:
 //!
 //! ```text
 //! let started = Instant::now(); // sim-lint: allow(wall-clock)
 //! ```
 //!
 //! A waiver covers its own line and the next one; a waiver naming a rule
-//! that does not exist is itself a diagnostic (`bad-waiver`), so a typo
-//! can never silently disable a rule.
+//! that does not exist is itself a diagnostic (`bad-waiver`, which
+//! suggests the nearest valid rule name), and in workspace runs a waiver
+//! that suppresses nothing is one too (`stale-waiver`), so a typo can
+//! never silently disable a rule and dead waivers cannot accrete.
 //!
 //! Run it with `cargo run -p sim-lint -- [--json] [paths…]`; with no paths
 //! it scans every `crates/*/src/**.rs`, `crates/*/tests/**.rs` (skipping
@@ -43,10 +53,13 @@
 pub mod diag;
 pub mod lexer;
 pub mod manifest;
+pub mod model;
 pub mod resolve;
 pub mod rules;
 pub mod walk;
+pub mod workspace;
 
 pub use diag::{Diagnostic, Severity};
 pub use manifest::{lint_manifest, workspace_edition};
 pub use rules::{classify, lint_source, Config, FileKind, LintResult, RULES};
+pub use workspace::lint_files;

@@ -9,7 +9,7 @@ use std::io::Write;
 use std::path::PathBuf;
 
 use sim_lint::walk::{expand_paths, rel_path, workspace_targets};
-use sim_lint::{lint_manifest, lint_source, workspace_edition, Config, Diagnostic, RULES};
+use sim_lint::{lint_files, lint_manifest, workspace_edition, Config, Diagnostic, RULES};
 
 fn main() {
     std::process::exit(run());
@@ -81,7 +81,7 @@ fn run() -> i32 {
     let mut diags: Vec<Diagnostic> = Vec::new();
     let mut waived = 0usize;
     let mut files = 0usize;
-    for path in manifests.iter().chain(rs_files.iter()) {
+    for path in &manifests {
         let src = match std::fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {
@@ -89,17 +89,34 @@ fn run() -> i32 {
                 return 2;
             }
         };
-        let rel = rel_path(&root, path);
-        let result = if path.extension().is_some_and(|e| e == "toml") {
-            let is_root = path == &root.join("Cargo.toml");
-            lint_manifest(&rel, &src, edition.as_deref(), is_root)
-        } else {
-            lint_source(&rel, &src, &cfg)
-        };
+        let is_root = path == &root.join("Cargo.toml");
+        let result = lint_manifest(&rel_path(&root, path), &src, edition.as_deref(), is_root);
         files += 1;
         waived += result.waived;
         diags.extend(result.diags);
     }
+
+    // Rust sources go through the two-pass workspace analyzer together,
+    // so the cross-file rules (lock-order, metric-name-drift,
+    // stale-waiver) see the merged model.
+    let mut sources: Vec<(String, String)> = Vec::new();
+    for path in &rs_files {
+        match std::fs::read_to_string(path) {
+            Ok(src) => sources.push((rel_path(&root, path), src)),
+            Err(e) => {
+                err(&format!("sim-lint: reading {}: {e}\n", path.display()));
+                return 2;
+            }
+        }
+    }
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(rel, src)| (rel.as_str(), src.as_str()))
+        .collect();
+    let result = lint_files(&refs, &cfg);
+    files += refs.len();
+    waived += result.waived;
+    diags.extend(result.diags);
     diags.sort_by_key(|d| d.sort_key());
 
     if json {

@@ -1,0 +1,829 @@
+//! Pass 1 of the workspace analyzer: one file's token stream distilled
+//! into an item-level model.
+//!
+//! The model is exactly what the cross-file rules need and nothing more:
+//! `fn` items with their body token ranges, `TrackedMutex::new("<class>")`
+//! lock-class bindings, guard nesting and call sites inside each body
+//! (with the set of lock classes held at that point), `counter!` /
+//! `gauge!` / `histogram(...)` metric-name literals, the pinned /
+//! dynamic metric-name constants of the pin test, panic-capable
+//! expressions, and `#[cfg(test)]` regions so test-only code never
+//! counts against library invariants.
+
+use crate::lexer::{LexOut, Tok, TokKind};
+use crate::rules::{classify, FileKind};
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Site {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Site {
+    fn of(tok: &Tok) -> Site {
+        Site {
+            line: tok.line,
+            col: tok.col,
+        }
+    }
+}
+
+/// One direct lock acquisition inside a fn body.
+#[derive(Debug, Clone)]
+pub struct Acquire {
+    /// Lock class being acquired.
+    pub class: String,
+    /// Classes already held at this point (innermost last).
+    pub held: Vec<String>,
+    /// Position of the acquiring expression.
+    pub site: Site,
+}
+
+/// One call site inside a fn body, for call-graph expansion.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Callee's simple name.
+    pub callee: String,
+    /// Classes held across the call (innermost last).
+    pub held: Vec<String>,
+    /// Position of the callee identifier.
+    pub site: Site,
+}
+
+/// A `Pool::scope` / `submit` / `par_map` entered with a guard held.
+#[derive(Debug, Clone)]
+pub struct PoolCrossing {
+    /// The pool-entry method name.
+    pub method: String,
+    /// Classes held at the boundary.
+    pub held: Vec<String>,
+    /// Position of the method identifier.
+    pub site: Site,
+}
+
+/// Why an expression can panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(...)`.
+    Expect,
+    /// `panic!`, `todo!`, or `unimplemented!`.
+    PanicMacro,
+    /// `expr[...]` slice/array indexing.
+    SliceIndex,
+}
+
+impl PanicKind {
+    /// Human label used in diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            PanicKind::Unwrap => "`.unwrap()`",
+            PanicKind::Expect => "`.expect(...)`",
+            PanicKind::PanicMacro => "a panicking macro",
+            PanicKind::SliceIndex => "slice indexing",
+        }
+    }
+}
+
+/// One panic-capable expression outside `#[cfg(test)]` code.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// What can panic.
+    pub kind: PanicKind,
+    /// Position of the offending token.
+    pub site: Site,
+}
+
+/// A metric-name string literal and where it appears.
+#[derive(Debug, Clone)]
+pub struct MetricLit {
+    /// The metric name.
+    pub name: String,
+    /// Position of the string literal.
+    pub site: Site,
+}
+
+/// One `fn` item with everything the lock-order rule needs from its body.
+#[derive(Debug, Clone)]
+pub struct FnModel {
+    /// Simple fn name (no path, no impl qualifier).
+    pub name: String,
+    /// Direct lock acquisitions in body order.
+    pub acquires: Vec<Acquire>,
+    /// Call sites in body order.
+    pub calls: Vec<CallSite>,
+    /// Pool boundaries crossed with a guard held.
+    pub pool_crossings: Vec<PoolCrossing>,
+}
+
+/// The item-level model of one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileModel {
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// Library / test / example classification.
+    pub kind: Option<FileKind>,
+    /// Every `fn` item (library, non-`#[cfg(test)]` code only).
+    pub fns: Vec<FnModel>,
+    /// Lock classes declared in this file (class name, declaration site).
+    pub classes: Vec<(String, Site)>,
+    /// Metric-name literals registered by this file's library code.
+    pub metrics: Vec<MetricLit>,
+    /// `PINNED_METRICS` entries, when this is the pin-test file.
+    pub pinned: Vec<MetricLit>,
+    /// `DYNAMIC_METRICS` entries (runtime-assembled names the drift rule
+    /// cannot see as literals and therefore exempts).
+    pub dynamic: Vec<String>,
+    /// Panic-capable expressions outside `#[cfg(test)]` code.
+    pub panics: Vec<PanicSite>,
+}
+
+/// Is this file the metric pin test that `metric-name-drift` reconciles
+/// the workspace against?
+pub fn is_pin_file(rel_path: &str) -> bool {
+    rel_path.ends_with("tests/metrics_names.rs")
+}
+
+/// Identifiers that read as calls everywhere (std prelude methods,
+/// constructors) and would wire unrelated code together if one workspace
+/// fn happened to share the name; never expanded through the call graph.
+const CALL_BLACKLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "lock",
+    "read",
+    "write",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "map",
+    "filter",
+    "collect",
+    "into",
+    "from",
+    "drop",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "index",
+    "deref",
+    "as_ref",
+    "as_mut",
+    "to_string",
+    "unwrap",
+    "expect",
+    "min",
+    "max",
+    "abs",
+    "position",
+    "contains",
+    "extend",
+    "join",
+    "send",
+    "recv",
+    "wait",
+    "take",
+    "set",
+    "with",
+    "run",
+    "call",
+    "clamp",
+    "get_or_init",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "retain",
+    "entry",
+    "or_insert",
+    "flatten",
+    "copied",
+    "cloned",
+    "rev",
+    "zip",
+    "enumerate",
+    "any",
+    "all",
+    "find",
+    "fold",
+    "sum",
+    "count",
+];
+
+/// Keywords and value constructors that precede `(` without being calls.
+const NOT_A_CALL: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "fn",
+    "impl", "use", "pub", "mod", "struct", "enum", "const", "static", "move", "ref", "mut", "as",
+    "in", "where", "unsafe", "dyn", "box", "crate", "self", "Self", "super", "type", "trait",
+    "Some", "None", "Ok", "Err", "true", "false",
+];
+
+/// Is `name` worth recording as a call edge?
+pub fn expandable_call(name: &str) -> bool {
+    !CALL_BLACKLIST.contains(&name) && !NOT_A_CALL.contains(&name)
+}
+
+/// Token index ranges (half-open) covered by `#[cfg(test)]` items.
+fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Match `# [ cfg ( test ) ]` token-exactly.
+        let is_cfg_test = toks[i].is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+            && toks.get(i + 2).is_some_and(|t| t.text == "cfg")
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 4).is_some_and(|t| t.text == "test")
+            && toks.get(i + 5).is_some_and(|t| t.is_punct(')'))
+            && toks.get(i + 6).is_some_and(|t| t.is_punct(']'));
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 7;
+        // Skip any further attributes on the same item.
+        while toks.get(j).is_some_and(|t| t.is_punct('#'))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let mut depth = 0usize;
+            j += 1;
+            while let Some(t) = toks.get(j) {
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // The item body: everything to the matching `}` of its first
+        // top-level brace, or to the `;` of a braceless item.
+        let mut depth = 0usize;
+        while let Some(t) = toks.get(j) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            } else if t.is_punct(';') && depth == 0 {
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+        regions.push((start, j));
+        i = j;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
+    regions.iter().any(|&(s, e)| idx >= s && idx < e)
+}
+
+/// `(binding identifier, class name)` pairs from one file's
+/// `TrackedMutex::new` declarations.
+type ClassBindings = Vec<(String, String)>;
+
+/// Collects `TrackedMutex::new("<class>", …)` declarations: the class
+/// name plus the field/binding identifier it is assigned to, so
+/// `binding.lock()` inside this file resolves to the class.
+fn collect_classes(toks: &[Tok]) -> (Vec<(String, Site)>, ClassBindings) {
+    let mut classes = Vec::new();
+    let mut bindings = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].text != "TrackedMutex" || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        // `TrackedMutex :: new ( "<class>"`.
+        let lit = match (toks.get(i + 1), toks.get(i + 2), toks.get(i + 3)) {
+            (Some(sep), Some(new), Some(open))
+                if sep.kind == TokKind::PathSep && new.text == "new" && open.is_punct('(') =>
+            {
+                match toks.get(i + 4) {
+                    Some(s) if s.kind == TokKind::Str => s,
+                    _ => continue,
+                }
+            }
+            _ => continue,
+        };
+        classes.push((lit.text.clone(), Site::of(lit)));
+        // Walk back over `Some(`, `=`, `:` wrappers to the binding ident:
+        // `state: TrackedMutex::new(…)` or `self.ro = Some(TrackedMutex…)`.
+        let mut j = i;
+        while j > 0 {
+            let prev = &toks[j - 1];
+            if prev.is_punct('(') || prev.is_punct('=') || prev.text == "Some" {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j > 0 && toks[j - 1].is_punct(':') {
+            j -= 1;
+        }
+        if j > 0 && toks[j - 1].kind == TokKind::Ident {
+            bindings.push((toks[j - 1].text.clone(), lit.text.clone()));
+        }
+    }
+    (classes, bindings)
+}
+
+/// Finds `fn` items and their body token ranges (half-open, excluding the
+/// braces). Nested closures stay part of the enclosing fn's body; that is
+/// the right scope for guard lifetimes.
+fn fn_items(toks: &[Tok], skip: &[(usize, usize)]) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if in_regions(skip, i) || toks[i].text != "fn" || toks[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = match toks.get(i + 1) {
+            Some(t) if t.kind == TokKind::Ident => t.text.clone(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        // The body opens at the first `{` outside parens/brackets; a `;`
+        // first means a bodiless trait/extern declaration.
+        let mut j = i + 2;
+        let mut paren = 0i32;
+        let mut open = None;
+        while let Some(t) = toks.get(j) {
+            if t.is_punct('(') || t.is_punct('[') {
+                paren += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                paren -= 1;
+            } else if paren == 0 && t.is_punct('{') {
+                open = Some(j);
+                break;
+            } else if paren == 0 && t.is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut close = toks.len();
+        let mut k = open;
+        while let Some(t) = toks.get(k) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    close = k;
+                    break;
+                }
+            }
+            k += 1;
+        }
+        out.push((name, open + 1, close));
+        i = close.max(i + 1);
+    }
+    out
+}
+
+/// A guard on the stack: its class, the binding it is held in (empty for
+/// statement temporaries), brace depth at acquisition, and whether it is
+/// `let`-bound (lives to end of block) or a temporary (end of statement).
+struct Guard {
+    class: String,
+    binding: String,
+    depth: i32,
+    let_bound: bool,
+}
+
+/// Scans one fn body for acquisitions, calls, and pool crossings.
+#[allow(clippy::too_many_lines)]
+fn scan_body(
+    toks: &[Tok],
+    range: (usize, usize),
+    bindings: &[(String, String)],
+) -> (Vec<Acquire>, Vec<CallSite>, Vec<PoolCrossing>) {
+    let class_of = |name: &str, aliases: &[(String, String)]| -> Option<String> {
+        aliases
+            .iter()
+            .rev()
+            .chain(bindings.iter())
+            .find(|(b, _)| b == name)
+            .map(|(_, c)| c.clone())
+    };
+
+    let mut acquires = Vec::new();
+    let mut calls = Vec::new();
+    let mut crossings = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut aliases: Vec<(String, String)> = Vec::new();
+    let mut depth = 0i32;
+    // Statement tracking for `let` aliases: `let x = …<class binding>…;`
+    // without a `.lock()` aliases x to the class (the
+    // `let bank = self.ro.as_ref().ok_or(…)?;` pattern).
+    let mut stmt_let: Option<String> = None;
+    let mut stmt_class: Option<String> = None;
+    let mut stmt_locked = false;
+
+    let (start, end) = range;
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            // Condition temporaries (`if x.lock().…  {`) drop before the
+            // block runs.
+            guards.retain(|g| g.let_bound || g.depth < depth);
+            stmt_let = None;
+            stmt_class = None;
+            stmt_locked = false;
+            depth += 1;
+        } else if t.is_punct('}') {
+            guards.retain(|g| g.depth < depth);
+            stmt_let = None;
+            stmt_class = None;
+            stmt_locked = false;
+            depth -= 1;
+        } else if t.is_punct(';') {
+            if let (Some(name), Some(class), false) = (&stmt_let, &stmt_class, stmt_locked) {
+                aliases.push((name.clone(), class.clone()));
+            }
+            stmt_let = None;
+            stmt_class = None;
+            stmt_locked = false;
+            guards.retain(|g| g.let_bound || g.depth < depth);
+        } else if t.kind == TokKind::Ident {
+            let next_open = toks.get(i + 1).filter(|n| n.is_punct('(')).is_some();
+            if t.text == "let" {
+                let mut j = i + 1;
+                while toks.get(j).is_some_and(|n| n.text == "mut") {
+                    j += 1;
+                }
+                if let Some(n) = toks.get(j).filter(|n| n.kind == TokKind::Ident) {
+                    stmt_let = Some(n.text.clone());
+                }
+            } else if t.text == "lock"
+                && next_open
+                && i > start
+                && toks[i - 1].kind == TokKind::PathSep
+            {
+                // `Mutex::lock` UFCS — too rare to model; ignore.
+            } else if t.text == "drop" && next_open {
+                if let Some(n) = toks.get(i + 2).filter(|n| n.kind == TokKind::Ident) {
+                    let name = n.text.clone();
+                    guards.retain(|g| g.binding != name);
+                }
+            } else if next_open
+                && t.text == "lock"
+                && i > start
+                && toks[i - 1].is_punct('.')
+                && i >= 2
+                && toks[i - 2].kind == TokKind::Ident
+            {
+                // `X.lock()` where X resolves to a lock class.
+                if let Some(class) = class_of(&toks[i - 2].text, &aliases) {
+                    stmt_locked = true;
+                    acquires.push(Acquire {
+                        class: class.clone(),
+                        held: guards.iter().map(|g| g.class.clone()).collect(),
+                        site: Site::of(&toks[i - 2]),
+                    });
+                    let let_bound = stmt_let.is_some();
+                    guards.push(Guard {
+                        class,
+                        binding: stmt_let.clone().unwrap_or_default(),
+                        depth,
+                        let_bound,
+                    });
+                }
+            } else if next_open && !guards.is_empty() && POOL_ENTRIES.contains(&t.text.as_str()) {
+                crossings.push(PoolCrossing {
+                    method: t.text.clone(),
+                    held: guards.iter().map(|g| g.class.clone()).collect(),
+                    site: Site::of(t),
+                });
+            } else if next_open
+                && expandable_call(&t.text)
+                && !(i > start && toks[i - 1].text == "fn")
+                && !toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                // Record the class binding mention for alias tracking.
+                calls.push(CallSite {
+                    callee: t.text.clone(),
+                    held: guards.iter().map(|g| g.class.clone()).collect(),
+                    site: Site::of(t),
+                });
+            }
+            if stmt_let.is_some() && stmt_class.is_none() {
+                if let Some(class) = class_of(&t.text, &aliases) {
+                    stmt_class = Some(class);
+                }
+            }
+        }
+        i += 1;
+    }
+    (acquires, calls, crossings)
+}
+
+/// Method names that move work onto the deterministic pool; blocking on
+/// them with a guard held can deadlock the whole farm.
+pub const POOL_ENTRIES: &[&str] = &["scope", "submit", "par_map", "service_scope"];
+
+/// Metric macro / registry-fn names.
+const METRIC_FNS: &[&str] = &["counter", "gauge", "histogram"];
+
+/// Collects literal metric registrations: `counter!("name")` /
+/// `gauge!("name")` / `histogram!("name")` macro calls and direct
+/// `metrics::counter("name")`-style registry calls. Method calls
+/// (`snapshot.counter("name")` reads a metric, it does not register one)
+/// and fn definitions are excluded.
+fn collect_metrics(toks: &[Tok], skip: &[(usize, usize)]) -> Vec<MetricLit> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if in_regions(skip, i) || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        if !METRIC_FNS.contains(&toks[i].text.as_str()) {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| &toks[j]);
+        if prev.is_some_and(|p| p.is_punct('.') || p.text == "fn") {
+            continue;
+        }
+        // Macro form: `counter ! ( "name"` — direct form: `counter ( "name"`.
+        let lit_idx = if toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            i + 3
+        } else if toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            i + 2
+        } else {
+            continue;
+        };
+        if let Some(lit) = toks.get(lit_idx).filter(|t| t.kind == TokKind::Str) {
+            out.push(MetricLit {
+                name: lit.text.clone(),
+                site: Site::of(lit),
+            });
+        }
+    }
+    out
+}
+
+/// Collects the string entries of `const <NAME>: … = &[…];`.
+fn const_str_list(toks: &[Tok], name: &str) -> Vec<MetricLit> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].text != name || toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        if i == 0 || toks[i - 1].text != "const" {
+            continue;
+        }
+        let mut j = i + 1;
+        while let Some(t) = toks.get(j) {
+            if t.is_punct(';') {
+                break;
+            }
+            if t.kind == TokKind::Str {
+                out.push(MetricLit {
+                    name: t.text.clone(),
+                    site: Site::of(t),
+                });
+            }
+            j += 1;
+        }
+        break;
+    }
+    out
+}
+
+/// Panic-capable expressions outside `#[cfg(test)]` code.
+fn collect_panics(toks: &[Tok], skip: &[(usize, usize)]) -> Vec<PanicSite> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if in_regions(skip, i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == TokKind::Ident {
+            let method = i > 0 && toks[i - 1].is_punct('.');
+            let called = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+            if method && called && (t.text == "unwrap" || t.text == "expect") {
+                out.push(PanicSite {
+                    kind: if t.text == "unwrap" {
+                        PanicKind::Unwrap
+                    } else {
+                        PanicKind::Expect
+                    },
+                    site: Site::of(t),
+                });
+            } else if matches!(t.text.as_str(), "panic" | "todo" | "unimplemented")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct('!'))
+            {
+                out.push(PanicSite {
+                    kind: PanicKind::PanicMacro,
+                    site: Site::of(t),
+                });
+            }
+        } else if t.is_punct('[') && i > 0 {
+            // Expression-position indexing: `ident[…]`, `)[…]`, `][…]`.
+            // Attribute (`#[`), pattern (`let [a, b]`), type and macro
+            // positions never follow an expression tail.
+            let prev = &toks[i - 1];
+            let expr_tail = (prev.kind == TokKind::Ident
+                && !NOT_A_CALL.contains(&prev.text.as_str()))
+                || prev.is_punct(')')
+                || prev.is_punct(']');
+            if expr_tail {
+                out.push(PanicSite {
+                    kind: PanicKind::SliceIndex,
+                    site: Site::of(t),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Builds the item model of one file from its token stream.
+pub fn build(rel_path: &str, lx: &LexOut) -> FileModel {
+    let kind = classify(rel_path);
+    let toks = &lx.tokens;
+    let tests = test_regions(toks);
+
+    let mut model = FileModel {
+        rel_path: rel_path.to_string(),
+        kind: Some(kind),
+        ..FileModel::default()
+    };
+
+    if is_pin_file(rel_path) {
+        model.pinned = const_str_list(toks, "PINNED_METRICS");
+        model.dynamic = const_str_list(toks, "DYNAMIC_METRICS")
+            .into_iter()
+            .map(|m| m.name)
+            .collect();
+    }
+
+    // Lock, metric, and panic facts are library invariants: fixture-bad
+    // tests and `#[cfg(test)]` modules deliberately violate them (the
+    // lockdep tests seed real cycles) and must not pollute the graph.
+    if kind != FileKind::Library {
+        return model;
+    }
+
+    let (classes, bindings) = collect_classes(toks);
+    model.classes = classes;
+    model.metrics = collect_metrics(toks, &tests);
+    model.panics = collect_panics(toks, &tests);
+
+    for (name, start, end) in fn_items(toks, &tests) {
+        let (acquires, calls, pool_crossings) = scan_body(toks, (start, end), &bindings);
+        model.fns.push(FnModel {
+            name,
+            acquires,
+            calls,
+            pool_crossings,
+        });
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn model(src: &str) -> FileModel {
+        build("crates/demo/src/lib.rs", &lex(src))
+    }
+
+    #[test]
+    fn classes_and_guard_nesting_are_extracted() {
+        let m = model(
+            "struct S { a: TrackedMutex<u32>, b: TrackedMutex<u32> }\n\
+             impl S {\n\
+             fn new() -> S { S { a: TrackedMutex::new(\"demo.a\", 0), b: TrackedMutex::new(\"demo.b\", 0) } }\n\
+             fn ab(&self) { let _g = self.a.lock(); let _h = self.b.lock(); }\n\
+             }\n",
+        );
+        assert_eq!(m.classes.len(), 2);
+        let ab = m.fns.iter().find(|f| f.name == "ab").expect("fn ab");
+        assert_eq!(ab.acquires.len(), 2);
+        assert_eq!(ab.acquires[1].class, "demo.b");
+        assert_eq!(ab.acquires[1].held, vec!["demo.a".to_string()]);
+    }
+
+    #[test]
+    fn temporaries_release_at_statement_end() {
+        let m = model(
+            "struct S { a: TrackedMutex<u32>, b: TrackedMutex<u32> }\n\
+             impl S {\n\
+             fn mk(&mut self) { self.a = TrackedMutex::new(\"t.a\", 0); self.b = TrackedMutex::new(\"t.b\", 0); }\n\
+             fn seq(&self) { self.a.lock().checked_add(1); self.b.lock().checked_add(1); }\n\
+             }\n",
+        );
+        let seq = m.fns.iter().find(|f| f.name == "seq").expect("fn seq");
+        assert_eq!(seq.acquires.len(), 2);
+        assert!(seq.acquires[1].held.is_empty(), "{:?}", seq.acquires);
+    }
+
+    #[test]
+    fn let_alias_resolves_to_class() {
+        let m = model(
+            "struct P { ro: Option<TrackedMutex<u32>> }\n\
+             impl P {\n\
+             fn init(&mut self) { self.ro = Some(TrackedMutex::new(\"p.ro\", 0)); }\n\
+             fn sample(&self) -> u32 { let bank = self.ro.as_ref().unwrap(); *bank.lock() }\n\
+             }\n",
+        );
+        let s = m.fns.iter().find(|f| f.name == "sample").expect("fn");
+        assert_eq!(s.acquires.len(), 1);
+        assert_eq!(s.acquires[0].class, "p.ro");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_invisible() {
+        let m = model(
+            "pub fn ok() {}\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             fn t() { let x: Vec<u32> = vec![]; x[0]; x.first().unwrap(); obs::counter!(\"t.m\").inc(); }\n\
+             }\n",
+        );
+        assert!(m.panics.is_empty(), "{:?}", m.panics);
+        assert!(m.metrics.is_empty(), "{:?}", m.metrics);
+    }
+
+    #[test]
+    fn panic_sites_cover_all_four_shapes() {
+        let m = model(
+            "fn f(v: &[u32]) -> u32 {\n\
+             let a = v.first().unwrap();\n\
+             let b = v.first().expect(\"b\");\n\
+             if v.len() > 9 { panic!(\"no\"); }\n\
+             v[0] + a + b\n\
+             }\n",
+        );
+        let kinds: Vec<PanicKind> = m.panics.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PanicKind::Unwrap,
+                PanicKind::Expect,
+                PanicKind::PanicMacro,
+                PanicKind::SliceIndex
+            ]
+        );
+    }
+
+    #[test]
+    fn metric_literals_macro_and_direct_forms() {
+        let m = model(
+            "fn f() { obs::counter!(\"m.one\").inc(); }\n\
+             fn g() { crate::metrics::gauge(\"m.two\").set(1.0); }\n\
+             fn h(s: &Snap) { s.counter(\"m.read\"); }\n\
+             fn counter(name: &str) {}\n",
+        );
+        let names: Vec<&str> = m.metrics.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, vec!["m.one", "m.two"]);
+    }
+
+    #[test]
+    fn pin_consts_parse() {
+        let m = build(
+            "crates/sim-serve/tests/metrics_names.rs",
+            &lex("const PINNED_METRICS: &[&str] = &[\"a.b\", \"c.d\"];\n\
+                 const DYNAMIC_METRICS: &[&str] = &[\"e.f\"];\n"),
+        );
+        let pins: Vec<&str> = m.pinned.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(pins, vec!["a.b", "c.d"]);
+        assert_eq!(m.dynamic, vec!["e.f"]);
+    }
+}

@@ -1,9 +1,12 @@
 //! The rule engine: walks a file's token stream, resolves call-site
-//! paths, applies the five source rules, and filters waived diagnostics.
-//! (The sixth rule, `registry-dep`, lives in [`crate::manifest`].)
+//! paths, applies the per-file source rules, and filters waived
+//! diagnostics. (`registry-dep` lives in [`crate::manifest`]; the
+//! cross-file rules — `lock-order`, `metric-name-drift`, `stale-waiver`
+//! — live in [`crate::workspace`] and only run over a merged model.)
 
 use crate::diag::{Diagnostic, Severity};
-use crate::lexer::{lex, Directive, Tok, TokKind};
+use crate::lexer::{lex, Directive, LexOut, Tok, TokKind};
+use crate::model::FileModel;
 use crate::resolve::{collect_uses, UseMap};
 
 /// Static description of one rule, for `--rules` and waiver validation.
@@ -59,17 +62,67 @@ pub const RULES: &[RuleInfo] = &[
         severity: Severity::Warning,
         summary: "a sim-lint: allow(...) directive names a rule that does not exist",
     },
+    RuleInfo {
+        id: "lock-order",
+        severity: Severity::Error,
+        summary: "the static lock-acquisition graph has a cycle, or a guard is held across a Pool::scope/submit boundary",
+    },
+    RuleInfo {
+        id: "panic-path",
+        severity: Severity::Error,
+        summary: "unwrap()/expect()/panic!/slice-index in request handling or a library hot path; return a typed error",
+    },
+    RuleInfo {
+        id: "metric-name-drift",
+        severity: Severity::Error,
+        summary: "a metric-name literal and the metrics_names.rs pin test disagree (orphan on either side)",
+    },
+    RuleInfo {
+        id: "stale-waiver",
+        severity: Severity::Error,
+        summary: "a sim-lint: allow(...) that suppresses zero diagnostics; remove it",
+    },
 ];
+
+/// The nearest rule id within edit distance 2 of `name`, for `bad-waiver`
+/// typo suggestions.
+pub fn suggest(name: &str) -> Option<&'static str> {
+    RULES
+        .iter()
+        .map(|r| (edit_distance(name, r.id), r.id))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, id)| id)
+}
+
+/// Levenshtein distance, small-string DP.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut row = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            row.push(sub.min(prev[j + 1] + 1).min(row[j] + 1));
+        }
+        prev = row;
+    }
+    prev[b.len()]
+}
 
 /// Looks up a rule by id.
 pub fn rule(id: &str) -> Option<&'static RuleInfo> {
     RULES.iter().find(|r| r.id == id)
 }
 
-/// Per-rule path allowlists (prefix-matched on workspace-relative paths).
+/// Per-rule path allowlists (prefix-matched on workspace-relative paths)
+/// plus the `panic-path` zones (substring-matched, so fixture trees that
+/// mirror a zone's layout exercise the rule).
 #[derive(Debug, Default)]
 pub struct Config {
     allow: Vec<(&'static str, &'static str)>,
+    panic_zones: Vec<&'static str>,
 }
 
 impl Config {
@@ -82,6 +135,11 @@ impl Config {
     ///   exist to print tables.
     /// * `stray-spawn`: the deterministic pool owns thread creation.
     /// * `net-use`: the serving layer is the one networked component.
+    ///
+    /// The `panic-path` zones are the request-handling layer and the
+    /// library hot paths a farm request rides through: the sim-serve
+    /// sources, the sampler capture loop, the hwmon device read path,
+    /// the operating-point cache, and the platform's rail solve.
     pub fn workspace_default() -> Config {
         Config {
             allow: vec![
@@ -92,6 +150,13 @@ impl Config {
                 ("raw-print", "crates/bench/src/"),
                 ("stray-spawn", "crates/sim-rt/src/pool.rs"),
                 ("net-use", "crates/sim-serve/"),
+            ],
+            panic_zones: vec![
+                "sim-serve/src/",
+                "core/src/sampler.rs",
+                "core/src/platform.rs",
+                "hwmon-sim/src/device.rs",
+                "zynq-soc/src/oppoint.rs",
             ],
         }
     }
@@ -105,6 +170,11 @@ impl Config {
         self.allow
             .iter()
             .any(|(r, prefix)| *r == rule && rel_path.starts_with(prefix))
+    }
+
+    /// Is `rel_path` inside a `panic-path` enforcement zone?
+    pub fn panic_zone(&self, rel_path: &str) -> bool {
+        self.panic_zones.iter().any(|z| rel_path.contains(z))
     }
 }
 
@@ -148,11 +218,31 @@ const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"]
 
 /// Lints one Rust source file. `rel_path` is the workspace-relative path
 /// (forward slashes) and decides both the file kind and the allowlists.
+///
+/// This is the single-file entry: the per-file rules (including
+/// `panic-path`) run and waivers apply, but the cross-file rules need
+/// [`crate::workspace::lint_files`].
 pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> LintResult {
     let out = lex(src);
+    let model = crate::model::build(rel_path, &out);
+    let lines: Vec<&str> = src.lines().collect();
+    let raw = scan_source(rel_path, &out, &model, cfg, &lines);
+    apply_waivers(raw, &out.directives, rel_path, &lines)
+}
+
+/// Runs every per-file rule and returns the raw (pre-waiver) diagnostics.
+/// The workspace analyzer calls this per file, merges in the cross-file
+/// diagnostics, and applies waivers globally so `stale-waiver` sees the
+/// complete picture.
+pub(crate) fn scan_source(
+    rel_path: &str,
+    out: &LexOut,
+    model: &FileModel,
+    cfg: &Config,
+    lines: &[&str],
+) -> Vec<Diagnostic> {
     let uses = collect_uses(&out.tokens);
     let kind = classify(rel_path);
-    let lines: Vec<&str> = src.lines().collect();
     let snippet = |line: u32| -> String {
         lines
             .get(line as usize - 1)
@@ -229,7 +319,27 @@ pub fn lint_source(rel_path: &str, src: &str, cfg: &Config) -> LintResult {
         i = j;
     }
 
-    apply_waivers(raw, &out.directives, rel_path, &lines)
+    // `panic-path`: panic-capable expressions inside the request-handling
+    // and hot-path zones, collected by the item model so `#[cfg(test)]`
+    // code never counts.
+    if cfg.panic_zone(rel_path) {
+        for p in &model.panics {
+            let info = rule("panic-path").expect("panic-path is registered");
+            raw.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: p.site.line,
+                col: p.site.col,
+                rule: info.id,
+                severity: info.severity,
+                message: format!(
+                    "{} can panic in a request-handling/hot path; return a typed error (or waive a proven-unreachable site)",
+                    p.kind.label()
+                ),
+                snippet: snippet(p.site.line),
+            });
+        }
+    }
+    raw
 }
 
 /// Runs the path-based rules on one resolved chain.
@@ -364,13 +474,19 @@ fn apply_waivers(
         for r in &d.rules {
             if rule(r).is_none() {
                 let info = rule("bad-waiver").expect("bad-waiver is registered");
+                let message = match suggest(r) {
+                    Some(near) => {
+                        format!("waiver names unknown rule `{r}`; did you mean `{near}`?")
+                    }
+                    None => format!("waiver names unknown rule `{r}`"),
+                };
                 result.diags.push(Diagnostic {
                     path: rel_path.to_string(),
                     line: d.line,
                     col: d.col,
                     rule: info.id,
                     severity: info.severity,
-                    message: format!("waiver names unknown rule `{r}`"),
+                    message,
                     snippet: lines
                         .get(d.line as usize - 1)
                         .map(|l| l.trim().to_string())

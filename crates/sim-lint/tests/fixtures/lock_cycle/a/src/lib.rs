@@ -1,0 +1,22 @@
+//! Lock-order fixture, file A: acquires `demo.alpha` then `demo.beta`.
+//! Clean on its own — the cycle only exists together with file B.
+
+pub struct Alpha {
+    alpha: TrackedMutex<u32>,
+    beta: TrackedMutex<u32>,
+}
+
+impl Alpha {
+    pub fn new() -> Alpha {
+        Alpha {
+            alpha: TrackedMutex::new("demo.alpha", 0),
+            beta: TrackedMutex::new("demo.beta", 0),
+        }
+    }
+
+    pub fn alpha_then_beta(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+}

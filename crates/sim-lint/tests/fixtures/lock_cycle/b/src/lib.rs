@@ -1,0 +1,23 @@
+//! Lock-order fixture, file B: acquires `demo.beta` then `demo.alpha` —
+//! the reverse of file A, closing an A→B / B→A cycle neither file
+//! exhibits alone.
+
+pub struct Beta {
+    beta: TrackedMutex<u32>,
+    alpha: TrackedMutex<u32>,
+}
+
+impl Beta {
+    pub fn new() -> Beta {
+        Beta {
+            beta: TrackedMutex::new("demo.beta", 0),
+            alpha: TrackedMutex::new("demo.alpha", 0),
+        }
+    }
+
+    pub fn beta_then_alpha(&self) -> u32 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *b + *a
+    }
+}

@@ -1,0 +1,9 @@
+//! Metric-drift fixture, code side: registers one pinned name (clean),
+//! one name missing from the pin table (code-side orphan), and one
+//! dynamic name the table exempts.
+
+pub fn observe(status: &str) {
+    obs::counter!("drift.pinned.ok").inc();
+    obs::counter!("drift.unpinned").inc();
+    obs::metrics::counter(format!("drift.dynamic.{status}")).inc();
+}

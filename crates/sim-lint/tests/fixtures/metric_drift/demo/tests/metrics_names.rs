@@ -1,0 +1,12 @@
+//! Metric-drift fixture, pin side: pins the clean name, pins one ghost
+//! name no code registers (pin-side orphan), and exempts a dynamic name.
+
+const PINNED_METRICS: &[&str] = &["drift.ghost", "drift.pinned.ok"];
+
+const DYNAMIC_METRICS: &[&str] = &["drift.dynamic.sent"];
+
+#[test]
+fn tables_exist() {
+    assert!(!PINNED_METRICS.is_empty());
+    assert!(!DYNAMIC_METRICS.is_empty());
+}

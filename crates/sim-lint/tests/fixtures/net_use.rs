@@ -1,7 +1,7 @@
 use std::net::TcpListener;
 
 fn serve() {
-    let l = TcpListener::bind("127.0.0.1:0").unwrap();
+    let l = TcpListener::bind("127.0.0.1:0");
     let _s = std::net::TcpStream::connect("127.0.0.1:1");
     let _u = std::net::UdpSocket::bind("127.0.0.1:0"); // sim-lint: allow(net-use)
     let _ = l;

@@ -1,0 +1,22 @@
+//! Panic-path fixture: one site per panic shape the rule recognizes,
+//! inside a path the zone list covers (`sim-serve/src/`).
+
+pub fn handle(line: &str, jobs: &[u32]) -> u32 {
+    let parsed: Option<u32> = line.parse().ok();
+    let first = parsed.unwrap();
+    let second = parsed.expect("parsed above");
+    if jobs.is_empty() {
+        panic!("no jobs");
+    }
+    first + second + jobs[0]
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic freely; none of these count.
+    #[test]
+    fn harness_asserts() {
+        let v = [1u32];
+        assert_eq!(v[0], Some(1).unwrap());
+    }
+}

@@ -1,0 +1,14 @@
+//! Stale-waiver fixture: a live waiver (suppresses a real diagnostic), a
+//! stale one (suppresses nothing), and a typo'd one (bad-waiver, with a
+//! nearest-rule suggestion).
+
+use std::time::Instant; // sim-lint: allow(wall-clock)
+
+pub fn quiet() {} // sim-lint: allow(raw-print)
+
+pub fn typo() {} // sim-lint: allow(wall-clok)
+
+// sim-lint: allow(wall-clock)
+pub fn tick() -> Instant {
+    Instant::now() // sim-lint: allow(wall-clock)
+}

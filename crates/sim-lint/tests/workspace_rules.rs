@@ -1,0 +1,173 @@
+//! Integration coverage for the cross-file workspace rules: each new
+//! rule against its known-bad fixture with exact `file:line:col` span
+//! assertions, plus the two-file lock-order cycle neither file exhibits
+//! alone.
+
+use sim_lint::{lint_files, lint_source, Config, Diagnostic};
+
+const CYCLE_A: &str = include_str!("fixtures/lock_cycle/a/src/lib.rs");
+const CYCLE_B: &str = include_str!("fixtures/lock_cycle/b/src/lib.rs");
+const PANIC_PATH: &str = include_str!("fixtures/panic_path/sim-serve/src/handler.rs");
+const DRIFT_CODE: &str = include_str!("fixtures/metric_drift/demo/src/code.rs");
+const DRIFT_PINS: &str = include_str!("fixtures/metric_drift/demo/tests/metrics_names.rs");
+const STALE: &str = include_str!("fixtures/stale_waiver/src/lib.rs");
+
+fn spans(diags: &[Diagnostic]) -> Vec<(&str, u32, u32, &'static str)> {
+    diags
+        .iter()
+        .map(|d| (d.path.as_str(), d.line, d.col, d.rule))
+        .collect()
+}
+
+#[test]
+fn two_file_lock_cycle_fires_only_when_merged() {
+    let cfg = Config::workspace_default();
+    // Each file alone orders its own two acquisitions consistently.
+    for (rel, src) in [
+        ("crates/demo-a/src/lib.rs", CYCLE_A),
+        ("crates/demo-b/src/lib.rs", CYCLE_B),
+    ] {
+        let r = lint_files(&[(rel, src)], &cfg);
+        assert!(r.diags.is_empty(), "{rel} alone: {:?}", r.diags);
+    }
+    // Merged, B's beta→alpha closes the cycle A opened.
+    let r = lint_files(
+        &[
+            ("crates/demo-a/src/lib.rs", CYCLE_A),
+            ("crates/demo-b/src/lib.rs", CYCLE_B),
+        ],
+        &cfg,
+    );
+    assert_eq!(
+        spans(&r.diags),
+        vec![("crates/demo-b/src/lib.rs", 20, 22, "lock-order")],
+        "{:?}",
+        r.diags
+    );
+    assert!(
+        r.diags[0]
+            .message
+            .contains("demo.alpha \u{2192} demo.beta \u{2192} demo.alpha"),
+        "{}",
+        r.diags[0].message
+    );
+}
+
+#[test]
+fn panic_path_flags_all_four_shapes_with_exact_spans() {
+    // Single-file rule: `lint_source` is enough, and the `#[cfg(test)]`
+    // module at the bottom of the fixture must stay invisible.
+    let r = lint_source(
+        "crates/sim-serve/src/handler.rs",
+        PANIC_PATH,
+        &Config::workspace_default(),
+    );
+    assert_eq!(
+        spans(&r.diags),
+        vec![
+            ("crates/sim-serve/src/handler.rs", 6, 24, "panic-path"),
+            ("crates/sim-serve/src/handler.rs", 7, 25, "panic-path"),
+            ("crates/sim-serve/src/handler.rs", 9, 9, "panic-path"),
+            ("crates/sim-serve/src/handler.rs", 11, 26, "panic-path"),
+        ],
+        "{:?}",
+        r.diags
+    );
+}
+
+#[test]
+fn panic_path_is_silent_outside_the_zones() {
+    let r = lint_source(
+        "crates/rforest/src/lib.rs",
+        PANIC_PATH,
+        &Config::workspace_default(),
+    );
+    assert!(r.diags.is_empty(), "{:?}", r.diags);
+}
+
+#[test]
+fn metric_drift_flags_orphans_in_both_directions() {
+    let r = lint_files(
+        &[
+            ("crates/demo/src/code.rs", DRIFT_CODE),
+            ("crates/demo/tests/metrics_names.rs", DRIFT_PINS),
+        ],
+        &Config::workspace_default(),
+    );
+    assert_eq!(
+        spans(&r.diags),
+        vec![
+            ("crates/demo/src/code.rs", 7, 19, "metric-name-drift"),
+            (
+                "crates/demo/tests/metrics_names.rs",
+                4,
+                35,
+                "metric-name-drift"
+            ),
+        ],
+        "{:?}",
+        r.diags
+    );
+    assert!(r.diags[0].message.contains("drift.unpinned"));
+    assert!(r.diags[1].message.contains("drift.ghost"));
+}
+
+#[test]
+fn metric_drift_is_inert_without_a_pin_file() {
+    let r = lint_files(
+        &[("crates/demo/src/code.rs", DRIFT_CODE)],
+        &Config::workspace_default(),
+    );
+    assert!(r.diags.is_empty(), "{:?}", r.diags);
+}
+
+#[test]
+fn stale_and_bad_waivers_fire_with_exact_spans() {
+    let r = lint_files(
+        &[("crates/demo/src/lib.rs", STALE)],
+        &Config::workspace_default(),
+    );
+    assert_eq!(
+        spans(&r.diags),
+        vec![
+            ("crates/demo/src/lib.rs", 7, 22, "stale-waiver"),
+            ("crates/demo/src/lib.rs", 9, 21, "bad-waiver"),
+        ],
+        "{:?}",
+        r.diags
+    );
+    assert!(
+        r.diags[1].message.contains("did you mean `wall-clock`?"),
+        "{}",
+        r.diags[1].message
+    );
+    // The three genuine wall-clock hits stay waived by the live waivers.
+    assert_eq!(r.waived, 3);
+}
+
+#[test]
+fn real_workspace_sources_pass_the_cross_file_rules() {
+    // The crate's own sources through the workspace entry: no cycles, no
+    // panic sites, no stale waivers hiding in the analyzer itself.
+    let files = [
+        ("crates/sim-lint/src/lib.rs", include_str!("../src/lib.rs")),
+        (
+            "crates/sim-lint/src/lexer.rs",
+            include_str!("../src/lexer.rs"),
+        ),
+        (
+            "crates/sim-lint/src/model.rs",
+            include_str!("../src/model.rs"),
+        ),
+        (
+            "crates/sim-lint/src/rules.rs",
+            include_str!("../src/rules.rs"),
+        ),
+        (
+            "crates/sim-lint/src/workspace.rs",
+            include_str!("../src/workspace.rs"),
+        ),
+    ];
+    let r = lint_files(&files, &Config::workspace_default());
+    assert!(r.diags.is_empty(), "{:?}", r.diags);
+}

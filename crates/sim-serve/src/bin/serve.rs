@@ -86,6 +86,8 @@ fn main() {
         obs::flight::auto_dump("panic");
         default_hook(info);
     }));
+    // Startup, before any request exists: failing to report the bound
+    // address is fatal by design. sim-lint: allow(panic-path)
     let addr = server.local_addr().expect("bound listener has an address");
     let _ = writeln!(stdout, "listening on {addr} ({} boards)", cfg.boards);
     let _ = stdout.flush();

@@ -85,8 +85,13 @@ impl Client {
     /// `UnexpectedEof` if the server closes first; `InvalidData` on
     /// malformed response lines.
     pub fn wait(&mut self, id: i64) -> std::io::Result<Response> {
-        if let Some(pos) = self.parked.iter().position(|r| r.id == id) {
-            return Ok(self.parked.remove(pos).expect("position just found"));
+        if let Some(resp) = self
+            .parked
+            .iter()
+            .position(|r| r.id == id)
+            .and_then(|pos| self.parked.remove(pos))
+        {
+            return Ok(resp);
         }
         let mut line = String::new();
         loop {

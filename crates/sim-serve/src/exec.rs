@@ -33,7 +33,7 @@ pub const VERBS: &[&str] = &[
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecError {
     /// One of `unknown_verb`, `bad_config`, `invalid_parameter`,
-    /// `attack_failed`.
+    /// `attack_failed`, `internal_error`.
     pub kind: &'static str,
     /// Human-readable detail.
     pub message: String,
@@ -43,6 +43,16 @@ impl ExecError {
     fn bad_config(message: impl Into<String>) -> ExecError {
         ExecError {
             kind: "bad_config",
+            message: message.into(),
+        }
+    }
+
+    /// A server-side invariant failed. The request gets a structured
+    /// `internal_error` response instead of the worker thread panicking
+    /// and taking the farm board with it.
+    pub(crate) fn internal(message: impl Into<String>) -> ExecError {
+        ExecError {
+            kind: "internal_error",
             message: message.into(),
         }
     }

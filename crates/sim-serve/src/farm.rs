@@ -117,29 +117,32 @@ impl Farm {
             .inner
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        while inner.free == 0 {
+        loop {
+            if inner.free > 0 {
+                let idx = inner
+                    .slots
+                    .iter()
+                    .position(|s| s.as_ref().is_some_and(|b| b.seed == seed))
+                    .or_else(|| inner.slots.iter().position(Option::is_some));
+                let board = idx
+                    .and_then(|i| inner.slots.get_mut(i))
+                    .and_then(Option::take);
+                if let Some(board) = board {
+                    inner.free -= 1;
+                    obs::counter!("serve.farm.checkouts").inc();
+                    obs::gauge!("serve.farm.free").set(inner.free as f64);
+                    return board;
+                }
+                // free > 0 with no occupied slot means the count drifted;
+                // fall through and re-wait rather than panic the server.
+                debug_assert!(false, "free count {} but no free slot", inner.free);
+            }
             obs::counter!("serve.farm.waits").inc();
             inner = self
                 .freed
                 .wait(inner)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
-        let preferred = inner
-            .slots
-            .iter()
-            .position(|s| s.as_ref().is_some_and(|b| b.seed == seed));
-        let idx = preferred.unwrap_or_else(|| {
-            inner
-                .slots
-                .iter()
-                .position(Option::is_some)
-                .expect("free > 0 implies a free slot")
-        });
-        let board = inner.slots[idx].take().expect("slot was free");
-        inner.free -= 1;
-        obs::counter!("serve.farm.checkouts").inc();
-        obs::gauge!("serve.farm.free").set(inner.free as f64);
-        board
     }
 
     /// Returns a board to the free list and wakes one waiter.
@@ -149,9 +152,11 @@ impl Farm {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let idx = board.id;
-        debug_assert!(inner.slots[idx].is_none(), "double checkin of board {idx}");
-        inner.slots[idx] = Some(board);
-        inner.free += 1;
+        if let Some(slot) = inner.slots.get_mut(idx) {
+            debug_assert!(slot.is_none(), "double checkin of board {idx}");
+            *slot = Some(board);
+            inner.free += 1;
+        }
         obs::gauge!("serve.farm.free").set(inner.free as f64);
         drop(inner);
         self.freed.notify_one();

@@ -13,7 +13,7 @@
 //!   `board`/`seed`/`elapsed_ms` say where and how it ran.
 //! * `error` — the verb ran (or was rejected) with a typed error:
 //!   `error_kind` ∈ {`bad_request`, `unknown_verb`, `bad_config`,
-//!   `invalid_parameter`, `attack_failed`}.
+//!   `invalid_parameter`, `attack_failed`, `internal_error`}.
 //! * `shed` — admission control refused the request without running it:
 //!   `error_kind` ∈ {`rate_limited`, `quota_exceeded`, `queue_full`,
 //!   `shutting_down`} (the 429-style backpressure responses).

@@ -418,7 +418,9 @@ impl Scheduler {
     /// trace, a `board` span noting the board id, and the `exec` span
     /// tree grown by the verb itself.
     fn run_group(&self, jobs: &[Job]) -> (usize, Result<Value, ExecError>) {
-        let job = &jobs[0];
+        let Some(job) = jobs.first() else {
+            return (0, Err(ExecError::internal("empty batch group")));
+        };
         obs::trace::scoped(job.ctx, || {
             let mut batch_span = obs::trace::span("serve.sched", "batch");
             for member in jobs {

@@ -2,10 +2,122 @@
 //! lock-order / pool gauges all surface through the export layer
 //! (`metrics_to_csv` / `metrics_to_jsonl`), so a farm operator scraping
 //! either format sees the full serving picture.
+//!
+//! This file is also the workspace's metric-name pin table. sim-lint's
+//! `metric-name-drift` rule reconciles [`PINNED_METRICS`] against every
+//! metric-name literal registered in library code: a literal missing
+//! here, or a pin no code registers, fails CI in both directions.
 
 use sim_rt::pool::service_scope;
 use sim_rt::ser::Value;
 use sim_serve::{Client, Server, ServerConfig};
+
+/// Every statically-named metric the workspace registers, one pin per
+/// `counter!`/`gauge!`/`histogram!` literal. Kept sorted.
+const PINNED_METRICS: &[&str] = &[
+    "defend.blocked",
+    "defend.point.ns",
+    "defend.points",
+    "defend.stack.installs",
+    "defend.stack.transforms",
+    "defend.sweeps",
+    "defend.throttle.trips",
+    "dpu.model_loads",
+    "fabric.virus.activations",
+    "fabric.virus.active_groups",
+    "flight.dropped",
+    "flight.dumps",
+    "flight.events",
+    "hwmon.fs.reads",
+    "hwmon.fs.reads_denied",
+    "hwmon.fs.writes",
+    "hwmon.reads.fresh",
+    "hwmon.reads.held",
+    "ina226.clips.bus",
+    "ina226.clips.current",
+    "ina226.clips.shunt",
+    "ina226.conversions",
+    "lockorder.acquisitions",
+    "lockorder.cycles_detected",
+    "lockorder.edges_tracked",
+    "pool.profile.enabled",
+    "pool.profile.run_ns",
+    "pool.profile.samples",
+    "pool.profile.steal_ns",
+    "rforest.fits",
+    "sampler.capture.ns",
+    "sampler.read_errors",
+    "sampler.reads.current",
+    "sampler.reads.held_fastpath",
+    "sampler.reads.power",
+    "sampler.reads.voltage",
+    "serve.accept_errors",
+    "serve.admitted",
+    "serve.bad_requests",
+    "serve.batch.deduped",
+    "serve.batch.groups",
+    "serve.batch.size",
+    "serve.connections",
+    "serve.drains",
+    "serve.exec.latency_ns",
+    "serve.farm.boards",
+    "serve.farm.checkouts",
+    "serve.farm.free",
+    "serve.farm.platform_inits",
+    "serve.farm.waits",
+    "serve.queue.depth",
+    "serve.request.latency_ns",
+    "serve.requests",
+    "serve.responses.error",
+    "serve.responses.ok",
+    "serve.stats.requests",
+    "serve.timeouts",
+    "serve.tx_errors",
+    "soc.oppoint.cache_hit",
+    "soc.oppoint.cache_miss",
+    "trace.log.dropped",
+    "trace.roots",
+    "trace.spans",
+    "zynq.pdn.droop_uv",
+    "zynq.pdn.transients",
+    "zynq.thermal.junction_c",
+    "zynq.thermal.leakage_scale",
+    "zynq.thermal.throttle_crossings",
+];
+
+/// Metric names assembled at runtime (`format!`-built), which the linter
+/// cannot tie to a literal: the `record_pool_stats` gauge family under
+/// `serve.pool.*`, the per-status `serve.responses.*` counters, and the
+/// per-kind `serve.shed.*` counters.
+const DYNAMIC_METRICS: &[&str] = &[
+    "serve.pool.busy_nanos",
+    "serve.pool.jobs_completed",
+    "serve.pool.jobs_per_sec",
+    "serve.pool.jobs_retried",
+    "serve.pool.jobs_stolen",
+    "serve.pool.maps_run",
+    "serve.responses.shed",
+    "serve.responses.timeout",
+    "serve.shed.queue_full",
+    "serve.shed.quota_exceeded",
+    "serve.shed.rate_limited",
+    "serve.shed.shutting_down",
+];
+
+#[test]
+fn pin_table_is_sorted_and_unique() {
+    for table in [PINNED_METRICS, DYNAMIC_METRICS] {
+        for pair in table.windows(2) {
+            assert!(pair[0] < pair[1], "{:?} out of order or duplicated", pair);
+        }
+    }
+    for d in DYNAMIC_METRICS {
+        assert!(
+            !PINNED_METRICS.contains(d),
+            "{d} is both pinned and dynamic"
+        );
+    }
+}
 
 #[test]
 fn serve_metrics_surface_in_csv_and_jsonl_exports() {
@@ -55,6 +167,10 @@ fn serve_metrics_surface_in_csv_and_jsonl_exports() {
         "lockorder.edges_tracked",
         "lockorder.cycles_detected",
     ] {
+        assert!(
+            PINNED_METRICS.contains(&name) || DYNAMIC_METRICS.contains(&name),
+            "{name} asserted here but absent from the pin table"
+        );
         assert!(csv.contains(name), "{name} missing from metrics_to_csv");
         assert!(jsonl.contains(name), "{name} missing from metrics_to_jsonl");
     }
@@ -103,6 +219,10 @@ fn trace_flight_and_profile_metrics_surface_in_exports() {
         "pool.profile.steal_ns",
         "serve.stats.requests",
     ] {
+        assert!(
+            PINNED_METRICS.contains(&name) || DYNAMIC_METRICS.contains(&name),
+            "{name} asserted here but absent from the pin table"
+        );
         assert!(csv.contains(name), "{name} missing from metrics_to_csv");
         assert!(jsonl.contains(name), "{name} missing from metrics_to_jsonl");
     }
@@ -152,6 +272,10 @@ fn defend_metrics_surface_in_exports() {
         "defend.stack.transforms",
         "defend.throttle.trips",
     ] {
+        assert!(
+            PINNED_METRICS.contains(&name) || DYNAMIC_METRICS.contains(&name),
+            "{name} asserted here but absent from the pin table"
+        );
         assert!(csv.contains(name), "{name} missing from metrics_to_csv");
         assert!(jsonl.contains(name), "{name} missing from metrics_to_jsonl");
     }

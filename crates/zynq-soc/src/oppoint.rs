@@ -121,12 +121,9 @@ impl OpPointCache {
     pub fn get(&self, domain: PowerDomain, t: SimTime, epoch: u64) -> Option<RailOperatingPoint> {
         let t_ns = t.as_nanos();
         let slots = self.slots.lock();
-        if slots.is_empty() {
-            // `Default` builds a zero-slot cache; treat it as always-miss.
-            obs::counter!("soc.oppoint.cache_miss").inc();
-            return None;
-        }
-        match slots[Self::index(domain, t_ns)] {
+        // A `Default`-built cache has zero slots; `get` on it misses
+        // naturally because the index lookup finds nothing.
+        match slots.get(Self::index(domain, t_ns)).copied().flatten() {
             Some(s) if s.domain == domain && s.t_ns == t_ns && s.epoch == epoch => {
                 obs::counter!("soc.oppoint.cache_hit").inc();
                 Some(s.point)
@@ -144,16 +141,17 @@ impl OpPointCache {
     pub fn insert(&self, domain: PowerDomain, t: SimTime, epoch: u64, point: RailOperatingPoint) {
         let t_ns = t.as_nanos();
         let mut slots = self.slots.lock();
-        if slots.is_empty() {
-            return;
-        }
         let idx = Self::index(domain, t_ns);
-        slots[idx] = Some(Slot {
-            domain,
-            t_ns,
-            epoch,
-            point,
-        });
+        // On a `Default`-built zero-slot cache there is nowhere to store;
+        // the insert is silently a no-op, matching `get`'s always-miss.
+        if let Some(slot) = slots.get_mut(idx) {
+            *slot = Some(Slot {
+                domain,
+                t_ns,
+                epoch,
+                point,
+            });
+        }
     }
 }
 
