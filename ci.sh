@@ -18,7 +18,7 @@ cleanup() {
         kill "$pid" 2>/dev/null || true
     done
     for f in "${cleanup_files[@]+"${cleanup_files[@]}"}"; do
-        rm -f "$f"
+        rm -rf "$f"
     done
 }
 trap cleanup EXIT
@@ -125,6 +125,19 @@ grep -q '"farm_req_per_sec"' "$serve_artifact" || {
     exit 1
 }
 
+echo "==> store hit latency smoke (bench --quick)"
+store_artifact="crates/bench/BENCH_store_hit_latency.quick.json"
+rm -f "$store_artifact"
+cargo bench --offline --bench store_hit_latency -- --quick
+if ! [ -s "$store_artifact" ]; then
+    echo "ci.sh: store_hit_latency smoke left no artifact" >&2
+    exit 1
+fi
+grep -q '"warm_ms_per_req"' "$store_artifact" || {
+    echo "ci.sh: $store_artifact is missing the headline row" >&2
+    exit 1
+}
+
 echo "==> serve smoke (ephemeral port, one farm_client request, clean drain)"
 serve_log="$(mktemp)"
 cleanup_files+=("$serve_log")
@@ -195,6 +208,77 @@ echo "$defend_out" | grep -q '"auc"' || {
 wait "$defend_pid" || {
     echo "ci.sh: defend-smoke serve exited non-zero after drain:" >&2
     cat "$defend_log" >&2
+    exit 1
+}
+
+echo "==> store smoke (serve twice over one store dir; warm run replays byte-identically)"
+store_dir="$(mktemp -d)"
+cleanup_files+=("$store_dir")
+store_request() {
+    # One request against a fresh serve over $store_dir; prints the
+    # client transcript, leaves the serve log in $1.
+    local log="$1"
+    cargo run --offline --release -p sim-serve --bin serve -- \
+        --addr 127.0.0.1:0 --boards 1 --store-dir "$store_dir" >"$log" 2>&1 &
+    local pid=$!
+    cleanup_pids+=("$pid")
+    local addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^listening on \([0-9.:]*\) .*/\1/p' "$log")"
+        [ -n "$addr" ] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "ci.sh: store-smoke serve exited before binding:" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "ci.sh: store-smoke serve never reported its address:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    cargo run --offline --release --example farm_client -- "$addr" \
+        --verb quickstart --seed 41 \
+        --config '{"samples_per_level": 60}' \
+        --shutdown
+    wait "$pid" || {
+        echo "ci.sh: store-smoke serve exited non-zero after drain:" >&2
+        cat "$log" >&2
+        exit 1
+    }
+}
+store_log_cold="$(mktemp)"
+store_log_warm="$(mktemp)"
+store_out_cold="$(mktemp)"
+store_out_warm="$(mktemp)"
+cleanup_files+=("$store_log_cold" "$store_log_warm" "$store_out_cold" "$store_out_warm")
+# Run outside command substitution so the serve pids register with the
+# cleanup trap.
+store_request "$store_log_cold" >"$store_out_cold"
+store_request "$store_log_warm" >"$store_out_warm"
+store_cold_out="$(cat "$store_out_cold")"
+store_warm_out="$(cat "$store_out_warm")"
+echo "$store_cold_out" | grep -q ', cached)' && {
+    echo "ci.sh: cold store run claimed a cache hit:" >&2
+    echo "$store_cold_out" >&2
+    exit 1
+}
+echo "$store_warm_out" | grep -q ', cached)' || {
+    echo "ci.sh: warm store run was not served from the store:" >&2
+    echo "$store_warm_out" >&2
+    exit 1
+}
+store_cold_result="$(echo "$store_cold_out" | grep '^result: ')"
+store_warm_result="$(echo "$store_warm_out" | grep '^result: ')"
+if [ -z "$store_cold_result" ] || [ "$store_cold_result" != "$store_warm_result" ]; then
+    echo "ci.sh: warm store replay diverged from the cold result:" >&2
+    echo "cold: $store_cold_result" >&2
+    echo "warm: $store_warm_result" >&2
+    exit 1
+fi
+ls "$store_dir"/seg-*.jsonl >/dev/null 2>&1 || {
+    echo "ci.sh: store dir holds no persisted segments" >&2
     exit 1
 }
 

@@ -1,0 +1,165 @@
+//! Latency bench for the content-addressed result store: cold execution
+//! vs warm replay of the same campaign requests through a store-enabled
+//! farm, gated on the warm path being >= 50x faster per request.
+//!
+//! The shape mirrors how a campaign archive is actually used: a sweep
+//! runs once (cold — every request misses, executes on a board, and is
+//! inserted), then analysis tooling replays the same requests (warm —
+//! every request is served from the hot tier before admission ever sees
+//! it). The bench also re-checks the store's core soundness claim inline:
+//! every warm `result` must be byte-identical to its cold counterpart,
+//! and every warm response must carry the `cached` flag.
+//!
+//! Writes `BENCH_store_hit_latency.json`: cold/warm mean per-request
+//! latency, the speedup, and the store counters after the run.
+//!
+//! Run with: `cargo bench --bench store_hit_latency` (full schedule,
+//! exits non-zero if the warm path fails the >= 50x gate) or `-- --quick`
+//! (smoke: small request count, never fails on the timing).
+
+use std::time::Instant;
+
+use sim_rt::ser::Value;
+use sim_rt::Record;
+use sim_serve::{Client, Server, ServerConfig};
+use sim_store::StoreConfig;
+
+/// The warm path must beat cold execution by at least this factor.
+const MIN_SPEEDUP: f64 = 50.0;
+
+/// Distinct campaign requests in one sweep (distinct seeds → distinct
+/// content addresses).
+fn sweep(quick: bool) -> Vec<(&'static str, u64, Value)> {
+    let seeds = if quick { 3 } else { 8 };
+    let mut requests: Vec<(&'static str, u64, Value)> = (0..seeds)
+        .map(|i| {
+            (
+                "quickstart",
+                5_000 + i,
+                // Heavy enough that board execution (not the TCP round
+                // trip both paths pay) dominates a cold request.
+                Value::Object(vec![("samples_per_level".into(), Value::Int(400))]),
+            )
+        })
+        .collect();
+    requests.push((
+        "covert",
+        5_100,
+        Value::Object(vec![("payload".into(), Value::Str("warm".into()))]),
+    ));
+    requests
+}
+
+fn main() {
+    let quick = sim_rt::bench::quick_requested();
+    obs::init();
+
+    let requests = sweep(quick);
+    let warm_rounds = if quick { 2 } else { 20 };
+
+    let server = Server::bind(ServerConfig {
+        boards: 2,
+        farm_seed: 3,
+        store: Some(StoreConfig::default()),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = server.handle();
+
+    let (cold_s, warm_s, cold_results) = sim_rt::pool::service_scope(|svc| {
+        let join = svc.spawn("store-bench-server", move || server.run());
+        let mut conn = Client::connect(addr).expect("connect");
+
+        // Cold sweep: every request executes on a board and is inserted.
+        let cold_start = Instant::now();
+        let cold_results: Vec<String> = requests
+            .iter()
+            .map(|(verb, seed, config)| {
+                let resp = conn
+                    .request(verb, Some(*seed), config.clone())
+                    .expect("cold request");
+                assert_eq!(resp.status, "ok", "{verb}: {:?}", resp.error);
+                assert_ne!(resp.cached, Some(true), "cold sweep cannot hit");
+                resp.result.expect("ok has a result").to_json()
+            })
+            .collect();
+        let cold_s = cold_start.elapsed().as_secs_f64();
+
+        // Warm replays: the same sweep, served from the store.
+        let warm_start = Instant::now();
+        for _ in 0..warm_rounds {
+            for ((verb, seed, config), cold) in requests.iter().zip(&cold_results) {
+                let resp = conn
+                    .request(verb, Some(*seed), config.clone())
+                    .expect("warm request");
+                assert_eq!(resp.status, "ok", "{verb}: {:?}", resp.error);
+                assert_eq!(resp.cached, Some(true), "warm replay must hit");
+                let warm = resp.result.expect("ok has a result").to_json();
+                assert_eq!(&warm, cold, "{verb}/{seed}: warm bytes diverged");
+            }
+        }
+        let warm_s = warm_start.elapsed().as_secs_f64();
+
+        handle.shutdown();
+        join.join().expect("server thread");
+        (cold_s, warm_s, cold_results)
+    });
+
+    let cold_per_req = cold_s / requests.len() as f64;
+    let warm_per_req = warm_s / (requests.len() * warm_rounds) as f64;
+    let speedup = cold_per_req / warm_per_req;
+    let pass = speedup >= MIN_SPEEDUP;
+
+    let snapshot = obs::metrics::snapshot();
+    let hits = snapshot.counter("store.hits").unwrap_or(0);
+    let misses = snapshot.counter("store.misses").unwrap_or(0);
+    let inserts = snapshot.counter("store.inserts").unwrap_or(0);
+    assert_eq!(
+        hits,
+        (requests.len() * warm_rounds) as u64,
+        "every warm request must be a store hit"
+    );
+    assert_eq!(inserts, cold_results.len() as u64);
+
+    println!(
+        "store_hit_latency: cold {:.3} ms/req, warm {:.4} ms/req, speedup {speedup:.1}x \
+         (gate >= {MIN_SPEEDUP}x) -> {}",
+        cold_per_req * 1e3,
+        warm_per_req * 1e3,
+        if pass { "pass" } else { "FAIL" }
+    );
+    println!(
+        "store_hit_latency: {} requests, {warm_rounds} warm rounds, store hits {hits}, \
+         misses {misses}, inserts {inserts}",
+        requests.len()
+    );
+
+    let mut row = Record::new();
+    row.push("bench", "store_hit_latency")
+        .push("quick", quick)
+        .push("requests", requests.len() as u64)
+        .push("warm_rounds", warm_rounds as u64)
+        .push("cold_ms_per_req", cold_per_req * 1e3)
+        .push("warm_ms_per_req", warm_per_req * 1e3)
+        .push("speedup", speedup)
+        .push("min_speedup", MIN_SPEEDUP)
+        .push("store_hits", hits)
+        .push("store_misses", misses)
+        .push("store_inserts", inserts)
+        .push("pass", pass);
+
+    // Quick smokes must not clobber the committed full-run artifact.
+    let path = if quick {
+        "BENCH_store_hit_latency.quick.json"
+    } else {
+        "BENCH_store_hit_latency.json"
+    };
+    std::fs::write(path, sim_rt::to_jsonl(&[row])).expect("write artifact");
+    println!("store_hit_latency: wrote {path}");
+
+    // Quick (smoke) timings are single-round noise; only a full run judges.
+    if !quick && !pass {
+        std::process::exit(1);
+    }
+}

@@ -10,7 +10,10 @@
 //! 0.999, voltage r = 0.958 with a near-zero slope, RO r = -0.996, and
 //! the current channel's relative variation is ~261x the RO's.
 
+use sim_rt::json;
 use sim_rt::pool::Pool;
+use sim_rt::ser::Value;
+use sim_store::{Checkpoint, Digest, Store};
 use trace_stats::{pearson, LinearFit, Summary};
 use zynq_soc::{PowerDomain, SimTime};
 
@@ -81,6 +84,29 @@ impl CharacterizeConfig {
         }
         Ok(())
     }
+
+    /// Content digest of the sweep (parameterized by the platform seed the
+    /// caller's factory uses), addressing its checkpoint file.
+    pub fn sweep_key(&self, seed: u64) -> Digest {
+        let content = Value::Object(vec![
+            (
+                "levels".into(),
+                Value::Array(
+                    self.levels
+                        .iter()
+                        .map(|&l| Value::from(u64::from(l)))
+                        .collect(),
+                ),
+            ),
+            ("sample_rate_hz".into(), Value::from(self.sample_rate_hz)),
+            (
+                "samples_per_level".into(),
+                Value::from(self.samples_per_level as u64),
+            ),
+            ("settle_ns".into(), Value::from(self.settle.as_nanos())),
+        ]);
+        Store::key("characterize-sweep", seed, &content)
+    }
 }
 
 /// Per-level measurement summary.
@@ -98,6 +124,75 @@ pub struct LevelRow {
     pub ro_count: Option<Summary>,
     /// TDC baseline thermometer code, if a TDC is deployed.
     pub tdc_code: Option<Summary>,
+}
+
+/// Checkpoint codec: a [`Summary`] as a stable JSON value (all fields
+/// finite, so shortest-roundtrip floats survive bit-exactly).
+fn summary_to_value(s: &Summary) -> Value {
+    Value::Object(vec![
+        ("count".into(), Value::from(s.count as u64)),
+        ("max".into(), Value::from(s.max)),
+        ("mean".into(), Value::from(s.mean)),
+        ("median".into(), Value::from(s.median)),
+        ("min".into(), Value::from(s.min)),
+        ("std_dev".into(), Value::from(s.std_dev)),
+        ("variance".into(), Value::from(s.variance)),
+    ])
+}
+
+fn summary_from_value(v: &Value) -> Option<Summary> {
+    Some(Summary {
+        count: usize::try_from(v.get("count")?.as_u64()?).ok()?,
+        mean: v.get("mean")?.as_f64()?,
+        variance: v.get("variance")?.as_f64()?,
+        std_dev: v.get("std_dev")?.as_f64()?,
+        min: v.get("min")?.as_f64()?,
+        max: v.get("max")?.as_f64()?,
+        median: v.get("median")?.as_f64()?,
+    })
+}
+
+impl LevelRow {
+    /// Checkpoint codec: the row as a stable JSON value. Optional baseline
+    /// columns encode as `null` so a resume distinguishes "not deployed"
+    /// from "absent field".
+    pub fn to_value(&self) -> Value {
+        let opt = |s: &Option<Summary>| match s {
+            Some(s) => summary_to_value(s),
+            None => Value::Null,
+        };
+        Value::Object(vec![
+            (
+                "active_groups".into(),
+                Value::from(u64::from(self.active_groups)),
+            ),
+            ("current_ma".into(), summary_to_value(&self.current_ma)),
+            ("power_uw".into(), summary_to_value(&self.power_uw)),
+            ("ro_count".into(), opt(&self.ro_count)),
+            ("tdc_code".into(), opt(&self.tdc_code)),
+            ("voltage_mv".into(), summary_to_value(&self.voltage_mv)),
+        ])
+    }
+
+    /// Decodes a checkpointed row; `None` for any schema mismatch (the
+    /// caller recomputes the level).
+    pub fn from_json(line: &str) -> Option<LevelRow> {
+        let v = json::parse(line).ok()?;
+        let opt = |name: &str| -> Option<Option<Summary>> {
+            match v.get(name)? {
+                Value::Null => Some(None),
+                s => Some(Some(summary_from_value(s)?)),
+            }
+        };
+        Some(LevelRow {
+            active_groups: u32::try_from(v.get("active_groups")?.as_u64()?).ok()?,
+            current_ma: summary_from_value(v.get("current_ma")?)?,
+            voltage_mv: summary_from_value(v.get("voltage_mv")?)?,
+            power_uw: summary_from_value(v.get("power_uw")?)?,
+            ro_count: opt("ro_count")?,
+            tdc_code: opt("tdc_code")?,
+        })
+    }
 }
 
 /// Result of the Figure 2 sweep.
@@ -197,10 +292,32 @@ pub fn run_parallel(
     config: &CharacterizeConfig,
     pool: &Pool,
 ) -> Result<CharacterizationReport> {
+    run_parallel_checkpointed(factory, config, pool, &Checkpoint::in_memory())
+}
+
+/// [`run_parallel`] persisting every finished level row to `ckpt` as it
+/// lands, indexed by the level's position in `config.levels`. A sweep
+/// interrupted mid-flight resumes by rerunning with the same checkpoint:
+/// persisted rows are decoded instead of re-measured, and the resumed
+/// report is byte-identical to an uninterrupted run.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_parallel`]. A checkpoint record that fails
+/// to decode is re-measured, not an error.
+pub fn run_parallel_checkpointed(
+    factory: impl Fn(u32) -> Result<Platform> + Sync,
+    config: &CharacterizeConfig,
+    pool: &Pool,
+    ckpt: &Checkpoint,
+) -> Result<CharacterizationReport> {
     let _trace = obs::trace::span("core.characterize", "sweep");
     config.validate()?;
     let rows = pool
-        .par_map(&config.levels, |_, &level| -> Result<LevelRow> {
+        .par_map(&config.levels, |i, &level| -> Result<LevelRow> {
+            if let Some(row) = ckpt.get(i as u64).as_deref().and_then(LevelRow::from_json) {
+                return Ok(row);
+            }
             let platform = factory(level)?;
             let virus = platform
                 .virus()
@@ -210,7 +327,9 @@ pub fn run_parallel(
                 .map_err(|e| AttackError::InvalidParameter(e.to_string()))?;
             let sampler = CurrentSampler::unprivileged(&platform);
             let cursor = SimTime::from_ms(40) + config.settle;
-            measure_row(&platform, &sampler, config, level, cursor)
+            let row = measure_row(&platform, &sampler, config, level, cursor)?;
+            ckpt.put(i as u64, &row.to_value().to_json());
+            Ok(row)
         })
         .into_iter()
         .collect::<Result<Vec<LevelRow>>>()?;

@@ -17,8 +17,11 @@
 //! undefended baseline.
 
 use sim_defend::{stack_from, LayerKind};
+use sim_rt::json;
 use sim_rt::pool::Pool;
 use sim_rt::rng::derive_seed;
+use sim_rt::ser::Value;
+use sim_store::{Checkpoint, Digest, Store};
 use trace_stats::roc::{RocCurve, RocPoint};
 
 use fpga_fabric::covert::CovertConfig;
@@ -182,6 +185,37 @@ impl DefendConfig {
             .collect::<Vec<_>>()
             .join("+")
     }
+
+    /// Content digest of the whole sweep, addressing its checkpoint file:
+    /// two sweeps share persisted points exactly when every
+    /// result-affecting parameter matches.
+    pub fn sweep_key(&self) -> Digest {
+        let content = Value::Object(vec![
+            ("attack".into(), Value::Str(self.attack.tag().into())),
+            ("covert".into(), Value::Str(format!("{:?}", self.covert))),
+            (
+                "fingerprint".into(),
+                Value::Str(format!("{:?}", self.fingerprint)),
+            ),
+            ("n_models".into(), Value::from(self.n_models as u64)),
+            (
+                "payload".into(),
+                Value::Array(
+                    self.payload
+                        .iter()
+                        .map(|&b| Value::from(b as u64))
+                        .collect(),
+                ),
+            ),
+            ("rsa".into(), Value::Str(format!("{:?}", self.rsa))),
+            ("stack".into(), Value::Str(self.stack_tags())),
+            (
+                "strengths".into(),
+                Value::Array(self.strengths.iter().map(|&s| Value::from(s)).collect()),
+            ),
+        ]);
+        Store::key("defend-sweep", self.seed, &content)
+    }
 }
 
 /// One sweep point: the attack's measured success under one defense
@@ -195,6 +229,31 @@ pub struct DefendPoint {
     /// Whether the attack was blocked outright (unprivileged reads denied
     /// by an install-time layer) rather than statistically degraded.
     pub blocked: bool,
+}
+
+impl DefendPoint {
+    /// Checkpoint codec: the point as a stable JSON value. `f64` fields
+    /// survive bit-exactly — the serializer emits shortest-roundtrip
+    /// floats, so a resumed sweep is byte-identical to a fresh one.
+    pub fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("blocked".into(), Value::Bool(self.blocked)),
+            ("strength".into(), Value::from(self.strength)),
+            ("success".into(), Value::from(self.success)),
+        ])
+    }
+
+    /// Decodes a checkpointed point; `None` for any schema mismatch (the
+    /// caller recomputes — a damaged record only costs work, never
+    /// correctness).
+    pub fn from_json(line: &str) -> Option<DefendPoint> {
+        let v = json::parse(line).ok()?;
+        Some(DefendPoint {
+            strength: v.get("strength")?.as_f64()?,
+            success: v.get("success")?.as_f64()?,
+            blocked: v.get("blocked")?.as_bool()?,
+        })
+    }
 }
 
 /// The result of a defend sweep.
@@ -320,17 +379,45 @@ pub fn run(config: &DefendConfig) -> Result<DefendReport> {
 ///
 /// Propagates configuration and attack failures.
 pub fn run_with(config: &DefendConfig, pool: &Pool) -> Result<DefendReport> {
+    run_checkpointed(config, pool, &Checkpoint::in_memory())
+}
+
+/// [`run_with`] persisting every finished point to `ckpt` as it lands:
+/// point 0 is the undefended baseline, point `i + 1` is `strengths[i]`.
+/// A sweep interrupted mid-flight resumes by rerunning with the same
+/// checkpoint — already-persisted points are decoded instead of
+/// recomputed, and the resumed report is byte-identical to an
+/// uninterrupted run (the codec round-trips `f64` bit-exactly).
+///
+/// Pass [`Checkpoint::in_memory`] to opt out of persistence (that is all
+/// [`run_with`] does).
+///
+/// # Errors
+///
+/// Propagates configuration and attack failures. A checkpoint record that
+/// fails to decode is recomputed, not an error.
+pub fn run_checkpointed(
+    config: &DefendConfig,
+    pool: &Pool,
+    ckpt: &Checkpoint,
+) -> Result<DefendReport> {
     config.validate()?;
     obs::counter!("defend.sweeps").inc();
     obs::info!(
         "core.defend",
         "defend sweep started";
         "attack" => config.attack.tag(),
-        "points" => config.strengths.len() as u64
+        "points" => config.strengths.len() as u64,
+        "resumable" => ckpt.len() as u64
     );
-    let baseline = attack_point(config, None)?;
+    let baseline = checkpointed_point(ckpt, 0, || attack_point(config, None))?;
+    let indices: Vec<usize> = (0..config.strengths.len()).collect();
     let points: Vec<DefendPoint> = pool
-        .par_map(&config.strengths, |_, &s| attack_point(config, Some(s)))
+        .par_map(&indices, |_, &i| {
+            checkpointed_point(ckpt, i as u64 + 1, || {
+                attack_point(config, config.strengths.get(i).copied())
+            })
+        })
         .into_iter()
         .collect::<Result<_>>()?;
     let curve = RocCurve::new(
@@ -350,6 +437,21 @@ pub fn run_with(config: &DefendConfig, pool: &Pool) -> Result<DefendReport> {
         points,
         curve,
     })
+}
+
+/// Serves point `index` from `ckpt` when a decodable record exists,
+/// otherwise computes it via `compute` and persists the result.
+fn checkpointed_point(
+    ckpt: &Checkpoint,
+    index: u64,
+    compute: impl FnOnce() -> Result<DefendPoint>,
+) -> Result<DefendPoint> {
+    if let Some(point) = ckpt.get(index).as_deref().and_then(DefendPoint::from_json) {
+        return Ok(point);
+    }
+    let point = compute()?;
+    ckpt.put(index, &point.to_value().to_json());
+    Ok(point)
 }
 
 #[cfg(test)]

@@ -138,8 +138,9 @@ impl Config {
     ///
     /// The `panic-path` zones are the request-handling layer and the
     /// library hot paths a farm request rides through: the sim-serve
-    /// sources, the sampler capture loop, the hwmon device read path,
-    /// the operating-point cache, and the platform's rail solve.
+    /// sources, the result store, the sampler capture loop, the hwmon
+    /// device read path, the operating-point cache, and the platform's
+    /// rail solve.
     pub fn workspace_default() -> Config {
         Config {
             allow: vec![
@@ -153,6 +154,7 @@ impl Config {
             ],
             panic_zones: vec![
                 "sim-serve/src/",
+                "sim-store/src/",
                 "core/src/sampler.rs",
                 "core/src/platform.rs",
                 "hwmon-sim/src/device.rs",

@@ -294,6 +294,49 @@ fn sim_defend_sources_pass_every_rule() {
 }
 
 #[test]
+fn sim_store_sources_pass_every_rule() {
+    // The content-addressed store is a panic-path zone (a lookup rides
+    // inside every farm request) and persists results to disk: no
+    // unwrap/expect/indexing outside tests, ordered iteration only, no
+    // wall clock, no printing, no stray threads. Lint the real sources
+    // under their real paths, waiver-free, and the manifest too.
+    let cfg = Config::workspace_default();
+    for (path, src) in [
+        (
+            "crates/sim-store/src/lib.rs",
+            include_str!("../../sim-store/src/lib.rs"),
+        ),
+        (
+            "crates/sim-store/src/digest.rs",
+            include_str!("../../sim-store/src/digest.rs"),
+        ),
+        (
+            "crates/sim-store/src/hot.rs",
+            include_str!("../../sim-store/src/hot.rs"),
+        ),
+        (
+            "crates/sim-store/src/segment.rs",
+            include_str!("../../sim-store/src/segment.rs"),
+        ),
+        (
+            "crates/sim-store/src/checkpoint.rs",
+            include_str!("../../sim-store/src/checkpoint.rs"),
+        ),
+    ] {
+        let r = lint_source(path, src, &cfg);
+        assert!(r.diags.is_empty(), "{path}: {:?}", r.diags);
+        assert_eq!(r.waived, 0, "{path} needs no waivers");
+    }
+    let r = lint_manifest(
+        "crates/sim-store/Cargo.toml",
+        include_str!("../../sim-store/Cargo.toml"),
+        Some("2021"),
+        false,
+    );
+    assert!(r.diags.is_empty(), "{:?}", r.diags);
+}
+
+#[test]
 fn trace_and_flight_sources_pass_every_rule() {
     // The tracing and flight-recorder modules run inside every service
     // and worker thread: wall-clock reads must go through obs::clock,

@@ -89,6 +89,58 @@ impl Value {
         }
     }
 
+    /// Renders the value as canonical JSON for content addressing:
+    /// object keys sorted bytewise at every depth, `-0.0` normalized to
+    /// `0`, NaN/Infinity mapped to `null`. Two values describing the
+    /// same configuration — regardless of field insertion order or the
+    /// sign of a zero — render to identical bytes, so digests built over
+    /// this form are stable.
+    ///
+    /// This is a digest preimage, not a wire format: responses still use
+    /// [`Value::to_json`], which preserves caller field order.
+    pub fn to_canonical_json(&self) -> String {
+        let mut out = String::new();
+        self.write_canonical_json(&mut out);
+        out
+    }
+
+    fn write_canonical_json(&self, out: &mut String) {
+        match self {
+            Value::Float(x) => {
+                // `{x}` formats -0.0 as "-0", which would split one
+                // logical config into two digests.
+                let x = if *x == 0.0 { 0.0 } else { *x };
+                write_f64_json(x, out);
+            }
+            Value::Array(items) => {
+                out.push('[');
+                for (k, item) in items.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    item.write_canonical_json(out);
+                }
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                let mut order: Vec<usize> = (0..fields.len()).collect();
+                order.sort_by(|&a, &b| fields[a].0.cmp(&fields[b].0));
+                out.push('{');
+                for (k, idx) in order.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    let (name, value) = &fields[*idx];
+                    write_json_string(name, out);
+                    out.push(':');
+                    value.write_canonical_json(out);
+                }
+                out.push('}');
+            }
+            scalar => scalar.write_json(out),
+        }
+    }
+
     /// Renders the value as a CSV cell (strings quoted when needed,
     /// nested values as JSON inside a quoted cell).
     fn write_csv(&self, out: &mut String) {
@@ -402,6 +454,50 @@ mod tests {
             ("extra".into(), Value::from(None::<f64>)),
         ]);
         assert_eq!(v.to_json(), r#"{"xs":[1,2,3],"name":"trace","extra":null}"#);
+    }
+
+    #[test]
+    fn canonical_json_sorts_keys_and_normalizes_zero() {
+        let a = Value::Object(vec![
+            ("zeta".into(), Value::Float(-0.0)),
+            (
+                "alpha".into(),
+                Value::Object(vec![
+                    ("b".into(), Value::Int(2)),
+                    ("a".into(), Value::Float(f64::NAN)),
+                ]),
+            ),
+        ]);
+        let b = Value::Object(vec![
+            (
+                "alpha".into(),
+                Value::Object(vec![
+                    ("a".into(), Value::Float(f64::INFINITY)),
+                    ("b".into(), Value::Int(2)),
+                ]),
+            ),
+            ("zeta".into(), Value::Float(0.0)),
+        ]);
+        let canon = r#"{"alpha":{"a":null,"b":2},"zeta":0}"#;
+        assert_eq!(a.to_canonical_json(), canon);
+        assert_eq!(b.to_canonical_json(), canon);
+        // The wire emitter still preserves caller field order (and the
+        // sign of a negative zero — it is only the digest that must not
+        // distinguish them).
+        assert_ne!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn canonical_json_recurses_through_arrays() {
+        let v = Value::Array(vec![
+            Value::Object(vec![
+                ("y".into(), Value::Int(1)),
+                ("x".into(), Value::Float(-0.0)),
+            ]),
+            Value::Str("s".into()),
+        ]);
+        assert_eq!(v.to_canonical_json(), r#"[{"x":0,"y":1},"s"]"#);
+        assert_eq!(Value::Int(5).to_canonical_json(), "5");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! serve [--addr 127.0.0.1:0] [--boards 4] [--seed 1] [--threads 0]
 //!       [--queue-cap 256] [--rate 200] [--burst 50] [--max-inflight 64]
+//!       [--store hot|off] [--store-dir PATH]
 //! ```
 //!
 //! Prints `listening on <addr> (<n> boards)` once bound (scrape the
@@ -14,21 +15,35 @@
 //! `AMPEREBLEED_FLIGHT_FILE`, and `AMPEREBLEED_PROFILE` enables pool
 //! self-profiling (folded stacks written at shutdown — to the env var's
 //! value when it names a path, to stdout otherwise).
+//!
+//! The content-addressed result store is off by default. `--store hot`
+//! enables an in-memory hot tier; `--store-dir PATH` (or the
+//! `AMPEREBLEED_STORE_DIR` env var, which the flag overrides) also
+//! persists results as JSONL segments under PATH, surviving restarts.
+//! `--store off` disables it even when the env var is set.
 
 use std::io::Write;
 
 use sim_serve::{Server, ServerConfig};
+use sim_store::StoreConfig;
 
 fn usage(out: &mut impl Write) {
     let _ = writeln!(
         out,
         "usage: serve [--addr HOST:PORT] [--boards N] [--seed N] [--threads N]\n\
-         \x20            [--queue-cap N] [--rate PER_SEC] [--burst N] [--max-inflight N]"
+         \x20            [--queue-cap N] [--rate PER_SEC] [--burst N] [--max-inflight N]\n\
+         \x20            [--store hot|off] [--store-dir PATH]"
     );
 }
 
-fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
+fn parse_args(args: &[String], env_store_dir: Option<&str>) -> Result<ServerConfig, String> {
     let mut cfg = ServerConfig::default();
+    if let Some(dir) = env_store_dir.filter(|d| !d.is_empty()) {
+        cfg.store = Some(StoreConfig {
+            dir: Some(dir.into()),
+            ..StoreConfig::default()
+        });
+    }
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         if flag == "--help" {
@@ -50,6 +65,19 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
             "--max-inflight" => {
                 cfg.sched.max_inflight = value.parse().map_err(|_| bad("count"))?;
             }
+            "--store" => match value {
+                "hot" => {
+                    cfg.store = Some(StoreConfig::default());
+                }
+                "off" => cfg.store = None,
+                _ => return Err(bad("mode (expected `hot` or `off`)")),
+            },
+            "--store-dir" => {
+                cfg.store = Some(StoreConfig {
+                    dir: Some(value.into()),
+                    ..StoreConfig::default()
+                });
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -58,8 +86,9 @@ fn parse_args(args: &[String]) -> Result<ServerConfig, String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let env_store_dir = std::env::var("AMPEREBLEED_STORE_DIR").ok();
     let mut stdout = std::io::stdout();
-    let cfg = match parse_args(&args) {
+    let cfg = match parse_args(&args, env_store_dir.as_deref()) {
         Ok(cfg) => cfg,
         Err(message) => {
             let mut err = std::io::stderr();

@@ -176,6 +176,11 @@ pub struct Response {
     /// Scheduling metadata like `board` and `elapsed_ms` — excluded from
     /// the determinism contract.
     pub trace: Option<String>,
+    /// `Some(true)` when the result was served from the content-addressed
+    /// store instead of a fresh execution. Delivery metadata like
+    /// `board` — the `result` bytes are identical either way, which is
+    /// exactly what makes the store sound.
+    pub cached: Option<bool>,
 }
 
 impl Response {
@@ -192,6 +197,7 @@ impl Response {
             error_kind: None,
             error: None,
             trace: None,
+            cached: None,
         }
     }
 
@@ -208,6 +214,7 @@ impl Response {
             error_kind: Some(kind.to_string()),
             error: Some(message),
             trace: None,
+            cached: None,
         }
     }
 
@@ -234,6 +241,9 @@ impl Response {
         }
         if let Some(trace) = &self.trace {
             fields.push(("trace".into(), Value::Str(trace.clone())));
+        }
+        if let Some(cached) = self.cached {
+            fields.push(("cached".into(), Value::Bool(cached)));
         }
         if let Some(result) = &self.result {
             fields.push(("result".into(), result.clone()));
@@ -270,6 +280,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         error_kind: None,
         error: None,
         trace: None,
+        cached: None,
     };
     for (key, v) in fields {
         match key.as_str() {
@@ -285,6 +296,9 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
             }
             "trace" => {
                 resp.trace = Some(v.as_str().ok_or("`trace` must be a string")?.to_string());
+            }
+            "cached" => {
+                resp.cached = Some(v.as_bool().ok_or("`cached` must be a bool")?);
             }
             "result" => resp.result = Some(v.clone()),
             "error_kind" => {
@@ -376,6 +390,10 @@ mod tests {
         );
         ok.trace = Some("00000000deadbeef".into());
         assert_eq!(parse_response(ok.to_json_line().trim()).unwrap(), ok);
+        ok.cached = Some(true);
+        let line = ok.to_json_line();
+        assert!(line.contains("\"cached\":true"));
+        assert_eq!(parse_response(line.trim()).unwrap(), ok);
 
         let shed = Response::failure(4, "rsa", "shed", "queue_full", "queue is full".into());
         assert_eq!(parse_response(shed.to_json_line().trim()).unwrap(), shed);

@@ -26,6 +26,7 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use sim_rt::pool::Pool;
 use sim_rt::ser::Value;
+use sim_store::Store;
 
 use crate::exec::{self, ExecError};
 use crate::farm::Farm;
@@ -120,6 +121,7 @@ pub struct Scheduler {
     cfg: SchedConfig,
     farm: Farm,
     pool: Pool,
+    store: Option<Arc<Store>>,
     state: Mutex<State>,
     work: Condvar,
     tenants: Mutex<std::collections::BTreeMap<String, Tenant>>,
@@ -129,10 +131,25 @@ pub struct Scheduler {
 impl Scheduler {
     /// Builds a scheduler over `farm`, executing groups on `pool`.
     pub fn new(cfg: SchedConfig, farm: Farm, pool: Pool) -> Scheduler {
+        Scheduler::with_store(cfg, farm, pool, None)
+    }
+
+    /// Builds a scheduler backed by a content-addressed result store.
+    /// Lookups happen on the connection thread *before* admission
+    /// control: a hit answers immediately without consuming a token,
+    /// quota slot, queue slot, or board; a miss runs normally and the
+    /// computed result is inserted for the next taker.
+    pub fn with_store(
+        cfg: SchedConfig,
+        farm: Farm,
+        pool: Pool,
+        store: Option<Arc<Store>>,
+    ) -> Scheduler {
         Scheduler {
             cfg,
             farm,
             pool,
+            store,
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 draining: false,
@@ -202,8 +219,17 @@ impl Scheduler {
             return;
         }
 
-        let now = obs::clock::monotonic_ns();
         let seed = req.seed.unwrap_or_else(|| self.farm.default_seed());
+        // Content-addressed short-circuit: a stored result answers on
+        // the connection thread, before the admission gates — replayed
+        // campaigns must not spend tokens, quota, queue slots, or
+        // boards on work the store already holds.
+        if let Some(resp) = self.store_lookup(&req, seed) {
+            self.respond_unserved(sink, resp);
+            return;
+        }
+
+        let now = obs::clock::monotonic_ns();
         let ctx = {
             let mut tenants = self
                 .tenants
@@ -443,7 +469,71 @@ impl Scheduler {
             board_span.close();
             batch_span.close();
             self.farm.checkin(board);
+            // Feed the store while still inside the group's trace scope
+            // so the `store/insert` span lands in this request's tree.
+            if let (Some(store), Ok(value)) = (self.store.as_deref(), &result) {
+                let key = Store::key(verb, job.seed, &job.req.config);
+                store.insert(&key, verb, job.seed, &value.to_json());
+            }
             (id, result)
+        })
+    }
+
+    /// Answers a request from the result store when one is configured
+    /// and warm. Runs on the connection thread before admission: a hit
+    /// never consumes a token, quota slot, queue slot, or board. The
+    /// response is marked `cached: true` — delivery metadata, like
+    /// `board`; the `result` bytes are identical to a fresh execution
+    /// under the determinism contract, which is what makes serving from
+    /// the store sound at all.
+    fn store_lookup(&self, req: &Request, seed: u64) -> Option<Response> {
+        let store = self.store.as_deref()?;
+        let t0 = obs::clock::monotonic_ns();
+        let key = Store::key(&req.verb, seed, &req.config);
+        let hit = store.get(&key);
+        obs::histogram!("store.lookup.ns").observe(obs::clock::monotonic_ns().saturating_sub(t0));
+        let json = hit?;
+        let value = match sim_rt::json::parse(&json) {
+            Ok(value) => value,
+            Err(_) => {
+                // A record that no longer parses is damage, not a reason
+                // to fail the request: fall through to a real execution.
+                obs::counter!("store.decode_errors").inc();
+                return None;
+            }
+        };
+        // Hits still mint a deterministic trace root (and count toward
+        // the tenant's request total) so replay traffic stays visible in
+        // telemetry. Misses leave the tenant untouched here — the normal
+        // admission path below mints exactly the trace it would have
+        // minted with no store configured.
+        let ctx = {
+            let mut tenants = self
+                .tenants
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let tenant = tenants
+                .entry(req.tenant.clone())
+                .or_insert_with(|| Tenant::new(t0, self.cfg.burst));
+            tenant.requests += 1;
+            let ctx = obs::trace::TraceContext::root(&req.tenant, seed, tenant.next_trace);
+            tenant.next_trace += 1;
+            ctx
+        };
+        let done = obs::clock::monotonic_ns();
+        obs::trace::record_root(ctx, "serve", "store_hit", t0, done);
+        Some(Response {
+            id: req.id,
+            status: "ok".into(),
+            verb: req.verb.clone(),
+            board: None,
+            seed: Some(seed),
+            elapsed_ms: Some(done.saturating_sub(t0) as f64 / 1e6),
+            result: Some(value),
+            error_kind: None,
+            error: None,
+            trace: Some(obs::trace::hex(ctx.trace_id)),
+            cached: Some(true),
         })
     }
 
@@ -508,6 +598,7 @@ impl Scheduler {
                 error_kind: None,
                 error: None,
                 trace: None,
+                cached: None,
             });
         }
     }
@@ -612,6 +703,20 @@ impl Scheduler {
             (st.queue.len(), st.draining)
         };
 
+        let store = match &self.store {
+            None => Value::Object(vec![("enabled".into(), Value::Bool(false))]),
+            Some(store) => {
+                let mut fields = vec![
+                    ("enabled".into(), Value::Bool(true)),
+                    ("persistent".into(), Value::Bool(store.persistent())),
+                ];
+                if let Value::Object(stats) = store.stats().to_value() {
+                    fields.extend(stats);
+                }
+                Value::Object(fields)
+            }
+        };
+
         let mut fields = vec![
             (
                 "served".into(),
@@ -621,6 +726,7 @@ impl Scheduler {
             ("queue_depth".into(), Value::Int(queue_depth as i64)),
             ("draining".into(), Value::Bool(draining)),
             ("pool".into(), pool),
+            ("store".into(), store),
             ("tenants".into(), Value::Array(tenants)),
             ("metrics".into(), Value::Array(metrics)),
         ];
@@ -639,6 +745,7 @@ impl Scheduler {
             error_kind: None,
             error: None,
             trace: None,
+            cached: None,
         }
     }
 

@@ -18,6 +18,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use sim_rt::pool::{service_scope, Pool};
+use sim_store::{Store, StoreConfig};
 
 use crate::farm::Farm;
 use crate::protocol::{self, Response};
@@ -39,6 +40,10 @@ pub struct ServerConfig {
     pub threads: usize,
     /// Admission/batching knobs.
     pub sched: SchedConfig,
+    /// Content-addressed result store: `None` disables memoization
+    /// entirely; `Some` with [`StoreConfig::dir`] unset is a hot tier
+    /// only; with a dir, results also persist across restarts.
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for ServerConfig {
@@ -49,6 +54,7 @@ impl Default for ServerConfig {
             farm_seed: 1,
             threads: 0,
             sched: SchedConfig::default(),
+            store: None,
         }
     }
 }
@@ -75,11 +81,12 @@ impl ServerHandle {
 }
 
 impl Server {
-    /// Binds the listener and assembles the farm and scheduler.
+    /// Binds the listener and assembles the farm, store, and scheduler.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure, or a store directory that cannot be
+    /// opened (damaged store *content* self-heals and is not an error).
     pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
         obs::init();
         // Spans feed both the `stats` verb and flight dumps; a server
@@ -90,7 +97,13 @@ impl Server {
         listener.set_nonblocking(true)?;
         let farm = Farm::new(config.farm_seed, config.boards);
         let pool = Pool::new(config.threads);
-        let scheduler = Arc::new(Scheduler::new(config.sched, farm, pool));
+        let store = match config.store {
+            None => None,
+            Some(store_cfg) => Some(Arc::new(
+                Store::open(store_cfg).map_err(|e| std::io::Error::other(e.to_string()))?,
+            )),
+        };
+        let scheduler = Arc::new(Scheduler::with_store(config.sched, farm, pool, store));
         Ok(Server {
             listener,
             scheduler,

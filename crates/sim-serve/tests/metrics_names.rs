@@ -11,6 +11,7 @@
 use sim_rt::pool::service_scope;
 use sim_rt::ser::Value;
 use sim_serve::{Client, Server, ServerConfig};
+use sim_store::StoreConfig;
 
 /// Every statically-named metric the workspace registers, one pin per
 /// `counter!`/`gauge!`/`histogram!` literal. Kept sorted.
@@ -75,6 +76,21 @@ const PINNED_METRICS: &[&str] = &[
     "serve.tx_errors",
     "soc.oppoint.cache_hit",
     "soc.oppoint.cache_miss",
+    "store.bytes",
+    "store.checkpoint.points",
+    "store.checkpoint.resumed",
+    "store.decode_errors",
+    "store.entries",
+    "store.evictions",
+    "store.hits",
+    "store.hits.persist",
+    "store.inserts",
+    "store.io_errors",
+    "store.lookup.ns",
+    "store.misses",
+    "store.persist.entries",
+    "store.recovered_truncated",
+    "store.segments",
     "trace.log.dropped",
     "trace.roots",
     "trace.spans",
@@ -218,6 +234,62 @@ fn trace_flight_and_profile_metrics_surface_in_exports() {
         "pool.profile.run_ns",
         "pool.profile.steal_ns",
         "serve.stats.requests",
+    ] {
+        assert!(
+            PINNED_METRICS.contains(&name) || DYNAMIC_METRICS.contains(&name),
+            "{name} asserted here but absent from the pin table"
+        );
+        assert!(csv.contains(name), "{name} missing from metrics_to_csv");
+        assert!(jsonl.contains(name), "{name} missing from metrics_to_jsonl");
+    }
+}
+
+#[test]
+fn store_metrics_surface_in_exports() {
+    // The same request twice against a hot-tier store: the first misses
+    // and inserts, the second is served from the store, so every always-
+    // registered store.* family has a sample.
+    let server = Server::bind(ServerConfig {
+        boards: 1,
+        farm_seed: 41,
+        store: Some(StoreConfig::default()),
+        ..ServerConfig::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    service_scope(|svc| {
+        let join = svc.spawn("store-metrics-server", move || server.run());
+        let mut conn = Client::connect(addr).expect("connect");
+        let config = Value::Object(vec![("samples_per_level".into(), Value::Int(20))]);
+        let cold = conn
+            .request("quickstart", Some(7), config.clone())
+            .expect("request");
+        assert!(cold.is_ok(), "{:?}", cold.error);
+        assert_ne!(cold.cached, Some(true), "first request cannot hit");
+        let warm = conn
+            .request("quickstart", Some(7), config)
+            .expect("request");
+        assert!(warm.is_ok(), "{:?}", warm.error);
+        assert_eq!(warm.cached, Some(true), "second request must hit");
+        assert_eq!(
+            cold.result.map(|v| v.to_json()),
+            warm.result.map(|v| v.to_json()),
+            "store hit must replay identical result bytes"
+        );
+        conn.shutdown_server().expect("drain ack");
+        join.join().expect("server thread");
+    });
+
+    let snapshot = obs::metrics::snapshot();
+    let csv = amperebleed::export::metrics_to_csv(&snapshot);
+    let jsonl = amperebleed::export::metrics_to_jsonl(&snapshot);
+    for name in [
+        "store.hits",
+        "store.misses",
+        "store.inserts",
+        "store.lookup.ns",
+        "store.entries",
+        "store.bytes",
     ] {
         assert!(
             PINNED_METRICS.contains(&name) || DYNAMIC_METRICS.contains(&name),

@@ -1,0 +1,246 @@
+//! The store's acceptance gate: enabling the content-addressed result
+//! store must be **observable only in latency and the `cached` flag** —
+//! never in result bytes.
+//!
+//! The matrix this file pins, at pool widths 1, 2 and 8:
+//!
+//! * store disabled → `result` byte-identical to the serial reference;
+//! * store enabled, cold → byte-identical, nothing served from cache;
+//! * store enabled, warm (same process, hot tier) → byte-identical and
+//!   every response flagged `cached`;
+//! * store enabled, warm (fresh process over the same directory — the
+//!   restart case) → byte-identical and every response flagged `cached`.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+use sim_rt::pool::{service_scope, Pool};
+use sim_rt::ser::Value;
+use sim_serve::{exec, Client, Server, ServerConfig, ServerHandle};
+use sim_store::StoreConfig;
+
+fn with_server<T>(cfg: ServerConfig, f: impl FnOnce(SocketAddr, ServerHandle) -> T) -> T {
+    struct DrainGuard(ServerHandle);
+    impl Drop for DrainGuard {
+        fn drop(&mut self) {
+            self.0.shutdown();
+        }
+    }
+
+    let server = Server::bind(cfg).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.handle();
+    service_scope(|svc| {
+        let guard = DrainGuard(handle.clone());
+        let join = svc.spawn("store-test-server", move || server.run());
+        let out = f(addr, handle.clone());
+        drop(guard);
+        join.join().expect("server thread");
+        out
+    })
+}
+
+fn obj(fields: &[(&str, Value)]) -> Value {
+    Value::Object(
+        fields
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect(),
+    )
+}
+
+/// The request mix: cheap verbs with pinned seeds, covering distinct
+/// verbs, distinct seeds for one verb, and distinct configs for one
+/// `(verb, seed)` — the three axes of the content address.
+fn plan(client: usize) -> (&'static str, u64, Value) {
+    match client {
+        0 => (
+            "quickstart",
+            2_000,
+            obj(&[("samples_per_level", Value::Int(40))]),
+        ),
+        1 => (
+            "quickstart",
+            2_001,
+            obj(&[("samples_per_level", Value::Int(40))]),
+        ),
+        2 => (
+            "quickstart",
+            2_000,
+            obj(&[("samples_per_level", Value::Int(50))]),
+        ),
+        _ => (
+            "covert",
+            2_002,
+            obj(&[("payload", Value::Str("st".into()))]),
+        ),
+    }
+}
+
+const CLIENTS: usize = 4;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("sim-serve-store-det-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Sends the full plan, asserting ok status, and returns
+/// `(result bytes, cached flag)` per client.
+fn run_plan(addr: SocketAddr) -> Vec<(String, Option<bool>)> {
+    let clients: Vec<usize> = (0..CLIENTS).collect();
+    Pool::new(CLIENTS).par_map(&clients, |_, &client| {
+        let mut conn = Client::connect(addr).expect("connect");
+        let (verb, seed, config) = plan(client);
+        let resp = conn.request(verb, Some(seed), config).expect("request");
+        assert_eq!(resp.status, "ok", "{verb}: {:?}", resp.error);
+        (resp.result.expect("ok has a result").to_json(), resp.cached)
+    })
+}
+
+#[test]
+fn results_are_byte_identical_with_store_off_cold_and_warm() {
+    let mut reference: BTreeMap<usize, String> = BTreeMap::new();
+    for client in 0..CLIENTS {
+        let (verb, seed, config) = plan(client);
+        let value = exec::execute(verb, seed, &config).expect("serial reference");
+        reference.insert(client, value.to_json());
+    }
+    let check = |results: &[(String, Option<bool>)], label: &str, threads: usize| {
+        for (client, (got, _)) in results.iter().enumerate() {
+            assert_eq!(
+                got, &reference[&client],
+                "client {client} diverged ({label}, width {threads})"
+            );
+        }
+    };
+
+    for threads in [1usize, 2, 8] {
+        let dir = tmpdir(&format!("w{threads}"));
+        let base = ServerConfig {
+            boards: 2,
+            farm_seed: 13,
+            threads,
+            ..ServerConfig::default()
+        };
+
+        // Store disabled.
+        let off = with_server(base.clone(), |addr, _| run_plan(addr));
+        check(&off, "store off", threads);
+        assert!(
+            off.iter().all(|(_, cached)| *cached != Some(true)),
+            "storeless server claimed a cache hit"
+        );
+
+        // Store enabled, cold directory, then warm within the same
+        // process (hot tier).
+        let store_cfg = ServerConfig {
+            store: Some(StoreConfig {
+                dir: Some(dir.clone()),
+                ..StoreConfig::default()
+            }),
+            ..base.clone()
+        };
+        let (cold, hot_warm) = with_server(store_cfg.clone(), |addr, _| {
+            (run_plan(addr), run_plan(addr))
+        });
+        check(&cold, "store cold", threads);
+        assert!(
+            cold.iter().all(|(_, cached)| *cached != Some(true)),
+            "cold store claimed a cache hit"
+        );
+        check(&hot_warm, "hot tier warm", threads);
+        assert!(
+            hot_warm.iter().all(|(_, cached)| *cached == Some(true)),
+            "hot-tier replay missed: {:?}",
+            hot_warm.iter().map(|(_, c)| c).collect::<Vec<_>>()
+        );
+
+        // Fresh server over the same directory: the restart case. Every
+        // result must replay from the persistent tier, byte-identical.
+        let warm = with_server(store_cfg, |addr, _| run_plan(addr));
+        check(&warm, "persistent warm", threads);
+        assert!(
+            warm.iter().all(|(_, cached)| *cached == Some(true)),
+            "persistent replay missed: {:?}",
+            warm.iter().map(|(_, c)| c).collect::<Vec<_>>()
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A store hit replays the *effective* seed: unpinned requests resolve to
+/// the farm default before the lookup, so a pinned request for the same
+/// seed shares the address, and the hit still reports the seed.
+#[test]
+fn unpinned_requests_share_the_default_seed_address() {
+    let cfg = ServerConfig {
+        boards: 2,
+        farm_seed: 91,
+        store: Some(StoreConfig::default()),
+        ..ServerConfig::default()
+    };
+    with_server(cfg, |addr, _| {
+        let mut conn = Client::connect(addr).unwrap();
+        let config = obj(&[("samples_per_level", Value::Int(30))]);
+        let first = conn.request("quickstart", None, config.clone()).unwrap();
+        assert!(first.is_ok());
+        let default_seed = first.seed.expect("resolved seed");
+        // Pinning the resolved seed hits the unpinned request's entry.
+        let second = conn
+            .request("quickstart", Some(default_seed), config.clone())
+            .unwrap();
+        assert_eq!(second.cached, Some(true));
+        assert_eq!(second.seed, Some(default_seed));
+        assert_eq!(
+            first.result.unwrap().to_json(),
+            second.result.unwrap().to_json()
+        );
+        // A different config misses: the address covers the config too.
+        let other = conn
+            .request(
+                "quickstart",
+                Some(default_seed),
+                obj(&[("samples_per_level", Value::Int(31))]),
+            )
+            .unwrap();
+        assert_ne!(other.cached, Some(true));
+    });
+}
+
+/// Store hits must answer even when the admission path would shed: they
+/// bypass the queue and the token bucket entirely.
+#[test]
+fn store_hits_bypass_admission_control() {
+    let cfg = ServerConfig {
+        boards: 1,
+        farm_seed: 17,
+        store: Some(StoreConfig::default()),
+        sched: sim_serve::SchedConfig {
+            // One token, slow refill: only the first *executed* request
+            // fits the bucket.
+            rate_per_sec: 0.001,
+            burst: 1.0,
+            ..sim_serve::SchedConfig::default()
+        },
+        ..ServerConfig::default()
+    };
+    with_server(cfg, |addr, _| {
+        let mut conn = Client::connect(addr).unwrap();
+        let config = obj(&[("samples_per_level", Value::Int(25))]);
+        let first = conn.request("quickstart", Some(5), config.clone()).unwrap();
+        assert!(first.is_ok(), "{:?}", first.error);
+        // The bucket is now empty; replays still answer, from the store.
+        for _ in 0..3 {
+            let replay = conn.request("quickstart", Some(5), config.clone()).unwrap();
+            assert_eq!(replay.status, "ok", "{:?}", replay.error);
+            assert_eq!(replay.cached, Some(true));
+        }
+        // A *miss* with an empty bucket sheds as before.
+        let miss = conn.request("quickstart", Some(6), config.clone()).unwrap();
+        assert_eq!(miss.status, "shed", "{:?}", miss.status);
+    });
+}

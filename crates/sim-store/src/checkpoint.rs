@@ -1,0 +1,276 @@
+//! Sweep checkpoints: per-point result persistence so a multi-point
+//! `defend`/`characterize` sweep interrupted by a drain resumes from the
+//! points it already computed instead of restarting.
+//!
+//! A checkpoint is one JSONL file keyed by the sweep's content digest,
+//! holding `(index, result)` records. Points are *index-addressed*, so
+//! the on-disk append order — which follows worker scheduling — never
+//! influences what a resume reads back: the `BTreeMap` rebuilt on open
+//! is the same whatever order the points landed in.
+//!
+//! Records carry the same CRC-32 framing as the store's segment files;
+//! a torn final line is truncated and simply recomputed as a missing
+//! point.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use sim_rt::json;
+use sim_rt::ser::Value;
+
+use crate::digest::{crc32, Digest};
+use crate::StoreError;
+
+#[derive(Debug, Default)]
+struct Inner {
+    file: Option<File>,
+    path: Option<PathBuf>,
+    points: BTreeMap<u64, String>,
+    recovered_truncated: u64,
+}
+
+/// A resumable per-point result log for one sweep.
+#[derive(Debug, Default)]
+pub struct Checkpoint {
+    inner: Mutex<Inner>,
+}
+
+fn crc_preimage(index: u64, result: &str) -> String {
+    format!("{index}\u{1f}{result}")
+}
+
+fn decode_line(line: &str) -> Option<(u64, String)> {
+    let v = json::parse(line).ok()?;
+    let crc = u32::try_from(v.get("crc")?.as_u64()?).ok()?;
+    let index = v.get("index")?.as_u64()?;
+    let result = v.get("result")?.as_str()?;
+    if crc32(crc_preimage(index, result).as_bytes()) != crc {
+        return None;
+    }
+    Some((index, result.to_string()))
+}
+
+impl Checkpoint {
+    /// A checkpoint that keeps points in memory only — the null object
+    /// for callers that want sweep code paths without persistence.
+    pub fn in_memory() -> Checkpoint {
+        Checkpoint::default()
+    }
+
+    /// Opens (creating if needed) the checkpoint for the sweep addressed
+    /// by `key` under `dir`, loading any previously persisted points and
+    /// truncating a torn tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the directory or file cannot be created or
+    /// read. Damaged record *content* is recovered by truncation, not
+    /// reported as an error.
+    pub fn open(dir: &Path, name: &str, key: &Digest) -> Result<Checkpoint, StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            StoreError::new(format!("creating checkpoint dir {}: {e}", dir.display()))
+        })?;
+        let hex = key.hex();
+        let short = hex.get(..16).unwrap_or(&hex);
+        let path = dir.join(format!("ckpt-{name}-{short}.jsonl"));
+        let mut inner = Inner::default();
+        if path.exists() {
+            let bytes = std::fs::read(&path).map_err(|e| {
+                StoreError::new(format!("reading checkpoint {}: {e}", path.display()))
+            })?;
+            let keep = scan(&bytes, &mut inner.points);
+            if keep < bytes.len() as u64 {
+                let file = OpenOptions::new().write(true).open(&path).map_err(|e| {
+                    StoreError::new(format!("truncating checkpoint {}: {e}", path.display()))
+                })?;
+                file.set_len(keep).map_err(|e| {
+                    StoreError::new(format!("truncating checkpoint {}: {e}", path.display()))
+                })?;
+                inner.recovered_truncated = 1;
+                obs::counter!("store.recovered_truncated").inc();
+            }
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+            .map_err(|e| StoreError::new(format!("opening checkpoint {}: {e}", path.display())))?;
+        inner.file = Some(file);
+        inner.path = Some(path);
+        Ok(Checkpoint {
+            inner: Mutex::new(inner),
+        })
+    }
+
+    /// The result JSON persisted for point `index`, if any. A hit counts
+    /// toward `store.checkpoint.resumed` — it is work a resume skipped.
+    pub fn get(&self, index: u64) -> Option<String> {
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let hit = inner.points.get(&index).cloned();
+        if hit.is_some() {
+            obs::counter!("store.checkpoint.resumed").inc();
+        }
+        hit
+    }
+
+    /// Persists point `index`. Safe to call from pool workers — appends
+    /// are serialized on the checkpoint's lock, and index addressing
+    /// makes the landing order irrelevant. Write failures are counted
+    /// (`store.io_errors`), not propagated: losing a checkpoint record
+    /// only costs recomputation.
+    pub fn put(&self, index: u64, result: &str) {
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if inner.points.contains_key(&index) {
+            return;
+        }
+        inner.points.insert(index, result.to_string());
+        obs::counter!("store.checkpoint.points").inc();
+        if inner.file.is_some() {
+            let crc = crc32(crc_preimage(index, result).as_bytes());
+            let mut line = Value::Object(vec![
+                ("crc".into(), Value::from(crc)),
+                ("index".into(), Value::from(index)),
+                ("result".into(), Value::Str(result.to_string())),
+            ])
+            .to_json();
+            line.push('\n');
+            let ok = inner
+                .file
+                .as_mut()
+                .map(|f| {
+                    f.write_all(line.as_bytes())
+                        .and_then(|()| f.flush())
+                        .is_ok()
+                })
+                .unwrap_or(false);
+            if !ok {
+                obs::counter!("store.io_errors").inc();
+            }
+        }
+    }
+
+    /// Number of persisted points.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .points
+            .len()
+    }
+
+    /// Whether no points are persisted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Torn tails truncated when this checkpoint was opened (0 or 1).
+    pub fn recovered_truncated(&self) -> u64 {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .recovered_truncated
+    }
+}
+
+/// Scans checkpoint bytes into `points`; returns the trustworthy prefix
+/// length.
+fn scan(bytes: &[u8], points: &mut BTreeMap<u64, String>) -> u64 {
+    let mut offset = 0usize;
+    while offset < bytes.len() {
+        let Some(rest) = bytes.get(offset..) else {
+            break;
+        };
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            return offset as u64;
+        };
+        let line = match rest.get(..nl).map(std::str::from_utf8) {
+            Some(Ok(line)) => line,
+            _ => return offset as u64,
+        };
+        let Some((index, result)) = decode_line(line) else {
+            return offset as u64;
+        };
+        points.insert(index, result);
+        offset += nl + 1;
+    }
+    offset as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sim-store-ckpt-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn points_survive_reopen_and_are_index_addressed() {
+        let dir = tmpdir("resume");
+        let key = Digest::of_str("sweep");
+        {
+            let ckpt = Checkpoint::open(&dir, "defend", &key).unwrap();
+            // Landing order 2, 0 — index addressing must not care.
+            ckpt.put(2, r#"{"p":2}"#);
+            ckpt.put(0, r#"{"p":0}"#);
+        }
+        let ckpt = Checkpoint::open(&dir, "defend", &key).unwrap();
+        assert_eq!(ckpt.len(), 2);
+        assert_eq!(ckpt.get(0).as_deref(), Some(r#"{"p":0}"#));
+        assert_eq!(ckpt.get(1), None);
+        assert_eq!(ckpt.get(2).as_deref(), Some(r#"{"p":2}"#));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn distinct_sweeps_do_not_collide() {
+        let dir = tmpdir("keys");
+        let a = Checkpoint::open(&dir, "defend", &Digest::of_str("a")).unwrap();
+        let b = Checkpoint::open(&dir, "defend", &Digest::of_str("b")).unwrap();
+        a.put(0, r#"{"from":"a"}"#);
+        assert_eq!(b.get(0), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_checkpoint_tail_is_recovered() {
+        let dir = tmpdir("torn");
+        let key = Digest::of_str("torn-sweep");
+        {
+            let ckpt = Checkpoint::open(&dir, "char", &key).unwrap();
+            ckpt.put(0, r#"{"p":0}"#);
+            ckpt.put(1, r#"{"p":1}"#);
+        }
+        let hex = key.hex();
+        let path = dir.join(format!("ckpt-char-{}.jsonl", &hex[..16]));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let ckpt = Checkpoint::open(&dir, "char", &key).unwrap();
+        assert_eq!(ckpt.recovered_truncated(), 1);
+        assert_eq!(ckpt.get(0).as_deref(), Some(r#"{"p":0}"#));
+        assert_eq!(ckpt.get(1), None);
+        // The recomputed point can be re-persisted.
+        ckpt.put(1, r#"{"p":1}"#);
+        assert_eq!(ckpt.len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_checkpoint_never_touches_disk() {
+        let ckpt = Checkpoint::in_memory();
+        ckpt.put(5, r#"{"x":1}"#);
+        assert_eq!(ckpt.get(5).as_deref(), Some(r#"{"x":1}"#));
+        assert!(!ckpt.is_empty());
+    }
+}

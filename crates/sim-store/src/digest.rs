@@ -1,0 +1,178 @@
+//! Content digests and record checksums — the store's two hash layers.
+//!
+//! [`Digest`] is a 256-bit content address built from four tweaked
+//! FNV-1a-64 lanes run over the same byte stream. Each lane starts from
+//! a distinct offset basis and folds the lane index into every input
+//! byte, so the lanes observe decorrelated streams and a collision must
+//! defeat all four at once. This is *not* a cryptographic hash: the
+//! store addresses results the local simulator produced itself, so the
+//! threat model is accidental collision, not an adversary forging
+//! preimages.
+//!
+//! [`crc32`] is the classic reflected CRC-32 (poly `0xEDB88320`), used
+//! to checksum individual JSONL records so a torn final line — the
+//! normal crash artifact of an append-only log — is detected and
+//! truncated instead of trusted.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// Per-lane tweaks xored into the offset basis so the four lanes never
+/// start from the same state (values are the first 64 fractional bits of
+/// sqrt(2), sqrt(3), sqrt(5), sqrt(7) — nothing-up-my-sleeve constants).
+const LANE_TWEAKS: [u64; 4] = [
+    0x6A09_E667_F3BC_C908,
+    0xBB67_AE85_84CA_A73B,
+    0x3C6E_F372_FE94_F82B,
+    0xA54F_F53A_5F1D_36F1,
+];
+
+/// A 256-bit content address over a canonical `(verb, seed, config)`
+/// preimage. Ordered so it can key a `BTreeMap` directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Digest([u64; 4]);
+
+impl Digest {
+    /// Digests a byte string: four tweaked FNV-1a-64 lanes, each
+    /// finished with a splitmix-style avalanche so every output bit
+    /// depends on every input byte.
+    pub fn of_bytes(bytes: &[u8]) -> Digest {
+        let mut lanes = [0u64; 4];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let tweak = LANE_TWEAKS.get(i).copied().unwrap_or(0);
+            let mut h = FNV_OFFSET ^ tweak;
+            for &b in bytes {
+                h ^= u64::from(b).wrapping_add((i as u64) << 8);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            *lane = avalanche(h);
+        }
+        Digest(lanes)
+    }
+
+    /// Digests a UTF-8 preimage string.
+    pub fn of_str(s: &str) -> Digest {
+        Digest::of_bytes(s.as_bytes())
+    }
+
+    /// The digest as 64 lowercase hex characters.
+    pub fn hex(&self) -> String {
+        let mut out = String::with_capacity(64);
+        for lane in self.0 {
+            for shift in (0..16).rev() {
+                let nibble = (lane >> (shift * 4)) & 0xF;
+                out.push(char::from_digit(nibble as u32, 16).unwrap_or('0'));
+            }
+        }
+        out
+    }
+
+    /// Parses the 64-hex-character form back into a digest.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        if s.len() != 64 || !s.is_ascii() {
+            return None;
+        }
+        let mut lanes = [0u64; 4];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            let chunk = s.get(i * 16..(i + 1) * 16)?;
+            *lane = u64::from_str_radix(chunk, 16).ok()?;
+        }
+        Some(Digest(lanes))
+    }
+
+    /// Deterministic shard assignment: the first lane reduced mod
+    /// `shards`. Lane 0 is fully avalanched, so consecutive digests
+    /// spread uniformly.
+    pub fn shard(&self, shards: usize) -> usize {
+        if shards == 0 {
+            return 0;
+        }
+        (self.0.first().copied().unwrap_or(0) % shards as u64) as usize
+    }
+}
+
+/// The splitmix64 finalizer: a fast, full-avalanche bit mixer.
+fn avalanche(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The reflected CRC-32 lookup table, built once on first use.
+static CRC_TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+
+fn crc_table() -> &'static [u32; 256] {
+    CRC_TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (n, slot) in table.iter_mut().enumerate() {
+            let mut c = n as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (ISO-HDLC / zlib) of a byte string.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        let idx = ((c ^ u32::from(b)) & 0xFF) as usize;
+        c = table.get(idx).copied().unwrap_or(0) ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_injective_on_small_corpus() {
+        let a = Digest::of_str("verb\u{1f}1\u{1f}{}");
+        assert_eq!(a, Digest::of_str("verb\u{1f}1\u{1f}{}"));
+        let mut seen = std::collections::BTreeSet::new();
+        for verb in ["ping", "quickstart", "characterize", "defend"] {
+            for seed in 0..64u64 {
+                let d = Digest::of_str(&format!("{verb}\u{1f}{seed}\u{1f}{{}}"));
+                assert!(seen.insert(d), "collision for {verb}/{seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let d = Digest::of_str("round trip");
+        let hex = d.hex();
+        assert_eq!(hex.len(), 64);
+        assert_eq!(Digest::from_hex(&hex), Some(d));
+        assert_eq!(Digest::from_hex("zz"), None);
+        assert_eq!(Digest::from_hex(&hex[..63]), None);
+    }
+
+    #[test]
+    fn shards_spread_across_all_slots() {
+        let mut hit = [false; 16];
+        for i in 0..512u32 {
+            let d = Digest::of_str(&format!("spread-{i}"));
+            hit[d.shard(16)] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "some shard never selected: {hit:?}");
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for "123456789" under CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+}

@@ -1,0 +1,197 @@
+//! The bounded in-memory hot tier: result JSON keyed by digest, sharded
+//! by digest prefix so concurrent serve shards don't contend on one
+//! lock, with logical-tick LRU eviction inside each shard.
+//!
+//! Each shard wraps a `BTreeMap` behind a typed API (the storage-wrapper
+//! idiom): callers never see the map, only `get`/`insert`, and every
+//! mutation keeps the shard's byte accounting and LRU clock consistent.
+//! The clock is a per-shard logical tick — not wall time — so eviction
+//! order is a pure function of the operation sequence and stays
+//! reproducible under test.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::digest::Digest;
+
+/// Fixed per-entry overhead charged on top of the JSON payload (key,
+/// tick, map node) so capacity accounting tracks real footprint rather
+/// than string length alone.
+const ENTRY_OVERHEAD: usize = 96;
+
+#[derive(Debug)]
+struct Entry {
+    json: Arc<str>,
+    tick: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    entries: BTreeMap<Digest, Entry>,
+    tick: u64,
+    bytes: usize,
+}
+
+impl Shard {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Evicts least-recently-used entries until `bytes <= cap`. Returns
+    /// `(evicted_entries, freed_bytes)`.
+    fn evict_to(&mut self, cap: usize) -> (u64, usize) {
+        let mut evicted = 0u64;
+        let mut freed = 0usize;
+        while self.bytes > cap {
+            // The map is bounded by `cap`, so a linear min-tick scan is
+            // cheap; BTreeMap order makes tie-breaks deterministic
+            // (ticks are unique per shard, so ties cannot occur anyway).
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(d, _)| *d);
+            let Some(victim) = victim else { break };
+            if let Some(entry) = self.entries.remove(&victim) {
+                let cost = entry.json.len() + ENTRY_OVERHEAD;
+                self.bytes = self.bytes.saturating_sub(cost);
+                evicted += 1;
+                freed += cost;
+            }
+        }
+        (evicted, freed)
+    }
+}
+
+/// The sharded hot tier. `capacity_bytes` is a whole-tier budget split
+/// evenly across shards.
+#[derive(Debug)]
+pub struct HotTier {
+    shards: Vec<Mutex<Shard>>,
+    shard_cap: usize,
+}
+
+impl HotTier {
+    /// Creates a tier of `shards` shards sharing `capacity_bytes`.
+    pub fn new(capacity_bytes: usize, shards: usize) -> HotTier {
+        let shards = shards.max(1);
+        let shard_cap = (capacity_bytes / shards).max(1);
+        HotTier {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_cap,
+        }
+    }
+
+    fn shard(&self, digest: &Digest) -> &Mutex<Shard> {
+        let idx = digest.shard(self.shards.len());
+        self.shards
+            .get(idx)
+            .or_else(|| self.shards.first())
+            .unwrap_or_else(|| unreachable!("HotTier::new guarantees at least one shard"))
+    }
+
+    /// Looks up a digest, refreshing its LRU position on hit.
+    pub fn get(&self, digest: &Digest) -> Option<Arc<str>> {
+        let mut shard = self
+            .shard(digest)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let tick = shard.touch();
+        let entry = shard.entries.get_mut(digest)?;
+        entry.tick = tick;
+        Some(Arc::clone(&entry.json))
+    }
+
+    /// Inserts (or refreshes) a digest. Returns `(evicted_entries,
+    /// freed_bytes)` from any LRU eviction the insert forced.
+    pub fn insert(&self, digest: Digest, json: Arc<str>) -> (u64, usize) {
+        let cost = json.len() + ENTRY_OVERHEAD;
+        let mut shard = self
+            .shard(&digest)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let tick = shard.touch();
+        if let Some(old) = shard.entries.insert(digest, Entry { json, tick }) {
+            shard.bytes = shard.bytes.saturating_sub(old.json.len() + ENTRY_OVERHEAD);
+        }
+        shard.bytes += cost;
+        let cap = self.shard_cap;
+        shard.evict_to(cap)
+    }
+
+    /// Total resident entries across all shards.
+    pub fn entries(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .entries
+                    .len()
+            })
+            .sum()
+    }
+
+    /// Total resident bytes (payload + per-entry overhead) across all
+    /// shards.
+    pub fn bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .bytes
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u32) -> Digest {
+        Digest::of_str(&format!("hot-test-{i}"))
+    }
+
+    #[test]
+    fn get_returns_inserted_payload() {
+        let tier = HotTier::new(1 << 20, 4);
+        tier.insert(d(1), Arc::from("{\"x\":1}"));
+        assert_eq!(tier.get(&d(1)).as_deref(), Some("{\"x\":1}"));
+        assert!(tier.get(&d(2)).is_none());
+        assert_eq!(tier.entries(), 1);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_bounded() {
+        // One shard so the LRU order is directly observable.
+        let payload = "x".repeat(200);
+        let tier = HotTier::new(3 * (200 + ENTRY_OVERHEAD), 1);
+        tier.insert(d(1), Arc::from(payload.as_str()));
+        tier.insert(d(2), Arc::from(payload.as_str()));
+        tier.insert(d(3), Arc::from(payload.as_str()));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(tier.get(&d(1)).is_some());
+        let (evicted, freed) = tier.insert(d(4), Arc::from(payload.as_str()));
+        assert_eq!(evicted, 1);
+        assert_eq!(freed, 200 + ENTRY_OVERHEAD);
+        assert!(tier.get(&d(2)).is_none(), "LRU entry should be evicted");
+        assert!(tier.get(&d(1)).is_some());
+        assert!(tier.get(&d(3)).is_some());
+        assert!(tier.get(&d(4)).is_some());
+        assert!(tier.bytes() <= 3 * (200 + ENTRY_OVERHEAD));
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let tier = HotTier::new(1 << 20, 2);
+        tier.insert(d(9), Arc::from("aa"));
+        let before = tier.bytes();
+        tier.insert(d(9), Arc::from("bb"));
+        assert_eq!(tier.bytes(), before);
+        assert_eq!(tier.entries(), 1);
+        assert_eq!(tier.get(&d(9)).as_deref(), Some("bb"));
+    }
+}

@@ -1,0 +1,415 @@
+//! The JSONL-backed persistent tier: append-only segment files plus a
+//! rebuild-on-open index.
+//!
+//! Each record is one JSON line carrying its own CRC-32, so the open
+//! scan can tell a well-formed record from the torn tail a crash leaves
+//! behind. Because the files are append-only, everything *before* the
+//! first bad record is trustworthy and everything after it is not: on a
+//! checksum or parse failure the segment is truncated at that byte
+//! offset and the surviving prefix is served. Lost entries are only a
+//! cache miss — the simulator can always recompute them.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use sim_rt::json;
+use sim_rt::ser::Value;
+
+use crate::digest::{crc32, Digest};
+use crate::StoreError;
+
+/// Location of one record inside the segment files.
+#[derive(Debug, Clone, Copy)]
+struct Loc {
+    segment: u32,
+    offset: u64,
+    len: u32,
+}
+
+/// What the open scan found (and repaired).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OpenReport {
+    /// Records indexed.
+    pub entries: usize,
+    /// Segment files present after recovery.
+    pub segments: u32,
+    /// Torn/corrupt tails truncated away.
+    pub recovered_truncated: u64,
+}
+
+/// The persistent tier over one store directory.
+#[derive(Debug)]
+pub struct Persist {
+    dir: PathBuf,
+    index: BTreeMap<Digest, Loc>,
+    live: u32,
+    live_file: File,
+    live_bytes: u64,
+    segment_max: u64,
+}
+
+fn segment_name(id: u32) -> String {
+    format!("seg-{id:08}.jsonl")
+}
+
+fn io_err(context: &str, path: &Path, err: &std::io::Error) -> StoreError {
+    StoreError::new(format!("{context} {}: {err}", path.display()))
+}
+
+/// The checksummed portion of a record: everything the CRC must bind
+/// together, joined on a unit separator that cannot appear in JSON.
+fn crc_preimage(digest: &Digest, verb: &str, seed: u64, result: &str) -> String {
+    format!("{}\u{1f}{verb}\u{1f}{seed}\u{1f}{result}", digest.hex())
+}
+
+/// Renders one record line (without the trailing newline).
+fn encode_record(digest: &Digest, verb: &str, seed: u64, result: &str) -> String {
+    let crc = crc32(crc_preimage(digest, verb, seed, result).as_bytes());
+    Value::Object(vec![
+        ("crc".into(), Value::from(crc)),
+        ("digest".into(), Value::Str(digest.hex())),
+        ("verb".into(), Value::Str(verb.to_string())),
+        // u64 seeds travel as their two's-complement i64, mirroring the
+        // serve wire protocol.
+        ("seed".into(), Value::Int(seed as i64)),
+        ("result".into(), Value::Str(result.to_string())),
+    ])
+    .to_json()
+}
+
+/// Parsed record fields.
+struct DecodedRecord {
+    digest: Digest,
+    result: String,
+}
+
+/// Decodes and CRC-verifies one record line.
+fn decode_record(line: &str) -> Option<DecodedRecord> {
+    let v = json::parse(line).ok()?;
+    let crc = u32::try_from(v.get("crc")?.as_u64()?).ok()?;
+    let digest = Digest::from_hex(v.get("digest")?.as_str()?)?;
+    let verb = v.get("verb")?.as_str()?;
+    let seed = v.get("seed")?.as_i64()? as u64;
+    let result = v.get("result")?.as_str()?;
+    if crc32(crc_preimage(&digest, verb, seed, result).as_bytes()) != crc {
+        return None;
+    }
+    Some(DecodedRecord {
+        digest,
+        result: result.to_string(),
+    })
+}
+
+impl Persist {
+    /// Opens (creating if needed) the persistent tier in `dir`,
+    /// rebuilding the index from the segment files and truncating any
+    /// torn or corrupt suffix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the directory cannot be created or scanned,
+    /// or the live segment cannot be opened for append. Damaged segment
+    /// *content* is never an error — it is recovered by truncation and
+    /// reported in [`OpenReport::recovered_truncated`].
+    pub fn open(dir: &Path, segment_max: u64) -> Result<(Persist, OpenReport), StoreError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("creating store dir", dir, &e))?;
+        let mut ids: Vec<u32> = Vec::new();
+        let entries = std::fs::read_dir(dir).map_err(|e| io_err("scanning store dir", dir, &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("scanning store dir", dir, &e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = name
+                .strip_prefix("seg-")
+                .and_then(|rest| rest.strip_suffix(".jsonl"))
+                .and_then(|digits| digits.parse::<u32>().ok())
+            {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+
+        let mut report = OpenReport::default();
+        let mut index = BTreeMap::new();
+        let mut live_bytes = 0u64;
+        for &id in &ids {
+            let path = dir.join(segment_name(id));
+            let bytes = std::fs::read(&path).map_err(|e| io_err("reading segment", &path, &e))?;
+            let (scanned, keep) = scan_segment(id, &bytes, &mut index);
+            if keep < bytes.len() as u64 {
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| io_err("truncating segment", &path, &e))?;
+                file.set_len(keep)
+                    .map_err(|e| io_err("truncating segment", &path, &e))?;
+                report.recovered_truncated += 1;
+            }
+            report.entries += scanned;
+            live_bytes = keep;
+        }
+        report.segments = ids.len() as u32;
+        report.entries = index.len();
+
+        let live = ids.last().copied().unwrap_or(1);
+        let live_path = dir.join(segment_name(live));
+        let live_file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&live_path)
+            .map_err(|e| io_err("opening live segment", &live_path, &e))?;
+        if ids.is_empty() {
+            report.segments = 1;
+            live_bytes = 0;
+        }
+        Ok((
+            Persist {
+                dir: dir.to_path_buf(),
+                index,
+                live,
+                live_file,
+                live_bytes,
+                segment_max: segment_max.max(1),
+            },
+            report,
+        ))
+    }
+
+    /// Number of indexed records.
+    pub fn entries(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of segment files (highest id).
+    pub fn segments(&self) -> u32 {
+        self.live
+    }
+
+    /// Whether `digest` is already persisted.
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.index.contains_key(digest)
+    }
+
+    /// Reads a record's result JSON back from its segment file.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the segment file cannot be read or the
+    /// record on disk no longer checks out (out-of-band damage after
+    /// open); `Ok(None)` means the digest was simply never stored.
+    pub fn get(&self, digest: &Digest) -> Result<Option<String>, StoreError> {
+        let Some(loc) = self.index.get(digest).copied() else {
+            return Ok(None);
+        };
+        let path = self.dir.join(segment_name(loc.segment));
+        let mut file = File::open(&path).map_err(|e| io_err("opening segment", &path, &e))?;
+        file.seek(SeekFrom::Start(loc.offset))
+            .map_err(|e| io_err("seeking segment", &path, &e))?;
+        let mut buf = vec![0u8; loc.len as usize];
+        file.read_exact(&mut buf)
+            .map_err(|e| io_err("reading record", &path, &e))?;
+        let line = std::str::from_utf8(&buf)
+            .map_err(|_| StoreError::new(format!("record at {} is not UTF-8", path.display())))?;
+        let rec = decode_record(line).ok_or_else(|| {
+            StoreError::new(format!(
+                "record for {} failed its CRC on re-read",
+                digest.hex()
+            ))
+        })?;
+        Ok(Some(rec.result))
+    }
+
+    /// Appends a record, rolling to a fresh segment when the live one is
+    /// full. Returns `false` (without writing) when the digest is
+    /// already persisted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the record cannot be written; the index is
+    /// only updated after a successful write+flush, so a failed append
+    /// never serves a phantom entry.
+    pub fn append(
+        &mut self,
+        digest: &Digest,
+        verb: &str,
+        seed: u64,
+        result: &str,
+    ) -> Result<bool, StoreError> {
+        if self.index.contains_key(digest) {
+            return Ok(false);
+        }
+        let mut line = encode_record(digest, verb, seed, result);
+        line.push('\n');
+        if self.live_bytes > 0 && self.live_bytes + line.len() as u64 > self.segment_max {
+            let next = self.live + 1;
+            let path = self.dir.join(segment_name(next));
+            let file = OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(&path)
+                .map_err(|e| io_err("rolling to segment", &path, &e))?;
+            self.live = next;
+            self.live_file = file;
+            self.live_bytes = 0;
+        }
+        let offset = self.live_bytes;
+        let path = self.dir.join(segment_name(self.live));
+        self.live_file
+            .write_all(line.as_bytes())
+            .map_err(|e| io_err("appending record", &path, &e))?;
+        self.live_file
+            .flush()
+            .map_err(|e| io_err("flushing segment", &path, &e))?;
+        self.live_bytes += line.len() as u64;
+        self.index.insert(
+            *digest,
+            Loc {
+                segment: self.live,
+                offset,
+                len: (line.len() - 1) as u32,
+            },
+        );
+        Ok(true)
+    }
+}
+
+/// Scans one segment's bytes, indexing valid records. Returns the count
+/// of records indexed from this segment and the byte length of the
+/// trustworthy prefix (everything past it must be truncated).
+fn scan_segment(id: u32, bytes: &[u8], index: &mut BTreeMap<Digest, Loc>) -> (usize, u64) {
+    let mut offset = 0usize;
+    let mut records = 0usize;
+    while offset < bytes.len() {
+        let rest = match bytes.get(offset..) {
+            Some(rest) => rest,
+            None => break,
+        };
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            // Torn tail: a final line the crash never finished.
+            return (records, offset as u64);
+        };
+        let line = match rest.get(..nl).map(std::str::from_utf8) {
+            Some(Ok(line)) => line,
+            // Invalid UTF-8 can only come from a torn or corrupt write;
+            // nothing after it is trustworthy in an append-only file.
+            _ => return (records, offset as u64),
+        };
+        let Some(rec) = decode_record(line) else {
+            return (records, offset as u64);
+        };
+        index.insert(
+            rec.digest,
+            Loc {
+                segment: id,
+                offset: offset as u64,
+                len: nl as u32,
+            },
+        );
+        records += 1;
+        offset += nl + 1;
+    }
+    (records, offset as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sim-store-seg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn append_reopen_get_round_trips() {
+        let dir = tmpdir("roundtrip");
+        let d = Digest::of_str("k1");
+        {
+            let (mut p, report) = Persist::open(&dir, 1 << 20).unwrap();
+            assert_eq!(report.entries, 0);
+            assert!(p.append(&d, "quickstart", 7, r#"{"ok":true}"#).unwrap());
+            assert!(!p.append(&d, "quickstart", 7, r#"{"ok":true}"#).unwrap());
+            assert_eq!(p.get(&d).unwrap().as_deref(), Some(r#"{"ok":true}"#));
+        }
+        let (p, report) = Persist::open(&dir, 1 << 20).unwrap();
+        assert_eq!(report.entries, 1);
+        assert_eq!(report.recovered_truncated, 0);
+        assert_eq!(p.get(&d).unwrap().as_deref(), Some(r#"{"ok":true}"#));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_roll_at_capacity() {
+        let dir = tmpdir("roll");
+        let (mut p, _) = Persist::open(&dir, 128).unwrap();
+        for i in 0..8u32 {
+            let d = Digest::of_str(&format!("roll-{i}"));
+            p.append(&d, "ping", u64::from(i), r#"{"pong":true}"#)
+                .unwrap();
+        }
+        assert!(p.segments() > 1, "small segment_max must force a roll");
+        for i in 0..8u32 {
+            let d = Digest::of_str(&format!("roll-{i}"));
+            assert!(p.get(&d).unwrap().is_some(), "record {i} lost in roll");
+        }
+        let (p2, report) = Persist::open(&dir, 128).unwrap();
+        assert_eq!(report.entries, 8);
+        assert_eq!(p2.entries(), 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_trusted() {
+        let dir = tmpdir("torn");
+        let d1 = Digest::of_str("good");
+        let d2 = Digest::of_str("casualty");
+        {
+            let (mut p, _) = Persist::open(&dir, 1 << 20).unwrap();
+            p.append(&d1, "ping", 1, r#"{"pong":1}"#).unwrap();
+            p.append(&d2, "ping", 2, r#"{"pong":2}"#).unwrap();
+        }
+        // Chop the final record mid-line, as a crash would.
+        let path = dir.join(segment_name(1));
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (p, report) = Persist::open(&dir, 1 << 20).unwrap();
+        assert_eq!(report.recovered_truncated, 1);
+        assert_eq!(report.entries, 1);
+        assert_eq!(p.get(&d1).unwrap().as_deref(), Some(r#"{"pong":1}"#));
+        assert_eq!(p.get(&d2).unwrap(), None);
+        // The truncated store keeps accepting appends.
+        let (mut p2, _) = Persist::open(&dir, 1 << 20).unwrap();
+        assert!(p2.append(&d2, "ping", 2, r#"{"pong":2}"#).unwrap());
+        assert_eq!(p2.get(&d2).unwrap().as_deref(), Some(r#"{"pong":2}"#));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_crc_drops_the_suffix() {
+        let dir = tmpdir("crc");
+        let keys: Vec<Digest> = (0..3).map(|i| Digest::of_str(&format!("c{i}"))).collect();
+        {
+            let (mut p, _) = Persist::open(&dir, 1 << 20).unwrap();
+            for (i, d) in keys.iter().enumerate() {
+                p.append(d, "ping", i as u64, r#"{"pong":0}"#).unwrap();
+            }
+        }
+        // Flip one byte inside the *second* record's payload.
+        let path = dir.join(segment_name(1));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let first_nl = bytes.iter().position(|&b| b == b'\n').unwrap();
+        let target = first_nl + 20;
+        bytes[target] = bytes[target].wrapping_add(1);
+        std::fs::write(&path, &bytes).unwrap();
+        let (p, report) = Persist::open(&dir, 1 << 20).unwrap();
+        // Record 0 survives; 1 and 2 are behind the corruption horizon.
+        assert_eq!(report.recovered_truncated, 1);
+        assert!(p.get(&keys[0]).unwrap().is_some());
+        assert!(p.get(&keys[1]).unwrap().is_none());
+        assert!(p.get(&keys[2]).unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

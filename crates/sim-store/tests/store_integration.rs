@@ -1,0 +1,231 @@
+//! Integration gates for the content-addressed store:
+//!
+//! * **Digest stability** — the content address is a function of the
+//!   config's *content*, not its field order or zero signs, checked over
+//!   randomly generated nested configs (property test).
+//! * **Crash safety** — a JSONL segment whose final record is torn or
+//!   corrupted reopens cleanly: the surviving prefix is served, the
+//!   damage is counted in `store.recovered_truncated`, and the lost
+//!   addresses behave as plain misses.
+
+use std::path::PathBuf;
+
+use sim_rt::rng::{Rng, SimRng, SliceShuffle};
+use sim_rt::ser::Value;
+use sim_store::{Store, StoreConfig};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sim-store-itest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A random nested config value: objects/arrays of scalars, depth ≤ 2.
+fn random_config(rng: &mut SimRng, depth: usize) -> Value {
+    let fields = rng.gen_range(1usize..6);
+    Value::Object(
+        (0..fields)
+            .map(|i| {
+                // The index prefix keeps names unique within the object —
+                // JSON objects have no duplicate keys, and canonical key
+                // sorting is only well defined without them.
+                let name = format!("f{i}_{}", rng.gen_range(0u64..50));
+                let v = match rng.gen_range(0u32..6) {
+                    0 => Value::Int(rng.gen_range(-1_000i64..1_000)),
+                    1 => Value::Float(f64::from(rng.gen_range(-500i32..500)) / 8.0),
+                    2 => Value::Bool(rng.gen_bool(0.5)),
+                    3 => Value::Str(format!("s{}", rng.next_u64() % 97)),
+                    4 if depth > 0 => random_config(rng, depth - 1),
+                    _ => Value::Array(
+                        (0..rng.gen_range(0usize..4))
+                            .map(|_| Value::Int(rng.gen_range(0i64..9)))
+                            .collect(),
+                    ),
+                };
+                (name, v)
+            })
+            .collect(),
+    )
+}
+
+/// Recursively permutes every object's field order in place.
+fn permute_fields(v: &mut Value, rng: &mut SimRng) {
+    match v {
+        Value::Object(fields) => {
+            fields.shuffle(rng);
+            for (_, child) in fields.iter_mut() {
+                permute_fields(child, rng);
+            }
+        }
+        Value::Array(items) => {
+            for item in items.iter_mut() {
+                permute_fields(item, rng);
+            }
+        }
+        _ => {}
+    }
+}
+
+sim_rt::prop_check! {
+    cases = 128;
+
+    /// The content address ignores object field order at every nesting
+    /// depth: a permuted config digests identically.
+    fn digest_ignores_field_order(seed in 0u64..1_000_000) {
+        let mut rng = SimRng::seed_from_u64(seed);
+        let config = random_config(&mut rng, 2);
+        let mut permuted = config.clone();
+        permute_fields(&mut permuted, &mut rng);
+        assert_eq!(
+            Store::key("verb", seed, &config),
+            Store::key("verb", seed, &permuted),
+            "field order leaked into the digest: {}",
+            config.to_json()
+        );
+    }
+
+    /// Each address axis separates: a different verb, seed, or config
+    /// content changes the digest.
+    fn digest_separates_the_three_axes(seed in 0u64..1_000_000) {
+        let mut rng = SimRng::seed_from_u64(seed ^ 0xA5A5);
+        let config = random_config(&mut rng, 1);
+        let base = Store::key("verb", seed, &config);
+        assert_ne!(base, Store::key("verb2", seed, &config));
+        assert_ne!(base, Store::key("verb", seed ^ 1, &config));
+        let mut grown = match config.clone() {
+            Value::Object(mut fields) => {
+                fields.push(("zz_extra".into(), Value::Int(1)));
+                Value::Object(fields)
+            }
+            other => other,
+        };
+        permute_fields(&mut grown, &mut rng);
+        assert_ne!(base, Store::key("verb", seed, &grown));
+    }
+}
+
+#[test]
+fn digest_normalizes_negative_zero() {
+    let a = Value::Object(vec![("x".into(), Value::Float(0.0))]);
+    let b = Value::Object(vec![("x".into(), Value::Float(-0.0))]);
+    assert_eq!(Store::key("v", 1, &a), Store::key("v", 1, &b));
+}
+
+/// The crash-safety acceptance test: chop bytes off the live segment's
+/// final record, reopen, and the store serves the surviving prefix while
+/// counting the recovery.
+#[test]
+fn torn_final_record_recovers_surviving_prefix() {
+    let dir = tmpdir("torn");
+    let cfg = || StoreConfig {
+        dir: Some(dir.clone()),
+        ..StoreConfig::default()
+    };
+    let keys: Vec<_> = (0..3)
+        .map(|i| {
+            let config = Value::Object(vec![("i".into(), Value::Int(i))]);
+            Store::key("quickstart", 7, &config)
+        })
+        .collect();
+    {
+        let store = Store::open(cfg()).unwrap();
+        for (i, key) in keys.iter().enumerate() {
+            store.insert(key, "quickstart", 7, &format!(r#"{{"point":{i}}}"#));
+        }
+        assert_eq!(store.stats().persist_entries, 3);
+    }
+
+    // Tear the tail of the only segment mid-record.
+    let seg = dir.join("seg-00000001.jsonl");
+    let bytes = std::fs::read(&seg).unwrap();
+    std::fs::write(&seg, &bytes[..bytes.len() - 4]).unwrap();
+
+    let store = Store::open(cfg()).unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.recovered_truncated, 1, "{stats:?}");
+    assert_eq!(stats.persist_entries, 2, "only the torn record is lost");
+    assert_eq!(
+        store.get(&keys[0]).as_deref(),
+        Some(r#"{"point":0}"#),
+        "surviving prefix must be served"
+    );
+    assert_eq!(store.get(&keys[1]).as_deref(), Some(r#"{"point":1}"#));
+    assert_eq!(store.get(&keys[2]), None, "torn record is a plain miss");
+    // The miss is repairable: a reinsert lands in a clean segment tail.
+    store.insert(&keys[2], "quickstart", 7, r#"{"point":2}"#);
+    drop(store);
+    let store = Store::open(cfg()).unwrap();
+    assert_eq!(store.get(&keys[2]).as_deref(), Some(r#"{"point":2}"#));
+    assert_eq!(store.stats().recovered_truncated, 0, "tail healed");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A flipped byte mid-file fails that record's CRC; the suffix after it
+/// is untrusted by design (append-only ⇒ damage never heals later).
+#[test]
+fn corrupt_record_drops_the_untrusted_suffix() {
+    let dir = tmpdir("corrupt");
+    let cfg = || StoreConfig {
+        dir: Some(dir.clone()),
+        ..StoreConfig::default()
+    };
+    let keys: Vec<_> = (0..3)
+        .map(|i| {
+            let config = Value::Object(vec![("i".into(), Value::Int(i))]);
+            Store::key("covert", 9, &config)
+        })
+        .collect();
+    {
+        let store = Store::open(cfg()).unwrap();
+        for (i, key) in keys.iter().enumerate() {
+            store.insert(key, "covert", 9, &format!(r#"{{"ber":{i}}}"#));
+        }
+    }
+    let seg = dir.join("seg-00000001.jsonl");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    // Flip a digit inside the second record's result payload.
+    let line_len = bytes.len() / 3;
+    let target = line_len + line_len / 2;
+    bytes[target] = bytes[target].wrapping_add(1);
+    std::fs::write(&seg, &bytes).unwrap();
+
+    let store = Store::open(cfg()).unwrap();
+    assert_eq!(store.stats().recovered_truncated, 1);
+    assert_eq!(store.stats().persist_entries, 1);
+    assert_eq!(store.get(&keys[0]).as_deref(), Some(r#"{"ber":0}"#));
+    assert_eq!(store.get(&keys[1]), None);
+    assert_eq!(store.get(&keys[2]), None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Persisted results replay byte-identically across a reopen, and the
+/// replay counts as a persistent-tier hit that promotes into the hot
+/// tier.
+#[test]
+fn warm_reopen_replays_identical_bytes() {
+    let dir = tmpdir("warm");
+    let cfg = || StoreConfig {
+        dir: Some(dir.clone()),
+        ..StoreConfig::default()
+    };
+    let config = Value::Object(vec![("samples".into(), Value::Int(40))]);
+    let key = Store::key("quickstart", 3, &config);
+    let payload = r#"{"pearson":0.9991234567890123,"rows":[1,2,3]}"#;
+    {
+        let store = Store::open(cfg()).unwrap();
+        store.insert(&key, "quickstart", 3, payload);
+    }
+    let store = Store::open(cfg()).unwrap();
+    let first = store.get(&key).expect("persisted entry");
+    assert_eq!(&*first, payload);
+    let stats = store.stats();
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.hits_persist, 1);
+    // Second read is a pure hot-tier hit.
+    let second = store.get(&key).expect("promoted entry");
+    assert_eq!(&*second, payload);
+    let stats = store.stats();
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.hits_persist, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -86,13 +86,18 @@ fn main() {
         client.wait(id).expect("request response")
     };
     println!(
-        "{} {} (board {:?}, seed {:?}, {:.1} ms, trace {})",
+        "{} {} (board {:?}, seed {:?}, {:.1} ms, trace {}{})",
         resp.status,
         resp.verb,
         resp.board,
         resp.seed,
         resp.elapsed_ms.unwrap_or(0.0),
         resp.trace.as_deref().unwrap_or("-"),
+        if resp.cached == Some(true) {
+            ", cached"
+        } else {
+            ""
+        },
     );
     let render = |v: &Value| {
         if pretty {

@@ -1,0 +1,122 @@
+//! Checkpoint/resume contracts of the sweep verbs.
+//!
+//! The acceptance criteria this file pins:
+//!
+//! * A `defend` sweep resumed from a partially persisted checkpoint
+//!   produces a report **equal to a fresh uninterrupted run** — the
+//!   per-point codec round-trips every `f64` bit-exactly, so the rendered
+//!   table is byte-identical too.
+//! * The same holds for a `characterize` sweep resumed mid-way.
+//! * A checkpoint record that decodes but carries the wrong schema is
+//!   recomputed, never trusted — damage costs work, not correctness.
+//! * After a resumed run, the checkpoint holds every point, so a second
+//!   resume computes nothing.
+
+use std::path::PathBuf;
+
+use amperebleed::characterize::{self, CharacterizeConfig};
+use amperebleed::defend::{self, AttackKind, DefendConfig};
+use amperebleed::Platform;
+use fpga_fabric::ring_oscillator::RoConfig;
+use fpga_fabric::virus::VirusConfig;
+use sim_rt::Pool;
+use sim_store::Checkpoint;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("amperebleed-ckpt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn defend_resume_equals_fresh_run() {
+    let config = DefendConfig::quick(AttackKind::Covert);
+    let fresh = defend::run_with(&config, &Pool::serial()).unwrap();
+
+    let dir = tmpdir("defend");
+    let key = config.sweep_key();
+    {
+        // Simulate an interrupted sweep: only the baseline and the first
+        // strength point landed before the drain.
+        let partial = Checkpoint::open(&dir, "defend", &key).unwrap();
+        partial.put(0, &fresh.baseline.to_value().to_json());
+        partial.put(1, &fresh.points[0].to_value().to_json());
+    }
+    let ckpt = Checkpoint::open(&dir, "defend", &key).unwrap();
+    assert_eq!(ckpt.len(), 2);
+    let resumed = defend::run_checkpointed(&config, &Pool::new(2), &ckpt).unwrap();
+
+    assert_eq!(resumed, fresh);
+    assert_eq!(resumed.render(), fresh.render());
+    for (a, b) in resumed.points.iter().zip(&fresh.points) {
+        assert_eq!(a.success.to_bits(), b.success.to_bits());
+        assert_eq!(a.strength.to_bits(), b.strength.to_bits());
+    }
+    // The resumed run back-filled the missing points: a second resume
+    // decodes everything.
+    assert_eq!(ckpt.len(), 1 + config.strengths.len());
+    let ckpt = Checkpoint::open(&dir, "defend", &key).unwrap();
+    let replayed = defend::run_checkpointed(&config, &Pool::new(8), &ckpt).unwrap();
+    assert_eq!(replayed, fresh);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn defend_recomputes_schema_damaged_records() {
+    let config = DefendConfig::quick(AttackKind::Covert);
+    let fresh = defend::run_with(&config, &Pool::serial()).unwrap();
+
+    // Valid JSON, wrong shape: must be recomputed, not trusted.
+    let ckpt = Checkpoint::in_memory();
+    ckpt.put(0, r#"{"not":"a point"}"#);
+    ckpt.put(2, "42");
+    let resumed = defend::run_checkpointed(&config, &Pool::serial(), &ckpt).unwrap();
+    assert_eq!(resumed, fresh);
+}
+
+#[test]
+fn characterize_resume_equals_fresh_run() {
+    let factory = |_level: u32| {
+        let mut p = Platform::zcu102(1_000);
+        p.deploy_virus(VirusConfig::default())?;
+        p.deploy_ro_bank(RoConfig::default())?;
+        Ok(p)
+    };
+    let mut cfg = CharacterizeConfig::quick();
+    cfg.levels = vec![0, 40, 80, 120, 160];
+    cfg.samples_per_level = 120;
+    let fresh = characterize::run_parallel(factory, &cfg, &Pool::serial()).unwrap();
+
+    let dir = tmpdir("char");
+    let key = cfg.sweep_key(1_000);
+    {
+        let partial = Checkpoint::open(&dir, "characterize", &key).unwrap();
+        // Rows 0 and 3 landed; the rest are missing.
+        partial.put(0, &fresh.rows[0].to_value().to_json());
+        partial.put(3, &fresh.rows[3].to_value().to_json());
+    }
+    let ckpt = Checkpoint::open(&dir, "characterize", &key).unwrap();
+    let resumed =
+        characterize::run_parallel_checkpointed(factory, &cfg, &Pool::new(2), &ckpt).unwrap();
+    assert_eq!(resumed, fresh);
+    assert_eq!(ckpt.len(), cfg.levels.len());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_keys_separate_distinct_sweeps() {
+    let covert = DefendConfig::quick(AttackKind::Covert);
+    let rsa = DefendConfig::quick(AttackKind::Rsa);
+    assert_ne!(covert.sweep_key(), rsa.sweep_key());
+    let mut reseeded = covert.clone();
+    reseeded.seed += 1;
+    assert_ne!(covert.sweep_key(), reseeded.sweep_key());
+    assert_eq!(
+        covert.sweep_key(),
+        DefendConfig::quick(AttackKind::Covert).sweep_key()
+    );
+
+    let quick = CharacterizeConfig::quick();
+    assert_ne!(quick.sweep_key(1), quick.sweep_key(2));
+    assert_eq!(quick.sweep_key(1), CharacterizeConfig::quick().sweep_key(1));
+}
